@@ -1,0 +1,126 @@
+//! Criterion benchmarks for the collapsed Gibbs samplers: per-fit cost of
+//! every model family and the serial-vs-parallel backends over a topic-count
+//! sweep (the microbenchmark companion to Figure 8(f)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srclda_core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use srclda_core::{Backend, Ctm, Eda, Lda, SmoothingMode, SourceLda, Variant};
+use srclda_knowledge::SmoothingConfig;
+use srclda_synth::random_source_topics;
+
+struct World {
+    corpus: srclda_corpus::Corpus,
+    knowledge: srclda_knowledge::KnowledgeSource,
+}
+
+fn world(b: usize) -> World {
+    let (vocab, knowledge) = random_source_topics(800, b, 20, 200, 42);
+    let active: Vec<usize> = (0..b.min(20)).collect();
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: 60,
+        doc_len: DocLength::Fixed(50),
+        lambda_mode: LambdaMode::None,
+        seed: 7,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&active), &vocab)
+    .expect("generation succeeds");
+    World {
+        corpus: generated.corpus,
+        knowledge,
+    }
+}
+
+const ITERS: usize = 5;
+
+fn bench_models(c: &mut Criterion) {
+    let w = world(40);
+    let mut group = c.benchmark_group("models_5iter");
+    group.sample_size(10);
+    group.bench_function("lda", |bench| {
+        let model = Lda::builder()
+            .topics(40)
+            .iterations(ITERS)
+            .seed(1)
+            .build()
+            .unwrap();
+        bench.iter(|| model.fit(&w.corpus).unwrap());
+    });
+    group.bench_function("source_lda_bijective", |bench| {
+        let model = SourceLda::builder()
+            .knowledge_source(w.knowledge.clone())
+            .variant(Variant::Bijective)
+            .iterations(ITERS)
+            .seed(1)
+            .build()
+            .unwrap();
+        bench.iter(|| model.fit(&w.corpus).unwrap());
+    });
+    group.bench_function("source_lda_full_a4", |bench| {
+        let model = SourceLda::builder()
+            .knowledge_source(w.knowledge.clone())
+            .variant(Variant::Full)
+            .approximation_steps(4)
+            .smoothing(SmoothingMode::Shared(SmoothingConfig {
+                grid_points: 6,
+                samples_per_point: 10,
+            }))
+            .iterations(ITERS)
+            .seed(1)
+            .build()
+            .unwrap();
+        bench.iter(|| model.fit(&w.corpus).unwrap());
+    });
+    group.bench_function("eda", |bench| {
+        let model = Eda::builder()
+            .knowledge_source(w.knowledge.clone())
+            .iterations(ITERS)
+            .seed(1)
+            .build()
+            .unwrap();
+        bench.iter(|| model.fit(&w.corpus).unwrap());
+    });
+    group.bench_function("ctm", |bench| {
+        let model = Ctm::builder()
+            .knowledge_source(w.knowledge.clone())
+            .iterations(ITERS)
+            .seed(1)
+            .build()
+            .unwrap();
+        bench.iter(|| model.fit(&w.corpus).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends_2iter");
+    group.sample_size(10);
+    // Never oversubscribe the spin-barrier samplers.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let p = cores.clamp(2, 3);
+    for &b in &[128usize, 512] {
+        let w = world(b);
+        for (name, backend) in [
+            ("serial", Backend::Serial),
+            ("simple_p", Backend::SimpleParallel { threads: p }),
+            ("prefix_p", Backend::PrefixSums { threads: p }),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, b), &b, |bench, _| {
+                let model = SourceLda::builder()
+                    .knowledge_source(w.knowledge.clone())
+                    .variant(Variant::Bijective)
+                    .iterations(2)
+                    .backend(backend)
+                    .seed(1)
+                    .build()
+                    .unwrap();
+                bench.iter(|| model.fit(&w.corpus).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models, bench_backends);
+criterion_main!(benches);

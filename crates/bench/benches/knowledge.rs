@@ -1,0 +1,55 @@
+//! Criterion benchmarks for the knowledge-source machinery: smoothing
+//! function estimation (the per-topic cost of Algorithm 1's "Calculate gₜ")
+//! and integrated-prior construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srclda_knowledge::{SmoothingConfig, SmoothingFunction, SourceTopic};
+use srclda_math::{rng_from_seed, DiscretizedGaussian};
+
+fn topic(support: usize, vocab: usize) -> SourceTopic {
+    let mut counts = vec![0.0; vocab];
+    for (i, c) in counts.iter_mut().take(support).enumerate() {
+        *c = (500.0 / (i + 1) as f64).round().max(1.0);
+    }
+    SourceTopic::new("bench", counts)
+}
+
+fn bench_smoothing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smoothing_estimate");
+    group.sample_size(10);
+    for &support in &[50usize, 200] {
+        let t = topic(support, 10_000);
+        let cfg = SmoothingConfig {
+            grid_points: 10,
+            samples_per_point: 30,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(support), &support, |b, _| {
+            let mut rng = rng_from_seed(3);
+            b.iter(|| SmoothingFunction::estimate(&t, 0.01, &cfg, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_integration_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("integrated_prior_build");
+    group.sample_size(20);
+    let quad = DiscretizedGaussian::unit_interval(0.7, 0.3, 8).unwrap();
+    for &(support, vocab) in &[(200usize, 2000usize), (200, 50_000)] {
+        let t = topic(support, vocab);
+        let g = SmoothingFunction::identity();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{vocab}")),
+            &vocab,
+            |b, _| {
+                b.iter(|| {
+                    srclda_core::prior::TopicPrior::integrated(&t, 0.01, &g, &quad)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smoothing, bench_integration_table);
+criterion_main!(benches);

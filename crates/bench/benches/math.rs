@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the numeric kernels the samplers lean on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srclda_math::prefix::{blelloch_inclusive_scan, blockwise_inclusive_scan, inclusive_scan};
+use srclda_math::{rng_from_seed, sample_categorical, AliasTable, Dirichlet};
+
+fn bench_dirichlet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dirichlet_sample");
+    for &dim in &[32usize, 512, 4096] {
+        let d = Dirichlet::symmetric(0.5, dim).unwrap();
+        let mut rng = rng_from_seed(1);
+        let mut buf = vec![0.0; dim];
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| d.sample_into(&mut rng, &mut buf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_categorical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("categorical");
+    let weights: Vec<f64> = (0..1024).map(|i| ((i * 37) % 97) as f64 + 0.5).collect();
+    let mut rng = rng_from_seed(2);
+    group.bench_function("linear_1024", |b| {
+        b.iter(|| sample_categorical(&weights, &mut rng));
+    });
+    let table = AliasTable::new(&weights).unwrap();
+    group.bench_function("alias_1024", |b| {
+        b.iter(|| table.sample(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_4096");
+    let data: Vec<f64> = (0..4096).map(|i| (i % 13) as f64 * 0.5).collect();
+    group.bench_function("sequential", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| inclusive_scan(&mut v),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("blelloch", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| blelloch_inclusive_scan(&mut v),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("blockwise_6", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| blockwise_inclusive_scan(&mut v, 6),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dirichlet, bench_categorical, bench_scans);
+criterion_main!(benches);

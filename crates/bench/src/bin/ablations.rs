@@ -1,0 +1,7 @@
+//! Regenerates the design-choice ablations (quadrature steps A, smoothing
+//! mode, ε sensitivity).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::ablation::run(scale));
+}

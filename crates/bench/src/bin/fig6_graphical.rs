@@ -1,0 +1,6 @@
+//! Regenerates Figures 5-6 (the 5×5 graphical experiment).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::fig6::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (fixed λ vs integrated λ).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::fig7::run(scale));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 8 (a–e). `--part assignments|pmi|all` selects parts.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    let part = srclda_bench::cli::flag_value(&args, "--part").unwrap_or("all");
+    match part {
+        "assignments" | "theta" => {
+            print!("{}", srclda_bench::experiments::fig8::run_assignments(scale));
+        }
+        "pmi" => print!("{}", srclda_bench::experiments::fig8::run_pmi(scale)),
+        _ => print!("{}", srclda_bench::experiments::fig8::run(scale)),
+    }
+}

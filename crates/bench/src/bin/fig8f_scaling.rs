@@ -1,0 +1,6 @@
+//! Regenerates Figure 8f (parallel sampler scaling).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::fig8f::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §I case-study labeling table.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::table0::run(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table I (Reuters newswire top-word lists).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::table1::run(scale));
+}

@@ -1,0 +1,83 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Seconds-scale smoke run (CI / integration tests).
+    Smoke,
+    /// Laptop-scale default preserving the paper's setup shapes.
+    #[default]
+    Default,
+    /// The paper's exact experiment sizes (can take a long time).
+    Full,
+}
+
+impl Scale {
+    /// Parse from raw process arguments (`--smoke` / `--full`).
+    pub fn from_args<S: AsRef<str>>(args: &[S]) -> Self {
+        if args.iter().any(|a| a.as_ref() == "--smoke") {
+            Scale::Smoke
+        } else if args.iter().any(|a| a.as_ref() == "--full") {
+            Scale::Full
+        } else {
+            Scale::Default
+        }
+    }
+
+    /// Pick one of three values by scale.
+    pub fn pick<T: Copy>(self, smoke: T, default: T, full: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Value of `--flag value` style options, if present.
+pub fn flag_value<'a, S: AsRef<str>>(args: &'a [S], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a.as_ref() == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_ref())
+}
+
+/// A standard experiment banner.
+pub fn banner(id: &str, title: &str, scale: Scale) -> String {
+    format!(
+        "=== {id}: {title} [scale: {scale:?}] ===\n",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scales() {
+        assert_eq!(Scale::from_args(&["--smoke"]), Scale::Smoke);
+        assert_eq!(Scale::from_args(&["--full"]), Scale::Full);
+        assert_eq!(Scale::from_args(&["whatever"]), Scale::Default);
+        assert_eq!(Scale::from_args::<&str>(&[]), Scale::Default);
+    }
+
+    #[test]
+    fn pick_follows_scale() {
+        assert_eq!(Scale::Smoke.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn flag_values() {
+        let args = ["--part", "pmi", "--smoke"];
+        assert_eq!(flag_value(&args, "--part"), Some("pmi"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+        assert_eq!(flag_value(&args, "--smoke"), None);
+    }
+
+    #[test]
+    fn banner_contains_id() {
+        assert!(banner("F2", "title", Scale::Default).contains("F2"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * **Quadrature steps `A`** — the paper's running-time bound is
+//!   `O(I·D_avg·D·T·A)`; how much accuracy does each extra step buy?
+//! * **Smoothing mode** — per-topic `g_t` (Algorithm 1) vs one shared `g`
+//!   vs no smoothing at all (`g = id`).
+//! * **ε sensitivity** — Definition 3 only requires "a very small positive
+//!   number"; how robust is inference to its magnitude?
+
+use crate::cli::{banner, Scale};
+use srclda_core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use srclda_core::{SmoothingMode, SourceLda, Variant};
+use srclda_eval::{token_accuracy, Table, TopicMapping};
+use srclda_knowledge::SmoothingConfig;
+use srclda_synth::{SyntheticWikipedia, WikipediaConfig};
+use std::time::Instant;
+
+struct Setup {
+    generated: srclda_core::generative::GeneratedCorpus,
+    knowledge: srclda_knowledge::KnowledgeSource,
+}
+
+fn build(scale: Scale) -> Setup {
+    let topics = scale.pick(12, 40, 80);
+    let labels: Vec<String> = (0..topics).map(|i| format!("ablate-{i}")).collect();
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let wiki = SyntheticWikipedia::generate(
+        &refs,
+        &WikipediaConfig {
+            core_words_per_topic: scale.pick(15, 30, 40),
+            shared_vocab: scale.pick(80, 200, 300),
+            article_len: scale.pick(300, 700, 1000),
+            seed: 61,
+            ..WikipediaConfig::default()
+        },
+    );
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        mu: 0.6,
+        sigma: 0.5,
+        lambda_mode: LambdaMode::Raw,
+        num_docs: scale.pick(80, 250, 500),
+        doc_len: DocLength::Fixed(scale.pick(50, 90, 120)),
+        seed: 62,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&wiki.knowledge, &wiki.vocab)
+    .expect("generation succeeds");
+    Setup {
+        generated,
+        knowledge: wiki.knowledge,
+    }
+}
+
+fn fit_and_score(
+    setup: &Setup,
+    a: usize,
+    smoothing: SmoothingMode,
+    epsilon: f64,
+    iterations: usize,
+) -> (f64, f64) {
+    let start = Instant::now();
+    let fitted = SourceLda::builder()
+        .knowledge_source(setup.knowledge.clone())
+        .variant(Variant::Full)
+        .lambda_prior(0.6, 0.5)
+        .approximation_steps(a)
+        .smoothing(smoothing)
+        .epsilon(epsilon)
+        .alpha(0.5)
+        .iterations(iterations)
+        .seed(63)
+        .build()
+        .expect("valid model")
+        .fit(&setup.generated.corpus)
+        .expect("fit succeeds");
+    let secs = start.elapsed().as_secs_f64();
+    let acc = token_accuracy(
+        &setup.generated.truth.assignments,
+        fitted.assignments(),
+        &TopicMapping::identity(fitted.num_topics()),
+    );
+    (acc.percent(), secs)
+}
+
+fn smoothing_cfg(scale: Scale) -> SmoothingConfig {
+    SmoothingConfig {
+        grid_points: 8,
+        samples_per_point: scale.pick(20, 40, 60),
+    }
+}
+
+/// Run all three ablations.
+pub fn run(scale: Scale) -> String {
+    let mut out = banner("ABL", "design-choice ablations (A, smoothing, ε)", scale);
+    let setup = build(scale);
+    let iterations = scale.pick(50, 150, 300);
+    out.push_str(&format!(
+        "corpus: {} docs, {} tokens, {} source topics\n\n",
+        setup.generated.corpus.num_docs(),
+        setup.generated.corpus.num_tokens(),
+        setup.knowledge.len()
+    ));
+
+    // 1. Quadrature steps A.
+    let mut table = Table::new(["A (quadrature steps)", "classification %", "fit seconds"]);
+    for a in [1usize, 2, 4, 8, 16] {
+        let (acc, secs) = fit_and_score(
+            &setup,
+            a,
+            SmoothingMode::Shared(smoothing_cfg(scale)),
+            0.01,
+            iterations,
+        );
+        table.push_row([format!("{a}"), format!("{acc:.1}"), format!("{secs:.2}")]);
+    }
+    out.push_str("ablation 1 — λ quadrature steps (cost grows linearly in A):\n");
+    out.push_str(&table.render());
+
+    // 2. Smoothing mode.
+    let mut table = Table::new(["smoothing mode", "classification %", "fit seconds"]);
+    for (name, mode) in [
+        ("identity (g = λ)", SmoothingMode::Identity),
+        ("shared g", SmoothingMode::Shared(smoothing_cfg(scale))),
+        ("per-topic g_t", SmoothingMode::PerTopic(smoothing_cfg(scale))),
+    ] {
+        let (acc, secs) = fit_and_score(&setup, 4, mode, 0.01, iterations);
+        table.push_row([name.to_string(), format!("{acc:.1}"), format!("{secs:.2}")]);
+    }
+    out.push_str("\nablation 2 — smoothing function estimation:\n");
+    out.push_str(&table.render());
+
+    // 3. ε sensitivity.
+    let mut table = Table::new(["epsilon", "classification %"]);
+    for eps in [1e-4, 1e-2, 1e-1, 1.0] {
+        let (acc, _) = fit_and_score(
+            &setup,
+            4,
+            SmoothingMode::Shared(smoothing_cfg(scale)),
+            eps,
+            iterations,
+        );
+        table.push_row([format!("{eps}"), format!("{acc:.1}")]);
+    }
+    out.push_str("\nablation 3 — Definition 3's ε:\n");
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_report_renders() {
+        let r = run(Scale::Smoke);
+        assert!(r.contains("ablation 1"));
+        assert!(r.contains("ablation 2"));
+        assert!(r.contains("ablation 3"));
+    }
+
+    #[test]
+    fn accuracy_is_robust_to_epsilon_within_reason() {
+        let setup = build(Scale::Smoke);
+        let (a_small, _) = fit_and_score(&setup, 2, SmoothingMode::Identity, 1e-4, 40);
+        let (a_mid, _) = fit_and_score(&setup, 2, SmoothingMode::Identity, 1e-2, 40);
+        // Tiny vs small ε should not change the outcome much.
+        assert!(
+            (a_small - a_mid).abs() < 15.0,
+            "ε sensitivity too high: {a_small:.1} vs {a_mid:.1}"
+        );
+    }
+}

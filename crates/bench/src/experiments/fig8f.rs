@@ -1,0 +1,125 @@
+//! Figure 8(f): performance benchmarking of the parallel samplers (§IV.E).
+//!
+//! "To show the performance gains used by the parallel sampling algorithm
+//! an experiment was set up to generate topics randomly from a given
+//! vocabulary. The corpus was generated using the same parameters as in
+//! Section 4(B) but with B ranging from 100 to 10000." The figure plots
+//! average iteration time against `B` for 1, 3 and 6 threads and shows
+//! linear scaling in `B`.
+
+use crate::cli::{banner, Scale};
+use srclda_core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use srclda_core::{Backend, SmoothingMode, SourceLda, Variant};
+use srclda_eval::Series;
+use srclda_knowledge::SmoothingConfig;
+use srclda_synth::random_source_topics;
+use std::time::Instant;
+
+/// Average seconds per Gibbs iteration for one (B, backend) cell.
+fn time_cell(
+    b: usize,
+    backend: Backend,
+    scale: Scale,
+    iters: usize,
+) -> f64 {
+    let vocab_size = scale.pick(400, 1500, 2000);
+    let support = scale.pick(10, 25, 40);
+    let (vocab, knowledge) = random_source_topics(vocab_size, b, support, 300, 42);
+    // Corpus from the first 100 (or fewer) topics, as in §IV.B.
+    let active: Vec<usize> = (0..b.min(100)).collect();
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: scale.pick(40, 200, 500),
+        doc_len: DocLength::Fixed(scale.pick(40, 100, 100)),
+        lambda_mode: LambdaMode::None,
+        seed: 4242,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&active), &vocab)
+    .expect("generation succeeds");
+    let model = SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(Variant::Full)
+        .lambda_prior(0.5, 1.0)
+        .approximation_steps(scale.pick(2, 4, 4))
+        .smoothing(SmoothingMode::Shared(SmoothingConfig {
+            grid_points: 6,
+            samples_per_point: 15,
+        }))
+        .alpha(0.5)
+        .iterations(iters)
+        .backend(backend)
+        .seed(5)
+        .build()
+        .expect("valid model");
+    let start = Instant::now();
+    let _ = model.fit(&generated.corpus).expect("fit succeeds");
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = banner("F8f", "parallel sampler scaling (Fig. 8 f)", scale);
+    let bs: Vec<usize> = match scale {
+        Scale::Smoke => vec![50, 150],
+        Scale::Default => vec![100, 300, 1000, 3000],
+        Scale::Full => vec![100, 300, 1000, 3000, 10000],
+    };
+    let iters = scale.pick(2, 3, 3);
+    // The paper benchmarks 1/3/6 threads on a 6-core box. Spin-barrier
+    // samplers degrade when oversubscribed, so cap at the machine's actual
+    // parallelism and report what ran.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts: Vec<usize> = [1usize, 3, 6]
+        .into_iter()
+        .map(|t| t.min(cores))
+        .collect();
+    thread_counts.dedup();
+    out.push_str(&format!(
+        "machine parallelism: {cores} cores; thread counts benchmarked: {thread_counts:?}\n"
+    ));
+    let mut series = Series::new("B", bs.iter().map(|&b| b as f64).collect());
+    let mut final_row = Vec::new();
+    for &threads in &thread_counts {
+        let backend = if threads == 1 {
+            Backend::Serial
+        } else {
+            Backend::SimpleParallel { threads }
+        };
+        let col: Vec<f64> = bs.iter().map(|&b| time_cell(b, backend, scale, iters)).collect();
+        final_row.push(*col.last().expect("non-empty"));
+        series.push_column(format!("{threads}-threads_sec_per_iter"), col);
+    }
+    out.push_str(&series.render());
+    for (i, &threads) in thread_counts.iter().enumerate().skip(1) {
+        out.push_str(&format!(
+            "\nspeedup at B = {}: {threads} threads {:.2}x over serial",
+            bs.last().expect("non-empty"),
+            final_row[0] / final_row[i],
+        ));
+    }
+    out.push_str("\n(paper: linear scaling in B; parallel backends pay off once T is large)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_grow_with_b() {
+        let small = time_cell(30, Backend::Serial, Scale::Smoke, 2);
+        let large = time_cell(240, Backend::Serial, Scale::Smoke, 2);
+        assert!(small > 0.0);
+        assert!(
+            large > small,
+            "iteration time should grow with B: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn parallel_backend_produces_timings() {
+        let t = time_cell(60, Backend::SimpleParallel { threads: 2 }, Scale::Smoke, 1);
+        assert!(t.is_finite() && t > 0.0);
+    }
+}

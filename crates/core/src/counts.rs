@@ -1,0 +1,236 @@
+//! The collapsed Gibbs count matrices `nw` (word × topic), `nd`
+//! (document × topic) and `nt` (topic totals).
+//!
+//! Storage is `AtomicU32` with relaxed ordering so the parallel samplers can
+//! read counts from worker threads while the leader thread mutates them
+//! between barriers (which supply the ordering). On x86-64 a relaxed atomic
+//! load/store compiles to a plain `mov`, so the serial sampler pays nothing
+//! for this.
+//!
+//! Layout: `nw` is row-major by **word** (`nw[w*T + t]`), `nd` row-major by
+//! document — both give the per-token inner loop over `t` a contiguous walk.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Count matrices for a `V`-word vocabulary, `D` documents, `T` topics.
+#[derive(Debug)]
+pub struct CountMatrices {
+    nw: Vec<AtomicU32>,
+    nd: Vec<AtomicU32>,
+    nt: Vec<AtomicU32>,
+    doc_len: Vec<u32>,
+    v: usize,
+    t: usize,
+}
+
+impl CountMatrices {
+    /// Zeroed matrices for the given dimensions; `doc_lens` fixes each
+    /// document's token count.
+    pub fn new(v: usize, t: usize, doc_lens: &[u32]) -> Self {
+        let mut nw = Vec::with_capacity(v * t);
+        nw.resize_with(v * t, || AtomicU32::new(0));
+        let mut nd = Vec::with_capacity(doc_lens.len() * t);
+        nd.resize_with(doc_lens.len() * t, || AtomicU32::new(0));
+        let mut nt = Vec::with_capacity(t);
+        nt.resize_with(t, || AtomicU32::new(0));
+        Self {
+            nw,
+            nd,
+            nt,
+            doc_len: doc_lens.to_vec(),
+            v,
+            t,
+        }
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.v
+    }
+
+    /// Topic count `T`.
+    pub fn num_topics(&self) -> usize {
+        self.t
+    }
+
+    /// Document count `D`.
+    pub fn num_docs(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Token count of document `d`.
+    #[inline]
+    pub fn doc_len(&self, d: usize) -> u32 {
+        self.doc_len[d]
+    }
+
+    /// `n_w,t` — times word `w` is assigned to topic `t`.
+    #[inline]
+    pub fn nw(&self, w: usize, t: usize) -> u32 {
+        self.nw[w * self.t + t].load(Ordering::Relaxed)
+    }
+
+    /// `n_d,t` — times topic `t` is assigned in document `d`.
+    #[inline]
+    pub fn nd(&self, d: usize, t: usize) -> u32 {
+        self.nd[d * self.t + t].load(Ordering::Relaxed)
+    }
+
+    /// `n_t` — total assignments to topic `t`.
+    #[inline]
+    pub fn nt(&self, t: usize) -> u32 {
+        self.nt[t].load(Ordering::Relaxed)
+    }
+
+    /// The contiguous `nw` row for word `w` (length `T`).
+    #[inline]
+    pub fn nw_row(&self, w: usize) -> &[AtomicU32] {
+        &self.nw[w * self.t..(w + 1) * self.t]
+    }
+
+    /// The contiguous `nd` row for document `d` (length `T`).
+    #[inline]
+    pub fn nd_row(&self, d: usize) -> &[AtomicU32] {
+        &self.nd[d * self.t..(d + 1) * self.t]
+    }
+
+    /// The topic-total vector (length `T`).
+    #[inline]
+    pub fn nt_all(&self) -> &[AtomicU32] {
+        &self.nt
+    }
+
+    /// Record an assignment of word `w` in document `d` to topic `t`.
+    #[inline]
+    pub fn increment(&self, w: usize, d: usize, t: usize) {
+        self.nw[w * self.t + t].fetch_add(1, Ordering::Relaxed);
+        self.nd[d * self.t + t].fetch_add(1, Ordering::Relaxed);
+        self.nt[t].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remove an assignment of word `w` in document `d` to topic `t`.
+    ///
+    /// # Panics
+    /// Debug builds panic on underflow (an invariant violation).
+    #[inline]
+    pub fn decrement(&self, w: usize, d: usize, t: usize) {
+        let a = self.nw[w * self.t + t].fetch_sub(1, Ordering::Relaxed);
+        let b = self.nd[d * self.t + t].fetch_sub(1, Ordering::Relaxed);
+        let c = self.nt[t].fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(a > 0 && b > 0 && c > 0, "count underflow at w={w} d={d} t={t}");
+    }
+
+    /// Number of documents in which topic `t` has at least `min_tokens`
+    /// assignments (the document-frequency signal used by the superset
+    /// topic reduction, §III.C.3).
+    pub fn topic_doc_frequency(&self, t: usize, min_tokens: u32) -> usize {
+        (0..self.num_docs())
+            .filter(|&d| self.nd(d, t) >= min_tokens.max(1))
+            .count()
+    }
+
+    /// Verify internal consistency (test helper): column sums of `nw` match
+    /// `nt`, and row sums of `nd` match document lengths.
+    pub fn check_invariants(&self) -> bool {
+        for t in 0..self.t {
+            let col: u64 = (0..self.v).map(|w| self.nw(w, t) as u64).sum();
+            if col != self.nt(t) as u64 {
+                return false;
+            }
+        }
+        for d in 0..self.num_docs() {
+            let row: u64 = (0..self.t).map(|t| self.nd(d, t) as u64).sum();
+            if row != self.doc_len[d] as u64 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Snapshot the `nw` matrix into plain integers (held-out perplexity
+    /// freezes training counts).
+    pub fn snapshot_nw(&self) -> Vec<u32> {
+        self.nw.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Snapshot the topic totals.
+    pub fn snapshot_nt(&self) -> Vec<u32> {
+        self.nt.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let c = CountMatrices::new(5, 3, &[4, 2]);
+        assert_eq!(c.vocab_size(), 5);
+        assert_eq!(c.num_topics(), 3);
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.doc_len(0), 4);
+    }
+
+    #[test]
+    fn increment_decrement_round_trip() {
+        let c = CountMatrices::new(3, 2, &[2]);
+        c.increment(1, 0, 1);
+        c.increment(1, 0, 1);
+        assert_eq!(c.nw(1, 1), 2);
+        assert_eq!(c.nd(0, 1), 2);
+        assert_eq!(c.nt(1), 2);
+        c.decrement(1, 0, 1);
+        assert_eq!(c.nw(1, 1), 1);
+        assert_eq!(c.nt(1), 1);
+    }
+
+    #[test]
+    fn rows_are_contiguous_views() {
+        let c = CountMatrices::new(2, 3, &[1]);
+        c.increment(1, 0, 2);
+        let row = c.nw_row(1);
+        assert_eq!(row.len(), 3);
+        assert_eq!(row[2].load(Ordering::Relaxed), 1);
+        assert_eq!(c.nd_row(0)[2].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn invariants_detect_consistency() {
+        let c = CountMatrices::new(2, 2, &[2]);
+        c.increment(0, 0, 0);
+        c.increment(1, 0, 1);
+        assert!(c.check_invariants());
+        // Violate: extra nw bump without nd/nt.
+        c.nw_row(0)[0].fetch_add(1, Ordering::Relaxed);
+        assert!(!c.check_invariants());
+    }
+
+    #[test]
+    fn topic_doc_frequency_thresholds() {
+        let c = CountMatrices::new(2, 2, &[3, 3]);
+        // doc 0: 3 tokens of topic 0; doc 1: 1 token topic 0, 2 topic 1.
+        c.increment(0, 0, 0);
+        c.increment(0, 0, 0);
+        c.increment(0, 0, 0);
+        c.increment(0, 1, 0);
+        c.increment(1, 1, 1);
+        c.increment(1, 1, 1);
+        assert_eq!(c.topic_doc_frequency(0, 1), 2);
+        assert_eq!(c.topic_doc_frequency(0, 2), 1);
+        assert_eq!(c.topic_doc_frequency(1, 1), 1);
+        assert_eq!(c.topic_doc_frequency(1, 3), 0);
+    }
+
+    #[test]
+    fn snapshots_copy_state() {
+        let c = CountMatrices::new(2, 2, &[1]);
+        c.increment(1, 0, 0);
+        let nw = c.snapshot_nw();
+        assert_eq!(nw, vec![0, 0, 1, 0]);
+        assert_eq!(c.snapshot_nt(), vec![1, 0]);
+        // Later mutation does not affect the snapshot.
+        c.increment(0, 0, 1);
+        assert_eq!(nw, vec![0, 0, 1, 0]);
+    }
+}

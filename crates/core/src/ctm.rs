@@ -1,0 +1,238 @@
+//! The Concept-topic model (Chemudugunta et al. 2008) — the baseline that
+//! represents each known concept as a *word set*.
+//!
+//! A token may only be assigned to a concept whose bag contains its word;
+//! within the bag, the concept's word distribution is learned under a
+//! symmetric prior restricted to the bag. The paper's CTM runs mix these
+//! concepts with unconstrained topics and build each bag from "the top
+//! 10,000 words by frequency for each topic" (§IV.C) — controlled here by
+//! [`CtmBuilder::bag_size`].
+
+use crate::model::{FittedModel, GibbsModel};
+use crate::params::ModelConfig;
+use crate::prior::TopicPrior;
+use srclda_corpus::Corpus;
+use srclda_knowledge::KnowledgeSource;
+
+/// A configured concept-topic model.
+#[derive(Debug, Clone)]
+pub struct Ctm {
+    source: KnowledgeSource,
+    k_unconstrained: usize,
+    bag_size: Option<usize>,
+    config: ModelConfig,
+}
+
+/// Builder for [`Ctm`].
+#[derive(Debug, Clone, Default)]
+pub struct CtmBuilder {
+    source: Option<KnowledgeSource>,
+    k_unconstrained: usize,
+    bag_size: Option<usize>,
+    config: ModelConfig,
+}
+
+impl Ctm {
+    /// Start building a CTM.
+    pub fn builder() -> CtmBuilder {
+        CtmBuilder::default()
+    }
+
+    /// Total topic count (unconstrained + concepts).
+    pub fn total_topics(&self) -> usize {
+        self.k_unconstrained + self.source.len()
+    }
+
+    /// Fit on a corpus.
+    ///
+    /// # Errors
+    /// Propagates engine errors.
+    pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        let v = corpus.vocab_size();
+        if self.source.vocab_size() != v {
+            return Err(crate::CoreError::VocabularyMismatch {
+                source: self.source.vocab_size(),
+                corpus: v,
+            });
+        }
+        let mut priors: Vec<TopicPrior> = Vec::with_capacity(self.total_topics());
+        let mut labels: Vec<Option<String>> = Vec::with_capacity(self.total_topics());
+        for _ in 0..self.k_unconstrained {
+            priors.push(TopicPrior::symmetric(self.config.beta, v)?);
+            labels.push(None);
+        }
+        for topic in self.source.topics() {
+            let bag: Vec<u32> = match self.bag_size {
+                Some(n) => topic.top_words(n).into_iter().map(|w| w.0).collect(),
+                None => topic.support().into_iter().map(|w| w.0).collect(),
+            };
+            priors.push(TopicPrior::concept_set(&bag, self.config.beta, v)?);
+            labels.push(Some(topic.label().to_string()));
+        }
+        GibbsModel::new(priors, labels, v, self.config.clone())?.fit(corpus)
+    }
+}
+
+impl CtmBuilder {
+    /// Set the knowledge source supplying the concepts (required).
+    pub fn knowledge_source(mut self, ks: KnowledgeSource) -> Self {
+        self.source = Some(ks);
+        self
+    }
+
+    /// Number of unconstrained (ordinary LDA) topics to mix in.
+    pub fn unconstrained_topics(mut self, k: usize) -> Self {
+        self.k_unconstrained = k;
+        self
+    }
+
+    /// Limit each concept's bag to its `n` highest-count words (the paper
+    /// used 10,000). Default: the full support.
+    pub fn bag_size(mut self, n: usize) -> Self {
+        self.bag_size = Some(n);
+        self
+    }
+
+    /// Set the document–topic prior α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Set the word prior β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Set the Gibbs iteration count.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.config.iterations = iters;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the sampler backend.
+    pub fn backend(mut self, backend: crate::sampler::Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Finish, validating the configuration.
+    ///
+    /// # Errors
+    /// Fails without a knowledge source.
+    pub fn build(self) -> crate::Result<Ctm> {
+        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        if source.is_empty() {
+            return Err(crate::CoreError::MissingKnowledgeSource);
+        }
+        self.config.validate()?;
+        Ok(Ctm {
+            source,
+            k_unconstrained: self.k_unconstrained,
+            bag_size: self.bag_size,
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn setup() -> (Corpus, KnowledgeSource) {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..6 {
+            b.add_tokens("d1", &["gas", "pipeline", "gas", "novel"]);
+            b.add_tokens("d2", &["stock", "market", "stock", "novel"]);
+        }
+        let c = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_article("Natural Gas", "gas pipeline energy");
+        ks.add_article("Stock Market", "stock market trader");
+        let source = ks.build(c.vocabulary());
+        (c, source)
+    }
+
+    #[test]
+    fn concept_support_is_respected() {
+        let (c, ks) = setup();
+        let ctm = Ctm::builder()
+            .knowledge_source(ks)
+            .unconstrained_topics(1)
+            .alpha(0.5)
+            .beta(0.1)
+            .iterations(80)
+            .seed(5)
+            .build()
+            .unwrap();
+        let fitted = ctm.fit(&c).unwrap();
+        // "novel" is outside both concept bags; its assignments must all be
+        // the unconstrained topic 0.
+        let novel = c.vocabulary().get("novel").unwrap();
+        for (d, doc) in c.docs().iter().enumerate() {
+            for (j, &w) in doc.tokens().iter().enumerate() {
+                if w == novel {
+                    assert_eq!(
+                        fitted.assignments()[d][j],
+                        0,
+                        "out-of-bag token escaped to a concept"
+                    );
+                }
+            }
+        }
+        // Concept φ rows place zero mass outside the bag.
+        let gas_topic = 1;
+        let stock_word = c.vocabulary().get("stock").unwrap().index();
+        assert_eq!(fitted.phi_row(gas_topic)[stock_word], 0.0);
+    }
+
+    #[test]
+    fn concepts_attract_their_words() {
+        let (c, ks) = setup();
+        let ctm = Ctm::builder()
+            .knowledge_source(ks)
+            .unconstrained_topics(1)
+            .alpha(0.5)
+            .beta(0.1)
+            .iterations(80)
+            .seed(6)
+            .build()
+            .unwrap();
+        let fitted = ctm.fit(&c).unwrap();
+        let gas = c.vocabulary().get("gas").unwrap().index();
+        // "gas" can belong to topic 0 (unconstrained) or Natural Gas (1) but
+        // never Stock Market (2).
+        assert_eq!(fitted.phi_row(2)[gas], 0.0);
+    }
+
+    #[test]
+    fn bag_size_truncates_support() {
+        let (c, ks) = setup();
+        let ctm = Ctm::builder()
+            .knowledge_source(ks)
+            .unconstrained_topics(1)
+            .bag_size(1)
+            .iterations(10)
+            .build()
+            .unwrap();
+        let fitted = ctm.fit(&c).unwrap();
+        // Natural Gas bag truncated to its single top word ⇒ only one
+        // non-zero φ entry.
+        let nonzero = fitted.phi_row(1).iter().filter(|&&x| x > 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn builder_requires_source() {
+        assert!(Ctm::builder().build().is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Explicit Dirichlet allocation (Hansen et al. 2013) — the baseline that
+//! freezes every topic at its knowledge-source word distribution.
+//!
+//! EDA "does not discover new topics, nor does it update the word
+//! distributions of the input topics" (paper §IV.C): sampling only moves the
+//! document–topic counts, with `p(w | t) = φ_w` fixed to the (ε-smoothed)
+//! source distribution.
+
+use crate::model::{FittedModel, GibbsModel};
+use crate::params::ModelConfig;
+use crate::prior::TopicPrior;
+use srclda_corpus::Corpus;
+use srclda_knowledge::KnowledgeSource;
+
+/// A configured EDA model.
+#[derive(Debug, Clone)]
+pub struct Eda {
+    source: KnowledgeSource,
+    config: ModelConfig,
+}
+
+/// Builder for [`Eda`].
+#[derive(Debug, Clone, Default)]
+pub struct EdaBuilder {
+    source: Option<KnowledgeSource>,
+    config: ModelConfig,
+}
+
+impl Eda {
+    /// Start building an EDA model.
+    pub fn builder() -> EdaBuilder {
+        EdaBuilder::default()
+    }
+
+    /// Number of topics (= knowledge-source size).
+    pub fn num_topics(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Fit on a corpus (infers θ and token assignments only; φ stays at the
+    /// source distributions).
+    ///
+    /// # Errors
+    /// Propagates engine errors.
+    pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        let v = corpus.vocab_size();
+        if self.source.vocab_size() != v {
+            return Err(crate::CoreError::VocabularyMismatch {
+                source: self.source.vocab_size(),
+                corpus: v,
+            });
+        }
+        let priors: Vec<TopicPrior> = self
+            .source
+            .topics()
+            .iter()
+            .map(|t| TopicPrior::frozen_from_source(t, self.config.epsilon))
+            .collect();
+        let labels = self
+            .source
+            .topics()
+            .iter()
+            .map(|t| Some(t.label().to_string()))
+            .collect();
+        GibbsModel::new(priors, labels, v, self.config.clone())?.fit(corpus)
+    }
+}
+
+impl EdaBuilder {
+    /// Set the knowledge source (required).
+    pub fn knowledge_source(mut self, ks: KnowledgeSource) -> Self {
+        self.source = Some(ks);
+        self
+    }
+
+    /// Set the document–topic prior α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Set the smoothing ε applied to source distributions.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Set the Gibbs iteration count.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.config.iterations = iters;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the sampler backend.
+    pub fn backend(mut self, backend: crate::sampler::Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Finish, validating the configuration.
+    ///
+    /// # Errors
+    /// Fails without a knowledge source.
+    pub fn build(self) -> crate::Result<Eda> {
+        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        if source.is_empty() {
+            return Err(crate::CoreError::MissingKnowledgeSource);
+        }
+        self.config.validate()?;
+        Ok(Eda {
+            source,
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn setup() -> (Corpus, KnowledgeSource) {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..5 {
+            b.add_tokens("d1", &["gas", "gas", "pipeline"]);
+            b.add_tokens("d2", &["stock", "market", "market"]);
+        }
+        let c = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_article("Natural Gas", "gas gas gas pipeline pipeline energy");
+        ks.add_article("Stock Market", "stock stock market market trader");
+        let source = ks.build(c.vocabulary());
+        (c, source)
+    }
+
+    #[test]
+    fn phi_stays_at_source_distributions() {
+        let (c, ks) = setup();
+        let expected: Vec<Vec<f64>> = ks
+            .topics()
+            .iter()
+            .map(|t| {
+                let h = t.hyperparameters(0.01);
+                let s: f64 = h.iter().sum();
+                h.iter().map(|&x| x / s).collect()
+            })
+            .collect();
+        let eda = Eda::builder()
+            .knowledge_source(ks)
+            .epsilon(0.01)
+            .iterations(30)
+            .build()
+            .unwrap();
+        let fitted = eda.fit(&c).unwrap();
+        for (t, want) in expected.iter().enumerate() {
+            for (got, want) in fitted.phi_row(t).iter().zip(want) {
+                assert!((got - want).abs() < 1e-9, "phi must not move: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn documents_load_on_matching_topics() {
+        let (c, ks) = setup();
+        let eda = Eda::builder()
+            .knowledge_source(ks)
+            .alpha(0.2)
+            .iterations(60)
+            .seed(3)
+            .build()
+            .unwrap();
+        let fitted = eda.fit(&c).unwrap();
+        // Even-indexed docs are gas documents; odd are stock documents.
+        let gas = fitted
+            .labels()
+            .iter()
+            .position(|l| l.as_deref() == Some("Natural Gas"))
+            .unwrap();
+        for d in 0..c.num_docs() {
+            let theta = fitted.theta_row(d);
+            if d % 2 == 0 {
+                assert!(theta[gas] > 0.5, "doc {d} should lean gas: {theta:?}");
+            } else {
+                assert!(theta[gas] < 0.5, "doc {d} should lean stock: {theta:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_requires_source() {
+        assert!(Eda::builder().build().is_err());
+    }
+}

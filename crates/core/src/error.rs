@@ -1,0 +1,97 @@
+//! Error type for model construction and fitting.
+
+use std::fmt;
+
+/// Errors surfaced by the model builders and the Gibbs engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The model was configured with no topics at all.
+    NoTopics,
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The corpus is empty (no documents or no tokens).
+    EmptyCorpus,
+    /// The knowledge source's vocabulary does not match the corpus.
+    VocabularyMismatch {
+        /// Vocabulary size the knowledge source was built against.
+        source: usize,
+        /// Vocabulary size of the corpus being fitted.
+        corpus: usize,
+    },
+    /// A required knowledge source was missing.
+    MissingKnowledgeSource,
+    /// A numeric subroutine failed.
+    Math(srclda_math::MathError),
+    /// Invalid configuration combination.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoTopics => write!(f, "model must have at least one topic"),
+            CoreError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be > 0, got {value}")
+            }
+            CoreError::EmptyCorpus => write!(f, "corpus has no tokens to model"),
+            CoreError::VocabularyMismatch { source, corpus } => write!(
+                f,
+                "knowledge source vocabulary ({source}) does not match corpus vocabulary ({corpus})"
+            ),
+            CoreError::MissingKnowledgeSource => {
+                write!(f, "this model variant requires a knowledge source")
+            }
+            CoreError::Math(e) => write!(f, "numeric error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<srclda_math::MathError> for CoreError {
+    fn from(e: srclda_math::MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::NoTopics.to_string().contains("topic"));
+        let e = CoreError::VocabularyMismatch {
+            source: 10,
+            corpus: 20,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("20"));
+        let e = CoreError::NonPositiveParameter {
+            name: "alpha",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn math_errors_convert() {
+        let m = srclda_math::MathError::Empty("weights");
+        let e: CoreError = m.into();
+        assert!(matches!(e, CoreError::Math(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,467 @@
+//! Generative samplers — the forward direction of the models, used to
+//! synthesize ground-truth corpora for the evaluation (§IV.B, §IV.D all
+//! generate corpora "following the steps of the generative model").
+
+use crate::error::CoreError;
+use rand::Rng;
+use srclda_corpus::{Corpus, Document, Vocabulary};
+use srclda_knowledge::{KnowledgeSource, SmoothingConfig, SmoothingFunction};
+use srclda_math::{
+    rng_from_seed, sample_categorical, AliasTable, DenseMatrix, Dirichlet, SldaRng,
+    TruncatedNormal,
+};
+
+/// Per-document length model (the paper's step `N_d ~ Poisson(ξ)`; the
+/// experiments fix average lengths, so both options are provided).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DocLength {
+    /// Every document has exactly `n` tokens.
+    Fixed(usize),
+    /// `N_d ~ Poisson(ξ)` (resampled if 0).
+    Poisson(f64),
+}
+
+impl DocLength {
+    fn sample(&self, rng: &mut SldaRng) -> usize {
+        match *self {
+            DocLength::Fixed(n) => n.max(1),
+            DocLength::Poisson(xi) => {
+                loop {
+                    let n = sample_poisson(xi, rng);
+                    if n > 0 {
+                        return n;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Knuth/normal-approximation Poisson sampler.
+pub fn sample_poisson(lambda: f64, rng: &mut SldaRng) -> usize {
+    debug_assert!(lambda > 0.0);
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let x = lambda + lambda.sqrt() * crate::generative::standard_normal(rng) + 0.5;
+        x.max(0.0) as usize
+    }
+}
+
+fn standard_normal(rng: &mut SldaRng) -> f64 {
+    srclda_math::gamma::standard_normal(rng)
+}
+
+/// Everything recorded about a synthetic corpus: the ground truth that the
+/// evaluation metrics compare against.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// True topic of each token, `[doc][position]` (topic indices follow
+    /// the generator's topic order).
+    pub assignments: Vec<Vec<u32>>,
+    /// True document–topic distributions (`D × T`).
+    pub theta: DenseMatrix<f64>,
+    /// The actual topic–word distributions used (`T × V`).
+    pub phi: DenseMatrix<f64>,
+    /// Topic labels (`None` for unlabeled topics).
+    pub labels: Vec<Option<String>>,
+    /// The λ exponent drawn per topic (1.0 where λ was not used).
+    pub lambdas: Vec<f64>,
+}
+
+impl GroundTruth {
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.phi.rows()
+    }
+
+    /// Total token count.
+    pub fn num_tokens(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+}
+
+/// A synthetic corpus plus its generation record.
+#[derive(Debug, Clone)]
+pub struct GeneratedCorpus {
+    /// The token streams.
+    pub corpus: Corpus,
+    /// What generated them.
+    pub truth: GroundTruth,
+}
+
+/// The plain LDA generative process over *given* topic–word distributions
+/// (used by the 5×5 graphical experiment, §IV.A).
+#[derive(Debug, Clone)]
+pub struct LdaGenerator {
+    /// Document–topic Dirichlet α.
+    pub alpha: f64,
+    /// Number of documents `D`.
+    pub num_docs: usize,
+    /// Document length model.
+    pub doc_len: DocLength,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LdaGenerator {
+    /// Generate a corpus from explicit topic rows (each a distribution over
+    /// `vocab`).
+    ///
+    /// # Errors
+    /// Fails if `phi_rows` is empty or a row cannot seed an alias table.
+    pub fn generate(
+        &self,
+        phi_rows: &[Vec<f64>],
+        labels: &[Option<String>],
+        vocab: &Vocabulary,
+    ) -> crate::Result<GeneratedCorpus> {
+        if phi_rows.is_empty() {
+            return Err(CoreError::NoTopics);
+        }
+        let t_count = phi_rows.len();
+        let v = vocab.len();
+        let mut rng = rng_from_seed(self.seed);
+        let tables: Vec<AliasTable> = phi_rows
+            .iter()
+            .map(|row| AliasTable::new(row))
+            .collect::<Result<_, _>>()?;
+        let theta_prior = Dirichlet::symmetric(self.alpha, t_count)?;
+        let mut docs = Vec::with_capacity(self.num_docs);
+        let mut assignments = Vec::with_capacity(self.num_docs);
+        let mut theta = DenseMatrix::zeros(self.num_docs, t_count);
+        for d in 0..self.num_docs {
+            let n = self.doc_len.sample(&mut rng);
+            let th = theta_prior.sample(&mut rng);
+            theta.row_mut(d).copy_from_slice(&th);
+            let mut tokens = Vec::with_capacity(n);
+            let mut zs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let z = sample_categorical(&th, &mut rng);
+                let w = tables[z].sample(&mut rng);
+                zs.push(z as u32);
+                tokens.push(srclda_corpus::WordId::new(w));
+            }
+            assignments.push(zs);
+            docs.push(Document::named(format!("gen-{d}"), tokens));
+        }
+        let mut phi = DenseMatrix::zeros(t_count, v);
+        for (t, row) in phi_rows.iter().enumerate() {
+            phi.row_mut(t).copy_from_slice(row);
+        }
+        Ok(GeneratedCorpus {
+            corpus: Corpus::from_parts(vocab.clone(), docs),
+            truth: GroundTruth {
+                assignments,
+                theta,
+                phi,
+                labels: labels.to_vec(),
+                lambdas: vec![1.0; t_count],
+            },
+        })
+    }
+}
+
+/// How λ shapes the source hyperparameters during generation.
+#[derive(Debug, Clone)]
+pub enum LambdaMode {
+    /// No λ: `φ_t ~ Dir(X_t)` (the bijective generative model, §III.A).
+    None,
+    /// Raw exponent: `φ_t ~ Dir(X_t^{λ_t})`, `λ_t ~ N(µ, σ)` bounded to
+    /// `[0, 1]` (§IV.B's corpus).
+    Raw,
+    /// Smoothed exponent: `φ_t ~ Dir(X_t^{g_t(λ_t)})` — the complete
+    /// generative process of §III.C.
+    Smoothed(SmoothingConfig),
+}
+
+/// The Source-LDA generative process (§III.C steps 1–13): `K` unlabeled
+/// topics from `Dir(β)` plus one topic per knowledge-source document.
+#[derive(Debug, Clone)]
+pub struct SourceLdaGenerator {
+    /// Document–topic Dirichlet α.
+    pub alpha: f64,
+    /// Unlabeled-topic word prior β.
+    pub beta: f64,
+    /// Definition 3's ε.
+    pub epsilon: f64,
+    /// Number of unlabeled topics `K`.
+    pub unlabeled_topics: usize,
+    /// λ prior mean µ.
+    pub mu: f64,
+    /// λ prior standard deviation σ.
+    pub sigma: f64,
+    /// λ handling.
+    pub lambda_mode: LambdaMode,
+    /// Number of documents `D`.
+    pub num_docs: usize,
+    /// Document length model.
+    pub doc_len: DocLength,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SourceLdaGenerator {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            beta: 0.01,
+            epsilon: srclda_knowledge::DEFAULT_EPSILON,
+            unlabeled_topics: 0,
+            mu: 0.5,
+            sigma: 1.0,
+            lambda_mode: LambdaMode::None,
+            num_docs: 100,
+            doc_len: DocLength::Fixed(100),
+            seed: 42,
+        }
+    }
+}
+
+impl SourceLdaGenerator {
+    /// Generate a corpus whose source topics follow `ks`.
+    ///
+    /// Topic order: `K` unlabeled topics first, then the source topics in
+    /// knowledge-source order (matching [`crate::SourceLda`]'s layout).
+    ///
+    /// # Errors
+    /// Fails on an empty knowledge source or degenerate parameters.
+    pub fn generate(&self, ks: &KnowledgeSource, vocab: &Vocabulary) -> crate::Result<GeneratedCorpus> {
+        if ks.is_empty() && self.unlabeled_topics == 0 {
+            return Err(CoreError::NoTopics);
+        }
+        if ks.vocab_size() != vocab.len() {
+            return Err(CoreError::VocabularyMismatch {
+                source: ks.vocab_size(),
+                corpus: vocab.len(),
+            });
+        }
+        let v = vocab.len();
+        let k = self.unlabeled_topics;
+        let t_count = k + ks.len();
+        let mut rng = rng_from_seed(self.seed);
+        let lambda_prior = TruncatedNormal::unit_interval(self.mu, self.sigma)?;
+
+        let mut phi = DenseMatrix::zeros(t_count, v);
+        let mut labels: Vec<Option<String>> = Vec::with_capacity(t_count);
+        let mut lambdas = vec![1.0; t_count];
+        // Unlabeled topics: φ ~ Dir(β).
+        let beta_prior = Dirichlet::symmetric(self.beta, v)?;
+        for t in 0..k {
+            let row = beta_prior.sample(&mut rng);
+            phi.row_mut(t).copy_from_slice(&row);
+            labels.push(None);
+        }
+        // Source topics: φ ~ Dir(δ) with δ per the λ mode.
+        for (s, topic) in ks.topics().iter().enumerate() {
+            let t = k + s;
+            let delta = match &self.lambda_mode {
+                LambdaMode::None => topic.hyperparameters(self.epsilon),
+                LambdaMode::Raw => {
+                    let lam = lambda_prior.sample(&mut rng);
+                    lambdas[t] = lam;
+                    topic.powered_hyperparameters(self.epsilon, lam)
+                }
+                LambdaMode::Smoothed(cfg) => {
+                    let lam = lambda_prior.sample(&mut rng);
+                    lambdas[t] = lam;
+                    let g = SmoothingFunction::estimate(topic, self.epsilon, cfg, &mut rng);
+                    topic.powered_hyperparameters(self.epsilon, g.eval(lam))
+                }
+            };
+            let row = Dirichlet::new(delta)?.sample(&mut rng);
+            phi.row_mut(t).copy_from_slice(&row);
+            labels.push(Some(topic.label().to_string()));
+        }
+
+        let tables: Vec<AliasTable> = (0..t_count)
+            .map(|t| AliasTable::new(phi.row(t)))
+            .collect::<Result<_, _>>()?;
+        let theta_prior = Dirichlet::symmetric(self.alpha, t_count)?;
+        let mut docs = Vec::with_capacity(self.num_docs);
+        let mut assignments = Vec::with_capacity(self.num_docs);
+        let mut theta = DenseMatrix::zeros(self.num_docs, t_count);
+        for d in 0..self.num_docs {
+            let n = self.doc_len.sample(&mut rng);
+            let th = theta_prior.sample(&mut rng);
+            theta.row_mut(d).copy_from_slice(&th);
+            let mut tokens = Vec::with_capacity(n);
+            let mut zs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let z = sample_categorical(&th, &mut rng);
+                let w = tables[z].sample(&mut rng);
+                zs.push(z as u32);
+                tokens.push(srclda_corpus::WordId::new(w));
+            }
+            assignments.push(zs);
+            docs.push(Document::named(format!("gen-{d}"), tokens));
+        }
+        Ok(GeneratedCorpus {
+            corpus: Corpus::from_parts(vocab.clone(), docs),
+            truth: GroundTruth {
+                assignments,
+                theta,
+                phi,
+                labels,
+                lambdas,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_knowledge::SourceTopic;
+
+    fn vocab(n: usize) -> Vocabulary {
+        Vocabulary::from_words((0..n).map(|i| format!("word{i}")))
+    }
+
+    #[test]
+    fn poisson_moments() {
+        let mut rng = rng_from_seed(3);
+        for &lam in &[0.5, 4.0, 50.0] {
+            let n = 20_000;
+            let mean: f64 =
+                (0..n).map(|_| sample_poisson(lam, &mut rng) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lam).abs() < lam.max(1.0) * 0.05, "λ={lam}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn lda_generator_produces_consistent_corpus() {
+        let v = vocab(6);
+        let phi = vec![
+            vec![0.5, 0.5, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.5, 0.5],
+        ];
+        let generated = LdaGenerator {
+            alpha: 1.0,
+            num_docs: 20,
+            doc_len: DocLength::Fixed(25),
+            seed: 1,
+        }
+        .generate(&phi, &[None, None], &v)
+        .unwrap();
+        assert_eq!(generated.corpus.num_docs(), 20);
+        assert_eq!(generated.corpus.num_tokens(), 500);
+        assert_eq!(generated.truth.num_tokens(), 500);
+        // Every token's word must be inside its true topic's support.
+        for (d, doc) in generated.corpus.docs().iter().enumerate() {
+            for (j, &w) in doc.tokens().iter().enumerate() {
+                let z = generated.truth.assignments[d][j] as usize;
+                assert!(generated.truth.phi[(z, w.index())] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn source_generator_respects_topic_order_and_labels() {
+        let v = vocab(8);
+        let ks = KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![10.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            SourceTopic::new("B", vec![0.0, 0.0, 10.0, 10.0, 0.0, 0.0, 0.0, 0.0]),
+        ]);
+        let generated = SourceLdaGenerator {
+            unlabeled_topics: 2,
+            num_docs: 10,
+            doc_len: DocLength::Fixed(30),
+            seed: 5,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&ks, &v)
+        .unwrap();
+        assert_eq!(generated.truth.num_topics(), 4);
+        assert_eq!(generated.truth.labels[0], None);
+        assert_eq!(generated.truth.labels[2].as_deref(), Some("A"));
+        assert_eq!(generated.truth.labels[3].as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn bijective_generation_tracks_source_distributions() {
+        // With big counts and no λ, generated φ stays close to the source
+        // distribution (paper Fig. 2's observation).
+        let v = vocab(4);
+        let ks = KnowledgeSource::new(vec![SourceTopic::new(
+            "T",
+            vec![800.0, 150.0, 40.0, 10.0],
+        )]);
+        let generated = SourceLdaGenerator {
+            num_docs: 1,
+            doc_len: DocLength::Fixed(10),
+            seed: 9,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&ks, &v)
+        .unwrap();
+        let js = srclda_math::js_divergence(
+            generated.truth.phi.row(0),
+            &ks.topic(0).distribution(),
+        )
+        .unwrap();
+        assert!(js < 0.05, "JS divergence too large: {js}");
+    }
+
+    #[test]
+    fn raw_lambda_mode_records_lambdas() {
+        let v = vocab(5);
+        let ks = KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![50.0, 5.0, 0.0, 0.0, 0.0]),
+            SourceTopic::new("B", vec![0.0, 0.0, 50.0, 5.0, 0.0]),
+        ]);
+        let generated = SourceLdaGenerator {
+            lambda_mode: LambdaMode::Raw,
+            mu: 0.5,
+            sigma: 1.0,
+            num_docs: 3,
+            doc_len: DocLength::Fixed(10),
+            seed: 11,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&ks, &v)
+        .unwrap();
+        for &lam in &generated.truth.lambdas {
+            assert!((0.0..=1.0).contains(&lam));
+        }
+        // At least one λ must differ from the default 1.0.
+        assert!(generated.truth.lambdas.iter().any(|&l| l < 1.0));
+    }
+
+    #[test]
+    fn poisson_doc_lengths_vary() {
+        let v = vocab(4);
+        let ks = KnowledgeSource::new(vec![SourceTopic::new("T", vec![5.0, 5.0, 5.0, 5.0])]);
+        let generated = SourceLdaGenerator {
+            num_docs: 30,
+            doc_len: DocLength::Poisson(20.0),
+            seed: 13,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&ks, &v)
+        .unwrap();
+        let lens: Vec<usize> = generated.corpus.docs().iter().map(|d| d.len()).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(min != max, "Poisson lengths should vary: {lens:?}");
+        assert!(lens.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn vocabulary_mismatch_rejected() {
+        let v = vocab(4);
+        let ks = KnowledgeSource::new(vec![SourceTopic::new("T", vec![1.0, 1.0])]);
+        let result = SourceLdaGenerator::default().generate(&ks, &v);
+        assert!(matches!(result, Err(CoreError::VocabularyMismatch { .. })));
+    }
+}

@@ -1,0 +1,165 @@
+//! Classic latent Dirichlet allocation (Blei et al. 2003) with the
+//! collapsed Gibbs sampler of Griffiths & Steyvers — the unsupervised
+//! baseline of every experiment in the paper.
+
+use crate::model::{FittedModel, GibbsModel};
+use crate::params::ModelConfig;
+use crate::prior::TopicPrior;
+use srclda_corpus::Corpus;
+
+/// A configured LDA model.
+#[derive(Debug, Clone)]
+pub struct Lda {
+    k: usize,
+    config: ModelConfig,
+}
+
+/// Builder for [`Lda`].
+#[derive(Debug, Clone)]
+pub struct LdaBuilder {
+    k: usize,
+    config: ModelConfig,
+}
+
+impl Lda {
+    /// Start building an LDA model.
+    pub fn builder() -> LdaBuilder {
+        LdaBuilder {
+            k: 10,
+            config: ModelConfig::default(),
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.k
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Fit on a corpus.
+    ///
+    /// # Errors
+    /// Propagates engine errors (empty corpus etc.).
+    pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        let v = corpus.vocab_size();
+        let priors: crate::Result<Vec<TopicPrior>> = (0..self.k)
+            .map(|_| TopicPrior::symmetric(self.config.beta, v))
+            .collect();
+        let model = GibbsModel::new(priors?, vec![None; self.k], v, self.config.clone())?;
+        model.fit(corpus)
+    }
+}
+
+impl LdaBuilder {
+    /// Set the number of topics `K`.
+    pub fn topics(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the document–topic prior α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Set the topic–word prior β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Set the Gibbs iteration count.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.config.iterations = iters;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the sampler backend.
+    pub fn backend(mut self, backend: crate::sampler::Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Set trace recording options.
+    pub fn trace(mut self, trace: crate::params::TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Finish, validating the configuration.
+    ///
+    /// # Errors
+    /// Fails on zero topics or invalid hyperparameters.
+    pub fn build(self) -> crate::Result<Lda> {
+        if self.k == 0 {
+            return Err(crate::CoreError::NoTopics);
+        }
+        self.config.validate()?;
+        Ok(Lda {
+            k: self.k,
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..6 {
+            b.add_tokens("a", &["cat", "dog", "cat", "pet"]);
+            b.add_tokens("b", &["stock", "bond", "stock", "fund"]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(Lda::builder().topics(0).build().is_err());
+        assert!(Lda::builder().topics(2).alpha(-1.0).build().is_err());
+        let lda = Lda::builder().topics(3).build().unwrap();
+        assert_eq!(lda.num_topics(), 3);
+    }
+
+    #[test]
+    fn fit_recovers_structure() {
+        let c = corpus();
+        let lda = Lda::builder()
+            .topics(2)
+            .alpha(0.5)
+            .beta(0.1)
+            .iterations(120)
+            .seed(9)
+            .build()
+            .unwrap();
+        let fitted = lda.fit(&c).unwrap();
+        // Each topic's top words come from one of the two clusters.
+        let vocab = c.vocabulary();
+        for t in 0..2 {
+            let tops: Vec<&str> = fitted
+                .top_words(t, 2)
+                .into_iter()
+                .map(|w| vocab.word(srclda_corpus::WordId::new(w)))
+                .collect();
+            let animal = tops.iter().all(|w| ["cat", "dog", "pet"].contains(w));
+            let finance = tops.iter().all(|w| ["stock", "bond", "fund"].contains(w));
+            assert!(animal || finance, "mixed topic: {tops:?}");
+        }
+        // LDA topics are unlabeled.
+        assert!(fitted.labels().iter().all(Option::is_none));
+    }
+}

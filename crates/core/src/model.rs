@@ -1,0 +1,486 @@
+//! The shared Gibbs engine: [`GibbsModel`] (a configured model ready to
+//! fit) and [`FittedModel`] (the posterior estimates).
+
+use crate::counts::CountMatrices;
+use crate::error::CoreError;
+use crate::loglik;
+use crate::params::ModelConfig;
+use crate::prior::TopicPrior;
+use crate::sampler::{run_sweeps, SweepContext};
+use rand::Rng;
+use srclda_corpus::Corpus;
+use srclda_math::{rng_from_seed, DenseMatrix};
+
+/// A fully-specified topic model: one prior per topic, optional labels, and
+/// the run configuration. Construct via the model builders ([`crate::Lda`],
+/// [`crate::SourceLda`], [`crate::Eda`], [`crate::Ctm`]) or directly for
+/// custom mixtures.
+#[derive(Debug, Clone)]
+pub struct GibbsModel {
+    priors: Vec<TopicPrior>,
+    labels: Vec<Option<String>>,
+    vocab_size: usize,
+    config: ModelConfig,
+}
+
+impl GibbsModel {
+    /// Assemble an engine from parts.
+    ///
+    /// # Errors
+    /// Fails if there are no topics, label/prior lengths mismatch, or the
+    /// configuration is invalid.
+    pub fn new(
+        priors: Vec<TopicPrior>,
+        labels: Vec<Option<String>>,
+        vocab_size: usize,
+        config: ModelConfig,
+    ) -> crate::Result<Self> {
+        if priors.is_empty() {
+            return Err(CoreError::NoTopics);
+        }
+        if labels.len() != priors.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "{} labels for {} topics",
+                labels.len(),
+                priors.len()
+            )));
+        }
+        config.validate()?;
+        Ok(Self {
+            priors,
+            labels,
+            vocab_size,
+            config,
+        })
+    }
+
+    /// Total topic count `T`.
+    pub fn num_topics(&self) -> usize {
+        self.priors.len()
+    }
+
+    /// The per-topic priors.
+    pub fn priors(&self) -> &[TopicPrior] {
+        &self.priors
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Run the collapsed Gibbs sampler on `corpus`.
+    ///
+    /// # Errors
+    /// Fails on an empty corpus or vocabulary mismatch.
+    pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        if corpus.num_tokens() == 0 {
+            return Err(CoreError::EmptyCorpus);
+        }
+        if corpus.vocab_size() != self.vocab_size {
+            return Err(CoreError::VocabularyMismatch {
+                source: self.vocab_size,
+                corpus: corpus.vocab_size(),
+            });
+        }
+        let t_count = self.num_topics();
+        let tokens: Vec<Vec<u32>> = corpus
+            .docs()
+            .iter()
+            .map(|d| d.tokens().iter().map(|w| w.0).collect())
+            .collect();
+        let doc_lens: Vec<u32> = tokens.iter().map(|d| d.len() as u32).collect();
+        let counts = CountMatrices::new(self.vocab_size, t_count, &doc_lens);
+        let mut rng = rng_from_seed(self.config.seed);
+
+        // "Initialize C_topics to random topic assignments" (Algorithm 1).
+        let mut z: Vec<Vec<u32>> = tokens
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                doc.iter()
+                    .map(|&w| {
+                        let t = rng.gen_range(0..t_count);
+                        counts.increment(w as usize, d, t);
+                        t as u32
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut loglik_trace: Vec<(usize, f64)> = Vec::new();
+        let mut snapshots: Vec<(usize, DenseMatrix<f64>)> = Vec::new();
+        let trace = self.config.trace.clone();
+        // Priors are cloned so adaptive λ can re-weight quadrature levels
+        // between sweep chunks without mutating the configured model.
+        let mut priors: Vec<TopicPrior> = self.priors.clone();
+        if self.config.lambda_optimistic_start {
+            for p in priors.iter_mut() {
+                p.optimistic_lambda_start();
+            }
+        }
+        let adapt_every = self
+            .config
+            .lambda_update_every
+            .filter(|_| priors.iter().any(TopicPrior::is_integrated));
+        let total_iters = self.config.iterations;
+        let burn_in = self.config.lambda_burn_in;
+        let mut completed = 0usize;
+        while completed < total_iters {
+            let chunk = match adapt_every {
+                Some(m) if completed < burn_in => {
+                    let _ = m;
+                    (burn_in - completed).min(total_iters - completed)
+                }
+                Some(m) => m.min(total_iters - completed),
+                None => total_iters,
+            };
+            let ctx = SweepContext {
+                tokens: &tokens,
+                counts: &counts,
+                priors: &priors,
+                alpha: self.config.alpha,
+            };
+            let base = completed;
+            let priors_ref: &[TopicPrior] = &priors;
+            run_sweeps(
+                self.config.backend,
+                &ctx,
+                &mut z,
+                &mut rng,
+                chunk,
+                |iter_in_chunk| {
+                    let iter = base + iter_in_chunk;
+                    if let Some(every) = trace.log_likelihood_every {
+                        if every > 0 && iter % every == 0 {
+                            loglik_trace
+                                .push((iter, loglik::joint_word_log_likelihood(&counts, priors_ref)));
+                        }
+                    }
+                    if trace.phi_snapshots.contains(&iter) {
+                        snapshots.push((iter, compute_phi(&counts, priors_ref)));
+                    }
+                },
+            );
+            completed += chunk;
+            if adapt_every.is_some() && completed >= burn_in && completed < total_iters {
+                adapt_integrated_priors(&mut priors, &counts);
+            }
+        }
+
+        let phi = compute_phi(&counts, &priors);
+        let theta = compute_theta(&counts, self.config.alpha);
+        Ok(FittedModel {
+            phi,
+            theta,
+            assignments: z,
+            labels: self.labels.clone(),
+            priors,
+            counts,
+            alpha: self.config.alpha,
+            loglik_trace,
+            snapshots,
+        })
+    }
+}
+
+/// Re-weight every λ-integrated prior's quadrature levels with its topic's
+/// current counts (the adaptive-λ step; see `IntegrationTable::adapt`).
+fn adapt_integrated_priors(priors: &mut [TopicPrior], counts: &CountMatrices) {
+    let v = counts.vocab_size();
+    for (t, prior) in priors.iter_mut().enumerate() {
+        if !prior.is_integrated() {
+            continue;
+        }
+        let nt = counts.nt(t);
+        let nonzero = (0..v).filter_map(|w| {
+            let n = counts.nw(w, t);
+            (n > 0).then_some((w, n))
+        });
+        prior.adapt_lambda(nonzero, nt);
+    }
+}
+
+/// Topic–word distributions from the final counts (Eq. 1 for fixed priors,
+/// Eq. 4 for λ-integrated ones — both are exactly the prior's
+/// [`TopicPrior::word_weight`] at the final counts).
+pub(crate) fn compute_phi(counts: &CountMatrices, priors: &[TopicPrior]) -> DenseMatrix<f64> {
+    let t_count = priors.len();
+    let v = counts.vocab_size();
+    let mut phi = DenseMatrix::zeros(t_count, v);
+    for (t, prior) in priors.iter().enumerate() {
+        let nt = counts.nt(t) as f64;
+        let row = phi.row_mut(t);
+        for (w, cell) in row.iter_mut().enumerate() {
+            *cell = prior.word_weight(w, counts.nw(w, t) as f64, nt);
+        }
+    }
+    // The expressions already normalize analytically; renormalize to absorb
+    // floating-point drift (and the CTM's support-restricted rows).
+    phi.normalize_rows();
+    phi
+}
+
+/// Document–topic distributions (Eq. 1): `θ_td = (n_dt + α) / (n_d + Tα)`.
+pub(crate) fn compute_theta(counts: &CountMatrices, alpha: f64) -> DenseMatrix<f64> {
+    let d_count = counts.num_docs();
+    let t_count = counts.num_topics();
+    let mut theta = DenseMatrix::zeros(d_count, t_count);
+    for d in 0..d_count {
+        let denom = counts.doc_len(d) as f64 + t_count as f64 * alpha;
+        let row = theta.row_mut(d);
+        for (t, cell) in row.iter_mut().enumerate() {
+            *cell = (counts.nd(d, t) as f64 + alpha) / denom;
+        }
+    }
+    theta
+}
+
+/// The result of a Gibbs run: posterior point estimates, assignments,
+/// labels, and recorded traces.
+#[derive(Debug)]
+pub struct FittedModel {
+    phi: DenseMatrix<f64>,
+    theta: DenseMatrix<f64>,
+    assignments: Vec<Vec<u32>>,
+    labels: Vec<Option<String>>,
+    priors: Vec<TopicPrior>,
+    counts: CountMatrices,
+    alpha: f64,
+    loglik_trace: Vec<(usize, f64)>,
+    snapshots: Vec<(usize, DenseMatrix<f64>)>,
+}
+
+impl FittedModel {
+    /// Number of topics `T`.
+    pub fn num_topics(&self) -> usize {
+        self.phi.rows()
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.phi.cols()
+    }
+
+    /// Topic–word matrix φ (`T × V`, rows normalized).
+    pub fn phi(&self) -> &DenseMatrix<f64> {
+        &self.phi
+    }
+
+    /// One topic's word distribution.
+    pub fn phi_row(&self, t: usize) -> &[f64] {
+        self.phi.row(t)
+    }
+
+    /// Document–topic matrix θ (`D × T`, rows normalized).
+    pub fn theta(&self) -> &DenseMatrix<f64> {
+        &self.theta
+    }
+
+    /// One document's topic distribution.
+    pub fn theta_row(&self, d: usize) -> &[f64] {
+        self.theta.row(d)
+    }
+
+    /// Final per-token topic assignments, indexed `[doc][position]`.
+    pub fn assignments(&self) -> &[Vec<u32>] {
+        &self.assignments
+    }
+
+    /// Per-topic labels (`None` for unlabeled topics).
+    pub fn labels(&self) -> &[Option<String>] {
+        &self.labels
+    }
+
+    /// Label of one topic.
+    pub fn label(&self, t: usize) -> Option<&str> {
+        self.labels[t].as_deref()
+    }
+
+    /// The priors the model was fitted with.
+    pub fn priors(&self) -> &[TopicPrior] {
+        &self.priors
+    }
+
+    /// The final count matrices (frozen training counts for perplexity).
+    pub fn counts(&self) -> &CountMatrices {
+        &self.counts
+    }
+
+    /// The document–topic prior α used in the fit.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Indices of the `n` most probable words of topic `t`, descending.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<usize> {
+        srclda_math::simplex::top_n_indices(self.phi.row(t), n)
+    }
+
+    /// Recorded `(iteration, log-likelihood)` pairs.
+    pub fn loglik_trace(&self) -> &[(usize, f64)] {
+        &self.loglik_trace
+    }
+
+    /// Recorded `(iteration, φ)` snapshots.
+    pub fn snapshots(&self) -> &[(usize, DenseMatrix<f64>)] {
+        &self.snapshots
+    }
+
+    /// Number of documents in which topic `t` received at least
+    /// `min_tokens` assignments.
+    pub fn topic_doc_frequency(&self, t: usize, min_tokens: u32) -> usize {
+        self.counts.topic_doc_frequency(t, min_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TraceConfig;
+    use crate::sampler::Backend;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..8 {
+            b.add_tokens("school", &["pencil", "pencil", "ruler", "eraser"]);
+            b.add_tokens("sports", &["baseball", "umpire", "baseball", "glove"]);
+        }
+        b.build()
+    }
+
+    fn config(iters: usize) -> ModelConfig {
+        ModelConfig {
+            iterations: iters,
+            seed: 3,
+            ..ModelConfig::default()
+        }
+    }
+
+    fn symmetric_model(corpus: &Corpus, k: usize, cfg: ModelConfig) -> GibbsModel {
+        let v = corpus.vocab_size();
+        let priors = (0..k)
+            .map(|_| TopicPrior::symmetric(0.1, v).unwrap())
+            .collect();
+        GibbsModel::new(priors, vec![None; k], v, cfg).unwrap()
+    }
+
+    #[test]
+    fn fit_produces_normalized_outputs() {
+        let c = corpus();
+        let fitted = symmetric_model(&c, 2, config(50)).fit(&c).unwrap();
+        assert_eq!(fitted.num_topics(), 2);
+        assert_eq!(fitted.vocab_size(), c.vocab_size());
+        for t in 0..2 {
+            let sum: f64 = fitted.phi_row(t).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "phi row {t} sums to {sum}");
+        }
+        for d in 0..c.num_docs() {
+            let sum: f64 = fitted.theta_row(d).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "theta row {d} sums to {sum}");
+        }
+        assert!(fitted.counts().check_invariants());
+    }
+
+    #[test]
+    fn two_clean_topics_are_recovered() {
+        let c = corpus();
+        let fitted = symmetric_model(&c, 2, config(150)).fit(&c).unwrap();
+        // The top word sets of the two topics should separate school words
+        // from sports words.
+        let vocab = c.vocabulary();
+        let tops: Vec<Vec<&str>> = (0..2)
+            .map(|t| {
+                fitted
+                    .top_words(t, 3)
+                    .into_iter()
+                    .map(|w| vocab.word(srclda_corpus::WordId::new(w)))
+                    .collect()
+            })
+            .collect();
+        let school = ["pencil", "ruler", "eraser"];
+        let sports = ["baseball", "umpire", "glove"];
+        let t0_school = tops[0].iter().filter(|w| school.contains(w)).count();
+        let t0_sports = tops[0].iter().filter(|w| sports.contains(w)).count();
+        assert!(
+            t0_school == 3 || t0_sports == 3,
+            "topics failed to separate: {tops:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let c = corpus();
+        let f1 = symmetric_model(&c, 2, config(30)).fit(&c).unwrap();
+        let f2 = symmetric_model(&c, 2, config(30)).fit(&c).unwrap();
+        assert_eq!(f1.assignments(), f2.assignments());
+        assert_eq!(f1.phi().as_slice(), f2.phi().as_slice());
+    }
+
+    #[test]
+    fn traces_and_snapshots_recorded() {
+        let c = corpus();
+        let mut cfg = config(20);
+        cfg.trace = TraceConfig {
+            log_likelihood_every: Some(5),
+            phi_snapshots: vec![1, 10],
+        };
+        let fitted = symmetric_model(&c, 2, cfg).fit(&c).unwrap();
+        let iters: Vec<usize> = fitted.loglik_trace().iter().map(|&(i, _)| i).collect();
+        assert_eq!(iters, vec![5, 10, 15, 20]);
+        let snap_iters: Vec<usize> = fitted.snapshots().iter().map(|&(i, _)| i).collect();
+        assert_eq!(snap_iters, vec![1, 10]);
+        // Log-likelihood should generally improve from the random start.
+        let first = fitted.loglik_trace()[0].1;
+        let last = fitted.loglik_trace().last().unwrap().1;
+        assert!(last >= first - 1.0, "loglik degraded: {first} → {last}");
+    }
+
+    #[test]
+    fn rejects_mismatched_corpus() {
+        let c = corpus();
+        let other = {
+            let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+            b.add_tokens("d", &["only", "three", "words"]);
+            b.build()
+        };
+        let model = symmetric_model(&c, 2, config(5));
+        assert!(matches!(
+            model.fit(&other),
+            Err(CoreError::VocabularyMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_corpus() {
+        let c = corpus();
+        let empty = CorpusBuilder::new().build();
+        let model = symmetric_model(&c, 2, config(5));
+        assert!(matches!(model.fit(&empty), Err(CoreError::EmptyCorpus)));
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let c = corpus();
+        let v = c.vocab_size();
+        assert!(matches!(
+            GibbsModel::new(vec![], vec![], v, config(5)),
+            Err(CoreError::NoTopics)
+        ));
+        let priors = vec![TopicPrior::symmetric(0.1, v).unwrap()];
+        assert!(GibbsModel::new(priors, vec![None, None], v, config(5)).is_err());
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial_through_public_api() {
+        let c = corpus();
+        let mut cfg_serial = config(25);
+        cfg_serial.backend = Backend::Serial;
+        let mut cfg_par = config(25);
+        cfg_par.backend = Backend::SimpleParallel { threads: 3 };
+        let f1 = symmetric_model(&c, 4, cfg_serial).fit(&c).unwrap();
+        let f2 = symmetric_model(&c, 4, cfg_par).fit(&c).unwrap();
+        assert_eq!(f1.assignments(), f2.assignments());
+    }
+}

@@ -1,0 +1,176 @@
+//! Model configuration shared by every topic model in the crate.
+
+use crate::error::CoreError;
+use crate::sampler::Backend;
+use srclda_knowledge::SmoothingConfig;
+
+/// How the λ smoothing function `g` (§III.C.2) is obtained for the full
+/// Source-LDA model.
+#[derive(Debug, Clone)]
+pub enum SmoothingMode {
+    /// Estimate `g_t` separately per source topic — Algorithm 1's
+    /// "for t = K+1 to T: Calculate gₜ". The faithful (default) mode.
+    PerTopic(SmoothingConfig),
+    /// Estimate one `g` from the first source topic and share it. Much
+    /// cheaper when thousands of source topics have similar count shapes
+    /// (used by the Figure 8(f) scaling benchmark).
+    Shared(SmoothingConfig),
+    /// Use `g(λ) = λ` (the *unsmoothed* behavior of Figure 3).
+    Identity,
+}
+
+impl Default for SmoothingMode {
+    fn default() -> Self {
+        SmoothingMode::PerTopic(SmoothingConfig::default())
+    }
+}
+
+/// What to record during sampling.
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Record the joint log-likelihood every `n` iterations (Figure 6's
+    /// traces). `None` disables.
+    pub log_likelihood_every: Option<usize>,
+    /// Iterations at which to snapshot the full φ matrix (Figure 6 shows
+    /// topic images at iterations 1, 20, 50, …, 500).
+    pub phi_snapshots: Vec<usize>,
+}
+
+/// Hyperparameters and runtime options for a Gibbs run.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Symmetric document–topic prior α.
+    pub alpha: f64,
+    /// Symmetric word prior β for unlabeled topics.
+    pub beta: f64,
+    /// Definition 3's ε added to source counts.
+    pub epsilon: f64,
+    /// Gibbs iterations `I`.
+    pub iterations: usize,
+    /// RNG seed — every run is a pure function of this seed.
+    pub seed: u64,
+    /// Sampler backend (serial, Algorithm 2 or Algorithm 3).
+    pub backend: Backend,
+    /// Trace recording options.
+    pub trace: TraceConfig,
+    /// Quadrature steps `A` for the λ integral (Eq. 3).
+    pub approximation_steps: usize,
+    /// Mean µ of the λ prior.
+    pub mu: f64,
+    /// Standard deviation σ of the λ prior.
+    pub sigma: f64,
+    /// How to obtain the smoothing function(s) `g`.
+    pub smoothing: SmoothingMode,
+    /// Every `m` sweeps, re-weight each λ-integrated topic's quadrature
+    /// levels with the λ posterior given its current counts — treating λ
+    /// as "a hidden parameter of the model" (§III.C.2). `None` keeps the
+    /// prior weights fixed (the literal Eq. 3).
+    pub lambda_update_every: Option<usize>,
+    /// Sweeps to run under the prior quadrature weights before the first
+    /// λ adaptation. Adapting from random-initialization counts would read
+    /// "every topic is far from its article" (low λ) and flatten the priors
+    /// before topic identities form; a burn-in breaks that feedback loop.
+    pub lambda_burn_in: usize,
+    /// Initialize every λ-integrated topic's quadrature weights one-hot at
+    /// the highest λ level (strongest article anchoring), letting the
+    /// adaptation relax each topic individually as its data demands.
+    pub lambda_optimistic_start: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            beta: 0.01,
+            epsilon: srclda_knowledge::DEFAULT_EPSILON,
+            iterations: 1000,
+            seed: 42,
+            backend: Backend::Serial,
+            trace: TraceConfig::default(),
+            approximation_steps: 8,
+            // The values the paper found by perplexity minimization for the
+            // Reuters experiment (§IV.C).
+            mu: 0.7,
+            sigma: 0.3,
+            smoothing: SmoothingMode::default(),
+            lambda_update_every: None,
+            lambda_burn_in: 0,
+            lambda_optimistic_start: false,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// Validate parameter ranges.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> crate::Result<()> {
+        for (name, value) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("epsilon", self.epsilon),
+            ("sigma", self.sigma),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(CoreError::NonPositiveParameter { name, value });
+            }
+        }
+        if self.iterations == 0 {
+            return Err(CoreError::InvalidConfig(
+                "iterations must be at least 1".into(),
+            ));
+        }
+        if self.approximation_steps == 0 {
+            return Err(CoreError::InvalidConfig(
+                "approximation_steps must be at least 1".into(),
+            ));
+        }
+        if self.lambda_update_every == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "lambda_update_every must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.mu) {
+            return Err(CoreError::InvalidConfig(format!(
+                "mu must lie in [0, 1], got {}",
+                self.mu
+            )));
+        }
+        self.backend.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ModelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let bad = [
+            ModelConfig { alpha: 0.0, ..ModelConfig::default() },
+            ModelConfig { iterations: 0, ..ModelConfig::default() },
+            ModelConfig { approximation_steps: 0, ..ModelConfig::default() },
+            ModelConfig { mu: 1.5, ..ModelConfig::default() },
+            ModelConfig { sigma: -0.1, ..ModelConfig::default() },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "config should be rejected: {c:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_thread_backends() {
+        let c = ModelConfig {
+            backend: Backend::SimpleParallel { threads: 0 },
+            ..ModelConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

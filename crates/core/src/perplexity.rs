@@ -1,0 +1,274 @@
+//! Held-out perplexity (§III.C.5a of the paper).
+//!
+//! Two estimators, matching the paper's citations:
+//!
+//! * [`gibbs_perplexity`] — "latent variable estimation via Gibbs sampling":
+//!   run the collapsed sampler on the held-out documents with the training
+//!   counts **frozen** (the `n + ñ` equations of §III.C.5a), then score
+//!   `p(w̃) = Σ_t φ_wt θ̃_td` with the training φ and the inferred test θ.
+//! * [`importance_sampling_perplexity`] — "importance sampling" (Wallach et
+//!   al. 2009): draw θ samples from the prior and average the document
+//!   likelihoods in log space.
+//!
+//! Perplexity is `exp(−Σ ln p(w̃) / Ñ)` over all held-out tokens; lower is
+//! better.
+
+use crate::error::CoreError;
+use crate::model::FittedModel;
+use rand::Rng;
+use srclda_corpus::Corpus;
+use srclda_math::categorical::binary_search_cumulative;
+use srclda_math::special::log_sum_exp;
+use srclda_math::{rng_from_seed, Dirichlet};
+
+/// Gibbs-estimator perplexity.
+///
+/// # Errors
+/// Fails on an empty test corpus or vocabulary mismatch.
+pub fn gibbs_perplexity(
+    fitted: &FittedModel,
+    test: &Corpus,
+    iterations: usize,
+    seed: u64,
+) -> crate::Result<f64> {
+    if test.num_tokens() == 0 {
+        return Err(CoreError::EmptyCorpus);
+    }
+    if test.vocab_size() != fitted.vocab_size() {
+        return Err(CoreError::VocabularyMismatch {
+            source: fitted.vocab_size(),
+            corpus: test.vocab_size(),
+        });
+    }
+    let t_count = fitted.num_topics();
+    let alpha = fitted.alpha();
+    // Frozen training counts (the un-tilded n's in the held-out equations).
+    let frozen_nw = fitted.counts().snapshot_nw();
+    let frozen_nt = fitted.counts().snapshot_nt();
+    let priors = fitted.priors();
+
+    let tokens: Vec<Vec<u32>> = test
+        .docs()
+        .iter()
+        .map(|d| d.tokens().iter().map(|w| w.0).collect())
+        .collect();
+    let mut rng = rng_from_seed(seed);
+    // Test-side dynamic counts (the tilded ñ's).
+    let mut test_nw = vec![0u32; fitted.vocab_size() * t_count];
+    let mut test_nt = vec![0u32; t_count];
+    let mut test_nd: Vec<Vec<u32>> = tokens.iter().map(|_| vec![0u32; t_count]).collect();
+    let mut z: Vec<Vec<u32>> = tokens
+        .iter()
+        .enumerate()
+        .map(|(d, doc)| {
+            doc.iter()
+                .map(|&w| {
+                    let t = rng.gen_range(0..t_count);
+                    test_nw[w as usize * t_count + t] += 1;
+                    test_nt[t] += 1;
+                    test_nd[d][t] += 1;
+                    t as u32
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut buf = vec![0.0; t_count];
+    for _ in 0..iterations.max(1) {
+        for (d, doc) in tokens.iter().enumerate() {
+            for (j, &word) in doc.iter().enumerate() {
+                let w = word as usize;
+                let old = z[d][j] as usize;
+                test_nw[w * t_count + old] -= 1;
+                test_nt[old] -= 1;
+                test_nd[d][old] -= 1;
+                let mut acc = 0.0;
+                for t in 0..t_count {
+                    let nw_eff = frozen_nw[w * t_count + t] as f64 + test_nw[w * t_count + t] as f64;
+                    let nt_eff = frozen_nt[t] as f64 + test_nt[t] as f64;
+                    let weight = priors[t].word_weight(w, nw_eff, nt_eff)
+                        * (test_nd[d][t] as f64 + alpha);
+                    acc += weight;
+                    buf[t] = acc;
+                }
+                let new = if acc > 0.0 && acc.is_finite() {
+                    let u = rng.gen::<f64>() * acc;
+                    binary_search_cumulative(&buf, u)
+                } else {
+                    rng.gen_range(0..t_count)
+                };
+                z[d][j] = new as u32;
+                test_nw[w * t_count + new] += 1;
+                test_nt[new] += 1;
+                test_nd[d][new] += 1;
+            }
+        }
+    }
+
+    // Score with training φ and inferred test θ.
+    let phi = fitted.phi();
+    let mut log_prob = 0.0;
+    let mut n_tokens = 0usize;
+    for (d, doc) in tokens.iter().enumerate() {
+        let denom = doc.len() as f64 + t_count as f64 * alpha;
+        let theta: Vec<f64> = (0..t_count)
+            .map(|t| (test_nd[d][t] as f64 + alpha) / denom)
+            .collect();
+        for &word in doc {
+            let w = word as usize;
+            let p: f64 = (0..t_count).map(|t| phi[(t, w)] * theta[t]).sum();
+            log_prob += p.max(1e-300).ln();
+            n_tokens += 1;
+        }
+    }
+    Ok((-log_prob / n_tokens as f64).exp())
+}
+
+/// Importance-sampling perplexity with `samples` θ draws from the `Dir(α)`
+/// prior per document.
+///
+/// # Errors
+/// Fails on an empty test corpus or vocabulary mismatch.
+pub fn importance_sampling_perplexity(
+    fitted: &FittedModel,
+    test: &Corpus,
+    samples: usize,
+    seed: u64,
+) -> crate::Result<f64> {
+    if test.num_tokens() == 0 {
+        return Err(CoreError::EmptyCorpus);
+    }
+    if test.vocab_size() != fitted.vocab_size() {
+        return Err(CoreError::VocabularyMismatch {
+            source: fitted.vocab_size(),
+            corpus: test.vocab_size(),
+        });
+    }
+    let t_count = fitted.num_topics();
+    let samples = samples.max(1);
+    let prior = Dirichlet::symmetric(fitted.alpha(), t_count)?;
+    let phi = fitted.phi();
+    let mut rng = rng_from_seed(seed);
+    let mut log_prob = 0.0;
+    let mut n_tokens = 0usize;
+    let mut theta = vec![0.0; t_count];
+    let mut per_sample = vec![0.0; samples];
+    for (_, doc) in test.iter() {
+        for (s, slot) in per_sample.iter_mut().enumerate() {
+            let _ = s;
+            prior.sample_into(&mut rng, &mut theta);
+            let mut lp = 0.0;
+            for &w in doc.tokens() {
+                let p: f64 = (0..t_count).map(|t| phi[(t, w.index())] * theta[t]).sum();
+                lp += p.max(1e-300).ln();
+            }
+            *slot = lp;
+        }
+        log_prob += log_sum_exp(&per_sample) - (samples as f64).ln();
+        n_tokens += doc.len();
+    }
+    Ok((-log_prob / n_tokens as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::Lda;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+
+    fn corpora() -> (Corpus, Corpus, Corpus) {
+        // Train: two clean themes. In-domain test: same themes. Off-domain
+        // test: shuffled mixtures.
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..10 {
+            b.add_tokens("a", &["cat", "dog", "pet", "cat"]);
+            b.add_tokens("b", &["stock", "bond", "fund", "stock"]);
+        }
+        b.add_tokens("test-in-1", &["cat", "pet", "dog", "dog"]);
+        b.add_tokens("test-in-2", &["bond", "stock", "fund", "bond"]);
+        b.add_tokens("test-off-1", &["cat", "stock", "dog", "fund"]);
+        b.add_tokens("test-off-2", &["bond", "pet", "fund", "cat"]);
+        let all = b.build();
+        let train = Corpus::from_parts(all.vocabulary().clone(), all.docs()[..20].to_vec());
+        let test_in = Corpus::from_parts(all.vocabulary().clone(), all.docs()[20..22].to_vec());
+        let test_off = Corpus::from_parts(all.vocabulary().clone(), all.docs()[22..24].to_vec());
+        (train, test_in, test_off)
+    }
+
+    fn fit(train: &Corpus) -> FittedModel {
+        Lda::builder()
+            .topics(2)
+            .alpha(0.5)
+            .beta(0.1)
+            .iterations(100)
+            .seed(17)
+            .build()
+            .unwrap()
+            .fit(train)
+            .unwrap()
+    }
+
+    #[test]
+    fn gibbs_perplexity_prefers_in_domain_text() {
+        let (train, test_in, test_off) = corpora();
+        let fitted = fit(&train);
+        let p_in = gibbs_perplexity(&fitted, &test_in, 30, 1).unwrap();
+        let p_off = gibbs_perplexity(&fitted, &test_off, 30, 1).unwrap();
+        assert!(p_in > 1.0);
+        assert!(
+            p_in < p_off,
+            "in-domain should be less perplexing: {p_in} vs {p_off}"
+        );
+    }
+
+    #[test]
+    fn importance_sampling_agrees_on_ordering() {
+        let (train, test_in, test_off) = corpora();
+        let fitted = fit(&train);
+        let p_in = importance_sampling_perplexity(&fitted, &test_in, 64, 2).unwrap();
+        let p_off = importance_sampling_perplexity(&fitted, &test_off, 64, 2).unwrap();
+        assert!(p_in < p_off, "{p_in} vs {p_off}");
+    }
+
+    #[test]
+    fn estimators_are_in_the_same_ballpark() {
+        let (train, test_in, _) = corpora();
+        let fitted = fit(&train);
+        let g = gibbs_perplexity(&fitted, &test_in, 30, 3).unwrap();
+        let i = importance_sampling_perplexity(&fitted, &test_in, 128, 3).unwrap();
+        let ratio = g / i;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "estimators disagree wildly: gibbs {g}, is {i}"
+        );
+    }
+
+    #[test]
+    fn perplexity_bounded_by_vocabulary() {
+        // A uniform model cannot beat perplexity V; any model on this corpus
+        // must lie within [1, V].
+        let (train, test_in, _) = corpora();
+        let fitted = fit(&train);
+        let v = train.vocab_size() as f64;
+        let p = gibbs_perplexity(&fitted, &test_in, 20, 4).unwrap();
+        assert!(p >= 1.0 && p <= v * 2.0, "implausible perplexity {p}");
+    }
+
+    #[test]
+    fn empty_test_corpus_rejected() {
+        let (train, _, _) = corpora();
+        let fitted = fit(&train);
+        let empty = Corpus::from_parts(train.vocabulary().clone(), vec![]);
+        assert!(gibbs_perplexity(&fitted, &empty, 10, 1).is_err());
+        assert!(importance_sampling_perplexity(&fitted, &empty, 10, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (train, test_in, _) = corpora();
+        let fitted = fit(&train);
+        let a = gibbs_perplexity(&fitted, &test_in, 15, 7).unwrap();
+        let b = gibbs_perplexity(&fitted, &test_in, 15, 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,702 @@
+//! Per-topic word priors — the single abstraction that unifies every model
+//! in the paper.
+//!
+//! The collapsed Gibbs probability of word `w` under topic `t` (given the
+//! current counts `n`) differs only in the topic's prior:
+//!
+//! | Model            | Prior kind        | Weight for word `w`                                     |
+//! |------------------|-------------------|---------------------------------------------------------|
+//! | LDA / unlabeled  | [`TopicPrior::Symmetric`]   | `(n_wt + β) / (n_t + Vβ)`                     |
+//! | Source-LDA (bijective / mixture) | [`TopicPrior::Fixed`] | `(n_wt + δ_w) / (n_t + Σδ)` — Eq. (2) |
+//! | Source-LDA (full) | [`TopicPrior::Integrated`] | `Σₐ wₐ (n_wt + δ_w^{g(λₐ)}) / (n_t + Σδ^{g(λₐ)})` — Eq. (3) |
+//! | EDA              | [`TopicPrior::Frozen`]      | `φ_w` (never updated)                          |
+//! | CTM              | [`TopicPrior::ConceptSet`]  | `(n_wt + β) / (n_t + |W_c|β)` if `w ∈ W_c` else 0 |
+//!
+//! The φ estimates (Eq. 1 / Eq. 4) are the same expressions evaluated at the
+//! final counts, so [`TopicPrior::word_weight`] serves both sampling and
+//! output.
+
+use crate::error::CoreError;
+use srclda_knowledge::{SmoothingFunction, SourceTopic};
+use srclda_math::DiscretizedGaussian;
+
+/// Threshold deciding the dense-vs-sparse layout for integrated priors: use
+/// the dense per-word table when the vocabulary is small or the topic's
+/// support covers a sizable fraction of it. Sparse storage keeps the paper's
+/// `B = 10000` scaling benchmark within memory (dense would need
+/// `O(V·A·B)` floats).
+const DENSE_INTEGRATION_MAX_VOCAB: usize = 4096;
+
+/// The λ-integration table of one source topic: per quadrature level `a`,
+/// the powered hyperparameters `δ^{g(λₐ)}` and their sum.
+#[derive(Debug, Clone)]
+pub struct IntegrationTable {
+    /// Current quadrature weights `wₐ` (initialized to the λ prior's
+    /// discretization; per-topic posterior-adapted when adaptive λ is on).
+    weights: Vec<f64>,
+    /// Log of the prior quadrature weights (the fixed `N(µ, σ)` term of the
+    /// λ posterior).
+    prior_log_weights: Vec<f64>,
+    /// Number of quadrature levels `A`.
+    a: usize,
+    /// `Σ_w δ_w^{g(λₐ)}` per level.
+    sums: Vec<f64>,
+    /// Storage layout.
+    layout: IntegrationLayout,
+}
+
+#[derive(Debug, Clone)]
+enum IntegrationLayout {
+    /// `values[w*A + a] = (n_w + ε)^{g(λₐ)}` for every vocabulary word.
+    Dense { values: Vec<f64> },
+    /// Only support words stored; zero-count words share `zero_values[a] =
+    /// ε^{g(λₐ)}`.
+    Sparse {
+        support: Vec<u32>,
+        values: Vec<f64>,
+        zero_values: Vec<f64>,
+    },
+}
+
+impl IntegrationTable {
+    /// Build the table for one source topic.
+    pub fn new(
+        topic: &SourceTopic,
+        epsilon: f64,
+        g: &SmoothingFunction,
+        quadrature: &DiscretizedGaussian,
+    ) -> Self {
+        let weights: Vec<f64> = quadrature.weights().to_vec();
+        let prior_log_weights: Vec<f64> =
+            weights.iter().map(|&w| w.max(1e-300).ln()).collect();
+        let v = topic.vocab_size();
+        let a = quadrature.len();
+        let exponents: Vec<f64> = quadrature.points().iter().map(|&lam| g.eval(lam)).collect();
+        let counts = topic.counts();
+        let support: Vec<u32> = (0..v).filter(|&w| counts[w] > 0.0).map(|w| w as u32).collect();
+        let dense = v <= DENSE_INTEGRATION_MAX_VOCAB || support.len() * 2 >= v;
+        let zero_values: Vec<f64> = exponents.iter().map(|&e| epsilon.powf(e)).collect();
+        let mut sums = vec![0.0; a];
+        for (ai, &zv) in zero_values.iter().enumerate() {
+            sums[ai] = (v - support.len()) as f64 * zv;
+        }
+        if dense {
+            let mut values = vec![0.0; v * a];
+            for w in 0..v {
+                for (ai, &e) in exponents.iter().enumerate() {
+                    let val = if counts[w] > 0.0 {
+                        (counts[w] + epsilon).powf(e)
+                    } else {
+                        zero_values[ai]
+                    };
+                    values[w * a + ai] = val;
+                    if counts[w] > 0.0 {
+                        sums[ai] += val;
+                    }
+                }
+            }
+            Self {
+                weights,
+                prior_log_weights,
+                a,
+                sums,
+                layout: IntegrationLayout::Dense { values },
+            }
+        } else {
+            let mut values = vec![0.0; support.len() * a];
+            for (si, &w) in support.iter().enumerate() {
+                for (ai, &e) in exponents.iter().enumerate() {
+                    let val = (counts[w as usize] + epsilon).powf(e);
+                    values[si * a + ai] = val;
+                    sums[ai] += val;
+                }
+            }
+            Self {
+                weights,
+                prior_log_weights,
+                a,
+                sums,
+                layout: IntegrationLayout::Sparse {
+                    support,
+                    values,
+                    zero_values,
+                },
+            }
+        }
+    }
+
+    /// Number of quadrature levels `A`.
+    pub fn levels(&self) -> usize {
+        self.a
+    }
+
+    /// True iff the dense layout was chosen (test/diagnostic use).
+    pub fn is_dense(&self) -> bool {
+        matches!(self.layout, IntegrationLayout::Dense { .. })
+    }
+
+    /// The numerically integrated weight (Eq. 3 numerator/denominator pair).
+    #[inline]
+    fn weight(&self, w: usize, nw: f64, nt: f64) -> f64 {
+        // Σₐ wₐ (nw + δₐ) / (nt + Σδₐ) over a per-word δ row.
+        let combine = |row: &[f64]| -> f64 {
+            row.iter()
+                .zip(self.weights.iter())
+                .zip(self.sums.iter())
+                .map(|((&delta, &q), &sum)| q * (nw + delta) / (nt + sum))
+                .sum()
+        };
+        match &self.layout {
+            IntegrationLayout::Dense { values } => {
+                combine(&values[w * self.a..(w + 1) * self.a])
+            }
+            IntegrationLayout::Sparse {
+                support,
+                values,
+                zero_values,
+            } => match support.binary_search(&(w as u32)) {
+                Ok(si) => combine(&values[si * self.a..(si + 1) * self.a]),
+                Err(_) => combine(zero_values),
+            },
+        }
+    }
+
+    /// The current quadrature weights (prior weights until adapted).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Start the weights one-hot at the highest-λ level — the paper's
+    /// "ideal situation [where] λ will be as close to 1 for most knowledge
+    /// based latent topics, with the flexibility to deviate as required by
+    /// the data". Pair with [`IntegrationTable::adapt`]: topics anchor to
+    /// their articles first, then relax individually.
+    pub fn optimistic_start(&mut self) {
+        for w in self.weights.iter_mut() {
+            *w = 0.0;
+        }
+        if let Some(last) = self.weights.last_mut() {
+            *last = 1.0;
+        }
+    }
+
+    /// Re-weight the quadrature levels with the λ posterior given this
+    /// topic's current counts — the "λ as a hidden parameter of the model"
+    /// reading of §III.C.2. Griddy-Gibbs over the grid:
+    ///
+    /// ```text
+    /// w_a ∝ N(λ_a; µ, σ) · p(n_·t | δ^{g(λ_a)})
+    ///     = prior_a · B(n_·t + δ_a) / B(δ_a)
+    /// ```
+    ///
+    /// Only words with non-zero counts contribute to the beta-function
+    /// ratio (`ln Γ(δ) − ln Γ(δ) = 0` otherwise), so the update is
+    /// `O(nnz(topic) · A)`.
+    ///
+    /// `topic_counts` yields the `(word, count)` pairs with `count > 0`.
+    pub fn adapt<I: IntoIterator<Item = (usize, u32)>>(&mut self, topic_counts: I, nt: u32) {
+        use srclda_math::special::ln_gamma;
+        let a = self.a;
+        let mut loglik = self.prior_log_weights.clone();
+        let ntf = nt as f64;
+        for (ai, ll) in loglik.iter_mut().enumerate() {
+            *ll -= ln_gamma(self.sums[ai] + ntf) - ln_gamma(self.sums[ai]);
+        }
+        for (w, n) in topic_counts {
+            debug_assert!(n > 0);
+            let nf = n as f64;
+            let mut add = |row: &[f64]| {
+                for (ai, &delta) in row.iter().enumerate() {
+                    loglik[ai] += ln_gamma(delta + nf) - ln_gamma(delta);
+                }
+            };
+            match &self.layout {
+                IntegrationLayout::Dense { values } => add(&values[w * a..(w + 1) * a]),
+                IntegrationLayout::Sparse {
+                    support,
+                    values,
+                    zero_values,
+                } => match support.binary_search(&(w as u32)) {
+                    Ok(si) => add(&values[si * a..(si + 1) * a]),
+                    Err(_) => add(zero_values),
+                },
+            }
+        }
+        // Softmax back to normalized weights.
+        let max = loglik.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            return; // keep previous weights on numeric failure
+        }
+        let mut sum = 0.0;
+        for x in loglik.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        if sum > 0.0 {
+            for (w, x) in self.weights.iter_mut().zip(loglik) {
+                *w = x / sum;
+            }
+        }
+    }
+
+    /// Expected hyperparameter `E[δ_w^{g(λ)}]` under the quadrature — used
+    /// by the joint log-likelihood as the effective Dirichlet parameter.
+    pub fn expected_delta(&self, w: usize) -> f64 {
+        match &self.layout {
+            IntegrationLayout::Dense { values } => {
+                let row = &values[w * self.a..(w + 1) * self.a];
+                row.iter().zip(self.weights.iter()).map(|(&v, &q)| q * v).sum()
+            }
+            IntegrationLayout::Sparse {
+                support,
+                values,
+                zero_values,
+            } => match support.binary_search(&(w as u32)) {
+                Ok(si) => {
+                    let row = &values[si * self.a..(si + 1) * self.a];
+                    row.iter().zip(self.weights.iter()).map(|(&v, &q)| q * v).sum()
+                }
+                Err(_) => zero_values
+                    .iter()
+                    .zip(self.weights.iter())
+                    .map(|(&v, &q)| q * v)
+                    .sum(),
+            },
+        }
+    }
+}
+
+/// A topic's word prior (see module docs for the per-model table).
+#[derive(Debug, Clone)]
+pub enum TopicPrior {
+    /// Symmetric Dirichlet `Dir(β)` over the full vocabulary.
+    Symmetric {
+        /// The concentration β.
+        beta: f64,
+        /// Precomputed `V·β` denominator term.
+        denom_add: f64,
+    },
+    /// Fixed asymmetric Dirichlet `Dir(δ)` from source hyperparameters.
+    Fixed {
+        /// Per-word hyperparameters `δ_w`.
+        delta: Vec<f64>,
+        /// Precomputed `Σ δ`.
+        sum: f64,
+    },
+    /// λ-integrated source prior (the full Source-LDA model).
+    Integrated(IntegrationTable),
+    /// Frozen word distribution (EDA): counts never influence the weight.
+    Frozen {
+        /// The fixed distribution `φ`.
+        phi: Vec<f64>,
+    },
+    /// Concept word set (CTM): support-restricted symmetric prior.
+    ConceptSet {
+        /// Membership mask over the vocabulary.
+        in_set: Vec<bool>,
+        /// The concentration β.
+        beta: f64,
+        /// Precomputed `|W_c|·β`.
+        denom_add: f64,
+    },
+}
+
+impl TopicPrior {
+    /// Symmetric prior with concentration `beta` over `v` words.
+    pub fn symmetric(beta: f64, v: usize) -> crate::Result<Self> {
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(CoreError::NonPositiveParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        Ok(Self::Symmetric {
+            beta,
+            denom_add: beta * v as f64,
+        })
+    }
+
+    /// Fixed prior from a source topic's hyperparameters (Definition 3).
+    pub fn fixed_from_source(topic: &SourceTopic, epsilon: f64) -> Self {
+        let delta = topic.hyperparameters(epsilon);
+        let sum = delta.iter().sum();
+        Self::Fixed { delta, sum }
+    }
+
+    /// Fixed prior from hyperparameters raised to a constant exponent
+    /// (the fixed-λ sweep of §IV.B / Figure 7).
+    pub fn fixed_from_powered(topic: &SourceTopic, epsilon: f64, exponent: f64) -> Self {
+        let delta = topic.powered_hyperparameters(epsilon, exponent);
+        let sum = delta.iter().sum();
+        Self::Fixed { delta, sum }
+    }
+
+    /// λ-integrated prior (Eq. 3) for the full Source-LDA model.
+    pub fn integrated(
+        topic: &SourceTopic,
+        epsilon: f64,
+        g: &SmoothingFunction,
+        quadrature: &DiscretizedGaussian,
+    ) -> Self {
+        Self::Integrated(IntegrationTable::new(topic, epsilon, g, quadrature))
+    }
+
+    /// Frozen prior (EDA) from a source topic's smoothed distribution.
+    pub fn frozen_from_source(topic: &SourceTopic, epsilon: f64) -> Self {
+        let delta = topic.hyperparameters(epsilon);
+        let sum: f64 = delta.iter().sum();
+        let phi = delta.iter().map(|&x| x / sum).collect();
+        Self::Frozen { phi }
+    }
+
+    /// Concept-set prior (CTM) over `bag` within a `v`-word vocabulary.
+    pub fn concept_set(bag: &[u32], beta: f64, v: usize) -> crate::Result<Self> {
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(CoreError::NonPositiveParameter {
+                name: "beta",
+                value: beta,
+            });
+        }
+        let mut in_set = vec![false; v];
+        let mut size = 0usize;
+        for &w in bag {
+            let w = w as usize;
+            if w < v && !in_set[w] {
+                in_set[w] = true;
+                size += 1;
+            }
+        }
+        Ok(Self::ConceptSet {
+            in_set,
+            beta,
+            denom_add: beta * size as f64,
+        })
+    }
+
+    /// The sampling/φ weight for word `w` given the effective counts
+    /// `nw = n_wt` and `nt = n_t` (Eqs. 1–4 depending on the kind).
+    #[inline]
+    pub fn word_weight(&self, w: usize, nw: f64, nt: f64) -> f64 {
+        match self {
+            TopicPrior::Symmetric { beta, denom_add } => (nw + beta) / (nt + denom_add),
+            TopicPrior::Fixed { delta, sum } => (nw + delta[w]) / (nt + sum),
+            TopicPrior::Integrated(table) => table.weight(w, nw, nt),
+            TopicPrior::Frozen { phi } => phi[w],
+            TopicPrior::ConceptSet {
+                in_set,
+                beta,
+                denom_add,
+            } => {
+                if in_set[w] {
+                    (nw + beta) / (nt + denom_add)
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Whether the counts can change this topic's word distribution (false
+    /// for EDA's frozen topics).
+    pub fn is_learnable(&self) -> bool {
+        !matches!(self, TopicPrior::Frozen { .. })
+    }
+
+    /// True iff this prior integrates λ (and therefore supports adaptation).
+    pub fn is_integrated(&self) -> bool {
+        matches!(self, TopicPrior::Integrated(_))
+    }
+
+    /// Posterior-adapt the λ quadrature weights from the topic's current
+    /// counts (no-op for non-integrated priors). See
+    /// [`IntegrationTable::adapt`].
+    pub fn adapt_lambda<I: IntoIterator<Item = (usize, u32)>>(
+        &mut self,
+        topic_counts: I,
+        nt: u32,
+    ) {
+        if let TopicPrior::Integrated(table) = self {
+            table.adapt(topic_counts, nt);
+        }
+    }
+
+    /// Apply the optimistic λ start (no-op for non-integrated priors). See
+    /// [`IntegrationTable::optimistic_start`].
+    pub fn optimistic_lambda_start(&mut self) {
+        if let TopicPrior::Integrated(table) = self {
+            table.optimistic_start();
+        }
+    }
+
+    /// Effective Dirichlet parameter for word `w` (used by the joint
+    /// log-likelihood). For frozen priors this is the distribution itself.
+    pub fn effective_delta(&self, w: usize) -> f64 {
+        match self {
+            TopicPrior::Symmetric { beta, .. } => *beta,
+            TopicPrior::Fixed { delta, .. } => delta[w],
+            TopicPrior::Integrated(table) => table.expected_delta(w),
+            TopicPrior::Frozen { phi } => phi[w],
+            TopicPrior::ConceptSet { in_set, beta, .. } => {
+                if in_set[w] {
+                    *beta
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Short kind name (diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopicPrior::Symmetric { .. } => "symmetric",
+            TopicPrior::Fixed { .. } => "fixed",
+            TopicPrior::Integrated(_) => "integrated",
+            TopicPrior::Frozen { .. } => "frozen",
+            TopicPrior::ConceptSet { .. } => "concept-set",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_math::rng_from_seed;
+
+    fn topic() -> SourceTopic {
+        // V = 4: counts over [pencil, ruler, baseball, umpire]
+        SourceTopic::new("School Supplies", vec![6.0, 3.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn symmetric_weight_formula() {
+        let p = TopicPrior::symmetric(0.5, 4).unwrap();
+        // (nw + β) / (nt + Vβ)
+        let w = p.word_weight(0, 2.0, 10.0);
+        assert!((w - 2.5 / 12.0).abs() < 1e-12);
+        assert!(TopicPrior::symmetric(0.0, 4).is_err());
+    }
+
+    #[test]
+    fn fixed_weight_follows_delta() {
+        let p = TopicPrior::fixed_from_source(&topic(), 0.01);
+        // At zero counts the weight is proportional to δ.
+        let w0 = p.word_weight(0, 0.0, 0.0);
+        let w1 = p.word_weight(1, 0.0, 0.0);
+        assert!((w0 / w1 - 6.01 / 3.01).abs() < 1e-9);
+        // Weights at zero counts normalize over the vocabulary.
+        let total: f64 = (0..4).map(|w| p.word_weight(w, 0.0, 0.0)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powered_prior_flattens_at_zero_exponent() {
+        let p = TopicPrior::fixed_from_powered(&topic(), 0.01, 0.0);
+        let w0 = p.word_weight(0, 0.0, 0.0);
+        let w2 = p.word_weight(2, 0.0, 0.0);
+        assert!((w0 - w2).abs() < 1e-12, "exponent 0 ⇒ uniform prior");
+    }
+
+    #[test]
+    fn frozen_ignores_counts() {
+        let p = TopicPrior::frozen_from_source(&topic(), 0.01);
+        let a = p.word_weight(0, 0.0, 0.0);
+        let b = p.word_weight(0, 100.0, 500.0);
+        assert_eq!(a, b);
+        assert!(!p.is_learnable());
+        // Smoothing keeps zero-count words positive.
+        assert!(p.word_weight(2, 0.0, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn concept_set_restricts_support() {
+        let p = TopicPrior::concept_set(&[0, 1, 1], 0.5, 4).unwrap();
+        assert!(p.word_weight(0, 0.0, 0.0) > 0.0);
+        assert_eq!(p.word_weight(2, 5.0, 5.0), 0.0);
+        // Duplicate bag entries are not double counted: |W_c| = 2.
+        if let TopicPrior::ConceptSet { denom_add, .. } = &p {
+            assert!((denom_add - 1.0).abs() < 1e-12);
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    fn quad_and_weights(a: usize) -> (DiscretizedGaussian, Vec<f64>) {
+        let q = DiscretizedGaussian::unit_interval(0.7, 0.3, a).unwrap();
+        let w = q.weights().to_vec();
+        (q, w)
+    }
+
+    #[test]
+    fn integrated_weight_is_convex_combination() {
+        let (q, w) = quad_and_weights(6);
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
+        // The integrated weight is a convex combination of the per-level
+        // Fixed weights, so it must lie within their min/max envelope
+        // (taken over all quadrature points — the per-exponent weight is
+        // not monotone in the exponent).
+        let levels: Vec<TopicPrior> = q
+            .points()
+            .iter()
+            .map(|&e| TopicPrior::fixed_from_powered(&topic(), 0.01, e))
+            .collect();
+        for word in 0..4 {
+            let wi = p.word_weight(word, 1.0, 3.0);
+            let vals: Vec<f64> = levels.iter().map(|l| l.word_weight(word, 1.0, 3.0)).collect();
+            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                wi >= min - 1e-12 && wi <= max + 1e-12,
+                "word {word}: {wi} outside [{min}, {max}]"
+            );
+        }
+    }
+
+    #[test]
+    fn integrated_dense_and_sparse_agree() {
+        // Build a topic big enough to trigger the sparse layout and compare
+        // against a forced-dense equivalent (small vocab with same counts
+        // can't work — instead compare sparse weight vs manual computation).
+        let v = 10_000;
+        let mut counts = vec![0.0; v];
+        counts[3] = 7.0;
+        counts[9000] = 2.0;
+        let t = SourceTopic::new("Sparse", counts);
+        let (q, w) = quad_and_weights(4);
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&t, 0.01, &g, &q);
+        if let TopicPrior::Integrated(table) = &p {
+            assert!(!table.is_dense(), "large sparse topic should pick sparse layout");
+        }
+        // Manual Eq. 3 at word 3 and at an off-support word.
+        let exps: Vec<f64> = q.points().to_vec();
+        let manual = |word: usize, nw: f64, nt: f64| -> f64 {
+            let mut acc = 0.0;
+            for (a, &e) in exps.iter().enumerate() {
+                let delta_w = if t.counts()[word] > 0.0 {
+                    (t.counts()[word] + 0.01f64).powf(e)
+                } else {
+                    0.01f64.powf(e)
+                };
+                let sum: f64 = (7.0f64 + 0.01).powf(e)
+                    + (2.0f64 + 0.01).powf(e)
+                    + (v as f64 - 2.0) * 0.01f64.powf(e);
+                acc += w[a] * (nw + delta_w) / (nt + sum);
+            }
+            acc
+        };
+        for &(word, nw, nt) in &[(3usize, 2.0, 9.0), (500usize, 0.0, 9.0), (9000usize, 1.0, 4.0)] {
+            let got = p.word_weight(word, nw, nt);
+            let want = manual(word, nw, nt);
+            assert!((got - want).abs() < 1e-12, "word {word}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn small_vocab_uses_dense_layout() {
+        let (q, w) = quad_and_weights(4);
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
+        if let TopicPrior::Integrated(table) = &p {
+            assert!(table.is_dense());
+            assert_eq!(table.levels(), 4);
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn effective_delta_matches_kind() {
+        let p = TopicPrior::symmetric(0.25, 4).unwrap();
+        assert_eq!(p.effective_delta(2), 0.25);
+        let p = TopicPrior::fixed_from_source(&topic(), 0.01);
+        assert!((p.effective_delta(0) - 6.01).abs() < 1e-12);
+        let (q, w) = quad_and_weights(4);
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
+        // Expected delta for word 0 lies between the min/max powered values.
+        let d = p.effective_delta(0);
+        assert!(d > 1.0 && d < 6.01);
+    }
+
+    #[test]
+    fn kinds_are_labeled() {
+        assert_eq!(TopicPrior::symmetric(1.0, 2).unwrap().kind(), "symmetric");
+        assert_eq!(
+            TopicPrior::fixed_from_source(&topic(), 0.01).kind(),
+            "fixed"
+        );
+    }
+
+    #[test]
+    fn adaptation_concentrates_on_the_matching_level() {
+        // Source topic: a strongly skewed distribution over 4 words.
+        let src = SourceTopic::new("T", vec![400.0, 120.0, 40.0, 10.0]);
+        let q = DiscretizedGaussian::unit_interval(0.5, 10.0, 8).unwrap(); // ~flat prior
+        let g = SmoothingFunction::identity();
+
+        // Counts sampled *from the source distribution* (high λ world).
+        let mut aligned = TopicPrior::integrated(&src, 0.01, &g, &q);
+        let aligned_counts = vec![(0usize, 700u32), (1, 210), (2, 70), (3, 20)];
+        aligned.adapt_lambda(aligned_counts, 1000);
+
+        // Near-uniform counts (low λ world: topic ignores the article).
+        let mut drifted = TopicPrior::integrated(&src, 0.01, &g, &q);
+        let drifted_counts = vec![(0usize, 250u32), (1, 250), (2, 250), (3, 250)];
+        drifted.adapt_lambda(drifted_counts, 1000);
+
+        let mean_lambda = |p: &TopicPrior| -> f64 {
+            if let TopicPrior::Integrated(t) = p {
+                t.weights()
+                    .iter()
+                    .zip(q.points())
+                    .map(|(&w, &x)| w * x)
+                    .sum()
+            } else {
+                panic!("wrong kind")
+            }
+        };
+        let hi = mean_lambda(&aligned);
+        let lo = mean_lambda(&drifted);
+        assert!(
+            hi > lo + 0.2,
+            "aligned counts should imply higher λ: {hi:.3} vs {lo:.3}"
+        );
+        // Weights stay normalized.
+        if let TopicPrior::Integrated(t) = &aligned {
+            let sum: f64 = t.weights().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adaptation_is_a_noop_for_other_kinds() {
+        let mut p = TopicPrior::symmetric(0.5, 4).unwrap();
+        let before = p.word_weight(0, 1.0, 2.0);
+        p.adapt_lambda(vec![(0usize, 5u32)], 5);
+        assert_eq!(p.word_weight(0, 1.0, 2.0), before);
+        assert!(!p.is_integrated());
+    }
+
+    #[test]
+    fn sampling_sanity_under_fixed_prior() {
+        // Draw topics for a two-topic system where topic 0's δ strongly
+        // prefers word 0: word-0 tokens should mostly go to topic 0.
+        let t0 = SourceTopic::new("A", vec![50.0, 1.0]);
+        let t1 = SourceTopic::new("B", vec![1.0, 50.0]);
+        let p0 = TopicPrior::fixed_from_source(&t0, 0.01);
+        let p1 = TopicPrior::fixed_from_source(&t1, 0.01);
+        let mut rng = rng_from_seed(1);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            let w0 = p0.word_weight(0, 0.0, 0.0);
+            let w1 = p1.word_weight(0, 0.0, 0.0);
+            let i = srclda_math::sample_categorical(&[w0, w1], &mut rng);
+            if i == 0 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 900, "topic 0 should dominate: {hits}");
+    }
+}

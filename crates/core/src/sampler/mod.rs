@@ -1,0 +1,119 @@
+//! Sampler backends: the serial collapsed Gibbs sweep and the paper's two
+//! exact parallel algorithms.
+//!
+//! All three backends draw **one uniform variate per token** from the same
+//! leader RNG and realize the same categorical draw, so — up to last-ulp
+//! floating-point re-association in the parallel scans — they walk identical
+//! chains from identical seeds.
+
+pub mod parallel;
+pub mod serial;
+
+use crate::counts::CountMatrices;
+use crate::error::CoreError;
+use crate::prior::TopicPrior;
+use srclda_math::SldaRng;
+
+/// Which sampling algorithm executes the per-token topic draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded linear-scan sampling (Algorithm 1).
+    Serial,
+    /// Algorithm 2: Blelloch prefix-sums scan over the probability vector,
+    /// parallelized over `threads` workers with per-level barriers.
+    PrefixSums {
+        /// Number of worker threads `P`.
+        threads: usize,
+    },
+    /// Algorithm 3: per-thread block sums, one barrier, parallel fix-up.
+    SimpleParallel {
+        /// Number of worker threads `P`.
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// Number of worker threads this backend uses.
+    pub fn threads(&self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::PrefixSums { threads } | Backend::SimpleParallel { threads } => *threads,
+        }
+    }
+
+    /// Check the configuration is runnable.
+    pub(crate) fn validate(&self) -> crate::Result<()> {
+        if self.threads() == 0 {
+            return Err(CoreError::InvalidConfig(
+                "parallel backends need at least one thread".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a sweep needs, borrowed from the fitting engine.
+pub(crate) struct SweepContext<'a> {
+    /// Per-document word ids.
+    pub tokens: &'a [Vec<u32>],
+    /// Count matrices (shared, atomic).
+    pub counts: &'a CountMatrices,
+    /// Per-topic priors.
+    pub priors: &'a [TopicPrior],
+    /// Document–topic prior α.
+    pub alpha: f64,
+}
+
+impl<'a> SweepContext<'a> {
+    /// Total topic count `T`.
+    pub fn num_topics(&self) -> usize {
+        self.priors.len()
+    }
+}
+
+/// Run `iterations` full Gibbs sweeps with the chosen backend, mutating the
+/// assignment vector `z` and the counts. `on_sweep` is invoked after every
+/// sweep with the completed iteration index (1-based) for trace recording.
+pub(crate) fn run_sweeps<F: FnMut(usize)>(
+    backend: Backend,
+    ctx: &SweepContext<'_>,
+    z: &mut [Vec<u32>],
+    rng: &mut SldaRng,
+    iterations: usize,
+    mut on_sweep: F,
+) {
+    match backend {
+        Backend::Serial => {
+            let mut buf = vec![0.0; ctx.num_topics()];
+            for iter in 1..=iterations {
+                serial::sweep(ctx, z, rng, &mut buf);
+                on_sweep(iter);
+            }
+        }
+        Backend::SimpleParallel { threads } => {
+            parallel::run(ctx, z, rng, iterations, threads, parallel::Algo::Simple, &mut on_sweep);
+        }
+        Backend::PrefixSums { threads } => {
+            parallel::run(ctx, z, rng, iterations, threads, parallel::Algo::PrefixSums, &mut on_sweep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_counts() {
+        assert_eq!(Backend::Serial.threads(), 1);
+        assert_eq!(Backend::PrefixSums { threads: 4 }.threads(), 4);
+        assert_eq!(Backend::SimpleParallel { threads: 6 }.threads(), 6);
+    }
+
+    #[test]
+    fn zero_threads_invalid() {
+        assert!(Backend::PrefixSums { threads: 0 }.validate().is_err());
+        assert!(Backend::SimpleParallel { threads: 0 }.validate().is_err());
+        assert!(Backend::Serial.validate().is_ok());
+    }
+}

@@ -1,0 +1,470 @@
+//! Source-LDA — the paper's model, in all three variants of §III.
+//!
+//! * [`Variant::Bijective`] (§III.A): every topic is one knowledge-source
+//!   document; `φ_k ~ Dir(δ_k)` with `δ_k` the source hyperparameters.
+//! * [`Variant::Mixture`] (§III.B): `K` unlabeled symmetric-β topics mixed
+//!   with the source topics (Eq. 2).
+//! * [`Variant::Full`] (§III.C): per-topic divergence `λ_t ~ N(µ, σ)` mapped
+//!   through the smoothing function `g_t` and integrated out numerically
+//!   with `A` quadrature steps (Eq. 3–4). Superset reduction over the fitted
+//!   model is provided by [`crate::reduction`].
+//!
+//! A fixed exponent can be forced with [`SourceLdaBuilder::fixed_lambda`]
+//! (the fixed-λ sweep of Figure 7).
+
+use crate::model::{FittedModel, GibbsModel};
+use crate::params::{ModelConfig, SmoothingMode};
+use crate::prior::TopicPrior;
+use srclda_corpus::Corpus;
+use srclda_knowledge::{KnowledgeSource, SmoothingFunction};
+use srclda_math::{rng_from_seed, DiscretizedGaussian};
+
+/// Which Source-LDA variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// 1-to-1 topics ↔ source documents (§III.A). Ignores the unlabeled
+    /// topic count.
+    Bijective,
+    /// Known mixture of `K` unlabeled + source topics (§III.B).
+    Mixture,
+    /// The full model with λ integration (§III.C).
+    Full,
+}
+
+/// A configured Source-LDA model.
+#[derive(Debug, Clone)]
+pub struct SourceLda {
+    source: KnowledgeSource,
+    variant: Variant,
+    k_unlabeled: usize,
+    fixed_lambda: Option<f64>,
+    config: ModelConfig,
+}
+
+/// Builder for [`SourceLda`].
+#[derive(Debug, Clone, Default)]
+pub struct SourceLdaBuilder {
+    source: Option<KnowledgeSource>,
+    variant: Option<Variant>,
+    k_unlabeled: usize,
+    fixed_lambda: Option<f64>,
+    config: ModelConfig,
+}
+
+impl SourceLda {
+    /// Start building a Source-LDA model.
+    pub fn builder() -> SourceLdaBuilder {
+        SourceLdaBuilder::default()
+    }
+
+    /// Number of unlabeled topics `K`.
+    pub fn unlabeled_topics(&self) -> usize {
+        match self.variant {
+            Variant::Bijective => 0,
+            _ => self.k_unlabeled,
+        }
+    }
+
+    /// Total topic count `T = K + S`.
+    pub fn total_topics(&self) -> usize {
+        self.unlabeled_topics() + self.source.len()
+    }
+
+    /// The model variant.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Fit on a corpus.
+    ///
+    /// For [`Variant::Full`] this first computes the per-topic smoothing
+    /// functions (Algorithm 1's "for t = K+1 to T: Calculate gₜ") according
+    /// to the configured [`SmoothingMode`].
+    ///
+    /// # Errors
+    /// Fails on vocabulary mismatch or engine errors.
+    pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        let model = self.assemble(corpus.vocab_size())?;
+        model.fit(corpus)
+    }
+
+    /// Build the underlying engine without fitting (exposed for diagnostics
+    /// and benchmarks that time the sampler in isolation).
+    pub fn assemble(&self, vocab_size: usize) -> crate::Result<GibbsModel> {
+        if self.source.is_empty() {
+            return Err(crate::CoreError::MissingKnowledgeSource);
+        }
+        if self.source.vocab_size() != vocab_size {
+            return Err(crate::CoreError::VocabularyMismatch {
+                source: self.source.vocab_size(),
+                corpus: vocab_size,
+            });
+        }
+        let k = self.unlabeled_topics();
+        let s = self.source.len();
+        let mut priors: Vec<TopicPrior> = Vec::with_capacity(k + s);
+        let mut labels: Vec<Option<String>> = Vec::with_capacity(k + s);
+        for _ in 0..k {
+            priors.push(TopicPrior::symmetric(self.config.beta, vocab_size)?);
+            labels.push(None);
+        }
+        match (self.variant, self.fixed_lambda) {
+            (_, Some(lambda)) => {
+                // Fixed-λ sweep (Figure 7): δ^λ with a constant exponent.
+                for topic in self.source.topics() {
+                    priors.push(TopicPrior::fixed_from_powered(
+                        topic,
+                        self.config.epsilon,
+                        lambda,
+                    ));
+                    labels.push(Some(topic.label().to_string()));
+                }
+            }
+            (Variant::Bijective | Variant::Mixture, None) => {
+                for topic in self.source.topics() {
+                    priors.push(TopicPrior::fixed_from_source(topic, self.config.epsilon));
+                    labels.push(Some(topic.label().to_string()));
+                }
+            }
+            (Variant::Full, None) => {
+                let quadrature = DiscretizedGaussian::unit_interval(
+                    self.config.mu,
+                    self.config.sigma,
+                    self.config.approximation_steps,
+                )?;
+                // A dedicated RNG stream so smoothing estimation does not
+                // perturb the sampling chain.
+                let mut g_rng = rng_from_seed(self.config.seed ^ 0x5f5f_5f5f_5f5f_5f5f);
+                let mut shared_g: Option<SmoothingFunction> = None;
+                for topic in self.source.topics() {
+                    let g = match &self.config.smoothing {
+                        SmoothingMode::Identity => SmoothingFunction::identity(),
+                        SmoothingMode::PerTopic(cfg) => {
+                            SmoothingFunction::estimate(topic, self.config.epsilon, cfg, &mut g_rng)
+                        }
+                        SmoothingMode::Shared(cfg) => shared_g
+                            .get_or_insert_with(|| {
+                                SmoothingFunction::estimate(
+                                    topic,
+                                    self.config.epsilon,
+                                    cfg,
+                                    &mut g_rng,
+                                )
+                            })
+                            .clone(),
+                    };
+                    priors.push(TopicPrior::integrated(
+                        topic,
+                        self.config.epsilon,
+                        &g,
+                        &quadrature,
+                    ));
+                    labels.push(Some(topic.label().to_string()));
+                }
+            }
+        }
+        GibbsModel::new(priors, labels, vocab_size, self.config.clone())
+    }
+}
+
+impl SourceLdaBuilder {
+    /// Set the knowledge source (required).
+    pub fn knowledge_source(mut self, ks: KnowledgeSource) -> Self {
+        self.source = Some(ks);
+        self
+    }
+
+    /// Select the variant (defaults to [`Variant::Full`]).
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = Some(v);
+        self
+    }
+
+    /// Number of unlabeled topics `K` (ignored by the bijective variant).
+    pub fn unlabeled_topics(mut self, k: usize) -> Self {
+        self.k_unlabeled = k;
+        self
+    }
+
+    /// Force a constant exponent λ for all source topics (Figure 7 sweep).
+    pub fn fixed_lambda(mut self, lambda: f64) -> Self {
+        self.fixed_lambda = Some(lambda);
+        self
+    }
+
+    /// Set the document–topic prior α.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Set the unlabeled-topic word prior β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Set Definition 3's ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Set the λ prior `N(µ, σ)`.
+    pub fn lambda_prior(mut self, mu: f64, sigma: f64) -> Self {
+        self.config.mu = mu;
+        self.config.sigma = sigma;
+        self
+    }
+
+    /// Set the quadrature steps `A`.
+    pub fn approximation_steps(mut self, a: usize) -> Self {
+        self.config.approximation_steps = a;
+        self
+    }
+
+    /// Enable adaptive λ: every `m` sweeps the quadrature weights of each
+    /// source topic are re-weighted with the λ posterior given the topic's
+    /// current counts, letting "the flexibility of different topics to be
+    /// influenced differently by λ" (§IV.B) actually materialize per topic.
+    pub fn adaptive_lambda(mut self, every: usize) -> Self {
+        self.config.lambda_update_every = Some(every);
+        self
+    }
+
+    /// Sweeps to run before the first λ adaptation (see
+    /// [`ModelConfig::lambda_burn_in`]).
+    pub fn lambda_burn_in(mut self, sweeps: usize) -> Self {
+        self.config.lambda_burn_in = sweeps;
+        self
+    }
+
+    /// Anchor every source topic at λ ≈ 1 initially and let adaptation
+    /// relax each one (see [`ModelConfig::lambda_optimistic_start`]).
+    pub fn optimistic_lambda_start(mut self) -> Self {
+        self.config.lambda_optimistic_start = true;
+        self
+    }
+
+    /// Set the smoothing mode for `g`.
+    pub fn smoothing(mut self, mode: SmoothingMode) -> Self {
+        self.config.smoothing = mode;
+        self
+    }
+
+    /// Set the Gibbs iteration count.
+    pub fn iterations(mut self, iters: usize) -> Self {
+        self.config.iterations = iters;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the sampler backend.
+    pub fn backend(mut self, backend: crate::sampler::Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Set trace recording options.
+    pub fn trace(mut self, trace: crate::params::TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Finish, validating the configuration.
+    ///
+    /// # Errors
+    /// Fails without a knowledge source or with invalid hyperparameters.
+    pub fn build(self) -> crate::Result<SourceLda> {
+        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        if source.is_empty() {
+            return Err(crate::CoreError::MissingKnowledgeSource);
+        }
+        self.config.validate()?;
+        if let Some(lambda) = self.fixed_lambda {
+            if !(0.0..=1.0).contains(&lambda) {
+                return Err(crate::CoreError::InvalidConfig(format!(
+                    "fixed lambda must lie in [0, 1], got {lambda}"
+                )));
+            }
+        }
+        Ok(SourceLda {
+            source,
+            variant: self.variant.unwrap_or(Variant::Full),
+            k_unlabeled: self.k_unlabeled,
+            fixed_lambda: self.fixed_lambda,
+            config: self.config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..10 {
+            b.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+            b.add_tokens("d2", &["ruler", "ruler", "baseball"]);
+        }
+        b.build()
+    }
+
+    fn knowledge(corpus: &Corpus) -> KnowledgeSource {
+        // Wikipedia-scale articles: hundreds of occurrences, so the source
+        // prior dominates the (tiny) corpus counts the way a real article
+        // dominates a 3-word document in the paper's case study.
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_counts(
+            "School Supplies",
+            vec![("pencil".into(), 400.0), ("ruler".into(), 300.0)],
+        );
+        ks.add_counts(
+            "Baseball",
+            vec![("baseball".into(), 300.0), ("umpire".into(), 200.0)],
+        );
+        ks.build(corpus.vocabulary())
+    }
+
+    #[test]
+    fn builder_requires_knowledge_source() {
+        assert!(matches!(
+            SourceLda::builder().build(),
+            Err(crate::CoreError::MissingKnowledgeSource)
+        ));
+    }
+
+    #[test]
+    fn bijective_solves_the_case_study() {
+        // The §I case study: with prior knowledge, pencil/ruler tokens land
+        // in "School Supplies" and umpire/baseball in "Baseball".
+        let c = corpus();
+        let ks = knowledge(&c);
+        let model = SourceLda::builder()
+            .knowledge_source(ks)
+            .variant(Variant::Bijective)
+            .alpha(0.5)
+            .iterations(200)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(model.total_topics(), 2);
+        let fitted = model.fit(&c).unwrap();
+        let school = fitted
+            .labels()
+            .iter()
+            .position(|l| l.as_deref() == Some("School Supplies"))
+            .unwrap() as u32;
+        let baseball = 1 - school;
+        for d in (0..c.num_docs()).step_by(2) {
+            // d1-style documents: pencil, pencil, umpire.
+            assert_eq!(fitted.assignments()[d][0], school, "pencil");
+            assert_eq!(fitted.assignments()[d][1], school, "pencil");
+            assert_eq!(fitted.assignments()[d][2], baseball, "umpire");
+        }
+    }
+
+    #[test]
+    fn mixture_adds_unlabeled_topics() {
+        let c = corpus();
+        let ks = knowledge(&c);
+        let model = SourceLda::builder()
+            .knowledge_source(ks)
+            .variant(Variant::Mixture)
+            .unlabeled_topics(3)
+            .iterations(20)
+            .build()
+            .unwrap();
+        assert_eq!(model.total_topics(), 5);
+        let fitted = model.fit(&c).unwrap();
+        assert_eq!(fitted.labels()[..3], vec![None, None, None]);
+        assert_eq!(fitted.labels()[3].as_deref(), Some("School Supplies"));
+    }
+
+    #[test]
+    fn full_variant_runs_with_identity_smoothing() {
+        let c = corpus();
+        let ks = knowledge(&c);
+        let model = SourceLda::builder()
+            .knowledge_source(ks)
+            .variant(Variant::Full)
+            .unlabeled_topics(1)
+            .approximation_steps(4)
+            .smoothing(SmoothingMode::Identity)
+            .lambda_prior(0.7, 0.3)
+            .iterations(60)
+            .seed(11)
+            .build()
+            .unwrap();
+        let fitted = model.fit(&c).unwrap();
+        assert_eq!(fitted.num_topics(), 3);
+        // The source topics should still attract their words.
+        let school = fitted
+            .labels()
+            .iter()
+            .position(|l| l.as_deref() == Some("School Supplies"))
+            .unwrap();
+        let pencil = c.vocabulary().get("pencil").unwrap().index();
+        let phi_school_pencil = fitted.phi_row(school)[pencil];
+        assert!(
+            phi_school_pencil > 0.2,
+            "School Supplies should weight pencil highly: {phi_school_pencil}"
+        );
+    }
+
+    #[test]
+    fn fixed_lambda_validated_and_applied() {
+        let c = corpus();
+        let ks = knowledge(&c);
+        assert!(SourceLda::builder()
+            .knowledge_source(ks.clone())
+            .fixed_lambda(1.5)
+            .build()
+            .is_err());
+        let model = SourceLda::builder()
+            .knowledge_source(ks)
+            .variant(Variant::Bijective)
+            .fixed_lambda(0.0)
+            .iterations(5)
+            .build()
+            .unwrap();
+        // λ = 0 ⇒ flat priors; the model still runs.
+        let fitted = model.fit(&c).unwrap();
+        assert_eq!(fitted.num_topics(), 2);
+    }
+
+    #[test]
+    fn vocabulary_mismatch_detected() {
+        let c = corpus();
+        let ks = knowledge(&c);
+        let other = {
+            let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+            b.add_tokens("d", &["completely", "different", "words", "here"]);
+            b.add_tokens("e", &["and", "one", "more"]);
+            b.build()
+        };
+        let model = SourceLda::builder()
+            .knowledge_source(ks)
+            .variant(Variant::Bijective)
+            .iterations(5)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            model.fit(&other),
+            Err(crate::CoreError::VocabularyMismatch { .. })
+        ));
+    }
+}

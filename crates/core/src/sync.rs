@@ -1,0 +1,263 @@
+//! Lock-free synchronization primitives for the parallel samplers.
+//!
+//! The paper's Algorithms 2 and 3 synchronize threads at barriers *inside
+//! the per-token sampling step* — potentially millions of times per Gibbs
+//! iteration. OS-level barriers (futex park/unpark) would dominate the
+//! runtime, so we use a sense-reversing **spin barrier** and share `f64`
+//! probability buffers through relaxed atomics (plain loads/stores on
+//! x86-64). Memory ordering between phases is established by the barrier's
+//! acquire/release pair.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A reusable sense-reversing spin barrier for a fixed number of threads.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Barrier for `n` participating threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        Self {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Block (spinning) until all `n` threads have called `wait` for the
+    /// current generation. Returns `true` for exactly one thread per
+    /// generation (the last to arrive), mirroring `std::sync::Barrier`.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(1024) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            false
+        }
+    }
+}
+
+/// A shared `f64` buffer backed by `AtomicU64` bit-casts.
+///
+/// Used for the per-token probability vector that all sampler threads write
+/// (their topic ranges) and read (the binary-search phase). All accesses are
+/// `Relaxed`; cross-thread visibility is sequenced by [`SpinBarrier::wait`].
+#[derive(Debug)]
+pub struct SharedF64Buffer {
+    cells: Vec<AtomicU64>,
+}
+
+impl SharedF64Buffer {
+    /// Zero-initialized buffer of length `n`.
+    pub fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || AtomicU64::new(0));
+        Self { cells }
+    }
+
+    /// Buffer length.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True iff the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, value: f64) {
+        self.cells[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copy the whole buffer out (test/diagnostic use).
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Binary search for the smallest index with `buf[i] > u`, assuming the
+    /// buffer holds inclusive prefix sums (the `Binary Search(p)` step of
+    /// Algorithms 2 and 3).
+    pub fn binary_search_cumulative(&self, u: f64) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.get(mid) > u {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo.min(self.len().saturating_sub(1))
+    }
+}
+
+/// A single shared `f64` cell (used to publish the sampled uniform and
+/// chunk offsets between phases).
+#[derive(Debug)]
+pub struct SharedF64Cell(AtomicU64);
+
+impl SharedF64Cell {
+    /// New cell holding `value`.
+    pub fn new(value: f64) -> Self {
+        Self(AtomicU64::new(value.to_bits()))
+    }
+
+    /// Read the value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Write the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A shared `usize` cell (publishes the sampled topic index).
+#[derive(Debug)]
+pub struct SharedUsizeCell(AtomicUsize);
+
+impl SharedUsizeCell {
+    /// New cell holding `value`.
+    pub fn new(value: usize) -> Self {
+        Self(AtomicUsize::new(value))
+    }
+
+    /// Read the value.
+    #[inline]
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Write the value.
+    #[inline]
+    pub fn set(&self, value: usize) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn barrier_single_thread_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        // Each of 4 threads increments a phase counter between barriers;
+        // after each barrier every thread must observe the full increment.
+        let threads = 4;
+        let barrier = SpinBarrier::new(threads);
+        let counter = AtomicUsize::new(0);
+        let rounds = 200;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for r in 1..=rounds {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        assert_eq!(counter.load(Ordering::SeqCst), r * threads);
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn barrier_leader_is_unique() {
+        let threads = 3;
+        let barrier = SpinBarrier::new(threads);
+        let leaders = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for _ in 0..100 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(leaders.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shared_buffer_round_trips() {
+        let buf = SharedF64Buffer::new(4);
+        assert_eq!(buf.len(), 4);
+        buf.set(2, 3.75);
+        assert_eq!(buf.get(2), 3.75);
+        assert_eq!(buf.get(0), 0.0);
+        assert_eq!(buf.snapshot(), vec![0.0, 0.0, 3.75, 0.0]);
+    }
+
+    #[test]
+    fn shared_buffer_binary_search() {
+        let buf = SharedF64Buffer::new(4);
+        for (i, v) in [1.0, 3.0, 6.0, 10.0].into_iter().enumerate() {
+            buf.set(i, v);
+        }
+        assert_eq!(buf.binary_search_cumulative(0.5), 0);
+        assert_eq!(buf.binary_search_cumulative(1.0), 1);
+        assert_eq!(buf.binary_search_cumulative(5.9), 2);
+        assert_eq!(buf.binary_search_cumulative(9.99), 3);
+        assert_eq!(buf.binary_search_cumulative(10.0), 3);
+    }
+
+    #[test]
+    fn cells_round_trip() {
+        let f = SharedF64Cell::new(1.5);
+        assert_eq!(f.get(), 1.5);
+        f.set(-2.25);
+        assert_eq!(f.get(), -2.25);
+        let u = SharedUsizeCell::new(7);
+        assert_eq!(u.get(), 7);
+        u.set(42);
+        assert_eq!(u.get(), 42);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sparse bag-of-words count vectors, per document and corpus-wide.
+
+use crate::corpus::Corpus;
+use crate::document::Document;
+use crate::token::WordId;
+use srclda_math::FxHashMap;
+
+/// Sparse per-document counts, sorted by [`WordId`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BagOfWords {
+    entries: Vec<(WordId, u32)>,
+    total: u32,
+}
+
+impl BagOfWords {
+    /// Count the tokens of a document.
+    pub fn from_document(doc: &Document) -> Self {
+        Self::from_tokens(doc.tokens())
+    }
+
+    /// Count an arbitrary token slice.
+    pub fn from_tokens(tokens: &[WordId]) -> Self {
+        let mut map: FxHashMap<WordId, u32> = FxHashMap::default();
+        for &w in tokens {
+            *map.entry(w).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(WordId, u32)> = map.into_iter().collect();
+        entries.sort_unstable_by_key(|&(w, _)| w);
+        let total = entries.iter().map(|&(_, c)| c).sum();
+        Self { entries, total }
+    }
+
+    /// Sparse `(word, count)` entries sorted by word id.
+    pub fn entries(&self) -> &[(WordId, u32)] {
+        &self.entries
+    }
+
+    /// Count of a specific word (0 if absent).
+    pub fn count(&self, w: WordId) -> u32 {
+        self.entries
+            .binary_search_by_key(&w, |&(word, _)| word)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Total token count.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of distinct words.
+    pub fn num_distinct(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Densify to a length-`v` count vector.
+    pub fn to_dense(&self, v: usize) -> Vec<f64> {
+        let mut out = vec![0.0; v];
+        for &(w, c) in &self.entries {
+            if w.index() < v {
+                out[w.index()] = c as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Corpus-level aggregates: global word counts and document frequencies.
+#[derive(Debug, Clone)]
+pub struct CorpusCounts {
+    word_counts: Vec<u64>,
+    doc_freq: Vec<u32>,
+    num_docs: usize,
+    total_tokens: u64,
+}
+
+impl CorpusCounts {
+    /// Scan the corpus once, accumulating counts.
+    pub fn from_corpus(corpus: &Corpus) -> Self {
+        let v = corpus.vocab_size();
+        let mut word_counts = vec![0u64; v];
+        let mut doc_freq = vec![0u32; v];
+        let mut seen = vec![usize::MAX; v];
+        let mut total_tokens = 0u64;
+        for (d, doc) in corpus.iter() {
+            for &w in doc.tokens() {
+                word_counts[w.index()] += 1;
+                total_tokens += 1;
+                if seen[w.index()] != d.index() {
+                    seen[w.index()] = d.index();
+                    doc_freq[w.index()] += 1;
+                }
+            }
+        }
+        Self {
+            word_counts,
+            doc_freq,
+            num_docs: corpus.num_docs(),
+            total_tokens,
+        }
+    }
+
+    /// Corpus-wide count of a word.
+    pub fn word_count(&self, w: WordId) -> u64 {
+        self.word_counts[w.index()]
+    }
+
+    /// Number of documents containing a word.
+    pub fn doc_freq(&self, w: WordId) -> u32 {
+        self.doc_freq[w.index()]
+    }
+
+    /// Total number of tokens in the corpus.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The `n` most frequent words, descending.
+    pub fn top_words(&self, n: usize) -> Vec<WordId> {
+        let mut idx: Vec<usize> = (0..self.word_counts.len()).collect();
+        idx.sort_by(|&a, &b| self.word_counts[b].cmp(&self.word_counts[a]).then(a.cmp(&b)));
+        idx.truncate(n);
+        idx.into_iter().map(WordId::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::tokenizer::Tokenizer;
+
+    fn build() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        b.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+        b.add_tokens("d2", &["ruler", "ruler", "baseball", "pencil"]);
+        b.build()
+    }
+
+    #[test]
+    fn bow_counts() {
+        let c = build();
+        let bow = BagOfWords::from_document(c.doc(crate::DocId::new(0)));
+        let pencil = c.vocabulary().get("pencil").unwrap();
+        let umpire = c.vocabulary().get("umpire").unwrap();
+        assert_eq!(bow.count(pencil), 2);
+        assert_eq!(bow.count(umpire), 1);
+        assert_eq!(bow.count(WordId::new(99)), 0);
+        assert_eq!(bow.total(), 3);
+        assert_eq!(bow.num_distinct(), 2);
+    }
+
+    #[test]
+    fn bow_entries_sorted() {
+        let bow = BagOfWords::from_tokens(&[WordId::new(5), WordId::new(1), WordId::new(5)]);
+        assert_eq!(bow.entries(), &[(WordId::new(1), 1), (WordId::new(5), 2)]);
+    }
+
+    #[test]
+    fn bow_to_dense() {
+        let bow = BagOfWords::from_tokens(&[WordId::new(0), WordId::new(2), WordId::new(2)]);
+        assert_eq!(bow.to_dense(4), vec![1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn corpus_counts_aggregate() {
+        let c = build();
+        let counts = CorpusCounts::from_corpus(&c);
+        let pencil = c.vocabulary().get("pencil").unwrap();
+        let ruler = c.vocabulary().get("ruler").unwrap();
+        assert_eq!(counts.word_count(pencil), 3);
+        assert_eq!(counts.doc_freq(pencil), 2);
+        assert_eq!(counts.word_count(ruler), 2);
+        assert_eq!(counts.doc_freq(ruler), 1);
+        assert_eq!(counts.total_tokens(), 7);
+        assert_eq!(counts.num_docs(), 2);
+    }
+
+    #[test]
+    fn top_words_order() {
+        let c = build();
+        let counts = CorpusCounts::from_corpus(&c);
+        let top = counts.top_words(2);
+        assert_eq!(c.vocabulary().word(top[0]), "pencil");
+        assert_eq!(c.vocabulary().word(top[1]), "ruler");
+        // Request more than vocab size.
+        assert_eq!(counts.top_words(100).len(), c.vocab_size());
+    }
+
+    #[test]
+    fn empty_document_bow() {
+        let bow = BagOfWords::from_tokens(&[]);
+        assert_eq!(bow.total(), 0);
+        assert_eq!(bow.num_distinct(), 0);
+        assert!(bow.to_dense(3).iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Sliding-window co-occurrence counting for PMI.
+//!
+//! The paper evaluates learned topics with pointwise mutual information:
+//! "takes as input a subset of the most popular tokens comprising a topic
+//! and determines the frequency of all pairs in the subset occurring at a
+//! given input distance from each other in the corpus" (§IV.D). This module
+//! counts those pair frequencies in a single corpus pass.
+
+use crate::corpus::Corpus;
+use crate::token::WordId;
+use srclda_math::{FxHashMap, FxHashSet};
+
+/// Pair and singleton occurrence counts restricted to a word set.
+#[derive(Debug, Clone)]
+pub struct CooccurrenceCounts {
+    window: usize,
+    word_occurrences: FxHashMap<WordId, u64>,
+    pair_occurrences: FxHashMap<(WordId, WordId), u64>,
+    total_tokens: u64,
+}
+
+impl CooccurrenceCounts {
+    /// Count occurrences of `words` and of unordered pairs of `words`
+    /// appearing within `window` positions of each other.
+    ///
+    /// Counting convention: each token position of an interesting word
+    /// counts one occurrence; each unordered pair of positions `(i, j)` with
+    /// `0 < j − i ≤ window` counts one co-occurrence.
+    pub fn count(corpus: &Corpus, words: &FxHashSet<WordId>, window: usize) -> Self {
+        let window = window.max(1);
+        let mut word_occurrences: FxHashMap<WordId, u64> = FxHashMap::default();
+        let mut pair_occurrences: FxHashMap<(WordId, WordId), u64> = FxHashMap::default();
+        let mut total_tokens = 0u64;
+        for (_, doc) in corpus.iter() {
+            let tokens = doc.tokens();
+            total_tokens += tokens.len() as u64;
+            for (i, &w) in tokens.iter().enumerate() {
+                if !words.contains(&w) {
+                    continue;
+                }
+                *word_occurrences.entry(w).or_insert(0) += 1;
+                let end = (i + window + 1).min(tokens.len());
+                for &u in &tokens[i + 1..end] {
+                    if !words.contains(&u) || u == w {
+                        continue;
+                    }
+                    let key = if w < u { (w, u) } else { (u, w) };
+                    *pair_occurrences.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        Self {
+            window,
+            word_occurrences,
+            pair_occurrences,
+            total_tokens,
+        }
+    }
+
+    /// The window size used for counting.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Occurrences of a word.
+    pub fn word_count(&self, w: WordId) -> u64 {
+        self.word_occurrences.get(&w).copied().unwrap_or(0)
+    }
+
+    /// Co-occurrences of an unordered pair.
+    pub fn pair_count(&self, a: WordId, b: WordId) -> u64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.pair_occurrences.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total tokens scanned (the normalizing constant for probabilities).
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Smoothed PMI of a pair in nats:
+    /// `ln( (n(a,b)+ε) · N / (n(a) · n(b)) )`, with `ε = 1` additive
+    /// smoothing on the pair count (the standard topic-coherence variant —
+    /// without smoothing, topics with one unseen pair score −∞).
+    ///
+    /// Returns `None` if either word never occurs.
+    pub fn pmi(&self, a: WordId, b: WordId) -> Option<f64> {
+        let na = self.word_count(a);
+        let nb = self.word_count(b);
+        if na == 0 || nb == 0 || self.total_tokens == 0 {
+            return None;
+        }
+        let nab = self.pair_count(a, b) as f64 + 1.0;
+        Some((nab * self.total_tokens as f64 / (na as f64 * nb as f64)).ln())
+    }
+
+    /// Mean pairwise PMI over a word list (the per-topic coherence score of
+    /// Figure 8(c)). Pairs with unseen words are skipped; returns `None` if
+    /// no scorable pair exists.
+    pub fn mean_pairwise_pmi(&self, words: &[WordId]) -> Option<f64> {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        for i in 0..words.len() {
+            for j in i + 1..words.len() {
+                if let Some(p) = self.pmi(words[i], words[j]) {
+                    acc += p;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(acc / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::tokenizer::Tokenizer;
+
+    fn build(docs: &[&[&str]]) -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for (i, d) in docs.iter().enumerate() {
+            b.add_tokens(format!("d{i}"), d);
+        }
+        b.build()
+    }
+
+    fn all_words(c: &Corpus) -> FxHashSet<WordId> {
+        c.vocabulary().iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn adjacent_pair_counting() {
+        let c = build(&[&["a", "b", "a", "b"]]);
+        let counts = CooccurrenceCounts::count(&c, &all_words(&c), 1);
+        let a = c.vocabulary().get("a").unwrap();
+        let b = c.vocabulary().get("b").unwrap();
+        assert_eq!(counts.word_count(a), 2);
+        assert_eq!(counts.word_count(b), 2);
+        // pairs: (0,1), (1,2), (2,3) all a-b.
+        assert_eq!(counts.pair_count(a, b), 3);
+        assert_eq!(counts.pair_count(b, a), 3, "pair counts are unordered");
+    }
+
+    #[test]
+    fn window_extends_reach() {
+        let c = build(&[&["a", "x", "b"]]);
+        let words: FxHashSet<WordId> = ["a", "b"]
+            .iter()
+            .map(|w| c.vocabulary().get(w).unwrap())
+            .collect();
+        let w1 = CooccurrenceCounts::count(&c, &words, 1);
+        let a = c.vocabulary().get("a").unwrap();
+        let b = c.vocabulary().get("b").unwrap();
+        assert_eq!(w1.pair_count(a, b), 0);
+        let w2 = CooccurrenceCounts::count(&c, &words, 2);
+        assert_eq!(w2.pair_count(a, b), 1);
+    }
+
+    #[test]
+    fn pairs_do_not_cross_documents() {
+        let c = build(&[&["a"], &["b"]]);
+        let counts = CooccurrenceCounts::count(&c, &all_words(&c), 10);
+        let a = c.vocabulary().get("a").unwrap();
+        let b = c.vocabulary().get("b").unwrap();
+        assert_eq!(counts.pair_count(a, b), 0);
+    }
+
+    #[test]
+    fn pmi_rewards_cooccurring_words() {
+        // "gas natural" always adjacent; "gas stock" never.
+        let c = build(&[
+            &["gas", "natural", "gas", "natural"],
+            &["stock", "market"],
+            &["gas", "natural"],
+        ]);
+        let counts = CooccurrenceCounts::count(&c, &all_words(&c), 2);
+        let gas = c.vocabulary().get("gas").unwrap();
+        let natural = c.vocabulary().get("natural").unwrap();
+        let stock = c.vocabulary().get("stock").unwrap();
+        let pmi_gn = counts.pmi(gas, natural).unwrap();
+        let pmi_gs = counts.pmi(gas, stock).unwrap();
+        assert!(pmi_gn > pmi_gs, "{pmi_gn} vs {pmi_gs}");
+    }
+
+    #[test]
+    fn pmi_none_for_unseen_words() {
+        let c = build(&[&["a", "b"]]);
+        let counts = CooccurrenceCounts::count(&c, &all_words(&c), 1);
+        assert!(counts.pmi(WordId::new(40), WordId::new(41)).is_none());
+    }
+
+    #[test]
+    fn mean_pairwise_pmi_aggregates() {
+        let c = build(&[&["a", "b", "c", "a", "b", "c"]]);
+        let counts = CooccurrenceCounts::count(&c, &all_words(&c), 2);
+        let ids: Vec<WordId> = ["a", "b", "c"]
+            .iter()
+            .map(|w| c.vocabulary().get(w).unwrap())
+            .collect();
+        assert!(counts.mean_pairwise_pmi(&ids).is_some());
+        assert!(counts.mean_pairwise_pmi(&[]).is_none());
+        assert!(counts.mean_pairwise_pmi(&[ids[0]]).is_none());
+    }
+
+    #[test]
+    fn restricted_word_set_ignores_others() {
+        let c = build(&[&["a", "z", "z", "z", "b"]]);
+        let words: FxHashSet<WordId> = ["a", "b"]
+            .iter()
+            .map(|w| c.vocabulary().get(w).unwrap())
+            .collect();
+        let counts = CooccurrenceCounts::count(&c, &words, 4);
+        let z = c.vocabulary().get("z").unwrap();
+        assert_eq!(counts.word_count(z), 0);
+        assert_eq!(counts.total_tokens(), 5);
+    }
+}

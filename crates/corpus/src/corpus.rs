@@ -1,0 +1,214 @@
+//! A corpus: documents plus the vocabulary they are interned against.
+
+use crate::document::Document;
+use crate::token::{DocId, WordId};
+use crate::tokenizer::Tokenizer;
+use crate::vocab::Vocabulary;
+
+/// A tokenized corpus. All documents share one [`Vocabulary`].
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+}
+
+impl Corpus {
+    /// Assemble from parts (used by the synthetic generators, which produce
+    /// `WordId` tokens directly).
+    pub fn from_parts(vocab: Vocabulary, docs: Vec<Document>) -> Self {
+        debug_assert!(docs
+            .iter()
+            .flat_map(|d| d.tokens())
+            .all(|w| w.index() < vocab.len().max(1)));
+        Self { vocab, docs }
+    }
+
+    /// The shared vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of documents (the paper's `D`).
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Vocabulary size (the paper's `V`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Total token count across all documents.
+    pub fn num_tokens(&self) -> usize {
+        self.docs.iter().map(Document::len).sum()
+    }
+
+    /// Average document length (the paper's `D_avg`); 0 for an empty corpus.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.num_tokens() as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Access a document.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn doc(&self, d: DocId) -> &Document {
+        &self.docs[d.index()]
+    }
+
+    /// All documents.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Iterate `(DocId, &Document)`.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId::new(i), d))
+    }
+
+    /// Is the corpus empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Incremental corpus builder: feeds raw text through a [`Tokenizer`] and
+/// interns tokens into a shared vocabulary.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    tokenizer: Tokenizer,
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+}
+
+impl CorpusBuilder {
+    /// New builder with the default tokenizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the tokenizer.
+    pub fn tokenizer(mut self, t: Tokenizer) -> Self {
+        self.tokenizer = t;
+        self
+    }
+
+    /// Seed the vocabulary (e.g. to share ids with a knowledge source).
+    pub fn with_vocabulary(mut self, vocab: Vocabulary) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Tokenize and add a named document; returns its [`DocId`].
+    pub fn add_text(&mut self, name: impl Into<String>, text: &str) -> DocId {
+        let tokens: Vec<WordId> = self
+            .tokenizer
+            .tokenize(text)
+            .into_iter()
+            .map(|w| self.vocab.intern(&w))
+            .collect();
+        let id = DocId::new(self.docs.len());
+        self.docs.push(Document::named(name, tokens));
+        id
+    }
+
+    /// Add a pre-tokenized document (tokens are interned).
+    pub fn add_tokens<S: AsRef<str>>(&mut self, name: impl Into<String>, tokens: &[S]) -> DocId {
+        let ids: Vec<WordId> = tokens.iter().map(|w| self.vocab.intern(w.as_ref())).collect();
+        let id = DocId::new(self.docs.len());
+        self.docs.push(Document::named(name, ids));
+        id
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True iff no documents were added.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Finish, producing the corpus.
+    pub fn build(self) -> Corpus {
+        Corpus {
+            vocab: self.vocab,
+            docs: self.docs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case_study_corpus() -> Corpus {
+        // The corpus from the paper's §I case study.
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        b.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+        b.add_tokens("d2", &["ruler", "ruler", "baseball"]);
+        b.build()
+    }
+
+    #[test]
+    fn case_study_statistics() {
+        let c = case_study_corpus();
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.vocab_size(), 4);
+        assert_eq!(c.num_tokens(), 6);
+        assert_eq!(c.avg_doc_len(), 3.0);
+    }
+
+    #[test]
+    fn shared_vocabulary_across_documents() {
+        let c = case_study_corpus();
+        let pencil = c.vocabulary().get("pencil").unwrap();
+        assert_eq!(c.doc(DocId::new(0)).tokens()[0], pencil);
+        assert_eq!(c.doc(DocId::new(0)).tokens()[1], pencil);
+    }
+
+    #[test]
+    fn builder_from_raw_text() {
+        let mut b = CorpusBuilder::new();
+        b.add_text("news", "The umpire called the baseball game.");
+        let c = b.build();
+        assert_eq!(c.num_docs(), 1);
+        let words: Vec<&str> = c.vocabulary().decode(c.doc(DocId::new(0)).tokens());
+        assert_eq!(words, vec!["umpire", "called", "baseball", "game"]);
+    }
+
+    #[test]
+    fn empty_corpus_edge_cases() {
+        let c = CorpusBuilder::new().build();
+        assert!(c.is_empty());
+        assert_eq!(c.avg_doc_len(), 0.0);
+        assert_eq!(c.num_tokens(), 0);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let c = case_study_corpus();
+        let ids: Vec<DocId> = c.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![DocId::new(0), DocId::new(1)]);
+    }
+
+    #[test]
+    fn seeded_vocabulary_shares_ids() {
+        let mut seed = Vocabulary::new();
+        let pencil = seed.intern("pencil");
+        let mut b = CorpusBuilder::new()
+            .tokenizer(Tokenizer::permissive())
+            .with_vocabulary(seed);
+        b.add_tokens("d", &["pencil"]);
+        let c = b.build();
+        assert_eq!(c.doc(DocId::new(0)).tokens()[0], pencil);
+    }
+}

@@ -1,0 +1,82 @@
+//! A single tokenized document.
+
+use crate::token::WordId;
+
+/// A document: an ordered sequence of interned tokens plus an optional name.
+///
+/// Token *order* matters for the PMI co-occurrence evaluation (which counts
+/// pairs within a sliding window), so documents store the full sequence
+/// rather than a bag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Document {
+    name: Option<String>,
+    tokens: Vec<WordId>,
+}
+
+impl Document {
+    /// Create an anonymous document from tokens.
+    pub fn new(tokens: Vec<WordId>) -> Self {
+        Self { name: None, tokens }
+    }
+
+    /// Create a named document from tokens.
+    pub fn named(name: impl Into<String>, tokens: Vec<WordId>) -> Self {
+        Self {
+            name: Some(name.into()),
+            tokens,
+        }
+    }
+
+    /// The document's name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The token sequence.
+    pub fn tokens(&self) -> &[WordId] {
+        &self.tokens
+    }
+
+    /// Number of tokens (the paper's `N_d`).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True iff the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Append a token (used by builders/generators).
+    pub fn push(&mut self, w: WordId) {
+        self.tokens.push(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let d = Document::named("d1", vec![WordId::new(0), WordId::new(0), WordId::new(2)]);
+        assert_eq!(d.name(), Some("d1"));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.tokens()[2], WordId::new(2));
+    }
+
+    #[test]
+    fn anonymous_document() {
+        let d = Document::new(vec![]);
+        assert_eq!(d.name(), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut d = Document::default();
+        d.push(WordId::new(5));
+        assert_eq!(d.tokens(), &[WordId::new(5)]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Plain-text corpus readers and writers.
+//!
+//! Two on-disk layouts are supported:
+//!
+//! * **one document per line** — the common LDA interchange format;
+//! * **one document per `.txt` file** in a directory (file stem = name).
+
+use crate::corpus::{Corpus, CorpusBuilder};
+use crate::tokenizer::Tokenizer;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Read a corpus from a file with one document per line.
+///
+/// Blank lines are skipped; documents are named `line-<n>` (1-based).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn read_lines(path: &Path, tokenizer: Tokenizer) -> io::Result<Corpus> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut builder = CorpusBuilder::new().tokenizer(tokenizer);
+    let mut line = String::new();
+    let mut n = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        n += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        builder.add_text(format!("line-{n}"), trimmed);
+    }
+    Ok(builder.build())
+}
+
+/// Read every `*.txt` file in `dir` as one document (sorted by filename for
+/// determinism).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn read_dir(dir: &Path, tokenizer: Tokenizer) -> io::Result<Corpus> {
+    let mut paths: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .collect();
+    paths.sort();
+    let mut builder = CorpusBuilder::new().tokenizer(tokenizer);
+    for p in paths {
+        let text = fs::read_to_string(&p)?;
+        let name = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".to_string());
+        builder.add_text(name, &text);
+    }
+    Ok(builder.build())
+}
+
+/// Write a corpus as one document per line (tokens space-separated).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_lines(corpus: &Corpus, path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    for (_, doc) in corpus.iter() {
+        let mut first = true;
+        for &w in doc.tokens() {
+            if !first {
+                out.write_all(b" ")?;
+            }
+            out.write_all(corpus.vocabulary().word(w).as_bytes())?;
+            first = false;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("srclda-io-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let dir = tempdir("lines");
+        let path = dir.join("corpus.txt");
+        fs::write(&path, "pencil pencil umpire\n\nruler ruler baseball\n").unwrap();
+        let c = read_lines(&path, Tokenizer::permissive()).unwrap();
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.num_tokens(), 6);
+        // Write back and re-read: token streams must match.
+        let out = dir.join("round.txt");
+        write_lines(&c, &out).unwrap();
+        let c2 = read_lines(&out, Tokenizer::permissive()).unwrap();
+        assert_eq!(c2.num_docs(), 2);
+        for ((_, d1), (_, d2)) in c.iter().zip(c2.iter()) {
+            assert_eq!(
+                c.vocabulary().decode(d1.tokens()),
+                c2.vocabulary().decode(d2.tokens())
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_reader_sorts_and_names() {
+        let dir = tempdir("dir");
+        fs::write(dir.join("b.txt"), "ruler baseball").unwrap();
+        fs::write(dir.join("a.txt"), "pencil umpire").unwrap();
+        fs::write(dir.join("ignore.md"), "not text").unwrap();
+        let c = read_dir(&dir, Tokenizer::permissive()).unwrap();
+        assert_eq!(c.num_docs(), 2);
+        assert_eq!(c.docs()[0].name(), Some("a"));
+        assert_eq!(c.docs()[1].name(), Some("b"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = read_lines(Path::new("/nonexistent/corpus.txt"), Tokenizer::default());
+        assert!(err.is_err());
+    }
+}

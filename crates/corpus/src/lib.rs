@@ -1,0 +1,40 @@
+//! Text substrate for the Source-LDA reproduction.
+//!
+//! The paper's pipelines consume tokenized bag-of-words corpora; this crate
+//! supplies everything up to (but not including) the probabilistic models:
+//!
+//! * [`vocab`] — string interning into dense [`WordId`]s;
+//! * [`tokenizer`] — lowercasing/splitting/filtering raw text;
+//! * [`stopwords`] — an embedded English stopword list;
+//! * [`document`] / [`corpus`] — token sequences and collections thereof;
+//! * [`bow`] — sparse per-document and corpus-level count vectors;
+//! * [`tfidf`] — TF-IDF vectors and cosine similarity (the paper's IR-LDA
+//!   labeling approach, §IV.C);
+//! * [`cooccur`] — sliding-window co-occurrence counts (PMI evaluation);
+//! * [`split`] — deterministic train/held-out splits for perplexity;
+//! * [`io`] — plain-text readers/writers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bow;
+pub mod cooccur;
+pub mod corpus;
+pub mod document;
+pub mod io;
+pub mod split;
+pub mod stopwords;
+pub mod tfidf;
+pub mod token;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use bow::{BagOfWords, CorpusCounts};
+pub use cooccur::CooccurrenceCounts;
+pub use corpus::{Corpus, CorpusBuilder};
+pub use document::Document;
+pub use split::train_test_split;
+pub use tfidf::{cosine_similarity, SparseVector, TfIdfModel};
+pub use token::{DocId, TopicId, WordId};
+pub use tokenizer::Tokenizer;
+pub use vocab::Vocabulary;

@@ -1,0 +1,101 @@
+//! Deterministic train/held-out splits (used by perplexity evaluation).
+
+use crate::corpus::Corpus;
+use crate::document::Document;
+use rand::seq::SliceRandom;
+use srclda_math::rng_from_seed;
+
+/// Split a corpus into `(train, test)` with `test_fraction` of the documents
+/// held out. Both halves share the original vocabulary. Deterministic in
+/// `seed`.
+///
+/// `test_fraction` is clamped to `[0, 1]`; at least one document stays in
+/// the training set when the corpus is non-empty.
+pub fn train_test_split(corpus: &Corpus, test_fraction: f64, seed: u64) -> (Corpus, Corpus) {
+    let n = corpus.num_docs();
+    let frac = test_fraction.clamp(0.0, 1.0);
+    let mut test_count = (n as f64 * frac).round() as usize;
+    if n > 0 && test_count >= n {
+        test_count = n - 1;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = rng_from_seed(seed);
+    order.shuffle(&mut rng);
+    let test_idx: std::collections::BTreeSet<usize> = order[..test_count].iter().copied().collect();
+    let mut train_docs: Vec<Document> = Vec::with_capacity(n - test_count);
+    let mut test_docs: Vec<Document> = Vec::with_capacity(test_count);
+    for (i, doc) in corpus.docs().iter().enumerate() {
+        if test_idx.contains(&i) {
+            test_docs.push(doc.clone());
+        } else {
+            train_docs.push(doc.clone());
+        }
+    }
+    (
+        Corpus::from_parts(corpus.vocabulary().clone(), train_docs),
+        Corpus::from_parts(corpus.vocabulary().clone(), test_docs),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::tokenizer::Tokenizer;
+
+    fn build(n: usize) -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for i in 0..n {
+            b.add_tokens(format!("d{i}"), &["w", "x"]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let c = build(10);
+        let (train, test) = train_test_split(&c, 0.3, 1);
+        assert_eq!(train.num_docs(), 7);
+        assert_eq!(test.num_docs(), 3);
+        assert_eq!(train.vocab_size(), c.vocab_size());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = build(20);
+        let (a1, b1) = train_test_split(&c, 0.5, 7);
+        let (a2, b2) = train_test_split(&c, 0.5, 7);
+        let names = |c: &Corpus| -> Vec<String> {
+            c.docs().iter().filter_map(|d| d.name().map(String::from)).collect()
+        };
+        assert_eq!(names(&a1), names(&a2));
+        assert_eq!(names(&b1), names(&b2));
+        // Different seed gives a different split (with high probability).
+        let (a3, _) = train_test_split(&c, 0.5, 8);
+        assert_ne!(names(&a1), names(&a3));
+    }
+
+    #[test]
+    fn never_empties_training_set() {
+        let c = build(3);
+        let (train, test) = train_test_split(&c, 1.0, 1);
+        assert_eq!(train.num_docs(), 1);
+        assert_eq!(test.num_docs(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let c = build(5);
+        let (train, test) = train_test_split(&c, 0.0, 1);
+        assert_eq!(train.num_docs(), 5);
+        assert_eq!(test.num_docs(), 0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = build(0);
+        let (train, test) = train_test_split(&c, 0.5, 1);
+        assert_eq!(train.num_docs(), 0);
+        assert_eq!(test.num_docs(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! An embedded English stopword list.
+//!
+//! The Reuters-style experiments strip function words before modeling, as is
+//! standard practice for LDA pipelines. The list below is the classic
+//! "long" English list (SMART-derived), trimmed to words that actually occur
+//! in news/encyclopedic prose.
+
+use srclda_math::FxHashSet;
+use std::sync::OnceLock;
+
+/// The raw stopword list.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+    "doesn't", "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her",
+    "here", "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd",
+    "i'll", "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself",
+    "let's", "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so",
+    "some", "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've",
+    "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't",
+    "we", "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when",
+    "when's", "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's",
+    "with", "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've", "your",
+    "yours", "yourself", "yourselves", "said", "says", "say", "will", "one", "two", "may",
+    "many", "much", "upon", "within", "without", "however", "therefore", "thus", "since",
+    "among", "between", "per", "via", "etc", "mr", "mrs", "ms",
+];
+
+fn set() -> &'static FxHashSet<&'static str> {
+    static SET: OnceLock<FxHashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Is `word` (assumed lowercase) a stopword?
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_detected() {
+        for w in ["the", "and", "of", "is", "said"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["pencil", "baseball", "inventory", "dollar", "gas"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_duplicate_light() {
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase(), "{w} must be lowercase");
+        }
+        // The set dedupes; count must be close to the raw list length.
+        assert!(set().len() >= STOPWORDS.len() - 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! TF-IDF vectors and cosine similarity.
+//!
+//! The paper's IR-LDA baseline (§IV.C) labels LDA topics by "cosine
+//! similarity of documents mapped to term frequency-inverse document
+//! frequency (TF-IDF) vectors with TF-IDF weighted query vectors formed from
+//! the top 10 words per topic". This module supplies that machinery.
+
+use crate::bow::BagOfWords;
+use crate::corpus::Corpus;
+use crate::document::Document;
+use crate::token::WordId;
+
+/// A sparse vector sorted by [`WordId`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    entries: Vec<(WordId, f64)>,
+    norm: f64,
+}
+
+impl SparseVector {
+    /// Build from unsorted `(word, weight)` pairs; duplicate words are
+    /// summed, zero weights dropped.
+    pub fn from_pairs(mut pairs: Vec<(WordId, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(w, _)| w);
+        let mut entries: Vec<(WordId, f64)> = Vec::with_capacity(pairs.len());
+        for (w, x) in pairs {
+            if x == 0.0 {
+                continue;
+            }
+            match entries.last_mut() {
+                Some((lw, lx)) if *lw == w => *lx += x,
+                _ => entries.push((w, x)),
+            }
+        }
+        let norm = entries.iter().map(|&(_, x)| x * x).sum::<f64>().sqrt();
+        Self { entries, norm }
+    }
+
+    /// The entries, sorted by word id.
+    pub fn entries(&self) -> &[(WordId, f64)] {
+        &self.entries
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff there are no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dot product with another sparse vector (merge join).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// Cosine similarity between two sparse vectors (0 if either is zero).
+pub fn cosine_similarity(a: &SparseVector, b: &SparseVector) -> f64 {
+    let denom = a.norm() * b.norm();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a.dot(b) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// A fitted TF-IDF weighting: per-word inverse document frequency.
+///
+/// Uses the smoothed convention `idf(w) = ln((1 + D) / (1 + df(w))) + 1`, so
+/// unseen words still receive a positive weight in query vectors.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    idf: Vec<f64>,
+}
+
+impl TfIdfModel {
+    /// Fit IDF weights over a corpus.
+    pub fn fit(corpus: &Corpus) -> Self {
+        let counts = crate::bow::CorpusCounts::from_corpus(corpus);
+        let d = corpus.num_docs() as f64;
+        let idf = (0..corpus.vocab_size())
+            .map(|w| ((1.0 + d) / (1.0 + counts.doc_freq(WordId::new(w)) as f64)).ln() + 1.0)
+            .collect();
+        Self { idf }
+    }
+
+    /// IDF weight of a word (1.0 for ids beyond the fitted vocabulary,
+    /// matching the smoothed-unseen convention).
+    pub fn idf(&self, w: WordId) -> f64 {
+        self.idf.get(w.index()).copied().unwrap_or(1.0)
+    }
+
+    /// TF-IDF vector of a document (raw term frequency × idf).
+    pub fn vector(&self, doc: &Document) -> SparseVector {
+        let bow = BagOfWords::from_document(doc);
+        self.vector_from_bow(&bow)
+    }
+
+    /// TF-IDF vector from precomputed counts.
+    pub fn vector_from_bow(&self, bow: &BagOfWords) -> SparseVector {
+        SparseVector::from_pairs(
+            bow.entries()
+                .iter()
+                .map(|&(w, c)| (w, c as f64 * self.idf(w)))
+                .collect(),
+        )
+    }
+
+    /// TF-IDF weighted query vector from `(word, weight)` pairs — the
+    /// "top-10 words per topic" query of IR-LDA uses the topic's word
+    /// probabilities as weights.
+    pub fn query(&self, weighted_words: &[(WordId, f64)]) -> SparseVector {
+        SparseVector::from_pairs(
+            weighted_words
+                .iter()
+                .map(|&(w, x)| (w, x * self.idf(w)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::tokenizer::Tokenizer;
+    use crate::DocId;
+
+    fn build() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        b.add_tokens("d1", &["gas", "gas", "pipeline", "energy"]);
+        b.add_tokens("d2", &["stock", "market", "energy"]);
+        b.add_tokens("d3", &["gas", "stock"]);
+        b.build()
+    }
+
+    #[test]
+    fn sparse_vector_dedupes_and_sorts() {
+        let v = SparseVector::from_pairs(vec![
+            (WordId::new(3), 1.0),
+            (WordId::new(1), 2.0),
+            (WordId::new(3), 1.0),
+            (WordId::new(2), 0.0),
+        ]);
+        assert_eq!(v.entries(), &[(WordId::new(1), 2.0), (WordId::new(3), 2.0)]);
+        assert!((v.norm() - (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product_merge_join() {
+        let a = SparseVector::from_pairs(vec![(WordId::new(0), 1.0), (WordId::new(2), 2.0)]);
+        let b = SparseVector::from_pairs(vec![(WordId::new(2), 3.0), (WordId::new(5), 1.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_identity() {
+        let a = SparseVector::from_pairs(vec![(WordId::new(0), 1.0), (WordId::new(1), 1.0)]);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let zero = SparseVector::default();
+        assert_eq!(cosine_similarity(&a, &zero), 0.0);
+        let orth = SparseVector::from_pairs(vec![(WordId::new(2), 5.0)]);
+        assert_eq!(cosine_similarity(&a, &orth), 0.0);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let c = build();
+        let m = TfIdfModel::fit(&c);
+        let gas = c.vocabulary().get("gas").unwrap();
+        let pipeline = c.vocabulary().get("pipeline").unwrap();
+        // "pipeline" appears in 1 doc, "gas" in 2 ⇒ idf(pipeline) > idf(gas).
+        assert!(m.idf(pipeline) > m.idf(gas));
+        // Unseen id falls back to 1.0.
+        assert_eq!(m.idf(WordId::new(999)), 1.0);
+    }
+
+    #[test]
+    fn document_similarity_reflects_overlap() {
+        let c = build();
+        let m = TfIdfModel::fit(&c);
+        let v1 = m.vector(c.doc(DocId::new(0)));
+        let v2 = m.vector(c.doc(DocId::new(1)));
+        let v3 = m.vector(c.doc(DocId::new(2)));
+        // d3 shares "gas" with d1 and "stock" with d2; d1 vs d2 share only
+        // "energy".
+        let s13 = cosine_similarity(&v1, &v3);
+        let s12 = cosine_similarity(&v1, &v2);
+        assert!(s13 > s12, "{s13} vs {s12}");
+    }
+
+    #[test]
+    fn query_vector_weighting() {
+        let c = build();
+        let m = TfIdfModel::fit(&c);
+        let gas = c.vocabulary().get("gas").unwrap();
+        let q = m.query(&[(gas, 0.9)]);
+        assert_eq!(q.len(), 1);
+        assert!((q.entries()[0].1 - 0.9 * m.idf(gas)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Dense integer identifiers for words, topics, and documents.
+//!
+//! `u32` keeps the hot count matrices half the size of `usize` indices (see
+//! the type-size guidance in the performance guide); all three newtypes
+//! coerce to `usize` at use sites via [`WordId::index`] etc.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            #[inline]
+            pub fn new(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize);
+                Self(raw as u32)
+            }
+
+            /// The identifier as a `usize` array index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                Self::new(raw)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an interned vocabulary word.
+    WordId,
+    "w"
+);
+id_type!(
+    /// Identifier of a topic (unlabeled or knowledge-source).
+    TopicId,
+    "t"
+);
+id_type!(
+    /// Identifier of a document within a corpus.
+    DocId,
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let w = WordId::new(42);
+        assert_eq!(w.index(), 42);
+        assert_eq!(usize::from(w), 42);
+        assert_eq!(WordId::from(42usize), w);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(WordId::new(1).to_string(), "w1");
+        assert_eq!(TopicId::new(2).to_string(), "t2");
+        assert_eq!(DocId::new(3).to_string(), "d3");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(TopicId::new(1) < TopicId::new(2));
+        assert_eq!(DocId::new(5), DocId::new(5));
+    }
+
+    #[test]
+    fn usable_as_hash_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(WordId::new(7), "seven");
+        assert_eq!(m[&WordId::new(7)], "seven");
+    }
+}

@@ -1,0 +1,144 @@
+//! Configurable text tokenizer.
+//!
+//! Splits raw text on non-alphanumeric boundaries, lowercases, drops short
+//! tokens and (optionally) stopwords and pure numbers. This mirrors the
+//! standard preprocessing used for the Reuters / Wikipedia experiments.
+
+use crate::stopwords::is_stopword;
+
+/// Tokenizer configuration. Build with [`Tokenizer::default`] and adjust.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    lowercase: bool,
+    min_len: usize,
+    remove_stopwords: bool,
+    keep_numbers: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_len: 2,
+            remove_stopwords: true,
+            keep_numbers: false,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer that performs no filtering at all (case is still folded).
+    pub fn permissive() -> Self {
+        Self {
+            lowercase: true,
+            min_len: 1,
+            remove_stopwords: false,
+            keep_numbers: true,
+        }
+    }
+
+    /// Toggle lowercasing.
+    pub fn lowercase(mut self, on: bool) -> Self {
+        self.lowercase = on;
+        self
+    }
+
+    /// Minimum token length to keep.
+    pub fn min_len(mut self, n: usize) -> Self {
+        self.min_len = n;
+        self
+    }
+
+    /// Toggle stopword removal.
+    pub fn remove_stopwords(mut self, on: bool) -> Self {
+        self.remove_stopwords = on;
+        self
+    }
+
+    /// Toggle keeping all-digit tokens.
+    pub fn keep_numbers(mut self, on: bool) -> Self {
+        self.keep_numbers = on;
+        self
+    }
+
+    /// Tokenize `text` into owned strings.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for raw in text.split(|c: char| !(c.is_alphanumeric() || c == '\'')) {
+            // Trim apostrophes kept only for contraction stopwords.
+            let raw = raw.trim_matches('\'');
+            if raw.is_empty() {
+                continue;
+            }
+            let token = if self.lowercase {
+                raw.to_lowercase()
+            } else {
+                raw.to_string()
+            };
+            if token.chars().count() < self.min_len {
+                continue;
+            }
+            if !self.keep_numbers && token.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if self.remove_stopwords && is_stopword(&token) {
+                continue;
+            }
+            out.push(token);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline() {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize("The umpire saw 3 baseballs, and the Pencil!");
+        assert_eq!(tokens, vec!["umpire", "saw", "baseballs", "pencil"]);
+    }
+
+    #[test]
+    fn permissive_keeps_everything() {
+        let t = Tokenizer::permissive();
+        let tokens = t.tokenize("The 3 pencils");
+        assert_eq!(tokens, vec!["the", "3", "pencils"]);
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer::default().min_len(6).remove_stopwords(false);
+        let tokens = t.tokenize("short but baseball inventory");
+        assert_eq!(tokens, vec!["baseball", "inventory"]);
+    }
+
+    #[test]
+    fn contractions_are_stopwords() {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize("don't you think it's working");
+        assert_eq!(tokens, vec!["think", "working"]);
+    }
+
+    #[test]
+    fn case_preservation_option() {
+        let t = Tokenizer::default().lowercase(false).remove_stopwords(false);
+        let tokens = t.tokenize("Hong Kong Dollar");
+        assert_eq!(tokens, vec!["Hong", "Kong", "Dollar"]);
+    }
+
+    #[test]
+    fn unicode_boundaries() {
+        let t = Tokenizer::default().min_len(1).remove_stopwords(false);
+        let tokens = t.tokenize("naïve—approach");
+        assert_eq!(tokens, vec!["naïve", "approach"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Tokenizer::default().tokenize("").is_empty());
+        assert!(Tokenizer::default().tokenize("  ,,, !!!").is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Vocabulary: bidirectional interning between word strings and dense
+//! [`WordId`]s.
+
+use crate::token::WordId;
+use srclda_math::FxHashMap;
+
+/// An append-only interner mapping words to dense ids and back.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_word: FxHashMap<String, WordId>,
+    words: Vec<String>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of words, interning in order.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut v = Self::new();
+        for w in words {
+            v.intern(w.as_ref());
+        }
+        v
+    }
+
+    /// Intern a word, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.by_word.get(word) {
+            return id;
+        }
+        let id = WordId::new(self.words.len());
+        self.words.push(word.to_string());
+        self.by_word.insert(word.to_string(), id);
+        id
+    }
+
+    /// Look up an existing word without interning.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.by_word.get(word).copied()
+    }
+
+    /// The string for an id.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this vocabulary.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.index()]
+    }
+
+    /// Number of distinct words (the paper's `V`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True iff no words are interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterate `(WordId, &str)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WordId::new(i), w.as_str()))
+    }
+
+    /// All words in id order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Translate a slice of ids to their strings (evaluation output).
+    pub fn decode(&self, ids: &[WordId]) -> Vec<&str> {
+        ids.iter().map(|&id| self.word(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("pencil");
+        let b = v.intern("pencil");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a").index(), 0);
+        assert_eq!(v.intern("b").index(), 1);
+        assert_eq!(v.intern("a").index(), 0);
+        assert_eq!(v.intern("c").index(), 2);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        assert!(v.get("y").is_none());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get("x"), Some(WordId::new(0)));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("umpire");
+        assert_eq!(v.word(id), "umpire");
+    }
+
+    #[test]
+    fn from_words_and_iter() {
+        let v = Vocabulary::from_words(["ruler", "baseball", "ruler"]);
+        assert_eq!(v.len(), 2);
+        let pairs: Vec<(WordId, &str)> = v.iter().collect();
+        assert_eq!(pairs[0], (WordId::new(0), "ruler"));
+        assert_eq!(pairs[1], (WordId::new(1), "baseball"));
+    }
+
+    #[test]
+    fn decode_slice() {
+        let v = Vocabulary::from_words(["a", "b", "c"]);
+        let ids = [WordId::new(2), WordId::new(0)];
+        assert_eq!(v.decode(&ids), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+    }
+}

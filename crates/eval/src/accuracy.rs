@@ -1,0 +1,110 @@
+//! Token-level classification accuracy (Fig. 8 a/b).
+//!
+//! "Since we know a priori the correct topic assignment for each token we
+//! use the number of correct topic assignments to be an appropriate measure
+//! of classification accuracy" (§IV.D).
+
+use crate::matching::TopicMapping;
+
+/// An accuracy tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accuracy {
+    /// Correctly classified tokens.
+    pub correct: usize,
+    /// Total tokens scored.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Fraction correct in `[0, 1]` (0 for an empty tally).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Percentage in `[0, 100]`.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+/// Count tokens whose mapped fitted assignment equals the ground-truth
+/// assignment.
+///
+/// `truth` and `fitted` are `[doc][position]` topic indices; `mapping`
+/// translates fitted topic indices into truth-space (tokens whose fitted
+/// topic is unmapped count as incorrect).
+///
+/// # Panics
+/// Panics if document shapes disagree.
+pub fn token_accuracy(
+    truth: &[Vec<u32>],
+    fitted: &[Vec<u32>],
+    mapping: &TopicMapping,
+) -> Accuracy {
+    assert_eq!(truth.len(), fitted.len(), "document count mismatch");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (t_doc, f_doc) in truth.iter().zip(fitted) {
+        assert_eq!(t_doc.len(), f_doc.len(), "document length mismatch");
+        for (&t, &f) in t_doc.iter().zip(f_doc) {
+            total += 1;
+            if mapping.truth_of(f as usize) == Some(t as usize) {
+                correct += 1;
+            }
+        }
+    }
+    Accuracy { correct, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_counts_matches() {
+        let truth = vec![vec![0, 1, 1], vec![2, 2]];
+        let fitted = vec![vec![0, 1, 0], vec![2, 1]];
+        let acc = token_accuracy(&truth, &fitted, &TopicMapping::identity(3));
+        assert_eq!(acc.correct, 3);
+        assert_eq!(acc.total, 5);
+        assert!((acc.fraction() - 0.6).abs() < 1e-12);
+        assert!((acc.percent() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_mapping_translates() {
+        let truth = vec![vec![1, 1, 0]];
+        let fitted = vec![vec![0, 0, 1]];
+        // fitted 0 → truth 1, fitted 1 → truth 0.
+        let mapping = TopicMapping::new(vec![Some(1), Some(0)], 2);
+        let acc = token_accuracy(&truth, &fitted, &mapping);
+        assert_eq!(acc.correct, 3);
+    }
+
+    #[test]
+    fn unmapped_topics_count_as_wrong() {
+        let truth = vec![vec![0, 0]];
+        let fitted = vec![vec![0, 1]];
+        let mapping = TopicMapping::new(vec![Some(0), None], 2);
+        let acc = token_accuracy(&truth, &fitted, &mapping);
+        assert_eq!(acc.correct, 1);
+        assert_eq!(acc.total, 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let acc = token_accuracy(&[], &[], &TopicMapping::identity(1));
+        assert_eq!(acc.total, 0);
+        assert_eq!(acc.fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "document count mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = token_accuracy(&[vec![0]], &[], &TopicMapping::identity(1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation metrics for the Source-LDA experiments.
+//!
+//! * [`matching`] — aligning fitted topics with ground-truth topics (by
+//!   label for knowledge-grounded models, by minimal JS divergence for
+//!   plain LDA, exactly as §IV.D prescribes);
+//! * [`accuracy`] — token-level classification accuracy against recorded
+//!   generative assignments (Fig. 8 a/b);
+//! * [`theta_js`] — summed Jensen–Shannon divergence between inferred and
+//!   true document–topic distributions (Fig. 8 d/e);
+//! * [`pmi_eval`] — topic coherence by mean pairwise PMI of top words
+//!   (Fig. 8 c);
+//! * [`report`] — fixed-width tables and TSV series for the experiment
+//!   binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod matching;
+pub mod pmi_eval;
+pub mod report;
+pub mod theta_js;
+
+pub use accuracy::{token_accuracy, Accuracy};
+pub use matching::TopicMapping;
+pub use pmi_eval::{mean_topic_pmi, topic_pmi_scores};
+pub use report::{Series, Table};
+pub use theta_js::theta_js_total;

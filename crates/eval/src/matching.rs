@@ -1,0 +1,155 @@
+//! Aligning fitted topics with ground-truth topics.
+//!
+//! Knowledge-grounded models carry labels, so their topics map to the
+//! ground truth by label equality. Plain LDA's anonymous topics are mapped
+//! by minimal JS divergence between word distributions — "Since the LDA
+//! model has unknown topics, JS divergence was used to map each LDA topic
+//! to its best matching Wikipedia topic" (§IV.D).
+
+use srclda_math::{js_divergence, DenseMatrix};
+
+/// A (possibly partial) map from fitted topic index → truth topic index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicMapping {
+    map: Vec<Option<usize>>,
+    truth_topics: usize,
+}
+
+impl TopicMapping {
+    /// Build from an explicit vector.
+    pub fn new(map: Vec<Option<usize>>, truth_topics: usize) -> Self {
+        Self { map, truth_topics }
+    }
+
+    /// Identity mapping (fitted topic `t` ↔ truth topic `t`).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            map: (0..n).map(Some).collect(),
+            truth_topics: n,
+        }
+    }
+
+    /// Map by label equality: fitted topic `t` maps to the truth topic with
+    /// the same label; unlabeled fitted topics map to `None`.
+    pub fn by_label(fitted: &[Option<String>], truth: &[Option<String>]) -> Self {
+        let map = fitted
+            .iter()
+            .map(|fl| {
+                fl.as_ref().and_then(|fl| {
+                    truth
+                        .iter()
+                        .position(|tl| tl.as_ref() == Some(fl))
+                })
+            })
+            .collect();
+        Self {
+            map,
+            truth_topics: truth.len(),
+        }
+    }
+
+    /// Map each fitted topic to the truth topic with minimal JS divergence
+    /// between word distributions (many-to-one allowed, as in the paper).
+    pub fn by_phi_js(fitted_phi: &DenseMatrix<f64>, truth_phi: &DenseMatrix<f64>) -> Self {
+        let map = (0..fitted_phi.rows())
+            .map(|t| {
+                (0..truth_phi.rows())
+                    .min_by(|&a, &b| {
+                        let da = js_divergence(fitted_phi.row(t), truth_phi.row(a))
+                            .unwrap_or(f64::INFINITY);
+                        let db = js_divergence(fitted_phi.row(t), truth_phi.row(b))
+                            .unwrap_or(f64::INFINITY);
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+            })
+            .collect();
+        Self {
+            map,
+            truth_topics: truth_phi.rows(),
+        }
+    }
+
+    /// The truth topic for a fitted topic, if mapped.
+    pub fn truth_of(&self, fitted: usize) -> Option<usize> {
+        self.map.get(fitted).copied().flatten()
+    }
+
+    /// Number of fitted topics covered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff no fitted topics are covered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of ground-truth topics.
+    pub fn truth_topics(&self) -> usize {
+        self.truth_topics
+    }
+
+    /// Project a fitted-space distribution onto truth-topic space by
+    /// summing mapped mass (unmapped mass is dropped); the result is
+    /// re-normalized when any mass survives.
+    pub fn project(&self, fitted_dist: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.truth_topics];
+        for (t, &p) in fitted_dist.iter().enumerate() {
+            if let Some(truth) = self.truth_of(t) {
+                out[truth] += p;
+            }
+        }
+        let sum: f64 = out.iter().sum();
+        if sum > 0.0 {
+            out.iter_mut().for_each(|x| *x /= sum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_map() {
+        let m = TopicMapping::identity(3);
+        assert_eq!(m.truth_of(0), Some(0));
+        assert_eq!(m.truth_of(2), Some(2));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn by_label_matches_and_skips() {
+        let fitted = vec![None, Some("B".to_string()), Some("X".to_string())];
+        let truth = vec![Some("A".to_string()), Some("B".to_string())];
+        let m = TopicMapping::by_label(&fitted, &truth);
+        assert_eq!(m.truth_of(0), None);
+        assert_eq!(m.truth_of(1), Some(1));
+        assert_eq!(m.truth_of(2), None, "unknown label unmapped");
+    }
+
+    #[test]
+    fn by_phi_js_finds_nearest() {
+        let fitted = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        let truth = DenseMatrix::from_vec(2, 2, vec![0.1, 0.9, 0.95, 0.05]);
+        let m = TopicMapping::by_phi_js(&fitted, &truth);
+        assert_eq!(m.truth_of(0), Some(1));
+        assert_eq!(m.truth_of(1), Some(0));
+    }
+
+    #[test]
+    fn project_sums_and_renormalizes() {
+        // Two fitted topics both map onto truth topic 0.
+        let m = TopicMapping::new(vec![Some(0), Some(0), None], 2);
+        let projected = m.project(&[0.3, 0.3, 0.4]);
+        assert!((projected[0] - 1.0).abs() < 1e-12);
+        assert_eq!(projected[1], 0.0);
+    }
+
+    #[test]
+    fn project_handles_fully_unmapped() {
+        let m = TopicMapping::new(vec![None], 2);
+        assert_eq!(m.project(&[1.0]), vec![0.0, 0.0]);
+    }
+}

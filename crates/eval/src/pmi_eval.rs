@@ -1,0 +1,82 @@
+//! PMI topic coherence (Fig. 8 c): "the top 10 words given for each topic
+//! were used in the PMI assessment".
+
+use srclda_corpus::{CooccurrenceCounts, Corpus, WordId};
+use srclda_math::FxHashSet;
+
+/// Per-topic mean pairwise PMI of the given top-word lists, measured over
+/// `corpus` with a sliding window. Topics with no scorable pair yield
+/// `None`.
+pub fn topic_pmi_scores(
+    corpus: &Corpus,
+    top_words: &[Vec<WordId>],
+    window: usize,
+) -> Vec<Option<f64>> {
+    let mut interesting: FxHashSet<WordId> = FxHashSet::default();
+    for list in top_words {
+        interesting.extend(list.iter().copied());
+    }
+    let counts = CooccurrenceCounts::count(corpus, &interesting, window);
+    top_words
+        .iter()
+        .map(|list| counts.mean_pairwise_pmi(list))
+        .collect()
+}
+
+/// Mean over topics of the per-topic PMI (ignoring unscorable topics);
+/// `None` if no topic is scorable.
+pub fn mean_topic_pmi(corpus: &Corpus, top_words: &[Vec<WordId>], window: usize) -> Option<f64> {
+    let scores = topic_pmi_scores(corpus, top_words, window);
+    let valid: Vec<f64> = scores.into_iter().flatten().collect();
+    if valid.is_empty() {
+        None
+    } else {
+        Some(valid.iter().sum::<f64>() / valid.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..20 {
+            b.add_tokens("g", &["gas", "pipeline", "energy", "gas", "pipeline"]);
+            b.add_tokens("s", &["stock", "market", "fund", "stock", "market"]);
+        }
+        b.build()
+    }
+
+    fn ids(c: &Corpus, words: &[&str]) -> Vec<WordId> {
+        words.iter().map(|w| c.vocabulary().get(w).unwrap()).collect()
+    }
+
+    #[test]
+    fn coherent_topics_score_higher_than_mixed() {
+        let c = corpus();
+        let coherent = ids(&c, &["gas", "pipeline", "energy"]);
+        let mixed = ids(&c, &["gas", "market", "fund"]);
+        let scores = topic_pmi_scores(&c, &[coherent, mixed], 5);
+        let a = scores[0].unwrap();
+        let b = scores[1].unwrap();
+        assert!(a > b, "coherent {a} vs mixed {b}");
+    }
+
+    #[test]
+    fn mean_aggregates_valid_topics() {
+        let c = corpus();
+        let coherent = ids(&c, &["gas", "pipeline"]);
+        let single = ids(&c, &["stock"]); // no pair → unscorable
+        let mean = mean_topic_pmi(&c, &[coherent.clone(), single], 5).unwrap();
+        let solo = topic_pmi_scores(&c, &[coherent], 5)[0].unwrap();
+        assert!((mean - solo).abs() < 1e-12, "unscorable topics are skipped");
+    }
+
+    #[test]
+    fn no_scorable_topics_gives_none() {
+        let c = corpus();
+        assert!(mean_topic_pmi(&c, &[vec![]], 5).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Plain-text report rendering for the experiment binaries.
+//!
+//! Every figure/table of the paper is regenerated as either a fixed-width
+//! [`Table`] (Tables 0–1, Fig. 8 a/b/d/e bars) or a TSV [`Series`]
+//! (Figs. 3, 4, 6, 7, 8c, 8f curves) so results diff cleanly in CI.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A named set of y-series over shared x-values, rendered as TSV.
+#[derive(Debug, Clone)]
+pub struct Series {
+    x_label: String,
+    xs: Vec<f64>,
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+impl Series {
+    /// New series over the given x-axis.
+    pub fn new(x_label: impl Into<String>, xs: Vec<f64>) -> Self {
+        Self {
+            x_label: x_label.into(),
+            xs,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Add a y-column (padded with NaN if short).
+    ///
+    /// # Panics
+    /// Panics if `ys` is longer than the x-axis.
+    pub fn push_column(&mut self, name: impl Into<String>, mut ys: Vec<f64>) {
+        assert!(ys.len() <= self.xs.len(), "column longer than x-axis");
+        ys.resize(self.xs.len(), f64::NAN);
+        self.columns.push((name.into(), ys));
+    }
+
+    /// Render as TSV with a header line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label);
+        for (name, _) in &self.columns {
+            out.push('\t');
+            out.push_str(name);
+        }
+        out.push('\n');
+        for (i, x) in self.xs.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for (_, ys) in &self.columns {
+                let _ = write!(out, "\t{:.6}", ys[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A simple horizontal ASCII bar chart (for the Fig. 8 a/b/d/e bar plots).
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = ((value / max) * width as f64).round().max(0.0) as usize;
+        let _ = writeln!(
+            out,
+            "{label:<label_w$}  {:<width$}  {value:.4}",
+            "#".repeat(bar_len.min(width)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["Technique", "Topic 1", "Topic 2"]);
+        t.push_row(["JS Divergence", "Baseball", "Baseball"]);
+        t.push_row(["Counting", "Baseball", "Baseball"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Technique"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("JS Divergence"));
+        // Columns align: "Baseball" starts at the same offset in both rows.
+        let off2 = lines[2].find("Baseball").unwrap();
+        let off3 = lines[3].find("Baseball").unwrap();
+        assert_eq!(off2, off3);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only-one"]);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn series_tsv_shape() {
+        let mut s = Series::new("lambda", vec![0.0, 0.5, 1.0]);
+        s.push_column("classification", vec![10.0, 15.0, 20.0]);
+        s.push_column("short", vec![1.0]);
+        let text = s.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "lambda\tclassification\tshort");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0\t10.000000"));
+        assert!(lines[2].contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column longer")]
+    fn over_long_column_panics() {
+        let mut s = Series::new("x", vec![1.0]);
+        s.push_column("y", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let entries = vec![
+            ("SRC".to_string(), 700.0),
+            ("LDA".to_string(), 350.0),
+        ];
+        let chart = bar_chart(&entries, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 20);
+        assert_eq!(hashes(lines[1]), 10);
+    }
+}

@@ -1,0 +1,188 @@
+//! Building knowledge sources from raw articles.
+//!
+//! The paper crawls one Wikipedia article per candidate topic, tokenizes it,
+//! and counts occurrences of corpus-vocabulary words (Definition 3). The
+//! builder replicates that pipeline against any text source.
+
+use crate::source::{KnowledgeSource, SourceTopic};
+use srclda_corpus::{Tokenizer, Vocabulary};
+
+enum Body {
+    Text(String),
+    Counts(Vec<(String, f64)>),
+}
+
+/// Accumulates labeled articles, then resolves them against a corpus
+/// vocabulary.
+pub struct KnowledgeSourceBuilder {
+    tokenizer: Tokenizer,
+    articles: Vec<(String, Body)>,
+}
+
+impl Default for KnowledgeSourceBuilder {
+    fn default() -> Self {
+        Self {
+            tokenizer: Tokenizer::permissive(),
+            articles: Vec::new(),
+        }
+    }
+}
+
+impl KnowledgeSourceBuilder {
+    /// New builder with a permissive tokenizer (articles usually want the
+    /// same preprocessing as the corpus; override with [`Self::tokenizer`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the tokenizer used for [`Self::add_article`].
+    pub fn tokenizer(mut self, t: Tokenizer) -> Self {
+        self.tokenizer = t;
+        self
+    }
+
+    /// Add a labeled article as raw text.
+    pub fn add_article(&mut self, label: impl Into<String>, text: impl Into<String>) -> &mut Self {
+        self.articles.push((label.into(), Body::Text(text.into())));
+        self
+    }
+
+    /// Add a labeled article as explicit `(word, count)` pairs.
+    pub fn add_counts(
+        &mut self,
+        label: impl Into<String>,
+        counts: Vec<(String, f64)>,
+    ) -> &mut Self {
+        self.articles.push((label.into(), Body::Counts(counts)));
+        self
+    }
+
+    /// Number of articles added.
+    pub fn len(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// True iff no articles were added.
+    pub fn is_empty(&self) -> bool {
+        self.articles.is_empty()
+    }
+
+    /// Resolve every article against `vocab`, producing dense count vectors.
+    /// Article words missing from the corpus vocabulary are dropped
+    /// (Definition 3 defines hyperparameters over the *corpus* vocabulary).
+    pub fn build(&self, vocab: &Vocabulary) -> KnowledgeSource {
+        let v = vocab.len();
+        let topics = self
+            .articles
+            .iter()
+            .map(|(label, body)| {
+                let mut counts = vec![0.0; v];
+                match body {
+                    Body::Text(text) => {
+                        for token in self.tokenizer.tokenize(text) {
+                            if let Some(w) = vocab.get(&token) {
+                                counts[w.index()] += 1.0;
+                            }
+                        }
+                    }
+                    Body::Counts(pairs) => {
+                        for (word, c) in pairs {
+                            if let Some(w) = vocab.get(word) {
+                                counts[w.index()] += c;
+                            }
+                        }
+                    }
+                }
+                SourceTopic::new(label.clone(), counts)
+            })
+            .collect();
+        KnowledgeSource::new(topics)
+    }
+
+    /// Resolve articles while *extending* the vocabulary with unseen article
+    /// words. Use when the model should be able to assign probability mass
+    /// to knowledge-source words that never occur in the corpus.
+    pub fn build_extending(&self, vocab: &mut Vocabulary) -> KnowledgeSource {
+        // First pass: intern everything so count vectors share a final V.
+        for (_, body) in &self.articles {
+            match body {
+                Body::Text(text) => {
+                    for token in self.tokenizer.tokenize(text) {
+                        vocab.intern(&token);
+                    }
+                }
+                Body::Counts(pairs) => {
+                    for (word, _) in pairs {
+                        vocab.intern(word);
+                    }
+                }
+            }
+        }
+        self.build(vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_words(["pencil", "ruler", "baseball", "umpire"])
+    }
+
+    #[test]
+    fn text_articles_count_in_vocab_words() {
+        let mut b = KnowledgeSourceBuilder::new();
+        b.add_article("School Supplies", "pencil pencil ruler eraser notebook");
+        b.add_article("Baseball", "baseball umpire umpire glove");
+        let ks = b.build(&vocab());
+        assert_eq!(ks.len(), 2);
+        // "eraser"/"notebook"/"glove" are out-of-vocabulary and dropped.
+        assert_eq!(ks.topic(0).counts(), &[2.0, 1.0, 0.0, 0.0]);
+        assert_eq!(ks.topic(1).counts(), &[0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn count_articles_resolve() {
+        let mut b = KnowledgeSourceBuilder::new();
+        b.add_counts(
+            "Mixed",
+            vec![
+                ("ruler".into(), 5.0),
+                ("unknown".into(), 9.0),
+                ("ruler".into(), 1.0),
+            ],
+        );
+        let ks = b.build(&vocab());
+        assert_eq!(ks.topic(0).counts(), &[0.0, 6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn build_extending_grows_vocabulary() {
+        let mut v = vocab();
+        let mut b = KnowledgeSourceBuilder::new();
+        b.add_article("Baseball", "baseball pitcher pitcher");
+        let ks = b.build_extending(&mut v);
+        assert_eq!(v.len(), 5);
+        let pitcher = v.get("pitcher").unwrap();
+        assert_eq!(ks.topic(0).counts()[pitcher.index()], 2.0);
+        assert_eq!(ks.vocab_size(), 5);
+    }
+
+    #[test]
+    fn tokenizer_is_configurable() {
+        let mut b = KnowledgeSourceBuilder::new().tokenizer(Tokenizer::default());
+        b.add_article("T", "the pencil and the ruler");
+        let ks = b.build(&vocab());
+        // Default tokenizer strips stopwords; only content words counted.
+        assert_eq!(ks.topic(0).counts(), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn builder_len() {
+        let mut b = KnowledgeSourceBuilder::new();
+        assert!(b.is_empty());
+        b.add_article("A", "x");
+        assert_eq!(b.len(), 1);
+    }
+}

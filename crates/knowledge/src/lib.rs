@@ -1,0 +1,26 @@
+//! Knowledge sources for Source-LDA.
+//!
+//! A *knowledge source* (Definition 1 of the paper) is a collection of
+//! labeled documents, each describing one concept — e.g. the Wikipedia
+//! article for "Baseball". Source-LDA turns each document into
+//!
+//! * a **source distribution** (Definition 2): the normalized word counts of
+//!   the document, restricted to the corpus vocabulary; and
+//! * **source hyperparameters** (Definition 3): the raw counts plus a small
+//!   ε, used directly as the parameters of a topic's Dirichlet prior.
+//!
+//! The full Source-LDA model additionally raises each hyperparameter to a
+//! power `g(λ)` (§III.C), where [`smoothing::SmoothingFunction`] linearizes
+//! the relationship between λ and the expected Jensen–Shannon divergence of
+//! the resulting Dirichlet draws.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod smoothing;
+pub mod source;
+
+pub use builder::KnowledgeSourceBuilder;
+pub use smoothing::{SmoothingConfig, SmoothingFunction};
+pub use source::{KnowledgeSource, SourceTopic, DEFAULT_EPSILON};

@@ -1,0 +1,368 @@
+//! The λ smoothing function `g` (§III.C.2 of the paper).
+//!
+//! Raising source hyperparameters to a power λ does not change the expected
+//! JS divergence of the resulting Dirichlet draws *linearly* (paper Fig. 3:
+//! the divergence collapses quickly for small λ and then flattens). Because
+//! λ carries a Gaussian prior, the paper maps λ through a function `g` with
+//! the property that `E[JS(source, Dir(X^{g(λ)}))]` is linear in λ
+//! (paper Fig. 4). `g` is "approximated ... by linear interpolation of an
+//! aggregated large number of samples for each point taken in the range 0
+//! to 1" — precisely what [`SmoothingFunction::estimate`] does:
+//!
+//! 1. sample the divergence curve `J(y) = E[JS(source, Dir(X^y))]` on a grid
+//!    of exponents `y ∈ [0, 1]`;
+//! 2. enforce monotonicity (the curve is decreasing up to sampling noise);
+//! 3. set `g(λ) = J⁻¹( J(0) + λ·(J(1) − J(0)) )` by inverting the
+//!    interpolated curve.
+//!
+//! ### Aggregation trick
+//!
+//! The naive estimator draws Dirichlets over the full corpus vocabulary
+//! (`V` can be tens of thousands) even though a source topic usually touches
+//! a few hundred words. We collapse all zero-count words into a single
+//! aggregate atom: by the Dirichlet aggregation property the draw over
+//! `(support…, rest)` with parameter `(V−s)·ε^y` for `rest` has exactly the
+//! marginal law of aggregating a full draw, and because the source
+//! distribution has zero mass outside its support, the JS divergence is
+//! *identical* under aggregation (every outside atom contributes
+//! `½·qᵢ·ln 2`, which sums to the aggregate's contribution). This makes the
+//! per-topic estimate `O(grid · samples · support)` instead of
+//! `O(grid · samples · V)`.
+
+use crate::source::SourceTopic;
+use srclda_math::{js_divergence, Dirichlet, PiecewiseLinear, SldaRng};
+
+/// Estimation parameters for [`SmoothingFunction::estimate`].
+#[derive(Debug, Clone)]
+pub struct SmoothingConfig {
+    /// Number of grid *intervals* over `[0, 1]` (knots = `grid_points + 1`).
+    pub grid_points: usize,
+    /// Dirichlet samples averaged per grid knot.
+    pub samples_per_point: usize,
+}
+
+impl Default for SmoothingConfig {
+    fn default() -> Self {
+        Self {
+            grid_points: 10,
+            samples_per_point: 30,
+        }
+    }
+}
+
+/// A per-topic smoothing function `g : [0,1] → [0,1]` with its underlying
+/// divergence curve.
+#[derive(Debug, Clone)]
+pub struct SmoothingFunction {
+    /// λ ↦ exponent.
+    map: PiecewiseLinear,
+    /// exponent ↦ estimated E[JS].
+    curve: PiecewiseLinear,
+}
+
+impl SmoothingFunction {
+    /// The identity map `g(λ) = λ` (used when the divergence curve is flat
+    /// or when the caller wants the paper's *unsmoothed* Figure-3 behavior).
+    pub fn identity() -> Self {
+        Self {
+            map: PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 1.0])
+                .expect("static knots are valid"),
+            curve: PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 0.0])
+                .expect("static knots are valid"),
+        }
+    }
+
+    /// Estimate `g` for one source topic (Algorithm 1's "Calculate gₜ").
+    pub fn estimate(
+        topic: &SourceTopic,
+        epsilon: f64,
+        config: &SmoothingConfig,
+        rng: &mut SldaRng,
+    ) -> Self {
+        let grid = config.grid_points.max(2);
+        let exponents: Vec<f64> = (0..=grid).map(|i| i as f64 / grid as f64).collect();
+        let js_means = sample_js_curve(topic, epsilon, &exponents, config.samples_per_point, rng);
+        Self::from_curve(exponents, js_means)
+    }
+
+    /// Build from an already-sampled divergence curve (exposed for the
+    /// Figure-3/4 experiments and for testing).
+    pub fn from_curve(exponents: Vec<f64>, mut js_means: Vec<f64>) -> Self {
+        // The true curve is non-increasing in the exponent; flatten sampling
+        // noise with a running minimum, then nudge exact ties so the curve
+        // is invertible.
+        for i in 1..js_means.len() {
+            if js_means[i] > js_means[i - 1] {
+                js_means[i] = js_means[i - 1];
+            }
+        }
+        let curve = PiecewiseLinear::new(exponents.clone(), js_means.clone())
+            .expect("grid knots are strictly increasing");
+        let j0 = js_means[0];
+        let j1 = js_means[js_means.len() - 1];
+        if (j0 - j1).abs() < 1e-9 {
+            // Degenerate (flat) curve: every exponent looks the same, so the
+            // identity map is as good as any.
+            return Self {
+                map: PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 1.0])
+                    .expect("static knots are valid"),
+                curve,
+            };
+        }
+        let inverse = curve.inverse().expect("monotone curve inverts");
+        // g(λ) knots on the same λ grid: target JS linear between j0 and j1.
+        let mut g_vals: Vec<f64> = exponents
+            .iter()
+            .map(|&lam| inverse.eval(j0 + lam * (j1 - j0)).clamp(0.0, 1.0))
+            .collect();
+        // Monotone non-decreasing g (inverse of a non-increasing curve is
+        // non-increasing in JS, and the target decreases in λ).
+        for i in 1..g_vals.len() {
+            if g_vals[i] < g_vals[i - 1] {
+                g_vals[i] = g_vals[i - 1];
+            }
+        }
+        let map = PiecewiseLinear::new(exponents, g_vals)
+            .expect("grid knots are strictly increasing");
+        Self { map, curve }
+    }
+
+    /// Evaluate `g(λ)` (input clamped to `[0, 1]`).
+    pub fn eval(&self, lambda: f64) -> f64 {
+        self.map.eval(lambda.clamp(0.0, 1.0))
+    }
+
+    /// The estimated divergence curve `y ↦ E[JS(source, Dir(X^y))]`.
+    pub fn js_curve(&self) -> &PiecewiseLinear {
+        &self.curve
+    }
+}
+
+/// Draw `n` values of `JS(source, Dir(X^exponent))` — the raw samples
+/// behind the paper's Figure 2 (exponent 1), Figure 3 (exponent λ) and
+/// Figure 4 (exponent g(λ)) boxplots. Uses the same zero-count aggregation
+/// trick as the curve estimator.
+pub fn sample_js_divergences(
+    topic: &SourceTopic,
+    epsilon: f64,
+    exponent: f64,
+    n: usize,
+    rng: &mut SldaRng,
+) -> Vec<f64> {
+    let (support_counts, outside_atoms, reduced_source) = reduce_topic(topic);
+    let mut params: Vec<f64> = support_counts
+        .iter()
+        .map(|&c| (c + epsilon).powf(exponent))
+        .collect();
+    if outside_atoms > 0 {
+        params.push(outside_atoms as f64 * epsilon.powf(exponent));
+    }
+    let dir = match Dirichlet::new(params) {
+        Ok(d) => d,
+        Err(_) => return vec![0.0; n],
+    };
+    let mut buf = vec![0.0; reduced_source.len()];
+    (0..n)
+        .map(|_| {
+            dir.sample_into(rng, &mut buf);
+            js_divergence(&reduced_source, &buf).unwrap_or(0.0)
+        })
+        .collect()
+}
+
+/// Estimate `E[JS(source, Dir(X^y))]` for each exponent `y`, using the
+/// zero-count aggregation trick described in the module docs.
+pub fn sample_js_curve(
+    topic: &SourceTopic,
+    epsilon: f64,
+    exponents: &[f64],
+    samples_per_point: usize,
+    rng: &mut SldaRng,
+) -> Vec<f64> {
+    let samples = samples_per_point.max(1);
+    let (support_counts, outside_atoms, reduced_source) = reduce_topic(topic);
+    let mut out = Vec::with_capacity(exponents.len());
+    let reduced_dim = support_counts.len() + usize::from(outside_atoms > 0);
+    let mut buf = vec![0.0; reduced_dim];
+    for &y in exponents {
+        let mut params: Vec<f64> = support_counts
+            .iter()
+            .map(|&c| (c + epsilon).powf(y))
+            .collect();
+        if outside_atoms > 0 {
+            params.push(outside_atoms as f64 * epsilon.powf(y));
+        }
+        let dir = match Dirichlet::new(params) {
+            Ok(d) => d,
+            Err(_) => {
+                out.push(0.0);
+                continue;
+            }
+        };
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            dir.sample_into(rng, &mut buf);
+            acc += js_divergence(&reduced_source, &buf).unwrap_or(0.0);
+        }
+        out.push(acc / samples as f64);
+    }
+    out
+}
+
+/// Split a topic into (support counts, number of zero-count atoms, reduced
+/// source distribution with a trailing zero atom when needed).
+fn reduce_topic(topic: &SourceTopic) -> (Vec<f64>, usize, Vec<f64>) {
+    let counts = topic.counts();
+    let support_counts: Vec<f64> = counts.iter().copied().filter(|&c| c > 0.0).collect();
+    let outside_atoms = counts.len() - support_counts.len();
+    let total: f64 = support_counts.iter().sum();
+    let mut reduced_source: Vec<f64> = if total > 0.0 {
+        support_counts.iter().map(|&c| c / total).collect()
+    } else {
+        vec![]
+    };
+    if outside_atoms > 0 && !reduced_source.is_empty() {
+        reduced_source.push(0.0);
+    }
+    // Degenerate: no support at all — treat as a single uniform atom.
+    if reduced_source.is_empty() {
+        return (vec![], counts.len(), vec![1.0]);
+    }
+    (support_counts, outside_atoms, reduced_source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_math::rng_from_seed;
+
+    /// A skewed source topic over a 200-word vocabulary with 30 support
+    /// words (Zipf-ish counts).
+    fn skewed_topic() -> SourceTopic {
+        let mut counts = vec![0.0; 200];
+        for (i, c) in counts.iter_mut().take(30).enumerate() {
+            *c = (200.0 / (i + 1) as f64).round();
+        }
+        SourceTopic::new("Skewed", counts)
+    }
+
+    #[test]
+    fn identity_map() {
+        let g = SmoothingFunction::identity();
+        assert_eq!(g.eval(0.0), 0.0);
+        assert_eq!(g.eval(0.37), 0.37);
+        assert_eq!(g.eval(1.0), 1.0);
+        assert_eq!(g.eval(2.0), 1.0, "inputs clamp to [0,1]");
+    }
+
+    #[test]
+    fn js_curve_is_decreasing_in_exponent() {
+        let mut rng = rng_from_seed(101);
+        let topic = skewed_topic();
+        let exps = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let curve = sample_js_curve(&topic, 0.01, &exps, 60, &mut rng);
+        // Strong skew ⇒ big drop from exponent 0 to 1.
+        assert!(
+            curve[0] > curve[4] + 0.05,
+            "curve should decrease: {curve:?}"
+        );
+        // Approximately monotone (tolerate sampling noise).
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 0.02, "non-monotone: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn g_endpoints_are_fixed() {
+        let mut rng = rng_from_seed(103);
+        let g = SmoothingFunction::estimate(
+            &skewed_topic(),
+            0.01,
+            &SmoothingConfig::default(),
+            &mut rng,
+        );
+        assert!(g.eval(0.0).abs() < 1e-9, "g(0) = {}", g.eval(0.0));
+        assert!((g.eval(1.0) - 1.0).abs() < 1e-9, "g(1) = {}", g.eval(1.0));
+    }
+
+    #[test]
+    fn g_is_monotone_non_decreasing() {
+        let mut rng = rng_from_seed(107);
+        let g = SmoothingFunction::estimate(
+            &skewed_topic(),
+            0.01,
+            &SmoothingConfig::default(),
+            &mut rng,
+        );
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let v = g.eval(i as f64 / 20.0);
+            assert!(v >= prev - 1e-12, "g not monotone at {i}");
+            assert!((0.0..=1.0).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn g_linearizes_the_divergence() {
+        // The defining property (paper Fig. 4): E[JS] at g(λ) is ~linear
+        // in λ. Estimate g, then re-sample the divergence at g(λ) for
+        // λ = 0, ½, 1 and check the midpoint lies near the secant midpoint.
+        let mut rng = rng_from_seed(109);
+        let topic = skewed_topic();
+        let config = SmoothingConfig {
+            grid_points: 20,
+            samples_per_point: 80,
+        };
+        let g = SmoothingFunction::estimate(&topic, 0.01, &config, &mut rng);
+        let exps = [g.eval(0.0), g.eval(0.5), g.eval(1.0)];
+        let js = sample_js_curve(&topic, 0.01, &exps, 200, &mut rng);
+        let secant_mid = 0.5 * (js[0] + js[2]);
+        let err = (js[1] - secant_mid).abs();
+        let range = (js[0] - js[2]).abs().max(1e-9);
+        assert!(
+            err / range < 0.15,
+            "not linear: JS at g(0/.5/1) = {js:?}, relative error {}",
+            err / range
+        );
+        // Contrast: the *identity* map is far from linear for this topic.
+        let raw = sample_js_curve(&topic, 0.01, &[0.0, 0.5, 1.0], 200, &mut rng);
+        let raw_err = (raw[1] - 0.5 * (raw[0] + raw[2])).abs();
+        assert!(
+            raw_err / range > err / range,
+            "smoothing should improve linearity (raw {}, smoothed {})",
+            raw_err / range,
+            err / range
+        );
+    }
+
+    #[test]
+    fn flat_curve_falls_back_to_identity() {
+        let g = SmoothingFunction::from_curve(vec![0.0, 0.5, 1.0], vec![0.3, 0.3, 0.3]);
+        assert_eq!(g.eval(0.25), 0.25);
+        assert_eq!(g.eval(0.75), 0.75);
+    }
+
+    #[test]
+    fn from_curve_repairs_noise() {
+        // A noisy, slightly non-monotone curve must still produce a valid g.
+        let g = SmoothingFunction::from_curve(
+            vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            vec![0.6, 0.35, 0.37, 0.2, 0.1],
+        );
+        assert!(g.eval(0.0).abs() < 1e-9);
+        assert!((g.eval(1.0) - 1.0).abs() < 1e-9);
+        for i in 1..=10 {
+            assert!(g.eval(i as f64 / 10.0) >= g.eval((i - 1) as f64 / 10.0) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_support_topic_does_not_panic() {
+        let topic = SourceTopic::new("Empty", vec![0.0; 50]);
+        let mut rng = rng_from_seed(113);
+        let g = SmoothingFunction::estimate(&topic, 0.01, &SmoothingConfig::default(), &mut rng);
+        let v = g.eval(0.5);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

@@ -1,0 +1,286 @@
+//! Source topics and knowledge sources (Definitions 1–3 of the paper).
+
+use srclda_corpus::WordId;
+
+/// Default ε for source hyperparameters (Definition 3's "very small positive
+/// number that allows for non-zero probability draws").
+pub const DEFAULT_EPSILON: f64 = 1e-2;
+
+/// One labeled concept: a word-count vector over the corpus vocabulary.
+///
+/// Counts are stored densely (`counts[w]` = times word `w` of the corpus
+/// vocabulary appears in the knowledge-source document). Words of the
+/// article that are not in the corpus vocabulary are dropped, per
+/// Definition 3 ("V is the size of the vocabulary of the corpus for which
+/// we are topic modeling").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceTopic {
+    label: String,
+    counts: Vec<f64>,
+    total: f64,
+}
+
+impl SourceTopic {
+    /// Build from a label and a dense count vector.
+    pub fn new(label: impl Into<String>, counts: Vec<f64>) -> Self {
+        let total = counts.iter().sum();
+        Self {
+            label: label.into(),
+            counts,
+            total,
+        }
+    }
+
+    /// The concept label (e.g. "Baseball").
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Dense raw counts over the corpus vocabulary.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Total count mass.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Vocabulary size this topic is defined over.
+    pub fn vocab_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The source distribution (Definition 2): counts normalized to a PMF.
+    /// A topic with no in-vocabulary words yields the uniform distribution.
+    pub fn distribution(&self) -> Vec<f64> {
+        if self.total > 0.0 {
+            self.counts.iter().map(|&c| c / self.total).collect()
+        } else if self.counts.is_empty() {
+            Vec::new()
+        } else {
+            vec![1.0 / self.counts.len() as f64; self.counts.len()]
+        }
+    }
+
+    /// Source hyperparameters (Definition 3): `Xᵢ = nᵢ + ε`.
+    pub fn hyperparameters(&self, epsilon: f64) -> Vec<f64> {
+        self.counts.iter().map(|&c| c + epsilon).collect()
+    }
+
+    /// Hyperparameters raised to a power (§III.C.1): `(Xᵢ)^e`.
+    ///
+    /// As `e → 0` every parameter approaches 1 (a flat Dirichlet); as
+    /// `e → 1` the draw conforms tightly to the source distribution.
+    pub fn powered_hyperparameters(&self, epsilon: f64, exponent: f64) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|&c| (c + epsilon).powf(exponent))
+            .collect()
+    }
+
+    /// Words with non-zero counts (the topic's support).
+    pub fn support(&self) -> Vec<WordId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0.0)
+            .map(|(i, _)| WordId::new(i))
+            .collect()
+    }
+
+    /// The `n` highest-count words, descending.
+    pub fn top_words(&self, n: usize) -> Vec<WordId> {
+        srclda_math::simplex::top_n_indices(&self.counts, n)
+            .into_iter()
+            .filter(|&i| self.counts[i] > 0.0)
+            .map(WordId::new)
+            .collect()
+    }
+}
+
+/// A knowledge source: an ordered collection of [`SourceTopic`]s sharing one
+/// corpus vocabulary (Definition 1).
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeSource {
+    topics: Vec<SourceTopic>,
+    vocab_size: usize,
+}
+
+impl KnowledgeSource {
+    /// Assemble from topics.
+    ///
+    /// # Panics
+    /// Panics if topics disagree on vocabulary size.
+    pub fn new(topics: Vec<SourceTopic>) -> Self {
+        let vocab_size = topics.first().map_or(0, SourceTopic::vocab_size);
+        assert!(
+            topics.iter().all(|t| t.vocab_size() == vocab_size),
+            "all source topics must share one vocabulary"
+        );
+        Self { topics, vocab_size }
+    }
+
+    /// Build directly from labeled probability distributions, scaling each
+    /// by `pseudo_count` total mass. Used when the knowledge source is given
+    /// as distributions (e.g. the pixel-grid topics of §IV.A) rather than
+    /// documents.
+    pub fn from_distributions<L: Into<String>>(
+        labeled: Vec<(L, Vec<f64>)>,
+        pseudo_count: f64,
+    ) -> Self {
+        let topics = labeled
+            .into_iter()
+            .map(|(label, dist)| {
+                let counts = dist.iter().map(|&p| p * pseudo_count).collect();
+                SourceTopic::new(label, counts)
+            })
+            .collect();
+        Self::new(topics)
+    }
+
+    /// Number of source topics (the paper's `B` when used as a superset).
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// True iff there are no topics.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// The shared vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Access a topic by position.
+    pub fn topic(&self, i: usize) -> &SourceTopic {
+        &self.topics[i]
+    }
+
+    /// All topics in order.
+    pub fn topics(&self) -> &[SourceTopic] {
+        &self.topics
+    }
+
+    /// All labels in order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.topics.iter().map(|t| t.label()).collect()
+    }
+
+    /// Find a topic by its label.
+    pub fn find(&self, label: &str) -> Option<(usize, &SourceTopic)> {
+        self.topics
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.label() == label)
+    }
+
+    /// Restrict to a subset of topic indices (used to build the generative
+    /// ground truth from a superset).
+    pub fn select(&self, indices: &[usize]) -> KnowledgeSource {
+        let topics = indices.iter().map(|&i| self.topics[i].clone()).collect();
+        KnowledgeSource {
+            topics,
+            vocab_size: self.vocab_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic() -> SourceTopic {
+        // Vocabulary: [pencil, ruler, baseball, umpire]
+        SourceTopic::new("School Supplies", vec![3.0, 2.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn distribution_normalizes_counts() {
+        let t = topic();
+        assert_eq!(t.distribution(), vec![0.6, 0.4, 0.0, 0.0]);
+        assert_eq!(t.total(), 5.0);
+    }
+
+    #[test]
+    fn empty_topic_distribution_is_uniform() {
+        let t = SourceTopic::new("Empty", vec![0.0, 0.0]);
+        assert_eq!(t.distribution(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn hyperparameters_add_epsilon() {
+        let t = topic();
+        let h = t.hyperparameters(0.5);
+        assert_eq!(h, vec![3.5, 2.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn powered_hyperparameters_limits() {
+        let t = topic();
+        // Exponent 0 ⇒ all ones (flat Dirichlet).
+        let flat = t.powered_hyperparameters(0.01, 0.0);
+        assert!(flat.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        // Exponent 1 ⇒ the raw hyperparameters.
+        let full = t.powered_hyperparameters(0.01, 1.0);
+        assert_eq!(full, t.hyperparameters(0.01));
+        // Intermediate exponents interpolate monotonically for counts > 1.
+        let half = t.powered_hyperparameters(0.01, 0.5);
+        assert!(half[0] > 1.0 && half[0] < full[0]);
+    }
+
+    #[test]
+    fn support_and_top_words() {
+        let t = topic();
+        assert_eq!(t.support(), vec![WordId::new(0), WordId::new(1)]);
+        assert_eq!(t.top_words(1), vec![WordId::new(0)]);
+        // top_words never returns zero-count words even if asked for more.
+        assert_eq!(t.top_words(10).len(), 2);
+    }
+
+    #[test]
+    fn knowledge_source_lookup() {
+        let ks = KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![1.0, 0.0]),
+            SourceTopic::new("B", vec![0.0, 1.0]),
+        ]);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks.vocab_size(), 2);
+        assert_eq!(ks.labels(), vec!["A", "B"]);
+        let (i, t) = ks.find("B").unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(t.label(), "B");
+        assert!(ks.find("C").is_none());
+    }
+
+    #[test]
+    fn select_subsets() {
+        let ks = KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![1.0]),
+            SourceTopic::new("B", vec![2.0]),
+            SourceTopic::new("C", vec![3.0]),
+        ]);
+        let sub = ks.select(&[2, 0]);
+        assert_eq!(sub.labels(), vec!["C", "A"]);
+    }
+
+    #[test]
+    fn from_distributions_scales() {
+        let ks = KnowledgeSource::from_distributions(
+            vec![("T", vec![0.25, 0.75])],
+            100.0,
+        );
+        assert_eq!(ks.topic(0).counts(), &[25.0, 75.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one vocabulary")]
+    fn mismatched_vocab_sizes_panic() {
+        KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![1.0]),
+            SourceTopic::new("B", vec![1.0, 2.0]),
+        ]);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for knowledge-source invariants.
+
+use proptest::prelude::*;
+use srclda_knowledge::{
+    KnowledgeSourceBuilder, SmoothingConfig, SmoothingFunction, SourceTopic,
+};
+use srclda_math::rng_from_seed;
+
+fn counts_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0u32..200, 4..60)
+        .prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn distribution_is_normalized(counts in counts_strategy()) {
+        let t = SourceTopic::new("T", counts);
+        let d = t.distribution();
+        let sum: f64 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn hyperparameters_exceed_counts_by_epsilon(counts in counts_strategy(), eps in 1e-6f64..0.5) {
+        let t = SourceTopic::new("T", counts.clone());
+        for (h, c) in t.hyperparameters(eps).iter().zip(&counts) {
+            prop_assert!((h - (c + eps)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn powered_hyperparameters_monotone_in_exponent_for_large_counts(
+        counts in counts_strategy(),
+        e1 in 0.0f64..1.0,
+        e2 in 0.0f64..1.0,
+    ) {
+        // For counts + ε > 1 the power is increasing in the exponent.
+        let t = SourceTopic::new("T", counts.clone());
+        let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        let p_lo = t.powered_hyperparameters(0.01, lo);
+        let p_hi = t.powered_hyperparameters(0.01, hi);
+        for ((l, h), c) in p_lo.iter().zip(&p_hi).zip(&counts) {
+            if c + 0.01 > 1.0 {
+                prop_assert!(l <= h, "non-monotone at count {c}: {l} vs {h}");
+            } else {
+                prop_assert!(l >= h);
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_function_is_a_valid_monotone_map(seed in any::<u64>()) {
+        let mut counts = vec![0.0; 120];
+        let mut rng = rng_from_seed(seed);
+        use rand::Rng;
+        for c in counts.iter_mut().take(25) {
+            *c = rng.gen_range(1..400) as f64;
+        }
+        let t = SourceTopic::new("T", counts);
+        let cfg = SmoothingConfig { grid_points: 6, samples_per_point: 15 };
+        let g = SmoothingFunction::estimate(&t, 0.01, &cfg, &mut rng);
+        let mut prev = -1e-12;
+        for i in 0..=12 {
+            let x = i as f64 / 12.0;
+            let y = g.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y), "g({x}) = {y} out of range");
+            prop_assert!(y >= prev - 1e-9, "g not monotone at {x}");
+            prev = y;
+        }
+        prop_assert!(g.eval(0.0).abs() < 1e-9 || g.eval(1.0) > g.eval(0.0));
+    }
+
+    #[test]
+    fn builder_drops_oov_words(words in prop::collection::vec("[a-z]{3,6}", 1..20)) {
+        let vocab = srclda_corpus::Vocabulary::from_words(["known", "words", "only"]);
+        let mut b = KnowledgeSourceBuilder::new();
+        b.add_counts(
+            "T",
+            words.iter().map(|w| (w.clone(), 1.0)).collect(),
+        );
+        let ks = b.build(&vocab);
+        // Total mass is at most the number of in-vocabulary occurrences.
+        let in_vocab = words
+            .iter()
+            .filter(|w| ["known", "words", "only"].contains(&w.as_str()))
+            .count() as f64;
+        prop_assert!((ks.topic(0).total() - in_vocab).abs() < 1e-12);
+    }
+}

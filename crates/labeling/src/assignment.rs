@@ -1,0 +1,137 @@
+//! Turning score matrices into label assignments.
+
+use srclda_knowledge::KnowledgeSource;
+
+/// One topic's label decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelAssignment {
+    /// The fitted topic index.
+    pub topic: usize,
+    /// The chosen knowledge-source index.
+    pub source_index: usize,
+    /// The chosen label text.
+    pub label: String,
+    /// The technique's score for this pair.
+    pub score: f64,
+}
+
+/// Independent argmax per topic — the paper's default ("the IR approach
+/// forces all topics to a label regardless of the quality of the label").
+pub fn argmax_assignments(
+    scores: &[Vec<f64>],
+    knowledge: &KnowledgeSource,
+) -> Vec<LabelAssignment> {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(topic, row)| {
+            let (source_index, &score) = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty score row");
+            LabelAssignment {
+                topic,
+                source_index,
+                label: knowledge.topic(source_index).label().to_string(),
+                score,
+            }
+        })
+        .collect()
+}
+
+/// Greedy one-to-one matching: repeatedly take the globally best unassigned
+/// (topic, source) pair. Useful when labels must be unique (topic count ≤
+/// source count); topics left without a source get the best remaining
+/// duplicate.
+pub fn greedy_unique_assignments(
+    scores: &[Vec<f64>],
+    knowledge: &KnowledgeSource,
+) -> Vec<LabelAssignment> {
+    let t_count = scores.len();
+    let s_count = knowledge.len();
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(t_count * s_count);
+    for (t, row) in scores.iter().enumerate() {
+        for (s, &score) in row.iter().enumerate() {
+            pairs.push((t, s, score));
+        }
+    }
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut topic_taken = vec![false; t_count];
+    let mut source_taken = vec![false; s_count];
+    let mut chosen: Vec<Option<(usize, f64)>> = vec![None; t_count];
+    for (t, s, score) in &pairs {
+        if !topic_taken[*t] && !source_taken[*s] {
+            topic_taken[*t] = true;
+            source_taken[*s] = true;
+            chosen[*t] = Some((*s, *score));
+        }
+    }
+    // Any leftover topics (more topics than sources) fall back to argmax.
+    chosen
+        .into_iter()
+        .enumerate()
+        .map(|(topic, slot)| match slot {
+            Some((source_index, score)) => LabelAssignment {
+                topic,
+                source_index,
+                label: knowledge.topic(source_index).label().to_string(),
+                score,
+            },
+            None => {
+                let row = &scores[topic];
+                let (source_index, &score) = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .expect("non-empty score row");
+                LabelAssignment {
+                    topic,
+                    source_index,
+                    label: knowledge.topic(source_index).label().to_string(),
+                    score,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_knowledge::SourceTopic;
+
+    fn ks() -> KnowledgeSource {
+        KnowledgeSource::new(vec![
+            SourceTopic::new("A", vec![1.0, 0.0]),
+            SourceTopic::new("B", vec![0.0, 1.0]),
+        ])
+    }
+
+    #[test]
+    fn argmax_picks_best_per_topic() {
+        let scores = vec![vec![0.9, 0.1], vec![0.8, 0.2]];
+        let out = argmax_assignments(&scores, &ks());
+        assert_eq!(out[0].label, "A");
+        assert_eq!(out[1].label, "A", "argmax allows duplicates");
+        assert_eq!(out[0].score, 0.9);
+    }
+
+    #[test]
+    fn greedy_forces_uniqueness() {
+        // Both topics prefer A, but topic 0 prefers it more strongly.
+        let scores = vec![vec![0.9, 0.1], vec![0.8, 0.2]];
+        let out = greedy_unique_assignments(&scores, &ks());
+        assert_eq!(out[0].label, "A");
+        assert_eq!(out[1].label, "B");
+    }
+
+    #[test]
+    fn greedy_with_more_topics_than_sources_falls_back() {
+        let scores = vec![vec![0.9, 0.1], vec![0.8, 0.2], vec![0.7, 0.6]];
+        let out = greedy_unique_assignments(&scores, &ks());
+        assert_eq!(out.len(), 3);
+        // Third topic reuses some label rather than being dropped.
+        assert!(!out[2].label.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Counting-based labeling: score a (topic, source) pair by how often the
+//! topic's top words occur in the source article (the "Counting" row of the
+//! paper's case-study table).
+
+use crate::{top_word_ids, LabelingContext, TopicLabeler};
+
+/// Counts top-word occurrences in each article.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingLabeler;
+
+impl TopicLabeler for CountingLabeler {
+    fn name(&self) -> &'static str {
+        "Counting"
+    }
+
+    fn score_matrix(&self, phi_rows: &[Vec<f64>], ctx: &LabelingContext<'_>) -> Vec<Vec<f64>> {
+        phi_rows
+            .iter()
+            .map(|phi_t| {
+                let tops = top_word_ids(phi_t, ctx.top_n);
+                ctx.knowledge
+                    .topics()
+                    .iter()
+                    .map(|src| tops.iter().map(|&w| src.counts()[w]).sum())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{case_study, concentrated_row};
+
+    #[test]
+    fn counts_drive_the_label() {
+        let (corpus, ks) = case_study();
+        let v = corpus.vocab_size();
+        let ruler = corpus.vocabulary().get("ruler").unwrap().index();
+        let baseball = corpus.vocabulary().get("baseball").unwrap().index();
+        // top_n must not cover the whole vocabulary, or counting becomes
+        // degenerate (every topic sums every article).
+        let mut ctx = LabelingContext::new(&ks, &corpus);
+        ctx.top_n = 1;
+        let school = concentrated_row(v, &[(ruler, 0.9)]);
+        let sports = concentrated_row(v, &[(baseball, 0.9)]);
+        let labels = CountingLabeler.label(&[school, sports], &ctx);
+        assert_eq!(labels[0].label, "School Supplies");
+        assert_eq!(labels[1].label, "Baseball");
+        // Scores are raw counts: "ruler" occurs 30 times in the article.
+        assert_eq!(labels[0].score, 30.0);
+    }
+
+    #[test]
+    fn top_n_limits_the_word_set() {
+        let (corpus, ks) = case_study();
+        let v = corpus.vocab_size();
+        let pencil = corpus.vocabulary().get("pencil").unwrap().index();
+        let baseball = corpus.vocabulary().get("baseball").unwrap().index();
+        // Topic with pencil slightly ahead of baseball; top_n = 1 sees only
+        // pencil.
+        let mixed = concentrated_row(v, &[(pencil, 0.51), (baseball, 0.49)]);
+        let mut ctx = LabelingContext::new(&ks, &corpus);
+        ctx.top_n = 1;
+        let labels = CountingLabeler.label(&[mixed], &ctx);
+        assert_eq!(labels[0].label, "School Supplies");
+    }
+}

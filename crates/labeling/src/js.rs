@@ -1,0 +1,78 @@
+//! Jensen–Shannon divergence labeling: the semantically closest source
+//! distribution wins (used in the paper's case study and to map LDA topics
+//! for the Fig. 8 accuracy evaluation).
+
+use crate::{LabelingContext, TopicLabeler};
+use srclda_math::js_divergence;
+
+/// Labels a topic with the source whose distribution has minimal JS
+/// divergence from the topic's word distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsDivergenceLabeler;
+
+impl TopicLabeler for JsDivergenceLabeler {
+    fn name(&self) -> &'static str {
+        "JS Divergence"
+    }
+
+    fn score_matrix(&self, phi_rows: &[Vec<f64>], ctx: &LabelingContext<'_>) -> Vec<Vec<f64>> {
+        let sources: Vec<Vec<f64>> = ctx
+            .knowledge
+            .topics()
+            .iter()
+            .map(|t| t.distribution())
+            .collect();
+        phi_rows
+            .iter()
+            .map(|phi_t| {
+                sources
+                    .iter()
+                    .map(|src| {
+                        // Negate: lower divergence = better = higher score.
+                        -js_divergence(phi_t, src).unwrap_or(f64::INFINITY)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{case_study, concentrated_row};
+
+    #[test]
+    fn clean_topics_get_their_labels() {
+        let (corpus, ks) = case_study();
+        let v = corpus.vocab_size();
+        let pencil = corpus.vocabulary().get("pencil").unwrap().index();
+        let ruler = corpus.vocabulary().get("ruler").unwrap().index();
+        let baseball = corpus.vocabulary().get("baseball").unwrap().index();
+        let umpire = corpus.vocabulary().get("umpire").unwrap().index();
+        let school_topic = concentrated_row(v, &[(pencil, 0.55), (ruler, 0.45)]);
+        let sports_topic = concentrated_row(v, &[(baseball, 0.6), (umpire, 0.4)]);
+        let ctx = LabelingContext::new(&ks, &corpus);
+        let labels = JsDivergenceLabeler.label(&[school_topic, sports_topic], &ctx);
+        assert_eq!(labels[0].label, "School Supplies");
+        assert_eq!(labels[1].label, "Baseball");
+    }
+
+    #[test]
+    fn mixed_topic_prefers_dominant_theme() {
+        let (corpus, ks) = case_study();
+        let v = corpus.vocab_size();
+        let pencil = corpus.vocabulary().get("pencil").unwrap().index();
+        let baseball = corpus.vocabulary().get("baseball").unwrap().index();
+        // 80% baseball mass.
+        let mixed = concentrated_row(v, &[(pencil, 0.2), (baseball, 0.8)]);
+        let ctx = LabelingContext::new(&ks, &corpus);
+        let labels = JsDivergenceLabeler.label(&[mixed], &ctx);
+        assert_eq!(labels[0].label, "Baseball");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(JsDivergenceLabeler.name(), "JS Divergence");
+    }
+}

@@ -1,0 +1,130 @@
+//! Post-hoc topic labeling.
+//!
+//! The paper's §I case study compares four techniques for mapping LDA
+//! topics onto knowledge-source labels *after* modeling, and §IV.C's IR-LDA
+//! baseline labels LDA topics with a TF-IDF/cosine-similarity retrieval
+//! step. This crate implements all of them behind one [`TopicLabeler`]
+//! trait:
+//!
+//! * [`JsDivergenceLabeler`] — minimal Jensen–Shannon divergence between the
+//!   topic's word distribution and each source distribution;
+//! * [`TfIdfCosineLabeler`] — cosine similarity between TF-IDF article
+//!   vectors and a TF-IDF-weighted query built from the topic's top words;
+//! * [`CountingLabeler`] — total occurrences of the topic's top words in
+//!   each source article;
+//! * [`PmiLabeler`] — mean corpus PMI between the topic's top words and
+//!   each article's top words;
+//! * [`ir::IrLda`] — the complete IR-LDA pipeline (LDA + TF-IDF/CS labels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod counting;
+pub mod ir;
+pub mod js;
+pub mod pmi;
+pub mod tfidf_cs;
+
+pub use assignment::{argmax_assignments, greedy_unique_assignments, LabelAssignment};
+pub use counting::CountingLabeler;
+pub use ir::IrLda;
+pub use js::JsDivergenceLabeler;
+pub use pmi::PmiLabeler;
+pub use tfidf_cs::TfIdfCosineLabeler;
+
+use srclda_corpus::Corpus;
+use srclda_knowledge::KnowledgeSource;
+
+/// Inputs shared by all labelers.
+pub struct LabelingContext<'a> {
+    /// The candidate labels with their article count vectors.
+    pub knowledge: &'a KnowledgeSource,
+    /// The corpus that was modeled (needed by the PMI and TF-IDF mappers).
+    pub corpus: &'a Corpus,
+    /// Number of top topic words the word-based mappers consider.
+    pub top_n: usize,
+}
+
+impl<'a> LabelingContext<'a> {
+    /// Context with the paper's default of 10 top words.
+    pub fn new(knowledge: &'a KnowledgeSource, corpus: &'a Corpus) -> Self {
+        Self {
+            knowledge,
+            corpus,
+            top_n: 10,
+        }
+    }
+}
+
+/// A labeling technique: produces a score matrix `scores[topic][source]`
+/// (higher = better match) for a set of fitted topic–word distributions.
+pub trait TopicLabeler {
+    /// Short technique name (for report tables).
+    fn name(&self) -> &'static str;
+
+    /// Score every (topic, source) pair.
+    fn score_matrix(&self, phi_rows: &[Vec<f64>], ctx: &LabelingContext<'_>) -> Vec<Vec<f64>>;
+
+    /// Convenience: label each topic with its best-scoring source.
+    fn label(&self, phi_rows: &[Vec<f64>], ctx: &LabelingContext<'_>) -> Vec<LabelAssignment> {
+        argmax_assignments(&self.score_matrix(phi_rows, ctx), ctx.knowledge)
+    }
+
+    /// Convenience: one-to-one labeling by greedy best-score matching.
+    fn label_unique(
+        &self,
+        phi_rows: &[Vec<f64>],
+        ctx: &LabelingContext<'_>,
+    ) -> Vec<LabelAssignment> {
+        greedy_unique_assignments(&self.score_matrix(phi_rows, ctx), ctx.knowledge)
+    }
+}
+
+/// The top-`n` word indices of a topic row (shared helper).
+pub(crate) fn top_word_ids(phi_t: &[f64], n: usize) -> Vec<usize> {
+    srclda_math::simplex::top_n_indices(phi_t, n)
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use srclda_corpus::{Corpus, CorpusBuilder, Tokenizer};
+    use srclda_knowledge::{KnowledgeSource, KnowledgeSourceBuilder};
+
+    /// The paper's §I case-study world: school-supply and baseball articles
+    /// over a corpus that mixes both themes.
+    pub fn case_study() -> (Corpus, KnowledgeSource) {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        b.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+        b.add_tokens("d2", &["ruler", "ruler", "baseball"]);
+        let corpus = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_counts(
+            "School Supplies",
+            vec![
+                ("pencil".into(), 40.0),
+                ("ruler".into(), 30.0),
+            ],
+        );
+        ks.add_counts(
+            "Baseball",
+            vec![
+                ("baseball".into(), 35.0),
+                ("umpire".into(), 25.0),
+            ],
+        );
+        let source = ks.build(corpus.vocabulary());
+        (corpus, source)
+    }
+
+    /// A φ row concentrated on the given word indices.
+    pub fn concentrated_row(v: usize, words: &[(usize, f64)]) -> Vec<f64> {
+        let mut row = vec![1e-6; v];
+        for &(w, p) in words {
+            row[w] = p;
+        }
+        let s: f64 = row.iter().sum();
+        row.iter_mut().for_each(|x| *x /= s);
+        row
+    }
+}

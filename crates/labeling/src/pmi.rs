@@ -1,0 +1,127 @@
+//! PMI-based labeling: score a (topic, source) pair by the mean pointwise
+//! mutual information — measured in the modeled corpus — between the
+//! topic's top words and the article's top words.
+
+use crate::{top_word_ids, LabelingContext, TopicLabeler};
+use srclda_corpus::{CooccurrenceCounts, WordId};
+use srclda_math::FxHashSet;
+
+/// PMI labeler with a configurable co-occurrence window.
+#[derive(Debug, Clone, Copy)]
+pub struct PmiLabeler {
+    /// Sliding-window width for co-occurrence counting.
+    pub window: usize,
+}
+
+impl Default for PmiLabeler {
+    fn default() -> Self {
+        Self { window: 10 }
+    }
+}
+
+impl TopicLabeler for PmiLabeler {
+    fn name(&self) -> &'static str {
+        "PMI"
+    }
+
+    fn score_matrix(&self, phi_rows: &[Vec<f64>], ctx: &LabelingContext<'_>) -> Vec<Vec<f64>> {
+        // Interesting words: every topic's top-n plus every article's top-n.
+        let mut interesting: FxHashSet<WordId> = FxHashSet::default();
+        let mut topic_tops: Vec<Vec<WordId>> = Vec::with_capacity(phi_rows.len());
+        for phi_t in phi_rows {
+            let tops: Vec<WordId> = top_word_ids(phi_t, ctx.top_n)
+                .into_iter()
+                .map(WordId::new)
+                .collect();
+            interesting.extend(tops.iter().copied());
+            topic_tops.push(tops);
+        }
+        let article_tops: Vec<Vec<WordId>> = ctx
+            .knowledge
+            .topics()
+            .iter()
+            .map(|t| t.top_words(ctx.top_n))
+            .collect();
+        for tops in &article_tops {
+            interesting.extend(tops.iter().copied());
+        }
+        let counts = CooccurrenceCounts::count(ctx.corpus, &interesting, self.window);
+        topic_tops
+            .iter()
+            .map(|t_tops| {
+                article_tops
+                    .iter()
+                    .map(|a_tops| {
+                        let mut acc = 0.0;
+                        let mut n = 0usize;
+                        for &tw in t_tops {
+                            for &aw in a_tops {
+                                if tw == aw {
+                                    continue;
+                                }
+                                if let Some(p) = counts.pmi(tw, aw) {
+                                    acc += p;
+                                    n += 1;
+                                }
+                            }
+                        }
+                        if n == 0 {
+                            f64::NEG_INFINITY
+                        } else {
+                            acc / n as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    #[test]
+    fn corpus_cooccurrence_drives_labels() {
+        // Corpus where "gas" co-occurs with "pipeline" and "stock" with
+        // "market".
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        for _ in 0..20 {
+            b.add_tokens("g", &["gas", "pipeline", "gas", "pipeline"]);
+            b.add_tokens("s", &["stock", "market", "stock", "market"]);
+        }
+        let corpus = b.build();
+        let mut ksb = KnowledgeSourceBuilder::new();
+        ksb.add_counts("Energy", vec![("pipeline".into(), 10.0)]);
+        ksb.add_counts("Finance", vec![("market".into(), 10.0)]);
+        let ks = ksb.build(corpus.vocabulary());
+        let v = corpus.vocab_size();
+        let gas = corpus.vocabulary().get("gas").unwrap().index();
+        let stock = corpus.vocabulary().get("stock").unwrap().index();
+        let mut gas_topic = vec![1e-9; v];
+        gas_topic[gas] = 1.0;
+        let mut stock_topic = vec![1e-9; v];
+        stock_topic[stock] = 1.0;
+        let mut ctx = LabelingContext::new(&ks, &corpus);
+        ctx.top_n = 1;
+        let labels = PmiLabeler::default().label(&[gas_topic, stock_topic], &ctx);
+        assert_eq!(labels[0].label, "Energy");
+        assert_eq!(labels[1].label, "Finance");
+    }
+
+    #[test]
+    fn no_scorable_pairs_scores_neg_infinity() {
+        let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+        b.add_tokens("d", &["alpha", "beta"]);
+        let corpus = b.build();
+        let mut ksb = KnowledgeSourceBuilder::new();
+        ksb.add_counts("Empty", vec![("nothing".into(), 1.0)]);
+        let ks = ksb.build(corpus.vocabulary());
+        let ctx = LabelingContext::new(&ks, &corpus);
+        let uniform = vec![0.5, 0.5];
+        let scores = PmiLabeler::default().score_matrix(&[uniform], &ctx);
+        assert_eq!(scores[0][0], f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,229 @@
+//! The Dirichlet distribution (§II.A of the paper).
+//!
+//! Source-LDA's core trick is parameterizing per-topic Dirichlets with
+//! knowledge-source word counts (optionally raised to a power `g(λ)`), so
+//! this type is exercised heavily by both the generative samplers and the
+//! Figure 2–4 experiments.
+
+use crate::error::MathError;
+use crate::gamma::sample_gamma;
+use crate::rng::SldaRng;
+use crate::special::{ln_gamma, ln_multivariate_beta};
+
+/// A Dirichlet distribution over the `(J-1)`-simplex, parameterized by a
+/// vector `α` of positive concentration parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+    alpha_sum: f64,
+}
+
+impl Dirichlet {
+    /// Construct from an explicit parameter vector.
+    ///
+    /// # Errors
+    /// Returns an error if `alpha` is empty or contains a non-positive or
+    /// non-finite entry.
+    pub fn new(alpha: Vec<f64>) -> crate::Result<Self> {
+        if alpha.is_empty() {
+            return Err(MathError::Empty("Dirichlet parameter vector"));
+        }
+        for &a in &alpha {
+            if !(a > 0.0 && a.is_finite()) {
+                return Err(MathError::NonPositiveParameter {
+                    name: "alpha",
+                    value: a,
+                });
+            }
+        }
+        let alpha_sum = alpha.iter().sum();
+        Ok(Self { alpha, alpha_sum })
+    }
+
+    /// Construct a symmetric Dirichlet with `k` atoms and concentration `a`.
+    pub fn symmetric(a: f64, k: usize) -> crate::Result<Self> {
+        if k == 0 {
+            return Err(MathError::Empty("Dirichlet parameter vector"));
+        }
+        Self::new(vec![a; k])
+    }
+
+    /// The parameter vector `α`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Number of atoms `J`.
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// The distribution mean, `αᵢ / Σα`.
+    pub fn mean(&self) -> Vec<f64> {
+        self.alpha.iter().map(|&a| a / self.alpha_sum).collect()
+    }
+
+    /// Draw a probability mass function from the distribution.
+    ///
+    /// Uses the standard Gamma normalization: draw `gᵢ ~ Gamma(αᵢ)` and
+    /// normalize. Guards against the (astronomically unlikely with positive
+    /// parameters) all-zero draw by retrying.
+    pub fn sample(&self, rng: &mut SldaRng) -> Vec<f64> {
+        let mut out = vec![0.0; self.alpha.len()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draw a PMF into a caller-provided buffer (avoids per-draw allocation
+    /// in the Figure 2–4 experiments which take thousands of samples).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.dim()`.
+    pub fn sample_into(&self, rng: &mut SldaRng, out: &mut [f64]) {
+        assert_eq!(out.len(), self.alpha.len(), "output buffer dimension mismatch");
+        loop {
+            let mut sum = 0.0;
+            for (o, &a) in out.iter_mut().zip(&self.alpha) {
+                let g = sample_gamma(a, rng);
+                *o = g;
+                sum += g;
+            }
+            if sum > 0.0 && sum.is_finite() {
+                for o in out.iter_mut() {
+                    *o /= sum;
+                }
+                return;
+            }
+        }
+    }
+
+    /// Log probability density of a point `θ` on the simplex.
+    ///
+    /// # Errors
+    /// Returns an error if `θ` has the wrong length or is not (approximately)
+    /// a probability distribution.
+    pub fn log_pdf(&self, theta: &[f64]) -> crate::Result<f64> {
+        if theta.len() != self.alpha.len() {
+            return Err(MathError::LengthMismatch {
+                context: "Dirichlet::log_pdf",
+                left: theta.len(),
+                right: self.alpha.len(),
+            });
+        }
+        let sum: f64 = theta.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(MathError::NotADistribution {
+                context: "Dirichlet::log_pdf",
+                sum,
+            });
+        }
+        let mut lp = ln_gamma(self.alpha_sum);
+        for (&t, &a) in theta.iter().zip(&self.alpha) {
+            lp -= ln_gamma(a);
+            // lim_{t→0⁺} (a-1) ln t = +∞/-∞ depending on a; clamp for stability.
+            lp += (a - 1.0) * t.max(1e-300).ln();
+        }
+        Ok(lp)
+    }
+
+    /// Log normalizer `ln B(α)` (useful in collapsed likelihoods).
+    pub fn log_normalizer(&self) -> f64 {
+        ln_multivariate_beta(&self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Dirichlet::new(vec![]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -2.0]).is_err());
+        assert!(Dirichlet::new(vec![f64::NAN]).is_err());
+        assert!(Dirichlet::symmetric(1.0, 0).is_err());
+    }
+
+    #[test]
+    fn samples_lie_on_simplex() {
+        let mut rng = rng_from_seed(5);
+        let d = Dirichlet::new(vec![0.1, 2.0, 5.0, 0.01]).unwrap();
+        for _ in 0..1000 {
+            let theta = d.sample(&mut rng);
+            let sum: f64 = theta.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(theta.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let mut rng = rng_from_seed(7);
+        let d = Dirichlet::new(vec![1.0, 2.0, 7.0]).unwrap();
+        let mut acc = [0.0; 3];
+        let n = 30_000;
+        let mut buf = vec![0.0; 3];
+        for _ in 0..n {
+            d.sample_into(&mut rng, &mut buf);
+            for (a, &b) in acc.iter_mut().zip(&buf) {
+                *a += b;
+            }
+        }
+        for (a, m) in acc.iter().zip(d.mean()) {
+            assert!((a / n as f64 - m).abs() < 5e-3, "empirical {a} vs {m}");
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass() {
+        // As α → 0 the draw concentrates on few atoms (paper §II.A).
+        let mut rng = rng_from_seed(9);
+        let d = Dirichlet::symmetric(0.01, 50).unwrap();
+        let mut max_share = 0.0;
+        for _ in 0..50 {
+            let theta = d.sample(&mut rng);
+            let m = theta.iter().cloned().fold(0.0, f64::max);
+            max_share += m;
+        }
+        max_share /= 50.0;
+        assert!(max_share > 0.5, "expected concentration, got avg max {max_share}");
+    }
+
+    #[test]
+    fn large_alpha_approaches_uniform() {
+        let mut rng = rng_from_seed(10);
+        let k = 10;
+        let d = Dirichlet::symmetric(1000.0, k).unwrap();
+        let theta = d.sample(&mut rng);
+        for &p in &theta {
+            assert!((p - 1.0 / k as f64).abs() < 0.02, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn log_pdf_validates_inputs() {
+        let d = Dirichlet::symmetric(1.0, 3).unwrap();
+        assert!(d.log_pdf(&[0.5, 0.5]).is_err());
+        assert!(d.log_pdf(&[0.5, 0.4, 0.5]).is_err());
+        assert!(d.log_pdf(&[0.2, 0.3, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn uniform_dirichlet_density_is_constant() {
+        // Dir(1, 1, 1) is uniform over the simplex: pdf = Γ(3) = 2.
+        let d = Dirichlet::symmetric(1.0, 3).unwrap();
+        let lp1 = d.log_pdf(&[0.2, 0.3, 0.5]).unwrap();
+        let lp2 = d.log_pdf(&[0.7, 0.1, 0.2]).unwrap();
+        assert!((lp1 - lp2).abs() < 1e-9);
+        assert!((lp1 - 2f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_normalizer_symmetric_case() {
+        // B(1,1) = 1 for the 1-simplex.
+        let d = Dirichlet::symmetric(1.0, 2).unwrap();
+        assert!((d.log_normalizer() - 0.0).abs() < 1e-12);
+    }
+}

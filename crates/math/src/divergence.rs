@@ -1,0 +1,179 @@
+//! Divergences and distances between discrete probability distributions.
+//!
+//! The paper leans on the Jensen–Shannon divergence everywhere: Figures 2–4
+//! measure the JS divergence between a source distribution and Dirichlet
+//! draws; the graphical experiment reports average JS divergence per model;
+//! topic labeling and topic-to-document evaluation (Fig. 8 d/e) both use it.
+//! We use natural-log JS, whose maximum value is `ln 2 ≈ 0.693` — consistent
+//! with the ranges plotted in the paper.
+
+use crate::error::MathError;
+
+fn check_pair(context: &'static str, p: &[f64], q: &[f64]) -> crate::Result<()> {
+    if p.len() != q.len() {
+        return Err(MathError::LengthMismatch {
+            context,
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    if p.is_empty() {
+        return Err(MathError::Empty("distribution"));
+    }
+    Ok(())
+}
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` in nats.
+///
+/// Uses the conventions `0·ln(0/q) = 0` and returns `+∞` when `p` has mass
+/// where `q` has none.
+///
+/// # Errors
+/// Fails on length mismatch or empty inputs. Inputs are assumed normalized.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> crate::Result<f64> {
+    check_pair("kl_divergence", p, q)?;
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi <= 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            acc += pi * (pi / qi).ln();
+        }
+    }
+    Ok(acc)
+}
+
+/// Jensen–Shannon divergence in nats: `½ KL(p ‖ m) + ½ KL(q ‖ m)` with
+/// `m = ½(p + q)`. Always finite, symmetric, bounded by `ln 2`.
+///
+/// # Errors
+/// Fails on length mismatch or empty inputs.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> crate::Result<f64> {
+    check_pair("js_divergence", p, q)?;
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let mi = 0.5 * (pi + qi);
+        if pi > 0.0 {
+            acc += 0.5 * pi * (pi / mi).ln();
+        }
+        if qi > 0.0 {
+            acc += 0.5 * qi * (qi / mi).ln();
+        }
+    }
+    // Guard tiny negative rounding.
+    Ok(acc.max(0.0))
+}
+
+/// Hellinger distance `H(p, q) = (1/√2)·‖√p − √q‖₂`, in `[0, 1]`.
+///
+/// # Errors
+/// Fails on length mismatch or empty inputs.
+pub fn hellinger(p: &[f64], q: &[f64]) -> crate::Result<f64> {
+    check_pair("hellinger", p, q)?;
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        let d = pi.sqrt() - qi.sqrt();
+        acc += d * d;
+    }
+    Ok((acc / 2.0).sqrt().min(1.0))
+}
+
+/// Total variation distance `½ Σ |pᵢ − qᵢ|`, in `[0, 1]`.
+///
+/// # Errors
+/// Fails on length mismatch or empty inputs.
+pub fn total_variation(p: &[f64], q: &[f64]) -> crate::Result<f64> {
+    check_pair("total_variation", p, q)?;
+    Ok(p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LN2: f64 = std::f64::consts::LN_2;
+
+    #[test]
+    fn kl_identity_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_mismatch() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [1.0, 0.0, 0.0];
+        assert!(kl_divergence(&p, &q).unwrap().is_infinite());
+        // But q ≪ p is fine.
+        assert!(kl_divergence(&q, &p).unwrap().is_finite());
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL(Bern(0.5) || Bern(0.25)) = 0.5 ln 2 + 0.5 ln(2/3)
+        let p = [0.5, 0.5];
+        let q = [0.25, 0.75];
+        let expected = 0.5 * (0.5f64 / 0.25).ln() + 0.5 * (0.5f64 / 0.75).ln();
+        assert!((kl_divergence(&p, &q).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.0, 0.1, 0.9];
+        let a = js_divergence(&p, &q).unwrap();
+        let b = js_divergence(&q, &p).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!(a > 0.0 && a <= LN2 + 1e-12);
+    }
+
+    #[test]
+    fn js_maximum_for_disjoint_support() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((js_divergence(&p, &q).unwrap() - LN2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_identity_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(js_divergence(&p, &p).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_properties() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((hellinger(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+        assert!(hellinger(&p, &p).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+        let r = [0.5, 0.5];
+        assert!((total_variation(&p, &r).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(kl_divergence(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(js_divergence(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(hellinger(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(total_variation(&[1.0], &[0.5, 0.5]).is_err());
+        assert!(js_divergence(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn js_le_tv_relationship_sanity() {
+        // JS(p,q) ≤ TV(p,q)·ln2·2 — loose sanity bound linking the metrics.
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        let js = js_divergence(&p, &q).unwrap();
+        let tv = total_variation(&p, &q).unwrap();
+        assert!(js <= 2.0 * LN2 * tv + 1e-12);
+    }
+}

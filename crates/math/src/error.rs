@@ -1,0 +1,107 @@
+//! Error type shared by the numeric constructors in this crate.
+
+use std::fmt;
+
+/// Errors produced by fallible numeric constructors and routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A collection that must be non-empty was empty.
+    Empty(&'static str),
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Name of the operation that failed.
+        context: &'static str,
+        /// Length of the left-hand input.
+        left: usize,
+        /// Length of the right-hand input.
+        right: usize,
+    },
+    /// A vector expected to be a probability distribution was not.
+    NotADistribution {
+        /// Name of the operation that failed.
+        context: &'static str,
+        /// The sum of the supplied vector.
+        sum: f64,
+    },
+    /// A value was outside its permitted domain.
+    OutOfDomain {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be > 0, got {value}")
+            }
+            MathError::Empty(what) => write!(f, "{what} must be non-empty"),
+            MathError::LengthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "{context}: length mismatch ({left} vs {right})"),
+            MathError::NotADistribution { context, sum } => {
+                write!(f, "{context}: input is not a probability distribution (sum = {sum})")
+            }
+            MathError::OutOfDomain { name, value } => {
+                write!(f, "parameter `{name}` out of domain: {value}")
+            }
+            MathError::NoConvergence(what) => write!(f, "{what} failed to converge"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MathError::NonPositiveParameter {
+            name: "alpha",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = MathError::LengthMismatch {
+            context: "kl_divergence",
+            left: 3,
+            right: 4,
+        };
+        assert!(e.to_string().contains("kl_divergence"));
+
+        let e = MathError::Empty("weights");
+        assert!(e.to_string().contains("weights"));
+
+        let e = MathError::NotADistribution {
+            context: "entropy",
+            sum: 0.5,
+        };
+        assert!(e.to_string().contains("0.5"));
+
+        let e = MathError::OutOfDomain {
+            name: "lambda",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("lambda"));
+
+        let e = MathError::NoConvergence("truncated normal sampling");
+        assert!(e.to_string().contains("converge"));
+    }
+}

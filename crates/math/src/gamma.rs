@@ -1,0 +1,119 @@
+//! Gamma-variate sampling (Marsaglia–Tsang), the workhorse behind Dirichlet
+//! draws.
+
+use crate::rng::SldaRng;
+use rand::Rng;
+
+/// Sample from `Gamma(shape, scale = 1)` using the Marsaglia–Tsang squeeze
+/// method, with the `shape < 1` boost `Gamma(a) = Gamma(a + 1) · U^{1/a}`.
+///
+/// # Panics
+/// Panics (debug builds) if `shape <= 0`.
+pub fn sample_gamma(shape: f64, rng: &mut SldaRng) -> f64 {
+    debug_assert!(shape > 0.0, "gamma shape must be > 0, got {shape}");
+    if shape < 1.0 {
+        // Boost: draw from Gamma(shape + 1) and scale down.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller (two uniforms; the second is
+        // discarded to keep the state machine simple — Gibbs sampling
+        // dominates the runtime anyway).
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        // Squeeze acceptance (fast path).
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        // Full acceptance test.
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Sample from `Gamma(shape, scale)`.
+pub fn sample_gamma_scaled(shape: f64, scale: f64, rng: &mut SldaRng) -> f64 {
+    debug_assert!(scale > 0.0, "gamma scale must be > 0, got {scale}");
+    sample_gamma(shape, rng) * scale
+}
+
+/// Standard normal draw via the Box–Muller transform.
+pub fn standard_normal(rng: &mut SldaRng) -> f64 {
+    // Guard u1 away from 0 so ln is finite.
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = rng_from_seed(11);
+        let shape = 4.5;
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_gamma(shape, &mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        // Gamma(k, 1): mean = k, var = k.
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+        assert!((var - shape).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = rng_from_seed(13);
+        let shape = 0.3;
+        let samples: Vec<f64> = (0..50_000).map(|_| sample_gamma(shape, &mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - shape).abs() < 0.02, "mean {mean}");
+        assert!((var - shape).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_positive() {
+        let mut rng = rng_from_seed(17);
+        for &shape in &[0.01, 0.5, 1.0, 2.0, 100.0] {
+            for _ in 0..1000 {
+                assert!(sample_gamma(shape, &mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_gamma_mean() {
+        let mut rng = rng_from_seed(19);
+        let samples: Vec<f64> = (0..40_000)
+            .map(|_| sample_gamma_scaled(2.0, 3.0, &mut rng))
+            .collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(23);
+        let samples: Vec<f64> = (0..100_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Gaussian utilities: pdf, truncated sampling, and the discretized
+//! truncated normal used to integrate λ out of the collapsed Gibbs equations
+//! (§III.C.2, Eq. 3–4 of the paper).
+
+use crate::error::MathError;
+use crate::gamma::standard_normal;
+use crate::rng::SldaRng;
+use crate::special::std_normal_cdf;
+use rand::Rng;
+
+/// Normal density `N(x; µ, σ)`.
+pub fn normal_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma > 0.0);
+    let z = (x - mu) / sigma;
+    (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+}
+
+/// A normal distribution truncated to a closed interval `[lo, hi]`.
+///
+/// The paper draws `λ_t ~ N(µ, σ)` "bound ... to the interval [0, 1]" for
+/// the generative model (§IV.B), which is exactly this distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedNormal {
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Construct a truncated normal.
+    ///
+    /// # Errors
+    /// Fails if `sigma <= 0` or `lo >= hi`.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> crate::Result<Self> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(MathError::NonPositiveParameter {
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        if lo >= hi {
+            return Err(MathError::OutOfDomain {
+                name: "lo/hi",
+                value: lo,
+            });
+        }
+        Ok(Self { mu, sigma, lo, hi })
+    }
+
+    /// The standard `[0, 1]`-bounded prior over λ.
+    pub fn unit_interval(mu: f64, sigma: f64) -> crate::Result<Self> {
+        Self::new(mu, sigma, 0.0, 1.0)
+    }
+
+    /// Mass the untruncated normal places inside `[lo, hi]`.
+    pub fn acceptance_mass(&self) -> f64 {
+        std_normal_cdf((self.hi - self.mu) / self.sigma)
+            - std_normal_cdf((self.lo - self.mu) / self.sigma)
+    }
+
+    /// Draw a sample by rejection, falling back to a clamped draw if the
+    /// acceptance region is pathologically small.
+    pub fn sample(&self, rng: &mut SldaRng) -> f64 {
+        const MAX_REJECTIONS: usize = 10_000;
+        for _ in 0..MAX_REJECTIONS {
+            let x = self.mu + self.sigma * standard_normal(rng);
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+        // Degenerate tail: fall back to uniform over the interval, which is
+        // the limit shape of an extremely flat truncated normal there.
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+
+    /// Density at `x` (normalized over the truncation interval).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        normal_pdf(x, self.mu, self.sigma) / self.acceptance_mass()
+    }
+
+    /// The mean parameter µ of the parent normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The scale parameter σ of the parent normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// A discretization of a `[lo, hi]`-truncated normal onto `A` midpoint
+/// quadrature nodes with normalized weights.
+///
+/// This realizes the paper's "approximated numerically during sampling":
+/// the integral `∫ f(λ) N(λ; µ, σ) dλ` over `[0, 1]` becomes
+/// `Σₐ wₐ f(λₐ)` with `Σ wₐ = 1`. `A` is the paper's *approximation steps*
+/// parameter, which enters the running-time bound `O(I·D_avg·D·T·A)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizedGaussian {
+    points: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl DiscretizedGaussian {
+    /// Discretize `N(µ, σ)` truncated to `[lo, hi]` onto `a_points` nodes.
+    ///
+    /// # Errors
+    /// Fails if `a_points == 0`, `sigma <= 0`, or `lo >= hi`.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64, a_points: usize) -> crate::Result<Self> {
+        if a_points == 0 {
+            return Err(MathError::Empty("quadrature points"));
+        }
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(MathError::NonPositiveParameter {
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        if lo >= hi {
+            return Err(MathError::OutOfDomain {
+                name: "lo/hi",
+                value: lo,
+            });
+        }
+        let step = (hi - lo) / a_points as f64;
+        let mut points = Vec::with_capacity(a_points);
+        let mut weights = Vec::with_capacity(a_points);
+        for a in 0..a_points {
+            let x = lo + (a as f64 + 0.5) * step;
+            points.push(x);
+            weights.push(normal_pdf(x, mu, sigma));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || total.is_nan() {
+            // Completely flat tail: fall back to uniform weights.
+            let w = 1.0 / a_points as f64;
+            weights.iter_mut().for_each(|v| *v = w);
+        } else {
+            weights.iter_mut().for_each(|v| *v /= total);
+        }
+        Ok(Self { points, weights })
+    }
+
+    /// Discretization of the `[0, 1]` λ prior onto `A` nodes.
+    pub fn unit_interval(mu: f64, sigma: f64, a_points: usize) -> crate::Result<Self> {
+        Self::new(mu, sigma, 0.0, 1.0, a_points)
+    }
+
+    /// Quadrature nodes `λₐ`.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Normalized weights `wₐ` (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of nodes `A`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff there are no nodes (never for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Approximate `E[f(λ)]` under the truncated normal.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    #[test]
+    fn pdf_peak_at_mean() {
+        assert!(normal_pdf(0.0, 0.0, 1.0) > normal_pdf(0.5, 0.0, 1.0));
+        let peak = normal_pdf(0.0, 0.0, 1.0);
+        assert!((peak - 0.398_942_28).abs() < 1e-7);
+    }
+
+    #[test]
+    fn truncated_normal_bounds_respected() {
+        let mut rng = rng_from_seed(51);
+        let tn = TruncatedNormal::unit_interval(0.5, 1.0).unwrap();
+        for _ in 0..10_000 {
+            let x = tn.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_mean_shifts_with_mu() {
+        let mut rng = rng_from_seed(53);
+        let lo = TruncatedNormal::unit_interval(0.2, 0.3).unwrap();
+        let hi = TruncatedNormal::unit_interval(0.8, 0.3).unwrap();
+        let n = 20_000;
+        let mean_lo: f64 = (0..n).map(|_| lo.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean_hi: f64 = (0..n).map(|_| hi.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean_lo < 0.4, "mean_lo = {mean_lo}");
+        assert!(mean_hi > 0.6, "mean_hi = {mean_hi}");
+    }
+
+    #[test]
+    fn truncated_normal_rejects_bad_params() {
+        assert!(TruncatedNormal::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, -1.0, 0.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 1.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn acceptance_mass_sane() {
+        let tn = TruncatedNormal::unit_interval(0.5, 0.1).unwrap();
+        assert!(tn.acceptance_mass() > 0.999);
+        let wide = TruncatedNormal::unit_interval(0.5, 10.0).unwrap();
+        assert!(wide.acceptance_mass() < 0.1);
+    }
+
+    #[test]
+    fn pdf_zero_outside_interval() {
+        let tn = TruncatedNormal::unit_interval(0.5, 1.0).unwrap();
+        assert_eq!(tn.pdf(-0.1), 0.0);
+        assert_eq!(tn.pdf(1.1), 0.0);
+        assert!(tn.pdf(0.5) > 0.0);
+    }
+
+    #[test]
+    fn discretized_weights_normalized() {
+        let dg = DiscretizedGaussian::unit_interval(0.7, 0.3, 16).unwrap();
+        let sum: f64 = dg.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(dg.len(), 16);
+        assert!(dg.points().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn discretized_weights_peak_near_mu() {
+        let dg = DiscretizedGaussian::unit_interval(0.7, 0.1, 20).unwrap();
+        let (argmax, _) = dg
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let peak_point = dg.points()[argmax];
+        assert!((peak_point - 0.7).abs() < 0.06, "peak at {peak_point}");
+    }
+
+    #[test]
+    fn integrate_constant_function() {
+        let dg = DiscretizedGaussian::unit_interval(0.5, 1.0, 8).unwrap();
+        assert!((dg.integrate(|_| 3.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_mean_approximates_truncated_mean() {
+        // For a nearly-flat normal over [0,1], E[λ] ≈ 0.5.
+        let dg = DiscretizedGaussian::unit_interval(0.5, 100.0, 64).unwrap();
+        assert!((dg.integrate(|x| x) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_zero_points() {
+        assert!(DiscretizedGaussian::unit_interval(0.5, 1.0, 0).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! A fast, deterministic, non-cryptographic hasher (the rustc "Fx" hash).
+//!
+//! Vocabulary interning hashes millions of short strings; SipHash (std's
+//! default) is measurably slower and HashDoS resistance is irrelevant here.
+//! The algorithm is tiny, so we implement it in-crate rather than pull a
+//! dependency (see DESIGN.md §6).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: multiply-rotate over machine words.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so "a" and "a\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(&"pencil"), hash_of(&"pencil"));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_close_strings() {
+        assert_ne!(hash_of(&"pencil"), hash_of(&"pencils"));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn tail_length_mixed_in() {
+        // Same bytes, different lengths must differ.
+        let mut h1 = FxHasher::default();
+        h1.write(b"abc");
+        let mut h2 = FxHasher::default();
+        h2.write(b"abc\0");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut map: FxHashMap<String, usize> = FxHashMap::default();
+        for (i, w) in ["ruler", "baseball", "umpire", "pencil"].iter().enumerate() {
+            map.insert((*w).to_string(), i);
+        }
+        assert_eq!(map["umpire"], 2);
+        let mut set: FxHashSet<&str> = FxHashSet::default();
+        set.insert("x");
+        assert!(set.contains("x"));
+    }
+
+    #[test]
+    fn distribution_sanity() {
+        // Hash 10k distinct strings into 64 buckets; no bucket should be
+        // pathologically loaded.
+        let mut buckets = [0usize; 64];
+        for i in 0..10_000 {
+            let h = hash_of(&format!("word-{i}"));
+            buckets[(h % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 400, "bucket overload: {max}");
+    }
+}

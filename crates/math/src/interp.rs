@@ -1,0 +1,226 @@
+//! Piecewise-linear interpolation and monotone inversion.
+//!
+//! The smoothing function `g(λ)` of §III.C.2 is "approximated ... by linear
+//! interpolation of an aggregated large number of samples for each point
+//! taken in the range 0 to 1": we sample the JS-divergence curve as a
+//! function of the hyperparameter exponent, then *invert* it so that equal
+//! steps in λ produce equal steps in expected JS divergence. Both the
+//! forward curve and its inverse are [`PiecewiseLinear`] functions.
+
+use crate::error::MathError;
+
+/// A piecewise-linear function defined by knots `(xs[i], ys[i])` with
+/// strictly increasing `xs`. Evaluation outside the knot range clamps to the
+/// end values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Build from knot vectors.
+    ///
+    /// # Errors
+    /// Fails if the vectors are empty, have different lengths, or `xs` is
+    /// not strictly increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> crate::Result<Self> {
+        if xs.is_empty() {
+            return Err(MathError::Empty("interpolation knots"));
+        }
+        if xs.len() != ys.len() {
+            return Err(MathError::LengthMismatch {
+                context: "PiecewiseLinear::new",
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        for w in xs.windows(2) {
+            if w[1] <= w[0] {
+                return Err(MathError::OutOfDomain {
+                    name: "xs (must be strictly increasing)",
+                    value: w[1],
+                });
+            }
+        }
+        Ok(Self { xs, ys })
+    }
+
+    /// Build from `(x, y)` sample pairs, sorting by `x` and averaging
+    /// duplicate `x` values.
+    ///
+    /// # Errors
+    /// Fails if no samples are given.
+    pub fn from_samples(mut samples: Vec<(f64, f64)>) -> crate::Result<Self> {
+        if samples.is_empty() {
+            return Err(MathError::Empty("interpolation samples"));
+        }
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut xs: Vec<f64> = Vec::with_capacity(samples.len());
+        let mut ys: Vec<f64> = Vec::with_capacity(samples.len());
+        let mut i = 0;
+        while i < samples.len() {
+            let x = samples[i].0;
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            while i < samples.len() && samples[i].0 == x {
+                acc += samples[i].1;
+                n += 1;
+                i += 1;
+            }
+            xs.push(x);
+            ys.push(acc / n as f64);
+        }
+        Self::new(xs, ys)
+    }
+
+    /// The knot x-coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The knot y-coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Evaluate at `x` (clamping outside the knot range).
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the bracketing interval.
+        let mut lo = 0usize;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// Whether the knot y-values are monotone non-increasing.
+    pub fn is_non_increasing(&self) -> bool {
+        self.ys.windows(2).all(|w| w[1] <= w[0] + 1e-12)
+    }
+
+    /// Whether the knot y-values are monotone non-decreasing.
+    pub fn is_non_decreasing(&self) -> bool {
+        self.ys.windows(2).all(|w| w[1] >= w[0] - 1e-12)
+    }
+
+    /// Invert a monotone function: returns the piecewise-linear function
+    /// mapping y ↦ x. For non-strictly-monotone inputs, flat stretches are
+    /// nudged by a tiny epsilon so the inverse is well defined.
+    ///
+    /// # Errors
+    /// Fails if the function is not monotone (neither non-increasing nor
+    /// non-decreasing).
+    pub fn inverse(&self) -> crate::Result<PiecewiseLinear> {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = if self.is_non_decreasing() {
+            (self.ys.clone(), self.xs.clone())
+        } else if self.is_non_increasing() {
+            // Reverse so the new xs (old ys) increase.
+            (
+                self.ys.iter().rev().copied().collect(),
+                self.xs.iter().rev().copied().collect(),
+            )
+        } else {
+            return Err(MathError::NoConvergence(
+                "inverse of non-monotone piecewise-linear function",
+            ));
+        };
+        // Enforce strict increase on the new xs by epsilon-nudging flats.
+        let mut xs = xs;
+        for i in 1..xs.len() {
+            if xs[i] <= xs[i - 1] {
+                xs[i] = xs[i - 1] + 1e-12;
+            }
+        }
+        PiecewiseLinear::new(xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0]).unwrap();
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(1.5), 5.0);
+        assert_eq!(f.eval(-1.0), 0.0);
+        assert_eq!(f.eval(3.0), 0.0);
+        assert_eq!(f.eval(1.0), 10.0);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(PiecewiseLinear::new(vec![], vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(PiecewiseLinear::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_samples_sorts_and_averages() {
+        let f = PiecewiseLinear::from_samples(vec![(1.0, 4.0), (0.0, 0.0), (1.0, 6.0)]).unwrap();
+        assert_eq!(f.xs(), &[0.0, 1.0]);
+        assert_eq!(f.ys(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn inverse_of_increasing_function() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        let inv = f.inverse().unwrap();
+        assert!((inv.eval(1.0) - 0.5).abs() < 1e-12);
+        assert!((inv.eval(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_decreasing_function() {
+        // Shape of the JS-divergence curve: high at exponent 0, low at 1.
+        let f = PiecewiseLinear::new(vec![0.0, 0.5, 1.0], vec![0.6, 0.3, 0.1]).unwrap();
+        assert!(f.is_non_increasing());
+        let inv = f.inverse().unwrap();
+        // inverse maps a JS value back to the exponent producing it.
+        assert!((inv.eval(0.6) - 0.0).abs() < 1e-9);
+        assert!((inv.eval(0.3) - 0.5).abs() < 1e-9);
+        assert!((inv.eval(0.1) - 1.0).abs() < 1e-9);
+        // Round trip at an off-knot point.
+        let y = f.eval(0.25);
+        assert!((inv.eval(y) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_rejects_non_monotone() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]).unwrap();
+        assert!(f.inverse().is_err());
+    }
+
+    #[test]
+    fn inverse_tolerates_flat_segments() {
+        let f = PiecewiseLinear::new(vec![0.0, 1.0, 2.0], vec![5.0, 5.0, 6.0]).unwrap();
+        let inv = f.inverse().unwrap();
+        // Flat stretch collapses; values near 5 map near the flat region.
+        let x = inv.eval(5.0);
+        assert!((0.0..=1.0).contains(&x));
+    }
+
+    #[test]
+    fn single_knot_function() {
+        let f = PiecewiseLinear::new(vec![0.5], vec![3.0]).unwrap();
+        assert_eq!(f.eval(0.0), 3.0);
+        assert_eq!(f.eval(1.0), 3.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! K-means clustering over discrete probability distributions.
+//!
+//! §III.C.3 of the paper: "At the end of the sampling phase we then can use
+//! a clustering algorithm (such as k-means, JS divergence) to further reduce
+//! the modeled topics and give a total of K topics." Points are rows of the
+//! φ matrix; the distance is pluggable, defaulting to the Jensen–Shannon
+//! divergence; centroids are (renormalized) arithmetic means, which stay on
+//! the simplex.
+
+use crate::divergence::js_divergence;
+use crate::error::MathError;
+use crate::rng::SldaRng;
+use rand::Rng;
+
+/// Distance function over distributions.
+pub type DistanceFn = fn(&[f64], &[f64]) -> f64;
+
+/// JS-divergence distance (panics-free wrapper; inputs are same-length rows).
+pub fn js_distance(a: &[f64], b: &[f64]) -> f64 {
+    js_divergence(a, b).unwrap_or(f64::INFINITY)
+}
+
+/// Squared Euclidean distance.
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// K-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    distance: DistanceFn,
+    normalize_centroids: bool,
+}
+
+/// Result of a clustering run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Final centroids (renormalized means of member rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of member-to-centroid distances at convergence.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// New clusterer with `k` clusters and the JS-divergence metric.
+    ///
+    /// Centroid renormalization (keeping centroids on the simplex) is on by
+    /// default, matching the distribution-clustering use case of the paper's
+    /// superset topic reduction.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            distance: js_distance,
+            normalize_centroids: true,
+        }
+    }
+
+    /// Override the iteration cap.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Override the distance function.
+    pub fn distance(mut self, d: DistanceFn) -> Self {
+        self.distance = d;
+        self
+    }
+
+    /// Control whether centroids are renormalized onto the simplex after the
+    /// mean update. Disable for general (non-distribution) point clouds,
+    /// e.g. with the Euclidean metric.
+    pub fn normalize_centroids(mut self, on: bool) -> Self {
+        self.normalize_centroids = on;
+        self
+    }
+
+    /// Run Lloyd's algorithm with k-means++ seeding.
+    ///
+    /// # Errors
+    /// Fails if there are no rows, `k == 0`, or `k` exceeds the row count.
+    pub fn fit(&self, rows: &[Vec<f64>], rng: &mut SldaRng) -> crate::Result<KMeansResult> {
+        if rows.is_empty() {
+            return Err(MathError::Empty("kmeans input rows"));
+        }
+        if self.k == 0 || self.k > rows.len() {
+            return Err(MathError::OutOfDomain {
+                name: "k",
+                value: self.k as f64,
+            });
+        }
+        let dist = self.distance;
+        let mut centroids = self.plus_plus_init(rows, rng);
+        let mut assignments = vec![0usize; rows.len()];
+        let mut iterations = 0;
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut changed = false;
+            for (i, row) in rows.iter().enumerate() {
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .map(|(c, cent)| (c, dist(row, cent)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0);
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            // Update step: arithmetic mean per cluster, renormalized so the
+            // centroid remains a distribution when the inputs are.
+            let dim = rows[0].len();
+            let mut sums = vec![vec![0.0; dim]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (row, &a) in rows.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, &x) in sums[a].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in sums.iter_mut().zip(&counts).enumerate() {
+                if count == 0 {
+                    // Re-seed an empty cluster at the row farthest from its
+                    // current centroid (standard empty-cluster repair).
+                    let far = rows
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            dist(a, &centroids[assignments[0]])
+                                .partial_cmp(&dist(b, &centroids[assignments[0]]))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    centroids[c] = rows[far].clone();
+                    continue;
+                }
+                let scale = if self.normalize_centroids {
+                    let total: f64 = sum.iter().sum();
+                    if total > 0.0 {
+                        total
+                    } else {
+                        1.0
+                    }
+                } else {
+                    count as f64
+                };
+                for x in sum.iter_mut() {
+                    *x /= scale;
+                }
+                centroids[c] = sum.clone();
+            }
+            if !changed && iter > 0 {
+                break;
+            }
+        }
+        let inertia = rows
+            .iter()
+            .zip(&assignments)
+            .map(|(row, &a)| dist(row, &centroids[a]))
+            .sum();
+        Ok(KMeansResult {
+            assignments,
+            centroids,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// k-means++ seeding: first centroid uniform, the rest proportional to
+    /// distance from the nearest existing centroid.
+    fn plus_plus_init(&self, rows: &[Vec<f64>], rng: &mut SldaRng) -> Vec<Vec<f64>> {
+        let dist = self.distance;
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centroids.push(rows[rng.gen_range(0..rows.len())].clone());
+        let mut d2: Vec<f64> = rows.iter().map(|r| dist(r, &centroids[0])).collect();
+        while centroids.len() < self.k {
+            let total: f64 = d2.iter().sum();
+            let idx = if total > 0.0 {
+                let u = rng.gen::<f64>() * total;
+                let mut acc = 0.0;
+                let mut pick = rows.len() - 1;
+                for (i, &d) in d2.iter().enumerate() {
+                    acc += d;
+                    if u < acc {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            } else {
+                rng.gen_range(0..rows.len())
+            };
+            centroids.push(rows[idx].clone());
+            for (d, row) in d2.iter_mut().zip(rows) {
+                let nd = dist(row, centroids.last().expect("just pushed"));
+                if nd < *d {
+                    *d = nd;
+                }
+            }
+        }
+        centroids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+
+    fn blob(center: &[f64], jitter: f64, n: usize, rng: &mut SldaRng) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                let mut v: Vec<f64> = center
+                    .iter()
+                    .map(|&c| (c + jitter * (rng.gen::<f64>() - 0.5)).max(1e-6))
+                    .collect();
+                let s: f64 = v.iter().sum();
+                v.iter_mut().for_each(|x| *x /= s);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let mut rng = rng_from_seed(61);
+        let mut rows = blob(&[0.9, 0.05, 0.05], 0.02, 20, &mut rng);
+        rows.extend(blob(&[0.05, 0.05, 0.9], 0.02, 20, &mut rng));
+        let result = KMeans::new(2).fit(&rows, &mut rng).unwrap();
+        // All of the first 20 in one cluster, the rest in the other.
+        let first = result.assignments[0];
+        assert!(result.assignments[..20].iter().all(|&a| a == first));
+        assert!(result.assignments[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn centroids_stay_on_simplex() {
+        let mut rng = rng_from_seed(67);
+        let mut rows = blob(&[0.5, 0.3, 0.2], 0.1, 15, &mut rng);
+        rows.extend(blob(&[0.1, 0.8, 0.1], 0.1, 15, &mut rng));
+        let result = KMeans::new(2).fit(&rows, &mut rng).unwrap();
+        for c in &result.centroids {
+            let sum: f64 = c.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut rng = rng_from_seed(71);
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let result = KMeans::new(3).fit(&rows, &mut rng).unwrap();
+        assert!(result.inertia < 1e-9, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn rejects_invalid_k() {
+        let mut rng = rng_from_seed(73);
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(KMeans::new(0).fit(&rows, &mut rng).is_err());
+        assert!(KMeans::new(3).fit(&rows, &mut rng).is_err());
+        assert!(KMeans::new(1).fit(&[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn euclidean_metric_works_too() {
+        let mut rng = rng_from_seed(79);
+        let rows = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let result = KMeans::new(2)
+            .distance(euclidean_sq)
+            .normalize_centroids(false)
+            .fit(&rows, &mut rng)
+            .unwrap();
+        assert_eq!(result.assignments[0], result.assignments[1]);
+        assert_eq!(result.assignments[2], result.assignments[3]);
+        assert_ne!(result.assignments[0], result.assignments[2]);
+    }
+}

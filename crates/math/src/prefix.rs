@@ -1,0 +1,217 @@
+//! Prefix-sum (scan) kernels.
+//!
+//! The paper's Algorithm 2 samples a topic by building the inclusive prefix
+//! sums of the per-topic probabilities with a Blelloch work-efficient scan
+//! (up-sweep + down-sweep) and then binary-searching the result. The
+//! threaded orchestration lives in `srclda-core::sampler`; this module
+//! provides the scan math itself plus sequential references used in tests
+//! and property checks.
+
+/// In-place inclusive scan (sequential reference implementation).
+pub fn inclusive_scan(v: &mut [f64]) {
+    let mut acc = 0.0;
+    for x in v.iter_mut() {
+        acc += *x;
+        *x = acc;
+    }
+}
+
+/// In-place exclusive scan (sequential reference implementation).
+pub fn exclusive_scan(v: &mut [f64]) {
+    let mut acc = 0.0;
+    for x in v.iter_mut() {
+        let old = *x;
+        *x = acc;
+        acc += old;
+    }
+}
+
+/// Blelloch up-sweep (reduce) phase over a power-of-two-padded buffer.
+///
+/// After this phase, `v[len-1]` holds the total and internal nodes hold
+/// partial sums. `v.len()` must be a power of two.
+pub fn blelloch_up_sweep(v: &mut [f64]) {
+    let n = v.len();
+    debug_assert!(n.is_power_of_two(), "up-sweep needs a power-of-two length");
+    let mut stride = 1;
+    while stride < n {
+        let step = stride * 2;
+        let mut i = step - 1;
+        while i < n {
+            v[i] += v[i - stride];
+            i += step;
+        }
+        stride = step;
+    }
+}
+
+/// Blelloch down-sweep phase, producing an **exclusive** scan.
+///
+/// Must be called after [`blelloch_up_sweep`] on the same buffer.
+pub fn blelloch_down_sweep(v: &mut [f64]) {
+    let n = v.len();
+    debug_assert!(n.is_power_of_two());
+    v[n - 1] = 0.0;
+    let mut stride = n / 2;
+    while stride > 0 {
+        let step = stride * 2;
+        let mut i = step - 1;
+        while i < n {
+            let left = v[i - stride];
+            v[i - stride] = v[i];
+            v[i] += left;
+            i += step;
+        }
+        stride /= 2;
+    }
+}
+
+/// Full Blelloch **exclusive** scan over an arbitrary-length slice.
+///
+/// Pads internally to the next power of two. This is the sequential
+/// simulation of Algorithm 2's scan structure; it is used for testing the
+/// threaded version and as a fallback when no thread pool is available.
+pub fn blelloch_exclusive_scan(v: &mut [f64]) {
+    let n = v.len();
+    if n == 0 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    let mut buf = vec![0.0; padded];
+    buf[..n].copy_from_slice(v);
+    blelloch_up_sweep(&mut buf);
+    blelloch_down_sweep(&mut buf);
+    v.copy_from_slice(&buf[..n]);
+}
+
+/// Full Blelloch **inclusive** scan (exclusive scan + shift by the element).
+pub fn blelloch_inclusive_scan(v: &mut [f64]) {
+    let original = v.to_vec();
+    blelloch_exclusive_scan(v);
+    for (x, o) in v.iter_mut().zip(original) {
+        *x += o;
+    }
+}
+
+/// Block-wise inclusive scan — the arithmetic core of the paper's
+/// Algorithm 3 ("Simple Parallel Sampling").
+///
+/// Phase 1: scan each of the `blocks` chunks independently (parallelizable).
+/// Phase 2: sequentially accumulate block totals (`ends` in the paper).
+/// Phase 3: add each block's preceding total to its elements
+/// (parallelizable).
+///
+/// The sequential version here establishes the exact arithmetic; the
+/// threaded implementation in `srclda-core` reproduces it chunk-for-chunk so
+/// results are bit-identical.
+pub fn blockwise_inclusive_scan(v: &mut [f64], blocks: usize) {
+    let n = v.len();
+    if n == 0 {
+        return;
+    }
+    let blocks = blocks.clamp(1, n);
+    let chunk = n.div_ceil(blocks);
+    // Phase 1: independent chunk scans.
+    for c in v.chunks_mut(chunk) {
+        inclusive_scan(c);
+    }
+    // Phase 2: accumulate chunk end values.
+    let mut offsets = Vec::with_capacity(blocks);
+    let mut acc = 0.0;
+    for c in v.chunks(chunk) {
+        offsets.push(acc);
+        acc += c[c.len() - 1];
+    }
+    // Phase 3: apply offsets.
+    for (c, off) in v.chunks_mut(chunk).zip(offsets) {
+        if off != 0.0 {
+            for x in c.iter_mut() {
+                *x += off;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_slices_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn inclusive_scan_basic() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        inclusive_scan(&mut v);
+        assert_eq!(v, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn exclusive_scan_basic() {
+        let mut v = vec![1.0, 2.0, 3.0, 4.0];
+        exclusive_scan(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn scans_handle_empty_and_singleton() {
+        let mut v: Vec<f64> = vec![];
+        inclusive_scan(&mut v);
+        blelloch_exclusive_scan(&mut v);
+        blockwise_inclusive_scan(&mut v, 4);
+        let mut s = vec![5.0];
+        blelloch_inclusive_scan(&mut s);
+        assert_eq!(s, vec![5.0]);
+    }
+
+    #[test]
+    fn blelloch_matches_sequential_power_of_two() {
+        let data: Vec<f64> = (1..=8).map(|x| x as f64).collect();
+        let mut seq = data.clone();
+        exclusive_scan(&mut seq);
+        let mut par = data;
+        blelloch_exclusive_scan(&mut par);
+        assert_slices_close(&par, &seq);
+    }
+
+    #[test]
+    fn blelloch_matches_sequential_ragged() {
+        for n in [1usize, 2, 3, 5, 7, 13, 100, 257] {
+            let data: Vec<f64> = (0..n).map(|x| ((x * 37 % 11) as f64) * 0.25 + 0.1).collect();
+            let mut seq = data.clone();
+            inclusive_scan(&mut seq);
+            let mut par = data;
+            blelloch_inclusive_scan(&mut par);
+            assert_slices_close(&par, &seq);
+        }
+    }
+
+    #[test]
+    fn blockwise_matches_sequential() {
+        for n in [1usize, 4, 10, 33, 128] {
+            for blocks in [1usize, 2, 3, 6, 64] {
+                let data: Vec<f64> = (0..n).map(|x| (x % 7) as f64 + 0.5).collect();
+                let mut seq = data.clone();
+                inclusive_scan(&mut seq);
+                let mut blk = data;
+                blockwise_inclusive_scan(&mut blk, blocks);
+                assert_slices_close(&blk, &seq);
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_sweep_round_trip() {
+        let mut v = vec![3.0, 1.0, 7.0, 0.0, 4.0, 1.0, 6.0, 3.0];
+        let expect_total: f64 = v.iter().sum();
+        blelloch_up_sweep(&mut v);
+        assert!((v[7] - expect_total).abs() < 1e-12);
+        blelloch_down_sweep(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert!((v[7] - (expect_total - 3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Small helpers for probability vectors (points on the simplex).
+
+use crate::error::MathError;
+
+/// Normalize `v` in place so it sums to 1.
+///
+/// # Errors
+/// Fails if the vector is empty or its sum is not a positive finite number.
+pub fn normalize(v: &mut [f64]) -> crate::Result<()> {
+    if v.is_empty() {
+        return Err(MathError::Empty("vector"));
+    }
+    let sum: f64 = v.iter().sum();
+    if !(sum > 0.0 && sum.is_finite()) {
+        return Err(MathError::NotADistribution {
+            context: "normalize",
+            sum,
+        });
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+    Ok(())
+}
+
+/// Return a normalized copy of `v`.
+///
+/// # Errors
+/// Same conditions as [`normalize`].
+pub fn normalized(v: &[f64]) -> crate::Result<Vec<f64>> {
+    let mut out = v.to_vec();
+    normalize(&mut out)?;
+    Ok(out)
+}
+
+/// Shannon entropy in nats, with the `0 ln 0 = 0` convention.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| -x * x.ln())
+        .sum()
+}
+
+/// The uniform distribution over `k` atoms.
+pub fn uniform(k: usize) -> Vec<f64> {
+    vec![1.0 / k as f64; k]
+}
+
+/// Check that `p` is (approximately) a probability distribution.
+pub fn is_distribution(p: &[f64], tol: f64) -> bool {
+    if p.is_empty() {
+        return false;
+    }
+    let sum: f64 = p.iter().sum();
+    (sum - 1.0).abs() <= tol && p.iter().all(|&x| x >= -tol && x.is_finite())
+}
+
+/// Indices of the `n` largest entries, descending (ties broken by index).
+///
+/// This is how "top-10 words per topic" lists are extracted throughout the
+/// evaluation.
+pub fn top_n_indices(values: &[f64], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(n);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        let mut v = vec![2.0, 2.0, 4.0];
+        normalize(&mut v).unwrap();
+        assert_eq!(v, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_and_empty() {
+        assert!(normalize(&mut []).is_err());
+        assert!(normalize(&mut [0.0, 0.0]).is_err());
+        assert!(normalize(&mut [f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn normalized_leaves_input_untouched() {
+        let v = vec![1.0, 3.0];
+        let n = normalized(&v).unwrap();
+        assert_eq!(v, vec![1.0, 3.0]);
+        assert_eq!(n, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(entropy(&[1.0, 0.0, 0.0]).abs() < 1e-12);
+        let k = 8;
+        let u = uniform(k);
+        assert!((entropy(&u) - (k as f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        assert!(is_distribution(&uniform(7), 1e-12));
+    }
+
+    #[test]
+    fn is_distribution_checks() {
+        assert!(is_distribution(&[0.5, 0.5], 1e-9));
+        assert!(!is_distribution(&[0.5, 0.6], 1e-9));
+        assert!(!is_distribution(&[], 1e-9));
+        assert!(!is_distribution(&[1.5, -0.5], 1e-9));
+    }
+
+    #[test]
+    fn top_n_ordering_and_ties() {
+        let v = [0.1, 0.5, 0.5, 0.2];
+        assert_eq!(top_n_indices(&v, 3), vec![1, 2, 3]);
+        assert_eq!(top_n_indices(&v, 10), vec![1, 2, 3, 0]);
+        assert_eq!(top_n_indices(&v, 0), Vec::<usize>::new());
+    }
+}

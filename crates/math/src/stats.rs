@@ -1,0 +1,202 @@
+//! Descriptive statistics: means, quantiles, and Tukey boxplot summaries.
+//!
+//! Figures 2, 3, and 4 of the paper are boxplots of JS-divergence samples;
+//! [`BoxplotSummary`] computes exactly the five-number-plus-whiskers summary
+//! needed to print those figures as text tables.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; `NaN` for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of **sorted**
+/// input. `q` in `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let t = pos - lo as f64;
+        sorted[lo] * (1.0 - t) + sorted[hi] * t
+    }
+}
+
+/// Median of unsorted input.
+pub fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    quantile_sorted(&v, 0.5)
+}
+
+/// Tukey boxplot summary: quartiles, 1.5·IQR whiskers clipped to the data,
+/// and outlier count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower whisker (smallest observation ≥ Q1 − 1.5·IQR).
+    pub whisker_low: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker (largest observation ≤ Q3 + 1.5·IQR).
+    pub whisker_high: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations outside the whiskers.
+    pub outliers: usize,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl BoxplotSummary {
+    /// Compute the summary from (unsorted) samples.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn from_samples(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q1 = quantile_sorted(&v, 0.25);
+        let med = quantile_sorted(&v, 0.5);
+        let q3 = quantile_sorted(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = v
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(v[0]);
+        let whisker_high = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        let outliers = v.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        Some(Self {
+            min: v[0],
+            whisker_low,
+            q1,
+            median: med,
+            q3,
+            whisker_high,
+            max: v[v.len() - 1],
+            mean: mean(&v),
+            outliers,
+            n: v.len(),
+        })
+    }
+
+    /// A one-line fixed-width rendering used by the figure binaries.
+    pub fn render_row(&self, label: &str) -> String {
+        format!(
+            "{label:<28} n={:<6} min={:<8.4} q1={:<8.4} med={:<8.4} q3={:<8.4} max={:<8.4} mean={:<8.4} outliers={}",
+            self.n, self.min, self.q1, self.median, self.q3, self.max, self.mean, self.outliers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&xs, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&xs, 0.5), 2.5);
+        assert_eq!(quantile_sorted(&xs, 0.25), 1.75);
+        assert!(quantile_sorted(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn median_unsorted() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn boxplot_summary_quartiles() {
+        let xs: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = BoxplotSummary::from_samples(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.q1 - 25.75).abs() < 1e-9);
+        assert!((s.q3 - 75.25).abs() < 1e-9);
+        assert_eq!(s.outliers, 0);
+        assert_eq!(s.whisker_low, 1.0);
+        assert_eq!(s.whisker_high, 100.0);
+    }
+
+    #[test]
+    fn boxplot_detects_outliers() {
+        let mut xs: Vec<f64> = vec![10.0; 50];
+        // Tight cluster with two extremes.
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x += (i % 5) as f64 * 0.1;
+        }
+        xs.push(1000.0);
+        xs.push(-1000.0);
+        let s = BoxplotSummary::from_samples(&xs).unwrap();
+        assert_eq!(s.outliers, 2);
+        assert!(s.whisker_high < 1000.0);
+        assert!(s.whisker_low > -1000.0);
+    }
+
+    #[test]
+    fn boxplot_empty_is_none() {
+        assert!(BoxplotSummary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn render_row_contains_label() {
+        let s = BoxplotSummary::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let row = s.render_row("Money Supply");
+        assert!(row.contains("Money Supply"));
+        assert!(row.contains("n=3"));
+    }
+}

@@ -1,0 +1,230 @@
+//! The 5×5 graphical topic world of §IV.A.
+//!
+//! Vocabulary: the 25 cell coordinates of a 5×5 picture. Topics: the 5 rows
+//! and 5 columns (each uniform over its 5 cells). The experiment *augments*
+//! the topics — "pairing each topic with a random different topic and
+//! swapping a random word (pixel) that is assigned to each topic given that
+//! the swapped words do not belong to their original assignments" — hides
+//! the augmented versions inside a generated corpus, and asks Source-LDA to
+//! rediscover them from the original (non-augmented) knowledge source.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use srclda_corpus::Vocabulary;
+use srclda_math::SldaRng;
+
+/// Grid side length (the paper uses 5).
+pub const SIDE: usize = 5;
+
+/// The grid world: vocabulary plus labeled topic distributions.
+#[derive(Debug, Clone)]
+pub struct GridWorld {
+    /// Vocabulary of `SIDE²` cell words ("00", "01", …, "44"; row-major).
+    pub vocab: Vocabulary,
+    /// Labeled topic distributions over the vocabulary.
+    pub topics: Vec<(String, Vec<f64>)>,
+}
+
+/// Build the 10 original topics (5 rows then 5 columns), each uniform over
+/// its 5 cells: `T_i = {xy | y = i}` for rows, `{yx | y = i}` for columns.
+pub fn grid_topics() -> GridWorld {
+    let vocab = Vocabulary::from_words(
+        (0..SIDE).flat_map(|r| (0..SIDE).map(move |c| format!("{r}{c}"))),
+    );
+    let v = SIDE * SIDE;
+    let mut topics = Vec::with_capacity(2 * SIDE);
+    for r in 0..SIDE {
+        let mut dist = vec![0.0; v];
+        for c in 0..SIDE {
+            dist[r * SIDE + c] = 1.0 / SIDE as f64;
+        }
+        topics.push((format!("row-{r}"), dist));
+    }
+    for c in 0..SIDE {
+        let mut dist = vec![0.0; v];
+        for r in 0..SIDE {
+            dist[r * SIDE + c] = 1.0 / SIDE as f64;
+        }
+        topics.push((format!("col-{c}"), dist));
+    }
+    GridWorld { vocab, topics }
+}
+
+/// Augment topics per §IV.A: pair each topic with a random different topic
+/// and swap one randomly chosen support word in each direction, requiring
+/// that the word moved into a topic is not already in its support. Returns
+/// the augmented distributions (labels preserved).
+pub fn augment_topics(
+    topics: &[(String, Vec<f64>)],
+    rng: &mut SldaRng,
+) -> Vec<(String, Vec<f64>)> {
+    let n = topics.len();
+    let mut augmented: Vec<(String, Vec<f64>)> = topics.to_vec();
+    // Random pairing: a shuffled sequence consumed two at a time.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for pair in order.chunks_exact(2) {
+        let (a, b) = (pair[0], pair[1]);
+        // Choose a support word of `a` absent from `b`'s support, and vice
+        // versa. Retry a bounded number of times, then skip the pair.
+        for _ in 0..100 {
+            let wa = match random_support_word(&augmented[a].1, rng) {
+                Some(w) => w,
+                None => break,
+            };
+            let wb = match random_support_word(&augmented[b].1, rng) {
+                Some(w) => w,
+                None => break,
+            };
+            if wa == wb || augmented[b].1[wa] > 0.0 || augmented[a].1[wb] > 0.0 {
+                continue;
+            }
+            // Swap: move wa's mass in `a` onto wb, and wb's mass in `b`
+            // onto wa.
+            let pa = augmented[a].1[wa];
+            let pb = augmented[b].1[wb];
+            augmented[a].1[wa] = 0.0;
+            augmented[a].1[wb] = pa;
+            augmented[b].1[wb] = 0.0;
+            augmented[b].1[wa] = pb;
+            break;
+        }
+    }
+    augmented
+}
+
+fn random_support_word(dist: &[f64], rng: &mut SldaRng) -> Option<usize> {
+    let support: Vec<usize> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if support.is_empty() {
+        None
+    } else {
+        Some(support[rng.gen_range(0..support.len())])
+    }
+}
+
+/// Render a topic distribution as a `SIDE`-line ASCII intensity picture,
+/// mirroring the paper's Figure 5/6 visualizations. Intensity buckets map
+/// probability mass to ` .:-=+*#%@`.
+pub fn render_topic(dist: &[f64]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let max = dist.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::with_capacity(SIDE * (SIDE + 1));
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            let p = dist[r * SIDE + c] / max;
+            let idx = ((p * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render several topics side by side (one figure row of the paper).
+pub fn render_topics_row(dists: &[&[f64]]) -> String {
+    let rendered: Vec<Vec<String>> = dists
+        .iter()
+        .map(|d| render_topic(d).lines().map(String::from).collect())
+        .collect();
+    let mut out = String::new();
+    for line in 0..SIDE {
+        for (i, r) in rendered.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&r[line]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_math::rng_from_seed;
+
+    #[test]
+    fn ten_topics_over_25_words() {
+        let world = grid_topics();
+        assert_eq!(world.vocab.len(), 25);
+        assert_eq!(world.topics.len(), 10);
+        for (label, dist) in &world.topics {
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "{label} not normalized");
+            assert_eq!(dist.iter().filter(|&&p| p > 0.0).count(), 5);
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_intersect_once() {
+        let world = grid_topics();
+        let row2 = &world.topics[2].1;
+        let col3 = &world.topics[SIDE + 3].1;
+        let overlap = row2
+            .iter()
+            .zip(col3)
+            .filter(|&(&a, &b)| a > 0.0 && b > 0.0)
+            .count();
+        assert_eq!(overlap, 1, "a row and a column share exactly one cell");
+    }
+
+    #[test]
+    fn augmentation_swaps_exactly_one_word_per_topic() {
+        let world = grid_topics();
+        let mut rng = rng_from_seed(31);
+        let augmented = augment_topics(&world.topics, &mut rng);
+        assert_eq!(augmented.len(), 10);
+        let mut changed_topics = 0;
+        for ((_, orig), (_, aug)) in world.topics.iter().zip(&augmented) {
+            let sum: f64 = aug.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "augmented topic not normalized");
+            assert_eq!(aug.iter().filter(|&&p| p > 0.0).count(), 5);
+            let diff = orig
+                .iter()
+                .zip(aug)
+                .filter(|&(&a, &b)| (a > 0.0) != (b > 0.0))
+                .count();
+            // Either untouched (pair skipped) or exactly one word out, one in.
+            assert!(diff == 0 || diff == 2, "unexpected diff {diff}");
+            if diff == 2 {
+                changed_topics += 1;
+            }
+        }
+        // The paper reports a 20% augmentation rate (1 of 5 words per
+        // topic); with 5 pairs most should succeed.
+        assert!(changed_topics >= 6, "only {changed_topics} topics changed");
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let world = grid_topics();
+        let a = augment_topics(&world.topics, &mut rng_from_seed(5));
+        let b = augment_topics(&world.topics, &mut rng_from_seed(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_shows_row_shape() {
+        let world = grid_topics();
+        let pic = render_topic(&world.topics[1].1); // row-1
+        let lines: Vec<&str> = pic.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1], "@@@@@");
+        assert_eq!(lines[0], "     ");
+    }
+
+    #[test]
+    fn render_row_combines_pictures() {
+        let world = grid_topics();
+        let out = render_topics_row(&[&world.topics[0].1, &world.topics[5].1]);
+        let first_line = out.lines().next().unwrap();
+        // row-0 lights its top row; col-0 lights its first column.
+        assert_eq!(first_line, "@@@@@  @    ");
+    }
+}

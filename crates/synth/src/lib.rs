@@ -1,0 +1,37 @@
+//! Synthetic data generators for the Source-LDA experiments.
+//!
+//! The paper evaluates on (a) a 5×5 pixel-grid toy world (§IV.A), (b)
+//! corpora generated from Wikipedia-article knowledge sources (§IV.B,
+//! §IV.D) and (c) the Reuters-21578 newswire with crawled Wikipedia
+//! articles (§IV.C). This environment has no network or licensed datasets,
+//! so — per the substitution policy in `DESIGN.md` — this crate synthesizes
+//! statistically faithful stand-ins:
+//!
+//! * [`grid`] — the 5×5 topics and their augmentation, exactly as §IV.A;
+//! * [`zipf`] / [`words`] — Zipfian samplers and a pronounceable pseudo-word
+//!   generator for building vocabularies;
+//! * [`wikipedia`] — Zipf-distributed encyclopedic articles per topic label
+//!   (what Source-LDA actually consumes is the article's word-count vector);
+//! * [`reuters`] — the real Reuters-21578 category names plus a synthetic
+//!   2,000-document newswire generated from an 80-topic superset with 49
+//!   topics active, mirroring §IV.C's setup;
+//! * [`medline`] — a deterministic list of 578 medical topic names standing
+//!   in for the MedlinePlus label collection of §IV.D.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod medline;
+pub mod random;
+pub mod reuters;
+pub mod wikipedia;
+pub mod words;
+pub mod zipf;
+
+pub use grid::{augment_topics, grid_topics, render_topic, GridWorld};
+pub use medline::medline_topic_names;
+pub use random::random_source_topics;
+pub use reuters::{ReutersConfig, ReutersLikeDataset, ECONOMIC_INDICATOR_TOPICS, REUTERS_CATEGORIES};
+pub use wikipedia::{SyntheticWikipedia, WikipediaConfig};
+pub use zipf::ZipfDistribution;

@@ -1,0 +1,69 @@
+//! A deterministic list of 578 medical topic names standing in for the
+//! MedlinePlus label collection of §IV.D ("578 Wikipedia articles
+//! representing the collection of topic labels from MedlinePlus").
+//!
+//! The actual label *strings* carry no signal in the experiment — Source-LDA
+//! consumes only the articles' count vectors — so plausible compound
+//! medical terms generated from anatomical/condition morphemes preserve
+//! everything that matters: 578 distinct labels, one synthetic article each.
+
+/// Anatomical / physiological prefixes.
+const PREFIXES: &[&str] = &[
+    "Cardio", "Neuro", "Gastro", "Hepato", "Nephro", "Dermato", "Osteo", "Arthro", "Hemato",
+    "Pulmono", "Broncho", "Encephalo", "Myelo", "Rhino", "Oto", "Ophthalmo", "Cysto", "Entero",
+    "Colo", "Angio", "Veno", "Arterio", "Lympho", "Adeno", "Myo", "Chondro", "Spondylo",
+    "Cranio", "Thoraco", "Abdomino", "Pelvi", "Utero", "Thyro", "Adreno",
+];
+
+/// Condition / procedure suffixes.
+const SUFFIXES: &[&str] = &[
+    "pathy", "itis", "osis", "algia", "ectomy", "oscopy", "ogram", "oplasty", "otomy",
+    "osclerosis", "odynia", "omalacia", "omegaly", "orrhage", "ostenosis", "otrophy", "oma",
+];
+
+/// The `i`-th medical topic name (deterministic, distinct for `i < 578`).
+pub fn medline_topic_name(i: usize) -> String {
+    let p = PREFIXES[i % PREFIXES.len()];
+    let s = SUFFIXES[(i / PREFIXES.len()) % SUFFIXES.len()];
+    let series = i / (PREFIXES.len() * SUFFIXES.len());
+    if series == 0 {
+        format!("{p}{s}")
+    } else {
+        format!("{p}{s} Type {}", series + 1)
+    }
+}
+
+/// The full 578-name collection of §IV.D.
+pub fn medline_topic_names() -> Vec<String> {
+    (0..578).map(medline_topic_name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_578_distinct_names() {
+        let names = medline_topic_names();
+        assert_eq!(names.len(), 578);
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 578, "names must be distinct");
+    }
+
+    #[test]
+    fn names_look_medical() {
+        let names = medline_topic_names();
+        assert_eq!(names[0], "Cardiopathy");
+        assert!(names.iter().all(|n| !n.is_empty()));
+        // 34 prefixes × 17 suffixes = 578: the base series exactly covers
+        // the MedlinePlus count; wrap-around names get a type suffix.
+        assert!(!names[577].contains("Type"));
+        assert!(medline_topic_name(578).contains("Type"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(medline_topic_names(), medline_topic_names());
+    }
+}

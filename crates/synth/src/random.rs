@@ -1,0 +1,82 @@
+//! Randomly generated source topics over a fixed vocabulary — the setup of
+//! the paper's performance benchmark (§IV.E): "an experiment was set up to
+//! generate topics randomly from a given vocabulary".
+
+use crate::zipf::ZipfDistribution;
+use rand::seq::SliceRandom;
+use srclda_corpus::Vocabulary;
+use srclda_knowledge::{KnowledgeSource, SourceTopic};
+use srclda_math::rng_from_seed;
+
+use crate::words::pseudo_vocabulary;
+
+/// Generate `b` source topics, each with Zipf-distributed counts over a
+/// random `support_size`-word subset of a `vocab_size`-word vocabulary.
+pub fn random_source_topics(
+    vocab_size: usize,
+    b: usize,
+    support_size: usize,
+    article_len: usize,
+    seed: u64,
+) -> (Vocabulary, KnowledgeSource) {
+    let vocab = Vocabulary::from_words(pseudo_vocabulary(vocab_size));
+    let support_size = support_size.clamp(1, vocab_size);
+    let mut rng = rng_from_seed(seed);
+    let zipf = ZipfDistribution::new(support_size, 1.0);
+    let mut word_ids: Vec<usize> = (0..vocab_size).collect();
+    let topics: Vec<SourceTopic> = (0..b)
+        .map(|t| {
+            word_ids.shuffle(&mut rng);
+            let mut counts = vec![0.0; vocab_size];
+            for (rank, base) in zipf
+                .expected_counts(article_len as f64)
+                .into_iter()
+                .enumerate()
+            {
+                let c = base.round().max(1.0);
+                counts[word_ids[rank]] = c;
+            }
+            SourceTopic::new(format!("random-topic-{t}"), counts)
+        })
+        .collect();
+    (vocab, KnowledgeSource::new(topics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_support() {
+        let (vocab, ks) = random_source_topics(500, 20, 30, 400, 7);
+        assert_eq!(vocab.len(), 500);
+        assert_eq!(ks.len(), 20);
+        for t in ks.topics() {
+            assert_eq!(t.support().len(), 30);
+            assert!(t.total() >= 30.0);
+        }
+    }
+
+    #[test]
+    fn supports_differ_between_topics() {
+        let (_, ks) = random_source_topics(1000, 5, 20, 200, 11);
+        let a = ks.topic(0).support();
+        let b = ks.topic(1).support();
+        assert_ne!(a, b, "random supports should differ");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, a) = random_source_topics(200, 3, 10, 100, 13);
+        let (_, b) = random_source_topics(200, 3, 10, 100, 13);
+        for (ta, tb) in a.topics().iter().zip(b.topics()) {
+            assert_eq!(ta.counts(), tb.counts());
+        }
+    }
+
+    #[test]
+    fn support_clamped_to_vocab() {
+        let (_, ks) = random_source_topics(10, 2, 50, 100, 17);
+        assert_eq!(ks.topic(0).support().len(), 10);
+    }
+}

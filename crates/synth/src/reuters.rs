@@ -1,0 +1,281 @@
+//! A Reuters-21578-like newswire dataset (§IV.C's substitution).
+//!
+//! The real experiment selects 2,000 Reuters documents, crawls one
+//! Wikipedia article for each of 80 category names, and finds that 49 of
+//! the 80 topics actually occur in the subset. We reproduce the *setup*:
+//! the genuine Reuters-21578 category display names (public knowledge), a
+//! synthetic Wikipedia over all of them, and a corpus generated from a
+//! random 49-topic subset so that the superset-selection machinery faces
+//! the same task.
+
+use crate::wikipedia::{SyntheticWikipedia, WikipediaConfig};
+use rand::seq::SliceRandom;
+use srclda_core::generative::{DocLength, GeneratedCorpus, LambdaMode, SourceLdaGenerator};
+use srclda_knowledge::KnowledgeSource;
+use srclda_math::rng_from_seed;
+
+/// The 20 economic-indicator topics shown in the paper's Figure 2.
+pub const ECONOMIC_INDICATOR_TOPICS: &[&str] = &[
+    "Money Supply",
+    "Unemployment",
+    "Balance of Payments",
+    "Consumer Price Index",
+    "Canadian Dollar",
+    "Hong Kong Dollar",
+    "Inventories",
+    "Japanese Yen",
+    "Australian Dollar",
+    "Interest Rates",
+    "Swiss Franc",
+    "Singapore Dollar",
+    "Wholesale Price Index",
+    "New Zealand Dollar",
+    "Retail Sales",
+    "Capacity Utilisation",
+    "Trade",
+    "Industrial Production Index",
+    "Housing Starts",
+    "Personal Income",
+];
+
+/// Eighty Reuters-21578 category display names (the paper crawled one
+/// Wikipedia article per category; "Querying Wikipedia resulted in 80
+/// distinct topics"). Includes the Table-I topics (Inventories, Natural
+/// Gas, Balance of Payments) and the Figure-2 indicator set.
+pub const REUTERS_CATEGORIES: &[&str] = &[
+    // Figure-2 economic indicators (20).
+    "Money Supply",
+    "Unemployment",
+    "Balance of Payments",
+    "Consumer Price Index",
+    "Canadian Dollar",
+    "Hong Kong Dollar",
+    "Inventories",
+    "Japanese Yen",
+    "Australian Dollar",
+    "Interest Rates",
+    "Swiss Franc",
+    "Singapore Dollar",
+    "Wholesale Price Index",
+    "New Zealand Dollar",
+    "Retail Sales",
+    "Capacity Utilisation",
+    "Trade",
+    "Industrial Production Index",
+    "Housing Starts",
+    "Personal Income",
+    // Commodity / energy / finance categories (60 more).
+    "Earnings",
+    "Acquisitions",
+    "Foreign Exchange",
+    "Grain",
+    "Crude Oil",
+    "Natural Gas",
+    "Shipping",
+    "Wheat",
+    "Corn",
+    "Sugar",
+    "Oilseed",
+    "Coffee",
+    "Gross National Product",
+    "Gold",
+    "Vegetable Oil",
+    "Soybean",
+    "Livestock",
+    "Cocoa",
+    "Reserves",
+    "Carcass",
+    "Copper",
+    "Jobs",
+    "Iron and Steel",
+    "Cotton",
+    "Barley",
+    "Rubber",
+    "Gasoline",
+    "Rice",
+    "Aluminium",
+    "Palm Oil",
+    "Sorghum",
+    "Silver",
+    "Petrochemicals",
+    "Tin",
+    "Rapeseed",
+    "Strategic Metal",
+    "Orange Juice",
+    "Soybean Meal",
+    "Heating Oil",
+    "Fuel Oil",
+    "Soybean Oil",
+    "Sunflower Seed",
+    "Housing",
+    "Hogs",
+    "Lead",
+    "Groundnut",
+    "Leading Indicators",
+    "Deutsche Mark",
+    "Tea",
+    "Oats",
+    "Coconut Oil",
+    "Platinum",
+    "Instalment Debt",
+    "Nickel",
+    "Propane",
+    "Jet Fuel",
+    "Cattle",
+    "Potatoes",
+    "Coconut",
+    "Naphtha",
+];
+
+/// Generation parameters mirroring §IV.C.
+#[derive(Debug, Clone)]
+pub struct ReutersConfig {
+    /// Number of documents (paper: 2,000).
+    pub num_docs: usize,
+    /// Tokens per document.
+    pub doc_len: DocLength,
+    /// Size of the topic superset to expose (≤ 80; paper: 80).
+    pub superset: usize,
+    /// Number of superset topics actually used to generate the corpus
+    /// (paper: 49).
+    pub active_topics: usize,
+    /// Document–topic Dirichlet α for generation.
+    pub alpha: f64,
+    /// Article synthesis parameters.
+    pub wikipedia: WikipediaConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReutersConfig {
+    fn default() -> Self {
+        Self {
+            num_docs: 2000,
+            doc_len: DocLength::Fixed(80),
+            superset: 80,
+            active_topics: 49,
+            alpha: 0.1,
+            wikipedia: WikipediaConfig::default(),
+            seed: 20170419,
+        }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug)]
+pub struct ReutersLikeDataset {
+    /// The newswire corpus (with per-token ground truth in `generated`).
+    pub generated: GeneratedCorpus,
+    /// The full 80-topic knowledge source (the superset given to models).
+    pub knowledge: KnowledgeSource,
+    /// Indices (into `knowledge`) of the topics that actually generated the
+    /// corpus.
+    pub active: Vec<usize>,
+}
+
+impl ReutersLikeDataset {
+    /// Generate the dataset.
+    ///
+    /// # Panics
+    /// Panics if `superset` exceeds the category list or `active_topics >
+    /// superset`.
+    pub fn generate(config: &ReutersConfig) -> Self {
+        assert!(config.superset <= REUTERS_CATEGORIES.len());
+        assert!(config.active_topics <= config.superset);
+        let labels: Vec<&str> = REUTERS_CATEGORIES[..config.superset].to_vec();
+        let wiki = SyntheticWikipedia::generate_seeded(&labels, &config.wikipedia, config.seed);
+        // Choose the active subset.
+        let mut rng = rng_from_seed(config.seed ^ 0xabcd_ef01);
+        let mut indices: Vec<usize> = (0..config.superset).collect();
+        indices.shuffle(&mut rng);
+        let mut active: Vec<usize> = indices[..config.active_topics].to_vec();
+        active.sort_unstable();
+        let active_ks = wiki.knowledge.select(&active);
+        let generated = SourceLdaGenerator {
+            alpha: config.alpha,
+            unlabeled_topics: 0,
+            lambda_mode: LambdaMode::None,
+            num_docs: config.num_docs,
+            doc_len: config.doc_len,
+            seed: config.seed ^ 0x1357_9bdf,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&active_ks, &wiki.vocab)
+        .expect("generation parameters are valid");
+        Self {
+            generated,
+            knowledge: wiki.knowledge,
+            active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ReutersConfig {
+        ReutersConfig {
+            num_docs: 50,
+            doc_len: DocLength::Fixed(40),
+            superset: 12,
+            active_topics: 7,
+            wikipedia: WikipediaConfig {
+                core_words_per_topic: 20,
+                shared_vocab: 80,
+                article_len: 300,
+                ..WikipediaConfig::default()
+            },
+            ..ReutersConfig::default()
+        }
+    }
+
+    #[test]
+    fn category_lists_are_consistent() {
+        assert_eq!(REUTERS_CATEGORIES.len(), 80);
+        assert_eq!(ECONOMIC_INDICATOR_TOPICS.len(), 20);
+        for t in ECONOMIC_INDICATOR_TOPICS {
+            assert!(REUTERS_CATEGORIES.contains(t), "{t} missing from superset");
+        }
+        // Table-I topics present.
+        for t in ["Inventories", "Natural Gas", "Balance of Payments"] {
+            assert!(REUTERS_CATEGORIES.contains(&t));
+        }
+        // No duplicates.
+        let set: std::collections::HashSet<&&str> = REUTERS_CATEGORIES.iter().collect();
+        assert_eq!(set.len(), 80);
+    }
+
+    #[test]
+    fn dataset_shape_matches_config() {
+        let d = ReutersLikeDataset::generate(&small_config());
+        assert_eq!(d.generated.corpus.num_docs(), 50);
+        assert_eq!(d.knowledge.len(), 12);
+        assert_eq!(d.active.len(), 7);
+        assert!(d.active.iter().all(|&i| i < 12));
+        // Ground-truth topics follow the active knowledge source.
+        assert_eq!(d.generated.truth.num_topics(), 7);
+    }
+
+    #[test]
+    fn inactive_topics_do_not_generate_tokens() {
+        let d = ReutersLikeDataset::generate(&small_config());
+        // All truth labels come from the active subset.
+        let active_labels: Vec<&str> = d.active.iter().map(|&i| d.knowledge.topic(i).label()).collect();
+        for label in d.generated.truth.labels.iter().flatten() {
+            assert!(active_labels.contains(&label.as_str()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ReutersLikeDataset::generate(&small_config());
+        let b = ReutersLikeDataset::generate(&small_config());
+        assert_eq!(a.active, b.active);
+        assert_eq!(
+            a.generated.corpus.num_tokens(),
+            b.generated.corpus.num_tokens()
+        );
+        assert_eq!(a.generated.truth.assignments, b.generated.truth.assignments);
+    }
+}

@@ -1,0 +1,110 @@
+//! Zipf (power-law) rank–frequency distributions — the statistical shape of
+//! natural-language word frequencies, used to synthesize realistic article
+//! count vectors.
+
+use srclda_math::{AliasTable, SldaRng};
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(rank k) ∝ 1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfDistribution {
+    weights: Vec<f64>,
+    table: AliasTable,
+}
+
+impl ZipfDistribution {
+    /// Create over `n` ranks with exponent `s` (typically `s ≈ 1` for
+    /// natural text).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let table = AliasTable::new(&weights).expect("positive Zipf weights");
+        Self { weights, table }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff there are no ranks (never for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Normalized probability of rank `k` (0-based index).
+    pub fn pmf(&self, k: usize) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights[k] / total
+    }
+
+    /// Draw a 0-based rank.
+    pub fn sample(&self, rng: &mut SldaRng) -> usize {
+        self.table.sample(rng)
+    }
+
+    /// Expected counts for a document of `total` tokens (deterministic
+    /// "idealized article" shape).
+    pub fn expected_counts(&self, total: f64) -> Vec<f64> {
+        let sum: f64 = self.weights.iter().sum();
+        self.weights.iter().map(|w| w / sum * total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_math::rng_from_seed;
+
+    #[test]
+    fn pmf_is_normalized_and_decreasing() {
+        let z = ZipfDistribution::new(10, 1.0);
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for k in 1..10 {
+            assert!(z.pmf(k) < z.pmf(k - 1));
+        }
+    }
+
+    #[test]
+    fn samples_follow_rank_order() {
+        let z = ZipfDistribution::new(50, 1.1);
+        let mut rng = rng_from_seed(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[20]);
+        // Head mass: rank 1 of Zipf(1.1, 50) holds ~22% of the mass.
+        let head = counts[0] as f64 / 50_000.0;
+        assert!((head - z.pmf(0)).abs() < 0.02, "head {head} vs {}", z.pmf(0));
+    }
+
+    #[test]
+    fn expected_counts_sum_to_total() {
+        let z = ZipfDistribution::new(20, 0.9);
+        let counts = z.expected_counts(500.0);
+        let sum: f64 = counts.iter().sum();
+        assert!((sum - 500.0).abs() < 1e-9);
+        assert!(counts[0] > counts[19]);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfDistribution::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfDistribution::new(0, 1.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # source-lda
+//!
+//! A production-quality Rust reproduction of **Source-LDA: Enhancing
+//! probabilistic topic models using prior knowledge sources** (Wood, Tan,
+//! Wang, Arnold — ICDE 2017).
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`srclda_math`] — numerics (Dirichlet/Gaussian/categorical sampling,
+//!   JS divergence, prefix sums, interpolation, k-means);
+//! * [`srclda_corpus`] — text substrate (vocabulary, tokenizer, TF-IDF,
+//!   co-occurrence);
+//! * [`srclda_knowledge`] — knowledge sources and the λ smoothing function;
+//! * [`srclda_core`] — the topic models (LDA, Source-LDA, EDA, CTM) and the
+//!   serial/parallel collapsed Gibbs samplers;
+//! * [`srclda_labeling`] — post-hoc topic labeling (JS, TF-IDF/CS,
+//!   counting, PMI, IR-LDA);
+//! * [`srclda_synth`] — synthetic data generators (grid topics, Wikipedia-
+//!   like articles, newswire corpora);
+//! * [`srclda_eval`] — evaluation metrics and report rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use source_lda::prelude::*;
+//!
+//! // Build a tiny corpus (the paper's §I case study).
+//! let mut builder = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+//! builder.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+//! builder.add_tokens("d2", &["ruler", "ruler", "baseball"]);
+//! let corpus = builder.build();
+//!
+//! // Knowledge source: two labeled articles.
+//! let mut ks = KnowledgeSourceBuilder::new();
+//! ks.add_article("School Supplies", "pencil pencil pencil ruler ruler eraser");
+//! ks.add_article("Baseball", "baseball baseball umpire umpire pitcher");
+//! let source = ks.build(corpus.vocabulary());
+//!
+//! // Fit the bijective Source-LDA model.
+//! let model = SourceLda::builder()
+//!     .knowledge_source(source)
+//!     .variant(Variant::Bijective)
+//!     .alpha(0.5)
+//!     .iterations(200)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let fitted = model.fit(&corpus).unwrap();
+//! assert_eq!(fitted.num_topics(), 2);
+//! ```
+
+pub use srclda_core as core;
+pub use srclda_corpus as corpus;
+pub use srclda_eval as eval;
+pub use srclda_knowledge as knowledge;
+pub use srclda_labeling as labeling;
+pub use srclda_math as math;
+pub use srclda_synth as synth;
+
+/// One-stop imports for typical usage.
+pub mod prelude {
+    pub use srclda_core::prelude::*;
+    pub use srclda_corpus::{
+        Corpus, CorpusBuilder, DocId, Document, Tokenizer, TopicId, Vocabulary, WordId,
+    };
+    pub use srclda_knowledge::{KnowledgeSource, KnowledgeSourceBuilder};
+    pub use srclda_math::{rng_from_seed, SldaRng};
+}

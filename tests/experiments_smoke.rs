@@ -1,0 +1,79 @@
+//! Smoke-runs every experiment of the harness (Scale::Smoke) and checks
+//! each report carries its key findings — the CI-level guarantee that every
+//! table and figure of the paper still regenerates.
+
+use srclda_bench::experiments;
+use srclda_bench::Scale;
+
+#[test]
+fn table0_case_study() {
+    let r = experiments::table0::run(Scale::Smoke);
+    assert!(r.contains("Technique"));
+    assert!(r.contains("Source-LDA (bijective) token assignments"));
+}
+
+#[test]
+fn fig2_source_variance() {
+    let r = experiments::fig2::run(Scale::Smoke);
+    assert!(r.contains("Money Supply"));
+    assert!(r.contains("median-of-medians"));
+}
+
+#[test]
+fn fig3_and_fig4_lambda_curves() {
+    let r3 = experiments::fig34::run_fig3(Scale::Smoke);
+    assert!(r3.contains("non-linearity"));
+    let r4 = experiments::fig34::run_fig4(Scale::Smoke);
+    assert!(r4.contains("non-linearity"));
+    // The F4 report should show a lower non-linearity than F3.
+    let extract = |r: &str| -> f64 {
+        r.split("non-linearity of the median curve: ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(extract(&r4) < extract(&r3), "g failed to linearize");
+}
+
+#[test]
+fn fig6_graphical() {
+    let r = experiments::fig6::run(Scale::Smoke);
+    assert!(r.contains("log-likelihood traces"));
+    assert!(r.contains("average JS divergence"));
+    assert!(r.contains("Source-LDA"));
+}
+
+#[test]
+fn fig7_lambda_integration() {
+    let r = experiments::fig7::run(Scale::Smoke);
+    assert!(r.contains("baseline (dynamic λ"));
+    assert!(r.contains("classification_pct"));
+}
+
+#[test]
+fn table1_reuters() {
+    let r = experiments::table1::run(Scale::Smoke);
+    assert!(r.contains("labeled topics discovered"));
+}
+
+#[test]
+fn fig8_wikipedia() {
+    let r = experiments::fig8::run_assignments(Scale::Smoke);
+    assert!(r.contains("correct token assignments (Unk)"));
+    assert!(r.contains("correct token assignments (Exact)"));
+    assert!(r.contains("θ JS divergence"));
+    let p = experiments::fig8::run_pmi(Scale::Smoke);
+    assert!(p.contains("SRC-Exact"));
+    assert!(p.contains("mean PMI"));
+}
+
+#[test]
+fn fig8f_scaling() {
+    let r = experiments::fig8f::run(Scale::Smoke);
+    assert!(r.contains("sec_per_iter"));
+    assert!(r.contains("speedup at B"));
+}
