@@ -42,9 +42,7 @@ fn bench_integration_table(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("v{vocab}")),
             &vocab,
             |b, _| {
-                b.iter(|| {
-                    srclda_core::prior::TopicPrior::integrated(&t, 0.01, &g, &quad)
-                });
+                b.iter(|| srclda_core::prior::TopicPrior::integrated(&t, 0.01, &g, &quad));
             },
         );
     }

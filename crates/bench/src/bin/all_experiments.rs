@@ -38,5 +38,8 @@ fn main() {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
-    println!("All experiments complete; reports written to {}/", out_dir.display());
+    println!(
+        "All experiments complete; reports written to {}/",
+        out_dir.display()
+    );
 }

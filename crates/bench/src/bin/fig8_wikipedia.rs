@@ -2,12 +2,29 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = srclda_bench::Scale::from_args(&args);
-    let part = srclda_bench::cli::flag_value(&args, "--part").unwrap_or("all");
+    let part = if srclda_bench::cli::flag_present(&args, "--part") {
+        match srclda_bench::cli::flag_value(&args, "--part") {
+            Some(p) => p,
+            None => {
+                eprintln!("error: --part requires a value (assignments, pmi, or all)");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        "all"
+    };
     match part {
         "assignments" | "theta" => {
-            print!("{}", srclda_bench::experiments::fig8::run_assignments(scale));
+            print!(
+                "{}",
+                srclda_bench::experiments::fig8::run_assignments(scale)
+            );
         }
         "pmi" => print!("{}", srclda_bench::experiments::fig8::run_pmi(scale)),
-        _ => print!("{}", srclda_bench::experiments::fig8::run(scale)),
+        "all" => print!("{}", srclda_bench::experiments::fig8::run(scale)),
+        other => {
+            eprintln!("error: unknown --part value {other:?} (expected assignments, pmi, or all)");
+            std::process::exit(2);
+        }
     }
 }

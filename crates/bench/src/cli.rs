@@ -13,8 +13,30 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from raw process arguments (`--smoke` / `--full`).
+    /// Parse from raw process arguments: `--smoke` / `--full` shorthands or
+    /// `--scale smoke|default|full`.
+    ///
+    /// An unrecognized `--scale` value aborts the process: silently falling
+    /// back to `Default` would turn an intended seconds-scale smoke run
+    /// into a potentially hours-long one.
     pub fn from_args<S: AsRef<str>>(args: &[S]) -> Self {
+        if flag_present(args, "--scale") {
+            return match flag_value(args, "--scale") {
+                Some("smoke") => Scale::Smoke,
+                Some("default") => Scale::Default,
+                Some("full") => Scale::Full,
+                Some(other) => {
+                    eprintln!(
+                        "error: unknown --scale value {other:?} (expected smoke, default, or full)"
+                    );
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("error: --scale requires a value (smoke, default, or full)");
+                    std::process::exit(2);
+                }
+            };
+        }
         if args.iter().any(|a| a.as_ref() == "--smoke") {
             Scale::Smoke
         } else if args.iter().any(|a| a.as_ref() == "--full") {
@@ -34,19 +56,32 @@ impl Scale {
     }
 }
 
-/// Value of `--flag value` style options, if present.
+/// Whether `--flag` appears at all (either `--flag value` or `--flag=value`).
+/// Lets callers distinguish "flag absent" from "flag present but malformed".
+pub fn flag_present<S: AsRef<str>>(args: &[S], flag: &str) -> bool {
+    args.iter().any(|a| {
+        let a = a.as_ref();
+        a == flag || (a.starts_with(flag) && a.as_bytes().get(flag.len()) == Some(&b'='))
+    })
+}
+
+/// Value of `--flag value` or `--flag=value` style options, if present.
 pub fn flag_value<'a, S: AsRef<str>>(args: &'a [S], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a.as_ref() == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_ref())
+    for (i, arg) in args.iter().enumerate() {
+        let a = arg.as_ref();
+        if a == flag {
+            return args.get(i + 1).map(|s| s.as_ref());
+        }
+        if a.starts_with(flag) && a.as_bytes().get(flag.len()) == Some(&b'=') {
+            return Some(&a[flag.len() + 1..]);
+        }
+    }
+    None
 }
 
 /// A standard experiment banner.
 pub fn banner(id: &str, title: &str, scale: Scale) -> String {
-    format!(
-        "=== {id}: {title} [scale: {scale:?}] ===\n",
-    )
+    format!("=== {id}: {title} [scale: {scale:?}] ===\n",)
 }
 
 #[cfg(test)]
@@ -59,6 +94,37 @@ mod tests {
         assert_eq!(Scale::from_args(&["--full"]), Scale::Full);
         assert_eq!(Scale::from_args(&["whatever"]), Scale::Default);
         assert_eq!(Scale::from_args::<&str>(&[]), Scale::Default);
+    }
+
+    #[test]
+    fn parses_scale_flag_form() {
+        assert_eq!(Scale::from_args(&["--scale", "smoke"]), Scale::Smoke);
+        assert_eq!(Scale::from_args(&["--scale", "default"]), Scale::Default);
+        assert_eq!(Scale::from_args(&["--scale", "full"]), Scale::Full);
+        assert_eq!(Scale::from_args(&["--scale=smoke"]), Scale::Smoke);
+        assert_eq!(Scale::from_args(&["--scale=full"]), Scale::Full);
+        // The value form wins over a stray shorthand elsewhere in argv.
+        assert_eq!(
+            Scale::from_args(&["--full", "--scale", "smoke"]),
+            Scale::Smoke
+        );
+    }
+
+    #[test]
+    fn flag_present_detects_both_forms() {
+        assert!(flag_present(&["--scale", "smoke"], "--scale"));
+        assert!(flag_present(&["--scale=smoke"], "--scale"));
+        assert!(flag_present(&["--scale"], "--scale"));
+        assert!(!flag_present(&["--scales", "smoke"], "--scale"));
+        assert!(!flag_present::<&str>(&[], "--scale"));
+    }
+
+    #[test]
+    fn flag_value_equals_form() {
+        assert_eq!(flag_value(&["--part=pmi"], "--part"), Some("pmi"));
+        assert_eq!(flag_value(&["--part="], "--part"), Some(""));
+        assert_eq!(flag_value(&["--part"], "--part"), None);
+        assert_eq!(flag_value(&["--partial=pmi"], "--part"), None);
     }
 
     #[test]

@@ -122,7 +122,10 @@ pub fn run(scale: Scale) -> String {
     for (name, mode) in [
         ("identity (g = λ)", SmoothingMode::Identity),
         ("shared g", SmoothingMode::Shared(smoothing_cfg(scale))),
-        ("per-topic g_t", SmoothingMode::PerTopic(smoothing_cfg(scale))),
+        (
+            "per-topic g_t",
+            SmoothingMode::PerTopic(smoothing_cfg(scale)),
+        ),
     ] {
         let (acc, secs) = fit_and_score(&setup, 4, mode, 0.01, iterations);
         table.push_row([name.to_string(), format!("{acc:.1}"), format!("{secs:.2}")]);

@@ -13,7 +13,11 @@ use srclda_synth::{SyntheticWikipedia, WikipediaConfig, ECONOMIC_INDICATOR_TOPIC
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> String {
-    let mut out = banner("F2", "source-hyperparameter Dirichlet variability (Fig. 2)", scale);
+    let mut out = banner(
+        "F2",
+        "source-hyperparameter Dirichlet variability (Fig. 2)",
+        scale,
+    );
     let draws = scale.pick(100, 1000, 1000);
     let wiki = SyntheticWikipedia::generate(
         ECONOMIC_INDICATOR_TOPICS,

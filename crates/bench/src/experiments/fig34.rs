@@ -17,10 +17,7 @@ fn lambda_grid() -> Vec<f64> {
 }
 
 /// Median JS per λ plus the rendered boxplot rows.
-fn divergence_profile(
-    smoothed: bool,
-    scale: Scale,
-) -> (Vec<f64>, String) {
+fn divergence_profile(smoothed: bool, scale: Scale) -> (Vec<f64>, String) {
     let wiki = SyntheticWikipedia::generate(
         &["Trade"],
         &WikipediaConfig {
@@ -115,7 +112,10 @@ mod tests {
         let (smooth, _) = divergence_profile(true, Scale::Smoke);
         // Both decrease overall.
         assert!(raw[0] > raw[10], "raw curve should fall: {raw:?}");
-        assert!(smooth[0] > smooth[10], "smoothed curve should fall: {smooth:?}");
+        assert!(
+            smooth[0] > smooth[10],
+            "smoothed curve should fall: {smooth:?}"
+        );
         let nl_raw = nonlinearity(&raw);
         let nl_smooth = nonlinearity(&smooth);
         assert!(

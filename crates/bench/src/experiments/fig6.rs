@@ -15,8 +15,8 @@ use srclda_core::{Ctm, Eda, SourceLda, TraceConfig, Variant};
 use srclda_eval::Series;
 use srclda_knowledge::KnowledgeSource;
 use srclda_math::js_divergence;
-use srclda_synth::grid::{augment_topics, grid_topics, render_topics_row};
 use srclda_math::rng_from_seed;
+use srclda_synth::grid::{augment_topics, grid_topics, render_topics_row};
 
 struct World {
     corpus: srclda_corpus::Corpus,
@@ -80,10 +80,7 @@ pub fn run(scale: Scale) -> String {
     let runs = scale.pick(2, 4, 4);
 
     // Log-likelihood traces for several seeds (Fig. 6 top).
-    let mut series = Series::new(
-        "iteration",
-        (1..=iterations).map(|i| i as f64).collect(),
-    );
+    let mut series = Series::new("iteration", (1..=iterations).map(|i| i as f64).collect());
     let mut last_fit = None;
     for run_idx in 0..runs {
         // Raw-λ integration: the augmented topics differ from the source by
@@ -103,7 +100,11 @@ pub fn run(scale: Scale) -> String {
             .seed(100 + run_idx as u64)
             .trace(TraceConfig {
                 log_likelihood_every: Some(1),
-                phi_snapshots: if run_idx == 0 { snapshots.clone() } else { vec![] },
+                phi_snapshots: if run_idx == 0 {
+                    snapshots.clone()
+                } else {
+                    vec![]
+                },
             })
             .build()
             .expect("valid model");
@@ -198,7 +199,10 @@ mod tests {
             src_js < eda_js,
             "Source-LDA {src_js:.4} should beat EDA {eda_js:.4}"
         );
-        assert!(src_js < 0.1, "Source-LDA should track the truth: {src_js:.4}");
+        assert!(
+            src_js < 0.1,
+            "Source-LDA should track the truth: {src_js:.4}"
+        );
     }
 
     #[test]

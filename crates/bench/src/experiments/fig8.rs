@@ -11,6 +11,7 @@
 //! and PMI topic coherence over a `K` sweep (c).
 
 use crate::cli::{banner, Scale};
+use rand::seq::SliceRandom;
 use srclda_core::generative::{DocLength, GeneratedCorpus, LambdaMode, SourceLdaGenerator};
 use srclda_core::{Ctm, Eda, Lda, SmoothingMode, SourceLda, Variant};
 use srclda_eval::report::bar_chart;
@@ -18,7 +19,6 @@ use srclda_eval::{mean_topic_pmi, theta_js_total, token_accuracy, Series, TopicM
 use srclda_knowledge::{KnowledgeSource, SmoothingConfig};
 use srclda_math::rng_from_seed;
 use srclda_synth::{medline_topic_names, SyntheticWikipedia, WikipediaConfig};
-use rand::seq::SliceRandom;
 
 struct Setup {
     generated: GeneratedCorpus,
@@ -113,7 +113,12 @@ fn smoothing(scale: Scale) -> SmoothingMode {
 }
 
 /// One evaluation round (Unk or Exact).
-fn round(setup: &Setup, knowledge: &KnowledgeSource, tag: &str, scale: Scale) -> (String, Vec<Outcome>) {
+fn round(
+    setup: &Setup,
+    knowledge: &KnowledgeSource,
+    tag: &str,
+    scale: Scale,
+) -> (String, Vec<Outcome>) {
     let iterations = scale.pick(50, 150, 1000);
     let t_total = knowledge.len();
     let alpha = 50.0 / t_total as f64;
@@ -178,7 +183,9 @@ fn round(setup: &Setup, knowledge: &KnowledgeSource, tag: &str, scale: Scale) ->
         .map(|o| (format!("{}-{tag}", o.name), o.correct as f64))
         .collect();
     text.push_str(&bar_chart(&acc_entries, 40));
-    text.push_str(&format!("\nsummed θ JS divergence ({tag}, lower is better):\n"));
+    text.push_str(&format!(
+        "\nsummed θ JS divergence ({tag}, lower is better):\n"
+    ));
     let js_entries: Vec<(String, f64)> = outcomes
         .iter()
         .map(|o| (format!("{}-{tag}", o.name), o.theta_js))
@@ -189,7 +196,11 @@ fn round(setup: &Setup, knowledge: &KnowledgeSource, tag: &str, scale: Scale) ->
 
 /// Figure 8 a/b/d/e: the two accuracy/θ rounds.
 pub fn run_assignments(scale: Scale) -> String {
-    let mut out = banner("F8abde", "Wikipedia-corpus accuracy & θ divergence (Fig. 8 a/b/d/e)", scale);
+    let mut out = banner(
+        "F8abde",
+        "Wikipedia-corpus accuracy & θ divergence (Fig. 8 a/b/d/e)",
+        scale,
+    );
     let b = scale.pick(30, 120, 578);
     let k = scale.pick(10, 40, 100);
     let setup = build(scale, b, k, 81);
@@ -325,13 +336,7 @@ mod tests {
             eda.correct,
             ctm.correct
         );
-        let total: usize = setup
-            .generated
-            .truth
-            .assignments
-            .iter()
-            .map(Vec::len)
-            .sum();
+        let total: usize = setup.generated.truth.assignments.iter().map(Vec::len).sum();
         assert!(
             src.correct * 2 > total,
             "SRC should classify most tokens: {}/{total}",

@@ -16,12 +16,7 @@ use srclda_synth::random_source_topics;
 use std::time::Instant;
 
 /// Average seconds per Gibbs iteration for one (B, backend) cell.
-fn time_cell(
-    b: usize,
-    backend: Backend,
-    scale: Scale,
-    iters: usize,
-) -> f64 {
+fn time_cell(b: usize, backend: Backend, scale: Scale, iters: usize) -> f64 {
     let vocab_size = scale.pick(400, 1500, 2000);
     let support = scale.pick(10, 25, 40);
     let (vocab, knowledge) = random_source_topics(vocab_size, b, support, 300, 42);
@@ -70,11 +65,13 @@ pub fn run(scale: Scale) -> String {
     // samplers degrade when oversubscribed, so cap at the machine's actual
     // parallelism and report what ran.
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut thread_counts: Vec<usize> = [1usize, 3, 6]
-        .into_iter()
-        .map(|t| t.min(cores))
-        .collect();
+    let mut thread_counts: Vec<usize> = [1usize, 3, 6].into_iter().map(|t| t.min(cores)).collect();
     thread_counts.dedup();
+    if thread_counts.len() == 1 {
+        // Single-core machine: still time one (oversubscribed) parallel
+        // pool so the serial-vs-parallel speedup comparison is exercised.
+        thread_counts.push(2);
+    }
     out.push_str(&format!(
         "machine parallelism: {cores} cores; thread counts benchmarked: {thread_counts:?}\n"
     ));
@@ -86,7 +83,10 @@ pub fn run(scale: Scale) -> String {
         } else {
             Backend::SimpleParallel { threads }
         };
-        let col: Vec<f64> = bs.iter().map(|&b| time_cell(b, backend, scale, iters)).collect();
+        let col: Vec<f64> = bs
+            .iter()
+            .map(|&b| time_cell(b, backend, scale, iters))
+            .collect();
         final_row.push(*col.last().expect("non-empty"));
         series.push_column(format!("{threads}-threads_sec_per_iter"), col);
     }

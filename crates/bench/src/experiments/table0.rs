@@ -117,7 +117,11 @@ pub fn run(scale: Scale) -> String {
                 )
             })
             .collect();
-        out.push_str(&format!("  {}: {}\n", doc.name().unwrap_or("?"), words.join(", ")));
+        out.push_str(&format!(
+            "  {}: {}\n",
+            doc.name().unwrap_or("?"),
+            words.join(", ")
+        ));
     }
     out
 }

@@ -13,8 +13,8 @@ use srclda_core::{Ctm, Lda, SmoothingMode, SourceLda, Variant};
 use srclda_eval::Table;
 use srclda_knowledge::SmoothingConfig;
 use srclda_labeling::{IrLda, LabelingContext, TfIdfCosineLabeler, TopicLabeler};
-use srclda_synth::{ReutersConfig, ReutersLikeDataset};
 use srclda_synth::wikipedia::WikipediaConfig;
+use srclda_synth::{ReutersConfig, ReutersLikeDataset};
 
 /// The three labels Table I displays.
 const DISPLAY_TOPICS: &[&str] = &["Inventories", "Natural Gas", "Balance of Payments"];
@@ -39,7 +39,12 @@ fn dataset(scale: Scale) -> ReutersLikeDataset {
 fn top_words(corpus: &srclda_corpus::Corpus, phi_row: &[f64], n: usize) -> Vec<String> {
     srclda_math::simplex::top_n_indices(phi_row, n)
         .into_iter()
-        .map(|w| corpus.vocabulary().word(srclda_corpus::WordId::new(w)).to_string())
+        .map(|w| {
+            corpus
+                .vocabulary()
+                .word(srclda_corpus::WordId::new(w))
+                .to_string()
+        })
         .collect()
 }
 
@@ -106,10 +111,8 @@ pub fn run(scale: Scale) -> String {
     // topic that *best* matches it (the forced-assignment argmax rarely
     // lands on a specific label among 80 candidates).
     let ir_phi_rows = ir.fitted.phi().to_rows();
-    let ir_scores = TfIdfCosineLabeler.score_matrix(
-        &ir_phi_rows,
-        &LabelingContext::new(&data.knowledge, corpus),
-    );
+    let ir_scores = TfIdfCosineLabeler
+        .score_matrix(&ir_phi_rows, &LabelingContext::new(&data.knowledge, corpus));
 
     // Top-10 lists for the display topics.
     let n = 10;

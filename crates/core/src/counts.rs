@@ -117,7 +117,10 @@ impl CountMatrices {
         let a = self.nw[w * self.t + t].fetch_sub(1, Ordering::Relaxed);
         let b = self.nd[d * self.t + t].fetch_sub(1, Ordering::Relaxed);
         let c = self.nt[t].fetch_sub(1, Ordering::Relaxed);
-        debug_assert!(a > 0 && b > 0 && c > 0, "count underflow at w={w} d={d} t={t}");
+        debug_assert!(
+            a > 0 && b > 0 && c > 0,
+            "count underflow at w={w} d={d} t={t}"
+        );
     }
 
     /// Number of documents in which topic `t` has at least `min_tokens`

@@ -128,7 +128,9 @@ impl CtmBuilder {
     /// # Errors
     /// Fails without a knowledge source.
     pub fn build(self) -> crate::Result<Ctm> {
-        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        let source = self
+            .source
+            .ok_or(crate::CoreError::MissingKnowledgeSource)?;
         if source.is_empty() {
             return Err(crate::CoreError::MissingKnowledgeSource);
         }

@@ -108,7 +108,9 @@ impl EdaBuilder {
     /// # Errors
     /// Fails without a knowledge source.
     pub fn build(self) -> crate::Result<Eda> {
-        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        let source = self
+            .source
+            .ok_or(crate::CoreError::MissingKnowledgeSource)?;
         if source.is_empty() {
             return Err(crate::CoreError::MissingKnowledgeSource);
         }
@@ -161,7 +163,10 @@ mod tests {
         let fitted = eda.fit(&c).unwrap();
         for (t, want) in expected.iter().enumerate() {
             for (got, want) in fitted.phi_row(t).iter().zip(want) {
-                assert!((got - want).abs() < 1e-9, "phi must not move: {got} vs {want}");
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "phi must not move: {got} vs {want}"
+                );
             }
         }
     }

@@ -7,8 +7,7 @@ use rand::Rng;
 use srclda_corpus::{Corpus, Document, Vocabulary};
 use srclda_knowledge::{KnowledgeSource, SmoothingConfig, SmoothingFunction};
 use srclda_math::{
-    rng_from_seed, sample_categorical, AliasTable, DenseMatrix, Dirichlet, SldaRng,
-    TruncatedNormal,
+    rng_from_seed, sample_categorical, AliasTable, DenseMatrix, Dirichlet, SldaRng, TruncatedNormal,
 };
 
 /// Per-document length model (the paper's step `N_d ~ Poisson(ξ)`; the
@@ -25,14 +24,12 @@ impl DocLength {
     fn sample(&self, rng: &mut SldaRng) -> usize {
         match *self {
             DocLength::Fixed(n) => n.max(1),
-            DocLength::Poisson(xi) => {
-                loop {
-                    let n = sample_poisson(xi, rng);
-                    if n > 0 {
-                        return n;
-                    }
+            DocLength::Poisson(xi) => loop {
+                let n = sample_poisson(xi, rng);
+                if n > 0 {
+                    return n;
                 }
-            }
+            },
         }
     }
 }
@@ -236,7 +233,11 @@ impl SourceLdaGenerator {
     ///
     /// # Errors
     /// Fails on an empty knowledge source or degenerate parameters.
-    pub fn generate(&self, ks: &KnowledgeSource, vocab: &Vocabulary) -> crate::Result<GeneratedCorpus> {
+    pub fn generate(
+        &self,
+        ks: &KnowledgeSource,
+        vocab: &Vocabulary,
+    ) -> crate::Result<GeneratedCorpus> {
         if ks.is_empty() && self.unlabeled_topics == 0 {
             return Err(CoreError::NoTopics);
         }
@@ -333,9 +334,14 @@ mod tests {
         let mut rng = rng_from_seed(3);
         for &lam in &[0.5, 4.0, 50.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| sample_poisson(lam, &mut rng) as f64).sum::<f64>() / n as f64;
-            assert!((mean - lam).abs() < lam.max(1.0) * 0.05, "λ={lam}: mean {mean}");
+            let mean: f64 = (0..n)
+                .map(|_| sample_poisson(lam, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lam).abs() < lam.max(1.0) * 0.05,
+                "λ={lam}: mean {mean}"
+            );
         }
     }
 
@@ -393,10 +399,7 @@ mod tests {
         // With big counts and no λ, generated φ stays close to the source
         // distribution (paper Fig. 2's observation).
         let v = vocab(4);
-        let ks = KnowledgeSource::new(vec![SourceTopic::new(
-            "T",
-            vec![800.0, 150.0, 40.0, 10.0],
-        )]);
+        let ks = KnowledgeSource::new(vec![SourceTopic::new("T", vec![800.0, 150.0, 40.0, 10.0])]);
         let generated = SourceLdaGenerator {
             num_docs: 1,
             doc_len: DocLength::Fixed(10),
@@ -405,11 +408,9 @@ mod tests {
         }
         .generate(&ks, &v)
         .unwrap();
-        let js = srclda_math::js_divergence(
-            generated.truth.phi.row(0),
-            &ks.topic(0).distribution(),
-        )
-        .unwrap();
+        let js =
+            srclda_math::js_divergence(generated.truth.phi.row(0), &ks.topic(0).distribution())
+                .unwrap();
         assert!(js < 0.05, "JS divergence too large: {js}");
     }
 

@@ -62,7 +62,12 @@ pub fn joint_word_log_likelihood(counts: &CountMatrices, priors: &[TopicPrior]) 
 mod tests {
     use super::*;
 
-    fn make_counts(assign: &[(usize, usize, usize)], v: usize, t: usize, lens: &[u32]) -> CountMatrices {
+    fn make_counts(
+        assign: &[(usize, usize, usize)],
+        v: usize,
+        t: usize,
+        lens: &[u32],
+    ) -> CountMatrices {
         let c = CountMatrices::new(v, t, lens);
         for &(w, d, topic) in assign {
             c.increment(w, d, topic);
@@ -87,18 +92,8 @@ mod tests {
             TopicPrior::symmetric(0.1, 2).unwrap(),
             TopicPrior::symmetric(0.1, 2).unwrap(),
         ];
-        let concentrated = make_counts(
-            &[(0, 0, 0), (0, 0, 0), (1, 0, 1), (1, 0, 1)],
-            2,
-            2,
-            &[4],
-        );
-        let scattered = make_counts(
-            &[(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)],
-            2,
-            2,
-            &[4],
-        );
+        let concentrated = make_counts(&[(0, 0, 0), (0, 0, 0), (1, 0, 1), (1, 0, 1)], 2, 2, &[4]);
+        let scattered = make_counts(&[(0, 0, 0), (0, 0, 1), (1, 0, 0), (1, 0, 1)], 2, 2, &[4]);
         let lc = joint_word_log_likelihood(&concentrated, &priors);
         let ls = joint_word_log_likelihood(&scattered, &priors);
         assert!(lc > ls, "concentrated {lc} should beat scattered {ls}");

@@ -152,9 +152,11 @@ impl GibbsModel {
                 |iter_in_chunk| {
                     let iter = base + iter_in_chunk;
                     if let Some(every) = trace.log_likelihood_every {
-                        if every > 0 && iter % every == 0 {
-                            loglik_trace
-                                .push((iter, loglik::joint_word_log_likelihood(&counts, priors_ref)));
+                        if every > 0 && iter.is_multiple_of(every) {
+                            loglik_trace.push((
+                                iter,
+                                loglik::joint_word_log_likelihood(&counts, priors_ref),
+                            ));
                         }
                     }
                     if trace.phi_snapshots.contains(&iter) {

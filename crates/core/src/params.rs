@@ -154,11 +154,26 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         let bad = [
-            ModelConfig { alpha: 0.0, ..ModelConfig::default() },
-            ModelConfig { iterations: 0, ..ModelConfig::default() },
-            ModelConfig { approximation_steps: 0, ..ModelConfig::default() },
-            ModelConfig { mu: 1.5, ..ModelConfig::default() },
-            ModelConfig { sigma: -0.1, ..ModelConfig::default() },
+            ModelConfig {
+                alpha: 0.0,
+                ..ModelConfig::default()
+            },
+            ModelConfig {
+                iterations: 0,
+                ..ModelConfig::default()
+            },
+            ModelConfig {
+                approximation_steps: 0,
+                ..ModelConfig::default()
+            },
+            ModelConfig {
+                mu: 1.5,
+                ..ModelConfig::default()
+            },
+            ModelConfig {
+                sigma: -0.1,
+                ..ModelConfig::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "config should be rejected: {c:?}");

@@ -84,10 +84,11 @@ pub fn gibbs_perplexity(
                 test_nd[d][old] -= 1;
                 let mut acc = 0.0;
                 for t in 0..t_count {
-                    let nw_eff = frozen_nw[w * t_count + t] as f64 + test_nw[w * t_count + t] as f64;
+                    let nw_eff =
+                        frozen_nw[w * t_count + t] as f64 + test_nw[w * t_count + t] as f64;
                     let nt_eff = frozen_nt[t] as f64 + test_nt[t] as f64;
-                    let weight = priors[t].word_weight(w, nw_eff, nt_eff)
-                        * (test_nd[d][t] as f64 + alpha);
+                    let weight =
+                        priors[t].word_weight(w, nw_eff, nt_eff) * (test_nd[d][t] as f64 + alpha);
                     acc += weight;
                     buf[t] = acc;
                 }

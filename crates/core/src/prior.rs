@@ -67,13 +67,15 @@ impl IntegrationTable {
         quadrature: &DiscretizedGaussian,
     ) -> Self {
         let weights: Vec<f64> = quadrature.weights().to_vec();
-        let prior_log_weights: Vec<f64> =
-            weights.iter().map(|&w| w.max(1e-300).ln()).collect();
+        let prior_log_weights: Vec<f64> = weights.iter().map(|&w| w.max(1e-300).ln()).collect();
         let v = topic.vocab_size();
         let a = quadrature.len();
         let exponents: Vec<f64> = quadrature.points().iter().map(|&lam| g.eval(lam)).collect();
         let counts = topic.counts();
-        let support: Vec<u32> = (0..v).filter(|&w| counts[w] > 0.0).map(|w| w as u32).collect();
+        let support: Vec<u32> = (0..v)
+            .filter(|&w| counts[w] > 0.0)
+            .map(|w| w as u32)
+            .collect();
         let dense = v <= DENSE_INTEGRATION_MAX_VOCAB || support.len() * 2 >= v;
         let zero_values: Vec<f64> = exponents.iter().map(|&e| epsilon.powf(e)).collect();
         let mut sums = vec![0.0; a];
@@ -147,9 +149,7 @@ impl IntegrationTable {
                 .sum()
         };
         match &self.layout {
-            IntegrationLayout::Dense { values } => {
-                combine(&values[w * self.a..(w + 1) * self.a])
-            }
+            IntegrationLayout::Dense { values } => combine(&values[w * self.a..(w + 1) * self.a]),
             IntegrationLayout::Sparse {
                 support,
                 values,
@@ -245,7 +245,10 @@ impl IntegrationTable {
         match &self.layout {
             IntegrationLayout::Dense { values } => {
                 let row = &values[w * self.a..(w + 1) * self.a];
-                row.iter().zip(self.weights.iter()).map(|(&v, &q)| q * v).sum()
+                row.iter()
+                    .zip(self.weights.iter())
+                    .map(|(&v, &q)| q * v)
+                    .sum()
             }
             IntegrationLayout::Sparse {
                 support,
@@ -254,7 +257,10 @@ impl IntegrationTable {
             } => match support.binary_search(&(w as u32)) {
                 Ok(si) => {
                     let row = &values[si * self.a..(si + 1) * self.a];
-                    row.iter().zip(self.weights.iter()).map(|(&v, &q)| q * v).sum()
+                    row.iter()
+                        .zip(self.weights.iter())
+                        .map(|(&v, &q)| q * v)
+                        .sum()
                 }
                 Err(_) => zero_values
                     .iter()
@@ -410,11 +416,7 @@ impl TopicPrior {
     /// Posterior-adapt the λ quadrature weights from the topic's current
     /// counts (no-op for non-integrated priors). See
     /// [`IntegrationTable::adapt`].
-    pub fn adapt_lambda<I: IntoIterator<Item = (usize, u32)>>(
-        &mut self,
-        topic_counts: I,
-        nt: u32,
-    ) {
+    pub fn adapt_lambda<I: IntoIterator<Item = (usize, u32)>>(&mut self, topic_counts: I, nt: u32) {
         if let TopicPrior::Integrated(table) = self {
             table.adapt(topic_counts, nt);
         }
@@ -529,7 +531,7 @@ mod tests {
 
     #[test]
     fn integrated_weight_is_convex_combination() {
-        let (q, w) = quad_and_weights(6);
+        let (q, _w) = quad_and_weights(6);
         let g = SmoothingFunction::identity();
         let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
         // The integrated weight is a convex combination of the per-level
@@ -543,7 +545,10 @@ mod tests {
             .collect();
         for word in 0..4 {
             let wi = p.word_weight(word, 1.0, 3.0);
-            let vals: Vec<f64> = levels.iter().map(|l| l.word_weight(word, 1.0, 3.0)).collect();
+            let vals: Vec<f64> = levels
+                .iter()
+                .map(|l| l.word_weight(word, 1.0, 3.0))
+                .collect();
             let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             assert!(
@@ -567,7 +572,10 @@ mod tests {
         let g = SmoothingFunction::identity();
         let p = TopicPrior::integrated(&t, 0.01, &g, &q);
         if let TopicPrior::Integrated(table) = &p {
-            assert!(!table.is_dense(), "large sparse topic should pick sparse layout");
+            assert!(
+                !table.is_dense(),
+                "large sparse topic should pick sparse layout"
+            );
         }
         // Manual Eq. 3 at word 3 and at an off-support word.
         let exps: Vec<f64> = q.points().to_vec();
@@ -586,7 +594,11 @@ mod tests {
             }
             acc
         };
-        for &(word, nw, nt) in &[(3usize, 2.0, 9.0), (500usize, 0.0, 9.0), (9000usize, 1.0, 4.0)] {
+        for &(word, nw, nt) in &[
+            (3usize, 2.0, 9.0),
+            (500usize, 0.0, 9.0),
+            (9000usize, 1.0, 4.0),
+        ] {
             let got = p.word_weight(word, nw, nt);
             let want = manual(word, nw, nt);
             assert!((got - want).abs() < 1e-12, "word {word}: {got} vs {want}");
@@ -595,7 +607,7 @@ mod tests {
 
     #[test]
     fn small_vocab_uses_dense_layout() {
-        let (q, w) = quad_and_weights(4);
+        let (q, _w) = quad_and_weights(4);
         let g = SmoothingFunction::identity();
         let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
         if let TopicPrior::Integrated(table) = &p {
@@ -612,7 +624,7 @@ mod tests {
         assert_eq!(p.effective_delta(2), 0.25);
         let p = TopicPrior::fixed_from_source(&topic(), 0.01);
         assert!((p.effective_delta(0) - 6.01).abs() < 1e-12);
-        let (q, w) = quad_and_weights(4);
+        let (q, _w) = quad_and_weights(4);
         let g = SmoothingFunction::identity();
         let p = TopicPrior::integrated(&topic(), 0.01, &g, &q);
         // Expected delta for word 0 lies between the min/max powered values.

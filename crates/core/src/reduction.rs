@@ -197,11 +197,7 @@ mod tests {
             },
         )
         .unwrap();
-        let labels: Vec<&str> = reduced
-            .labels
-            .iter()
-            .filter_map(|l| l.as_deref())
-            .collect();
+        let labels: Vec<&str> = reduced.labels.iter().filter_map(|l| l.as_deref()).collect();
         assert!(labels.contains(&"Natural Gas"), "labels: {labels:?}");
         assert!(labels.contains(&"Stock Market"));
         // Cricket/Opera have no corpus support (their articles share no
@@ -224,7 +220,10 @@ mod tests {
         for (i, &t) in reduced.kept.iter().enumerate() {
             assert_eq!(reduced.phi.row(i), f.phi_row(t));
         }
-        assert_eq!(reduced.cluster_of, (0..reduced.kept.len()).collect::<Vec<_>>());
+        assert_eq!(
+            reduced.cluster_of,
+            (0..reduced.kept.len()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

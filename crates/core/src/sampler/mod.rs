@@ -91,10 +91,26 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
             }
         }
         Backend::SimpleParallel { threads } => {
-            parallel::run(ctx, z, rng, iterations, threads, parallel::Algo::Simple, &mut on_sweep);
+            parallel::run(
+                ctx,
+                z,
+                rng,
+                iterations,
+                threads,
+                parallel::Algo::Simple,
+                &mut on_sweep,
+            );
         }
         Backend::PrefixSums { threads } => {
-            parallel::run(ctx, z, rng, iterations, threads, parallel::Algo::PrefixSums, &mut on_sweep);
+            parallel::run(
+                ctx,
+                z,
+                rng,
+                iterations,
+                threads,
+                parallel::Algo::PrefixSums,
+                &mut on_sweep,
+            );
         }
     }
 }

@@ -456,7 +456,9 @@ mod tests {
             alpha: 0.5,
         };
         let mut seen = Vec::new();
-        run(&ctx, &mut z, &mut rng, 7, 3, Algo::Simple, &mut |i| seen.push(i));
+        run(&ctx, &mut z, &mut rng, 7, 3, Algo::Simple, &mut |i| {
+            seen.push(i)
+        });
         assert_eq!(seen, vec![1, 2, 3, 4, 5, 6, 7]);
     }
 }

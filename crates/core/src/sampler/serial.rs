@@ -91,7 +91,6 @@ mod tests {
             .enumerate()
             .map(|(d, doc)| {
                 doc.iter()
-                    
                     .map(|&w| {
                         let t = rng.gen_range(0..counts.num_topics()) as u32;
                         counts.increment(w as usize, d, t as usize);

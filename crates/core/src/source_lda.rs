@@ -286,7 +286,9 @@ impl SourceLdaBuilder {
     /// # Errors
     /// Fails without a knowledge source or with invalid hyperparameters.
     pub fn build(self) -> crate::Result<SourceLda> {
-        let source = self.source.ok_or(crate::CoreError::MissingKnowledgeSource)?;
+        let source = self
+            .source
+            .ok_or(crate::CoreError::MissingKnowledgeSource)?;
         if source.is_empty() {
             return Err(crate::CoreError::MissingKnowledgeSource);
         }

@@ -123,7 +123,11 @@ impl CorpusCounts {
     /// The `n` most frequent words, descending.
     pub fn top_words(&self, n: usize) -> Vec<WordId> {
         let mut idx: Vec<usize> = (0..self.word_counts.len()).collect();
-        idx.sort_by(|&a, &b| self.word_counts[b].cmp(&self.word_counts[a]).then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| {
+            self.word_counts[b]
+                .cmp(&self.word_counts[a])
+                .then(a.cmp(&b))
+        });
         idx.truncate(n);
         idx.into_iter().map(WordId::new).collect()
     }

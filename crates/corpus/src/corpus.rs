@@ -121,7 +121,10 @@ impl CorpusBuilder {
 
     /// Add a pre-tokenized document (tokens are interned).
     pub fn add_tokens<S: AsRef<str>>(&mut self, name: impl Into<String>, tokens: &[S]) -> DocId {
-        let ids: Vec<WordId> = tokens.iter().map(|w| self.vocab.intern(w.as_ref())).collect();
+        let ids: Vec<WordId> = tokens
+            .iter()
+            .map(|w| self.vocab.intern(w.as_ref()))
+            .collect();
         let id = DocId::new(self.docs.len());
         self.docs.push(Document::named(name, ids));
         id

@@ -66,7 +66,10 @@ mod tests {
         let (a1, b1) = train_test_split(&c, 0.5, 7);
         let (a2, b2) = train_test_split(&c, 0.5, 7);
         let names = |c: &Corpus| -> Vec<String> {
-            c.docs().iter().filter_map(|d| d.name().map(String::from)).collect()
+            c.docs()
+                .iter()
+                .filter_map(|d| d.name().map(String::from))
+                .collect()
         };
         assert_eq!(names(&a1), names(&a2));
         assert_eq!(names(&b1), names(&b2));

@@ -9,6 +9,7 @@ use srclda_math::FxHashSet;
 use std::sync::OnceLock;
 
 /// The raw stopword list.
+#[rustfmt::skip]
 pub const STOPWORDS: &[&str] = &[
     "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
     "are", "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between",

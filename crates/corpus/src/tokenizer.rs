@@ -124,7 +124,9 @@ mod tests {
 
     #[test]
     fn case_preservation_option() {
-        let t = Tokenizer::default().lowercase(false).remove_stopwords(false);
+        let t = Tokenizer::default()
+            .lowercase(false)
+            .remove_stopwords(false);
         let tokens = t.tokenize("Hong Kong Dollar");
         assert_eq!(tokens, vec!["Hong", "Kong", "Dollar"]);
     }

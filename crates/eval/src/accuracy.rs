@@ -40,11 +40,7 @@ impl Accuracy {
 ///
 /// # Panics
 /// Panics if document shapes disagree.
-pub fn token_accuracy(
-    truth: &[Vec<u32>],
-    fitted: &[Vec<u32>],
-    mapping: &TopicMapping,
-) -> Accuracy {
+pub fn token_accuracy(truth: &[Vec<u32>], fitted: &[Vec<u32>], mapping: &TopicMapping) -> Accuracy {
     assert_eq!(truth.len(), fitted.len(), "document count mismatch");
     let mut correct = 0usize;
     let mut total = 0usize;

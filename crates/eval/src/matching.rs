@@ -35,11 +35,8 @@ impl TopicMapping {
         let map = fitted
             .iter()
             .map(|fl| {
-                fl.as_ref().and_then(|fl| {
-                    truth
-                        .iter()
-                        .position(|tl| tl.as_ref() == Some(fl))
-                })
+                fl.as_ref()
+                    .and_then(|fl| truth.iter().position(|tl| tl.as_ref() == Some(fl)))
             })
             .collect();
         Self {
@@ -53,14 +50,13 @@ impl TopicMapping {
     pub fn by_phi_js(fitted_phi: &DenseMatrix<f64>, truth_phi: &DenseMatrix<f64>) -> Self {
         let map = (0..fitted_phi.rows())
             .map(|t| {
-                (0..truth_phi.rows())
-                    .min_by(|&a, &b| {
-                        let da = js_divergence(fitted_phi.row(t), truth_phi.row(a))
-                            .unwrap_or(f64::INFINITY);
-                        let db = js_divergence(fitted_phi.row(t), truth_phi.row(b))
-                            .unwrap_or(f64::INFINITY);
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                (0..truth_phi.rows()).min_by(|&a, &b| {
+                    let da =
+                        js_divergence(fitted_phi.row(t), truth_phi.row(a)).unwrap_or(f64::INFINITY);
+                    let db =
+                        js_divergence(fitted_phi.row(t), truth_phi.row(b)).unwrap_or(f64::INFINITY);
+                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                })
             })
             .collect();
         Self {

@@ -50,7 +50,10 @@ mod tests {
     }
 
     fn ids(c: &Corpus, words: &[&str]) -> Vec<WordId> {
-        words.iter().map(|w| c.vocabulary().get(w).unwrap()).collect()
+        words
+            .iter()
+            .map(|w| c.vocabulary().get(w).unwrap())
+            .collect()
     }
 
     #[test]

@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let entries = vec![
-            ("SRC".to_string(), 700.0),
-            ("LDA".to_string(), 350.0),
-        ];
+        let entries = vec![("SRC".to_string(), 700.0), ("LDA".to_string(), 350.0)];
         let chart = bar_chart(&entries, 20);
         let lines: Vec<&str> = chart.lines().collect();
         let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();

@@ -122,8 +122,8 @@ impl SmoothingFunction {
                 g_vals[i] = g_vals[i - 1];
             }
         }
-        let map = PiecewiseLinear::new(exponents, g_vals)
-            .expect("grid knots are strictly increasing");
+        let map =
+            PiecewiseLinear::new(exponents, g_vals).expect("grid knots are strictly increasing");
         Self { map, curve }
     }
 

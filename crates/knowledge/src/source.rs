@@ -268,10 +268,7 @@ mod tests {
 
     #[test]
     fn from_distributions_scales() {
-        let ks = KnowledgeSource::from_distributions(
-            vec![("T", vec![0.25, 0.75])],
-            100.0,
-        );
+        let ks = KnowledgeSource::from_distributions(vec![("T", vec![0.25, 0.75])], 100.0);
         assert_eq!(ks.topic(0).counts(), &[25.0, 75.0]);
     }
 

@@ -1,14 +1,11 @@
 //! Property-based tests for knowledge-source invariants.
 
 use proptest::prelude::*;
-use srclda_knowledge::{
-    KnowledgeSourceBuilder, SmoothingConfig, SmoothingFunction, SourceTopic,
-};
+use srclda_knowledge::{KnowledgeSourceBuilder, SmoothingConfig, SmoothingFunction, SourceTopic};
 use srclda_math::rng_from_seed;
 
 fn counts_strategy() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0u32..200, 4..60)
-        .prop_map(|v| v.into_iter().map(f64::from).collect())
+    prop::collection::vec(0u32..200, 4..60).prop_map(|v| v.into_iter().map(f64::from).collect())
 }
 
 proptest! {

@@ -101,17 +101,11 @@ pub(crate) mod test_fixtures {
         let mut ks = KnowledgeSourceBuilder::new();
         ks.add_counts(
             "School Supplies",
-            vec![
-                ("pencil".into(), 40.0),
-                ("ruler".into(), 30.0),
-            ],
+            vec![("pencil".into(), 40.0), ("ruler".into(), 30.0)],
         );
         ks.add_counts(
             "Baseball",
-            vec![
-                ("baseball".into(), 35.0),
-                ("umpire".into(), 25.0),
-            ],
+            vec![("baseball".into(), 35.0), ("umpire".into(), 25.0)],
         );
         let source = ks.build(corpus.vocabulary());
         (corpus, source)

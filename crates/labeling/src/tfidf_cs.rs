@@ -62,7 +62,12 @@ impl TopicLabeler for TfIdfCosineLabeler {
                 let query = SparseVector::from_pairs(
                     top_word_ids(phi_t, ctx.top_n)
                         .into_iter()
-                        .map(|w| (WordId::new(w), phi_t[w] * idf.get(w).copied().unwrap_or(1.0)))
+                        .map(|w| {
+                            (
+                                WordId::new(w),
+                                phi_t[w] * idf.get(w).copied().unwrap_or(1.0),
+                            )
+                        })
                         .collect(),
                 );
                 articles

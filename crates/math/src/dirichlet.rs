@@ -80,7 +80,11 @@ impl Dirichlet {
     /// # Panics
     /// Panics if `out.len() != self.dim()`.
     pub fn sample_into(&self, rng: &mut SldaRng, out: &mut [f64]) {
-        assert_eq!(out.len(), self.alpha.len(), "output buffer dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.alpha.len(),
+            "output buffer dimension mismatch"
+        );
         loop {
             let mut sum = 0.0;
             for (o, &a) in out.iter_mut().zip(&self.alpha) {
@@ -188,7 +192,10 @@ mod tests {
             max_share += m;
         }
         max_share /= 50.0;
-        assert!(max_share > 0.5, "expected concentration, got avg max {max_share}");
+        assert!(
+            max_share > 0.5,
+            "expected concentration, got avg max {max_share}"
+        );
     }
 
     #[test]

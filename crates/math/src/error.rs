@@ -54,7 +54,10 @@ impl fmt::Display for MathError {
                 right,
             } => write!(f, "{context}: length mismatch ({left} vs {right})"),
             MathError::NotADistribution { context, sum } => {
-                write!(f, "{context}: input is not a probability distribution (sum = {sum})")
+                write!(
+                    f,
+                    "{context}: input is not a probability distribution (sum = {sum})"
+                )
             }
             MathError::OutOfDomain { name, value } => {
                 write!(f, "parameter `{name}` out of domain: {value}")

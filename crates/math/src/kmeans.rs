@@ -259,11 +259,7 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let mut rng = rng_from_seed(71);
-        let rows = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.5, 0.5],
-        ];
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
         let result = KMeans::new(3).fit(&rows, &mut rng).unwrap();
         assert!(result.inertia < 1e-9, "inertia {}", result.inertia);
     }

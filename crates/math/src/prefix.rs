@@ -181,7 +181,9 @@ mod tests {
     #[test]
     fn blelloch_matches_sequential_ragged() {
         for n in [1usize, 2, 3, 5, 7, 13, 100, 257] {
-            let data: Vec<f64> = (0..n).map(|x| ((x * 37 % 11) as f64) * 0.25 + 0.1).collect();
+            let data: Vec<f64> = (0..n)
+                .map(|x| ((x * 37 % 11) as f64) * 0.25 + 0.1)
+                .collect();
             let mut seq = data.clone();
             inclusive_scan(&mut seq);
             let mut par = data;

@@ -74,7 +74,9 @@ mod tests {
         }
         // A second spawn from the same parent yields a distinct stream.
         let mut c3 = spawn_rng(&mut parent1);
-        let matches = (0..64).filter(|_| c3.gen::<u64>() == c2.gen::<u64>()).count();
+        let matches = (0..64)
+            .filter(|_| c3.gen::<u64>() == c2.gen::<u64>())
+            .count();
         assert!(matches < 4);
     }
 

@@ -35,10 +35,7 @@ pub fn normalized(v: &[f64]) -> crate::Result<Vec<f64>> {
 
 /// Shannon entropy in nats, with the `0 ln 0 = 0` convention.
 pub fn entropy(p: &[f64]) -> f64 {
-    p.iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| -x * x.ln())
-        .sum()
+    p.iter().filter(|&&x| x > 0.0).map(|&x| -x * x.ln()).sum()
 }
 
 /// The uniform distribution over `k` atoms.

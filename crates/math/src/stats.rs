@@ -93,11 +93,7 @@ impl BoxplotSummary {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_low = v
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(v[0]);
+        let whisker_low = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
         let whisker_high = v
             .iter()
             .rev()

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use srclda_math::categorical::{binary_search_cumulative, sample_categorical, sample_cumulative};
-use srclda_math::prefix::{
-    blelloch_inclusive_scan, blockwise_inclusive_scan, inclusive_scan,
-};
+use srclda_math::prefix::{blelloch_inclusive_scan, blockwise_inclusive_scan, inclusive_scan};
 use srclda_math::rng::rng_from_seed;
 use srclda_math::simplex::{normalized, top_n_indices};
 use srclda_math::special::{ln_gamma, log_sum_exp};

@@ -28,9 +28,8 @@ pub struct GridWorld {
 /// Build the 10 original topics (5 rows then 5 columns), each uniform over
 /// its 5 cells: `T_i = {xy | y = i}` for rows, `{yx | y = i}` for columns.
 pub fn grid_topics() -> GridWorld {
-    let vocab = Vocabulary::from_words(
-        (0..SIDE).flat_map(|r| (0..SIDE).map(move |c| format!("{r}{c}"))),
-    );
+    let vocab =
+        Vocabulary::from_words((0..SIDE).flat_map(|r| (0..SIDE).map(move |c| format!("{r}{c}"))));
     let v = SIDE * SIDE;
     let mut topics = Vec::with_capacity(2 * SIDE);
     for r in 0..SIDE {
@@ -54,10 +53,7 @@ pub fn grid_topics() -> GridWorld {
 /// and swap one randomly chosen support word in each direction, requiring
 /// that the word moved into a topic is not already in its support. Returns
 /// the augmented distributions (labels preserved).
-pub fn augment_topics(
-    topics: &[(String, Vec<f64>)],
-    rng: &mut SldaRng,
-) -> Vec<(String, Vec<f64>)> {
+pub fn augment_topics(topics: &[(String, Vec<f64>)], rng: &mut SldaRng) -> Vec<(String, Vec<f64>)> {
     let n = topics.len();
     let mut augmented: Vec<(String, Vec<f64>)> = topics.to_vec();
     // Random pairing: a shuffled sequence consumed two at a time.

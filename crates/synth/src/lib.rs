@@ -32,6 +32,8 @@ pub mod zipf;
 pub use grid::{augment_topics, grid_topics, render_topic, GridWorld};
 pub use medline::medline_topic_names;
 pub use random::random_source_topics;
-pub use reuters::{ReutersConfig, ReutersLikeDataset, ECONOMIC_INDICATOR_TOPICS, REUTERS_CATEGORIES};
+pub use reuters::{
+    ReutersConfig, ReutersLikeDataset, ECONOMIC_INDICATOR_TOPICS, REUTERS_CATEGORIES,
+};
 pub use wikipedia::{SyntheticWikipedia, WikipediaConfig};
 pub use zipf::ZipfDistribution;

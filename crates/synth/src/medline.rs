@@ -8,6 +8,7 @@
 //! everything that matters: 578 distinct labels, one synthetic article each.
 
 /// Anatomical / physiological prefixes.
+#[rustfmt::skip]
 const PREFIXES: &[&str] = &[
     "Cardio", "Neuro", "Gastro", "Hepato", "Nephro", "Dermato", "Osteo", "Arthro", "Hemato",
     "Pulmono", "Broncho", "Encephalo", "Myelo", "Rhino", "Oto", "Ophthalmo", "Cysto", "Entero",
@@ -16,6 +17,7 @@ const PREFIXES: &[&str] = &[
 ];
 
 /// Condition / procedure suffixes.
+#[rustfmt::skip]
 const SUFFIXES: &[&str] = &[
     "pathy", "itis", "osis", "algia", "ectomy", "oscopy", "ogram", "oplasty", "otomy",
     "osclerosis", "odynia", "omalacia", "omegaly", "orrhage", "ostenosis", "otrophy", "oma",

@@ -261,7 +261,11 @@ mod tests {
     fn inactive_topics_do_not_generate_tokens() {
         let d = ReutersLikeDataset::generate(&small_config());
         // All truth labels come from the active subset.
-        let active_labels: Vec<&str> = d.active.iter().map(|&i| d.knowledge.topic(i).label()).collect();
+        let active_labels: Vec<&str> = d
+            .active
+            .iter()
+            .map(|&i| d.knowledge.topic(i).label())
+            .collect();
         for label in d.generated.truth.labels.iter().flatten() {
             assert!(active_labels.contains(&label.as_str()));
         }

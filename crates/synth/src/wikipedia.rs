@@ -9,10 +9,10 @@
 
 use crate::words::pseudo_vocabulary;
 use crate::zipf::ZipfDistribution;
+use rand::Rng;
 use srclda_corpus::Vocabulary;
 use srclda_knowledge::{KnowledgeSource, SourceTopic};
 use srclda_math::{rng_from_seed, SldaRng};
-use rand::Rng;
 
 /// Shape parameters for a synthetic Wikipedia.
 #[derive(Debug, Clone)]
@@ -77,8 +77,7 @@ impl SyntheticWikipedia {
             .map(|(t, label)| {
                 let mut counts = vec![0.0; total_vocab];
                 let core_base = shared + t * core;
-                let core_tokens =
-                    (config.article_len as f64 * (1.0 - bg_frac)).round() as usize;
+                let core_tokens = (config.article_len as f64 * (1.0 - bg_frac)).round() as usize;
                 let bg_tokens = config.article_len.saturating_sub(core_tokens);
                 // Idealized Zipf counts for the head, plus sampling noise so
                 // articles are not perfectly rank-ordered.

@@ -82,7 +82,11 @@ mod tests {
         assert!(counts[4] > counts[20]);
         // Head mass: rank 1 of Zipf(1.1, 50) holds ~22% of the mass.
         let head = counts[0] as f64 / 50_000.0;
-        assert!((head - z.pmf(0)).abs() < 0.02, "head {head} vs {}", z.pmf(0));
+        assert!(
+            (head - z.pmf(0)).abs() < 0.02,
+            "head {head} vs {}",
+            z.pmf(0)
+        );
     }
 
     #[test]

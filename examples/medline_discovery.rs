@@ -86,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {d}");
     }
 
-    let truth: Vec<&str> = active.iter().map(|&i| wiki.knowledge.topic(i).label()).collect();
+    let truth: Vec<&str> = active
+        .iter()
+        .map(|&i| wiki.knowledge.topic(i).label())
+        .collect();
     let hits = discovered.iter().filter(|d| truth.contains(d)).count();
     println!(
         "\nprecision: {hits}/{} discovered are truly active; recall: {hits}/{}",
@@ -98,13 +101,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nsample note summaries:");
     for d in 0..3 {
         let theta = fitted.theta_row(d);
-        let mut ranked: Vec<(usize, f64)> =
-            theta.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = theta.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let summary: Vec<String> = ranked
             .iter()
             .take(2)
-            .map(|&(t, p)| format!("{} ({:.0}%)", fitted.label(t).unwrap_or("unlabeled"), p * 100.0))
+            .map(|&(t, p)| {
+                format!(
+                    "{} ({:.0}%)",
+                    fitted.label(t).unwrap_or("unlabeled"),
+                    p * 100.0
+                )
+            })
             .collect();
         println!("  note {d}: {}", summary.join(", "));
     }

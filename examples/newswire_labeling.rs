@@ -6,8 +6,8 @@
 use source_lda::core::generative::DocLength;
 use source_lda::labeling::{IrLda, JsDivergenceLabeler, LabelingContext, TopicLabeler};
 use source_lda::prelude::*;
-use source_lda::synth::{ReutersConfig, ReutersLikeDataset};
 use source_lda::synth::wikipedia::WikipediaConfig;
+use source_lda::synth::{ReutersConfig, ReutersLikeDataset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = ReutersLikeDataset::generate(&ReutersConfig {

@@ -34,8 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("machine parallelism: {cores} cores; parallel backends use {p} threads");
     let backends = [
         ("serial         ".to_string(), Backend::Serial),
-        (format!("simple-parallel x{p}"), Backend::SimpleParallel { threads: p }),
-        (format!("prefix-sums     x{p}"), Backend::PrefixSums { threads: p }),
+        (
+            format!("simple-parallel x{p}"),
+            Backend::SimpleParallel { threads: p },
+        ),
+        (
+            format!("prefix-sums     x{p}"),
+            Backend::PrefixSums { threads: p },
+        ),
     ];
     let mut reference: Option<Vec<Vec<u32>>> = None;
     println!("\nbackend             sec/iter   chain identical to serial?");

@@ -47,7 +47,12 @@ fn accuracy_of(fitted: &FittedModel, w: &World, by_phi: bool) -> f64 {
     } else {
         TopicMapping::by_label(fitted.labels(), &w.generated.truth.labels)
     };
-    token_accuracy(&w.generated.truth.assignments, fitted.assignments(), &mapping).fraction()
+    token_accuracy(
+        &w.generated.truth.assignments,
+        fitted.assignments(),
+        &mapping,
+    )
+    .fraction()
 }
 
 #[test]
@@ -180,9 +185,17 @@ fn full_variant_with_superset_discovers_active_subset() {
         },
     )
     .unwrap();
-    let discovered: Vec<&str> = reduced.labels.iter().flatten().map(String::as_str).collect();
+    let discovered: Vec<&str> = reduced
+        .labels
+        .iter()
+        .flatten()
+        .map(String::as_str)
+        .collect();
     let truth: Vec<String> = active.iter().map(|&i| format!("cand-{i}")).collect();
-    let hits = discovered.iter().filter(|d| truth.iter().any(|t| t == *d)).count();
+    let hits = discovered
+        .iter()
+        .filter(|d| truth.iter().any(|t| t == *d))
+        .count();
     assert!(
         hits >= 4,
         "should rediscover most active topics; got {discovered:?}"

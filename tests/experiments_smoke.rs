@@ -72,6 +72,14 @@ fn fig8_wikipedia() {
 }
 
 #[test]
+fn ablations() {
+    let r = experiments::ablation::run(Scale::Smoke);
+    assert!(r.contains("quadrature steps"));
+    assert!(r.contains("smoothing function estimation"));
+    assert!(r.contains("epsilon"));
+}
+
+#[test]
 fn fig8f_scaling() {
     let r = experiments::fig8f::run(Scale::Smoke);
     assert!(r.contains("sec_per_iter"));

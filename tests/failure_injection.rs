@@ -2,8 +2,8 @@
 //! and hostile configurations must produce errors or graceful degradation —
 //! never panics or poisoned state.
 
-use source_lda::prelude::*;
 use source_lda::knowledge::{KnowledgeSource, KnowledgeSourceBuilder, SourceTopic};
+use source_lda::prelude::*;
 
 fn tiny_corpus() -> Corpus {
     let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
@@ -42,10 +42,7 @@ fn empty_article_behaves_as_flat_topic() {
     let c = tiny_corpus();
     let mut ks = KnowledgeSourceBuilder::new();
     ks.add_article("Empty", "");
-    ks.add_counts(
-        "Real",
-        vec![("alpha".into(), 50.0), ("beta".into(), 30.0)],
-    );
+    ks.add_counts("Real", vec![("alpha".into(), 50.0), ("beta".into(), 30.0)]);
     let knowledge = ks.build(c.vocabulary());
     let fitted = SourceLda::builder()
         .knowledge_source(knowledge)

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
-use source_lda::knowledge::{KnowledgeSource, SourceTopic};
 use source_lda::corpus::Vocabulary;
+use source_lda::knowledge::{KnowledgeSource, SourceTopic};
 use source_lda::prelude::*;
 
 fn small_knowledge(v: usize, topics: usize, seed: u64) -> (Vocabulary, KnowledgeSource) {
@@ -14,7 +14,13 @@ fn small_knowledge(v: usize, topics: usize, seed: u64) -> (Vocabulary, Knowledge
         (0..topics)
             .map(|t| {
                 let counts: Vec<f64> = (0..v)
-                    .map(|_| if rng.gen::<f64>() < 0.4 { rng.gen_range(1..30) as f64 } else { 0.0 })
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.4 {
+                            rng.gen_range(1..30) as f64
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect();
                 // Ensure non-empty support.
                 let mut counts = counts;

@@ -4,17 +4,23 @@
 //! perplexity behaves.
 
 use source_lda::core::perplexity::{gibbs_perplexity, importance_sampling_perplexity};
-use source_lda::prelude::*;
 use source_lda::corpus::train_test_split;
 use source_lda::knowledge::KnowledgeSourceBuilder;
+use source_lda::prelude::*;
 
 fn corpus() -> Corpus {
     let mut b = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
     for i in 0..30 {
         if i % 2 == 0 {
-            b.add_tokens(format!("g{i}"), &["gas", "pipeline", "gas", "energy", "rig"]);
+            b.add_tokens(
+                format!("g{i}"),
+                &["gas", "pipeline", "gas", "energy", "rig"],
+            );
         } else {
-            b.add_tokens(format!("s{i}"), &["stock", "market", "fund", "stock", "bond"]);
+            b.add_tokens(
+                format!("s{i}"),
+                &["stock", "market", "fund", "stock", "bond"],
+            );
         }
     }
     b.build()

@@ -1,0 +1,251 @@
+//! Offline shim for the subset of `criterion` the bench harnesses use.
+//!
+//! Registry access is unavailable in the build environment, so this crate
+//! provides an API-compatible stand-in. Semantics:
+//!
+//! * In **test mode** (`cargo test`, i.e. no `--bench` argument) every
+//!   benchmark body runs exactly once — the same contract real criterion
+//!   honors — so `cargo test` exercises every bench target cheaply.
+//! * In **bench mode** (`cargo bench` passes `--bench`) each body is timed
+//!   over a fixed number of iterations and a `name ... median-ish mean`
+//!   line is printed. No statistics, plots, or baselines — swap the real
+//!   crate back in when the environment has registry access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let iters = if self.test_mode { 1 } else { self.iters };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / iters.max(1) as u32;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let iters = if self.test_mode { 1 } else { self.iters };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / iters.max(1) as u32;
+    }
+
+    /// Like [`Bencher::iter_batched`] with `&mut I` routines.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+/// Top-level benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion treats the presence of `--bench` (passed by
+        // `cargo bench`) as "measure"; anything else (e.g. `cargo test`
+        // running the harness-less target) is test mode.
+        let bench = std::env::args().any(|a| a == "--bench");
+        Self { test_mode: !bench }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            test_mode: self.test_mode,
+            sample_size: 10,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            test_mode: self.test_mode,
+            sample_size: 10,
+            _parent: std::marker::PhantomData,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+    // Tie to the parent so the borrow rules match real criterion.
+    #[doc(hidden)]
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the measurement sample size (accepted; loosely honored).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            iters: self.sample_size.min(20) as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, b.elapsed);
+        self
+    }
+
+    /// Benchmark `f` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            iters: self.sample_size.min(20) as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, b.elapsed);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, elapsed: Duration) {
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if self.test_mode {
+            eprintln!("bench {full}: ok (test mode, 1 iteration)");
+        } else {
+            eprintln!("bench {full}: {elapsed:?}/iter");
+        }
+    }
+}
+
+/// Define a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! Offline shim for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with spawn closures that receive the scope.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this shim
+//! is a thin adapter that re-creates the crossbeam calling convention
+//! (`s.spawn(|scope| ...)` and a `Result`-returning `scope`) on top of
+//! [`std::thread::scope`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a [`scope`] call: `Err` only if a child thread panicked.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread's closure.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// handle (crossbeam convention) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads; all spawned threads
+    /// are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic out of
+    /// `scope` itself (std semantics); callers that `.unwrap()` /
+    /// `.expect()` the returned `Result` observe equivalent behavior.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = crate::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn spawn_closure_receives_scope() {
+        let n = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 1);
+    }
+}

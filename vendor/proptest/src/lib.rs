@@ -1,0 +1,579 @@
+//! Offline shim for the subset of `proptest` this workspace's property
+//! tests use.
+//!
+//! The build environment has no registry access, so this crate re-creates
+//! the pieces the tests need: the [`proptest!`] macro, `prop_assert*` /
+//! `prop_assume!`, [`Strategy`] with `prop_map`, numeric-range and simple
+//! regex (`[chars]{m,n}`) strategies, `any::<T>()`, and
+//! `prop::collection::{vec, hash_set}`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs but is
+//!   not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name, so runs are reproducible without a `proptest-regressions`
+//!   directory.
+//! * Default case count is 64 (configurable via
+//!   [`ProptestConfig::with_cases`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole property fails.
+    Fail(String),
+}
+
+/// Deterministic per-test RNG (xoshiro256++ seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Build from a string (the test name) via FNV-1a + SplitMix64.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Minimal regex-pattern strategy: supports concatenations of literal
+/// characters and `[a-z0-9_]`-style classes, each optionally followed by
+/// `{m}`, `{m,n}`, `+`, or `*` (capped at 8).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // 1. Parse one atom: a char class or a literal character.
+        let class: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated char class in pattern {pattern:?}"));
+            let inner = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(inner, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // 2. Parse an optional repetition suffix.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().expect("repetition lower bound"),
+                    b.trim().parse::<usize>().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else {
+            (1, 1)
+        };
+        // 3. Emit.
+        let count = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        for _ in 0..count {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn expand_class(inner: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            let (a, b) = (inner[j] as u32, inner[j + 2] as u32);
+            assert!(a <= b, "inverted range in pattern {pattern:?}");
+            for c in a..=b {
+                set.push(char::from_u32(c).expect("valid char in class range"));
+            }
+            j += 3;
+        } else {
+            set.push(inner[j]);
+            j += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty char class in pattern {pattern:?}");
+    set
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of values from `elem` with length uniform in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Hash set of values from `elem` with size uniform in `size`
+    /// (best-effort: duplicates are retried a bounded number of times).
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        assert!(size.start < size.end, "empty size range");
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 20 + 50 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The glob-import module every test pulls in.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property; failure fails the whole property
+/// (with the formatted message, when given).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                __left,
+                __right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Assert two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                __left,
+                __right,
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (it is regenerated, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the upstream surface these tests use: an optional leading
+/// `#![proptest_config(expr)]`, then any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts: u32 = __cfg.cases.saturating_mul(10).saturating_add(100);
+            while __passed < __cfg.cases {
+                assert!(
+                    __attempts < __max_attempts,
+                    "[{}] too many rejected cases ({} attempts for {} passes)",
+                    stringify!($name), __attempts, __passed,
+                );
+                __attempts += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure is what lets `prop_assert*` early-return per case.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { { $body } ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!("[{}] property failed at case {}: {}", stringify!($name), __passed, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn prop_map_applies(v in prop::collection::vec(0u32..5, 1..4).prop_map(|v| v.len())) {
+            prop_assert!((1..4).contains(&v));
+        }
+
+        #[test]
+        fn regex_class_and_reps(w in "[a-c]{2,4}") {
+            prop_assert!(w.len() >= 2 && w.len() <= 4, "bad length: {w:?}");
+            prop_assert!(w.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_accepted(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_target_size() {
+        let s = crate::collection::hash_set(0u64..1_000_000, 5..6);
+        let mut rng = crate::TestRng::deterministic("hash_set_reaches_target_size");
+        let out = crate::Strategy::generate(&s, &mut rng);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
