@@ -1,7 +1,7 @@
-//! Regenerates the design-choice ablations (quadrature steps A, smoothing
-//! mode, ε sensitivity).
+//! Regenerates the design-choice ablations (quadrature steps A, smoothing mode, ε sensitivity).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(&args, "ablations", "Regenerates the design-choice ablations (quadrature steps A, smoothing mode, ε sensitivity).", &[]);
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::ablation::run(scale));
 }

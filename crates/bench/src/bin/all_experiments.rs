@@ -10,6 +10,13 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "all_experiments",
+        "Runs every experiment in sequence, printing each report and \
+         writing a copy under results/.",
+        &[],
+    );
     let scale = Scale::from_args(&args);
     let out_dir = Path::new("results");
     let _ = fs::create_dir_all(out_dir);
@@ -26,6 +33,7 @@ fn main() {
         ("fig8_wikipedia", experiments::fig8::run),
         ("fig8f_scaling", experiments::fig8f::run),
         ("ablations", experiments::ablation::run),
+        ("throughput_serving", experiments::throughput::run),
     ];
     for (name, f) in runs {
         let start = Instant::now();

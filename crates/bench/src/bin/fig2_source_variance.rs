@@ -1,6 +1,12 @@
 //! Regenerates Figure 2 (source-hyperparameter Dirichlet variability).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig2_source_variance",
+        "Regenerates Figure 2 (source-hyperparameter Dirichlet variability).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig2::run(scale));
 }

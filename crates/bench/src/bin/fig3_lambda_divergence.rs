@@ -1,6 +1,12 @@
 //! Regenerates Figure 3 (JS divergence vs raw λ).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig3_lambda_divergence",
+        "Regenerates Figure 3 (JS divergence vs raw λ).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig34::run_fig3(scale));
 }

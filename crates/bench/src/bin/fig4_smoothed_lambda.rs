@@ -1,6 +1,12 @@
 //! Regenerates Figure 4 (JS divergence vs g(λ)).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig4_smoothed_lambda",
+        "Regenerates Figure 4 (JS divergence vs g(λ)).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig34::run_fig4(scale));
 }

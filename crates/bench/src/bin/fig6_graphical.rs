@@ -1,6 +1,12 @@
 //! Regenerates Figures 5-6 (the 5×5 graphical experiment).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig6_graphical",
+        "Regenerates Figures 5-6 (the 5×5 graphical experiment).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig6::run(scale));
 }

@@ -1,6 +1,12 @@
 //! Regenerates Figure 7 (fixed λ vs integrated λ).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig7_lambda_integration",
+        "Regenerates Figure 7 (fixed λ vs integrated λ).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig7::run(scale));
 }

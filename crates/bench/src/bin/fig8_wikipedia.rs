@@ -1,6 +1,12 @@
 //! Regenerates Figure 8 (a–e). `--part assignments|pmi|all` selects parts.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig8_wikipedia",
+        "Regenerates Figure 8 (a–e): the Wikipedia-corpus evaluation.",
+        &[("--part <p>", "assignments | pmi | all (default: all)")],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     let part = if srclda_bench::cli::flag_present(&args, "--part") {
         match srclda_bench::cli::flag_value(&args, "--part") {

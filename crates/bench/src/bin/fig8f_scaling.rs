@@ -1,6 +1,12 @@
 //! Regenerates Figure 8f (parallel sampler scaling).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "fig8f_scaling",
+        "Regenerates Figure 8f (parallel sampler scaling).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::fig8f::run(scale));
 }

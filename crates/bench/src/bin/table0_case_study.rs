@@ -1,6 +1,12 @@
 //! Regenerates the §I case-study labeling table.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "table0_case_study",
+        "Regenerates the §I case-study labeling table.",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::table0::run(scale));
 }

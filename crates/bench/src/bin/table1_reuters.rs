@@ -1,6 +1,12 @@
 //! Regenerates Table I (Reuters newswire top-word lists).
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "table1_reuters",
+        "Regenerates Table I (Reuters newswire top-word lists).",
+        &[],
+    );
     let scale = srclda_bench::Scale::from_args(&args);
     print!("{}", srclda_bench::experiments::table1::run(scale));
 }

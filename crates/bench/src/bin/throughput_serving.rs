@@ -1,0 +1,7 @@
+//! Measures serving throughput (artifact load + online fold-in): docs/sec serial vs multi-worker vs warm cache.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(&args, "throughput_serving", "Measures serving throughput (artifact load + online fold-in): docs/sec serial vs multi-worker vs warm cache.", &[]);
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::throughput::run(scale));
+}

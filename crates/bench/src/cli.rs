@@ -84,6 +84,38 @@ pub fn banner(id: &str, title: &str, scale: Scale) -> String {
     format!("=== {id}: {title} [scale: {scale:?}] ===\n",)
 }
 
+/// Render the standard usage text for an experiment binary: the shared
+/// scale options plus any binary-specific `(flag, description)` extras.
+pub fn usage(bin: &str, title: &str, extra: &[(&str, &str)]) -> String {
+    let mut out = format!(
+        "{title}\n\nusage: {bin} [options]\n\noptions:\n  \
+         --scale <s>   smoke | default | full (default: default)\n  \
+         --smoke       shorthand for --scale smoke\n  \
+         --full        shorthand for --scale full\n"
+    );
+    for (flag, desc) in extra {
+        out.push_str(&format!("  {flag:<13} {desc}\n"));
+    }
+    out.push_str("  --help, -h    print this message and exit\n");
+    out
+}
+
+/// True iff `--help` or `-h` appears anywhere in the arguments.
+pub fn help_requested<S: AsRef<str>>(args: &[S]) -> bool {
+    args.iter()
+        .any(|a| a.as_ref() == "--help" || a.as_ref() == "-h")
+}
+
+/// Standard help handling for experiment binaries: if `--help`/`-h` was
+/// passed, print the usage text and exit 0 (before any scale parsing, so
+/// `--help` never triggers the strict unknown-value abort).
+pub fn handle_help<S: AsRef<str>>(args: &[S], bin: &str, title: &str, extra: &[(&str, &str)]) {
+    if help_requested(args) {
+        print!("{}", usage(bin, title, extra));
+        std::process::exit(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +177,34 @@ mod tests {
     #[test]
     fn banner_contains_id() {
         assert!(banner("F2", "title", Scale::Default).contains("F2"));
+    }
+
+    #[test]
+    fn help_requested_matches_both_spellings() {
+        assert!(help_requested(&["--help"]));
+        assert!(help_requested(&["-h"]));
+        assert!(help_requested(&["--smoke", "-h"]));
+        assert!(!help_requested(&["--scale", "smoke"]));
+        assert!(!help_requested::<&str>(&[]));
+        // No prefix matching: `-hh` and `--helpme` are not help requests.
+        assert!(!help_requested(&["-hh", "--helpme"]));
+    }
+
+    #[test]
+    fn usage_lists_shared_and_extra_flags() {
+        let u = usage(
+            "fig8_wikipedia",
+            "Figure 8",
+            &[("--part <p>", "assignments | pmi | all")],
+        );
+        assert!(u.contains("usage: fig8_wikipedia"));
+        assert!(u.contains("--scale"));
+        assert!(u.contains("--smoke"));
+        assert!(u.contains("--full"));
+        assert!(u.contains("--part <p>"));
+        assert!(u.contains("assignments | pmi | all"));
+        assert!(u.contains("--help"));
+        let plain = usage("table0_case_study", "Table 0", &[]);
+        assert!(!plain.contains("--part"));
     }
 }

@@ -9,3 +9,4 @@ pub mod fig8;
 pub mod fig8f;
 pub mod table0;
 pub mod table1;
+pub mod throughput;

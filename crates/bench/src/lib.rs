@@ -17,7 +17,10 @@
 //! | Table I Reuters top-word lists | [`experiments::table1`] | `table1_reuters` |
 //! | Fig. 8 a–e Wikipedia-corpus evaluation | [`experiments::fig8`] | `fig8_wikipedia` |
 //! | Fig. 8 f parallel scaling | [`experiments::fig8f`] | `fig8f_scaling` |
+//! | serving throughput (ROADMAP workload) | [`experiments::throughput`] | `throughput_serving` |
 //! | everything | — | `all_experiments` |
+//!
+//! Every binary also accepts `--help` / `-h` (usage text, exit 0).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

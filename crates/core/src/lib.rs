@@ -18,8 +18,10 @@
 //! ([`sampler::Backend`]): the serial sampler, the paper's Algorithm 2
 //! (prefix-sums parallel sampling) and Algorithm 3 (simple parallel
 //! sampling). Supporting modules provide the joint log-likelihood
-//! ([`loglik`]), held-out perplexity ([`perplexity`]), superset topic
-//! reduction ([`reduction`], §III.C.3) and the generative samplers used to
+//! ([`loglik`]), held-out perplexity ([`perplexity`]), online fold-in
+//! inference for serving trained models ([`inference`]), serializable
+//! mirrors of model internals ([`persist`]), superset topic reduction
+//! ([`reduction`], §III.C.3) and the generative samplers used to
 //! synthesize ground-truth corpora ([`generative`]).
 
 #![forbid(unsafe_code)]
@@ -30,11 +32,13 @@ pub mod ctm;
 pub mod eda;
 pub mod error;
 pub mod generative;
+pub mod inference;
 pub mod lda;
 pub mod loglik;
 pub mod model;
 pub mod params;
 pub mod perplexity;
+pub mod persist;
 pub mod prior;
 pub mod reduction;
 pub mod sampler;
@@ -45,9 +49,11 @@ pub use counts::CountMatrices;
 pub use ctm::Ctm;
 pub use eda::Eda;
 pub use error::CoreError;
+pub use inference::{FoldInConfig, Inference, InferredDocument};
 pub use lda::Lda;
 pub use model::{FittedModel, GibbsModel};
 pub use params::{ModelConfig, SmoothingMode, TraceConfig};
+pub use persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior};
 pub use sampler::Backend;
 pub use source_lda::{SourceLda, Variant};
 
@@ -59,6 +65,7 @@ pub mod prelude {
     pub use crate::ctm::Ctm;
     pub use crate::eda::Eda;
     pub use crate::generative::{GeneratedCorpus, LdaGenerator, SourceLdaGenerator};
+    pub use crate::inference::{FoldInConfig, Inference, InferredDocument};
     pub use crate::lda::Lda;
     pub use crate::model::{FittedModel, GibbsModel};
     pub use crate::params::{ModelConfig, SmoothingMode, TraceConfig};

@@ -106,7 +106,8 @@ pub fn gibbs_perplexity(
         }
     }
 
-    // Score with training φ and inferred test θ.
+    // Score with training φ and inferred test θ (the same per-token scorer
+    // the online fold-in path uses — see `inference::token_log_likelihood`).
     let phi = fitted.phi();
     let mut log_prob = 0.0;
     let mut n_tokens = 0usize;
@@ -115,12 +116,8 @@ pub fn gibbs_perplexity(
         let theta: Vec<f64> = (0..t_count)
             .map(|t| (test_nd[d][t] as f64 + alpha) / denom)
             .collect();
-        for &word in doc {
-            let w = word as usize;
-            let p: f64 = (0..t_count).map(|t| phi[(t, w)] * theta[t]).sum();
-            log_prob += p.max(1e-300).ln();
-            n_tokens += 1;
-        }
+        log_prob += crate::inference::token_log_likelihood(phi, &theta, doc);
+        n_tokens += doc.len();
     }
     Ok((-log_prob / n_tokens as f64).exp())
 }
@@ -155,15 +152,10 @@ pub fn importance_sampling_perplexity(
     let mut theta = vec![0.0; t_count];
     let mut per_sample = vec![0.0; samples];
     for (_, doc) in test.iter() {
-        for (s, slot) in per_sample.iter_mut().enumerate() {
-            let _ = s;
+        let ids: Vec<u32> = doc.tokens().iter().map(|w| w.0).collect();
+        for slot in per_sample.iter_mut() {
             prior.sample_into(&mut rng, &mut theta);
-            let mut lp = 0.0;
-            for &w in doc.tokens() {
-                let p: f64 = (0..t_count).map(|t| phi[(t, w.index())] * theta[t]).sum();
-                lp += p.max(1e-300).ln();
-            }
-            *slot = lp;
+            *slot = crate::inference::token_log_likelihood(phi, &theta, &ids);
         }
         log_prob += log_sum_exp(&per_sample) - (samples as f64).ln();
         n_tokens += doc.len();

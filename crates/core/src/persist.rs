@@ -1,0 +1,337 @@
+//! Plain-old-data mirrors of model internals for serialization.
+//!
+//! The live types ([`TopicPrior`], its λ-integration table) carry derived
+//! state (precomputed sums, membership masks) and privacy that make them
+//! poor wire formats. This module defines value-only mirrors — every field
+//! public, nothing derived — plus lossless conversions in both directions.
+//! Serializers (e.g. the `srclda_serve` artifact codec) encode the raw
+//! types; `from_raw` revalidates on the way back in, so a decoded model is
+//! exactly as trustworthy as a freshly built one.
+//!
+//! Round-trip guarantee: `from_raw(to_raw(p), v)` reconstructs a prior whose
+//! [`TopicPrior::word_weight`] is bit-identical to the original's for every
+//! `(w, nw, nt)` — the f64 payloads are copied, never recomputed.
+
+use crate::error::CoreError;
+use crate::prior::{IntegrationTable, TopicPrior};
+
+/// Value-only mirror of the λ-integration table's storage layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawIntegrationLayout {
+    /// Dense per-word table: `values[w*A + a]`, length `V·A`.
+    Dense {
+        /// The `δ^{g(λₐ)}` grid, row-major by word.
+        values: Vec<f64>,
+    },
+    /// Sparse table: only support words stored.
+    Sparse {
+        /// Sorted word ids with non-zero source counts.
+        support: Vec<u32>,
+        /// The `δ^{g(λₐ)}` grid, row-major by support index.
+        values: Vec<f64>,
+        /// Shared row for zero-count words (length `A`).
+        zero_values: Vec<f64>,
+    },
+}
+
+/// Value-only mirror of [`IntegrationTable`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawIntegrationTable {
+    /// Current quadrature weights `wₐ` (length `A`).
+    pub weights: Vec<f64>,
+    /// Log prior quadrature weights (length `A`).
+    pub prior_log_weights: Vec<f64>,
+    /// `Σ_w δ_w^{g(λₐ)}` per level (length `A`).
+    pub sums: Vec<f64>,
+    /// Storage layout.
+    pub layout: RawIntegrationLayout,
+}
+
+/// Value-only mirror of [`TopicPrior`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawPrior {
+    /// Symmetric Dirichlet `Dir(β)`.
+    Symmetric {
+        /// The concentration β.
+        beta: f64,
+    },
+    /// Fixed asymmetric Dirichlet `Dir(δ)`.
+    Fixed {
+        /// Per-word hyperparameters (length `V`).
+        delta: Vec<f64>,
+    },
+    /// λ-integrated source prior.
+    Integrated(RawIntegrationTable),
+    /// Frozen word distribution (EDA).
+    Frozen {
+        /// The fixed distribution (length `V`).
+        phi: Vec<f64>,
+    },
+    /// Concept word set (CTM).
+    ConceptSet {
+        /// Word ids in the concept bag.
+        support: Vec<u32>,
+        /// The concentration β.
+        beta: f64,
+    },
+}
+
+impl RawPrior {
+    /// Short kind name (diagnostics; matches [`TopicPrior::kind`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RawPrior::Symmetric { .. } => "symmetric",
+            RawPrior::Fixed { .. } => "fixed",
+            RawPrior::Integrated(_) => "integrated",
+            RawPrior::Frozen { .. } => "frozen",
+            RawPrior::ConceptSet { .. } => "concept-set",
+        }
+    }
+}
+
+impl TopicPrior {
+    /// Convert to the serializable mirror. Derived fields (sums, masks) are
+    /// dropped where recomputable and kept where they are bit-exact state.
+    pub fn to_raw(&self) -> RawPrior {
+        match self {
+            TopicPrior::Symmetric { beta, .. } => RawPrior::Symmetric { beta: *beta },
+            TopicPrior::Fixed { delta, .. } => RawPrior::Fixed {
+                delta: delta.clone(),
+            },
+            TopicPrior::Integrated(table) => RawPrior::Integrated(table.to_raw()),
+            TopicPrior::Frozen { phi } => RawPrior::Frozen { phi: phi.clone() },
+            TopicPrior::ConceptSet { in_set, beta, .. } => RawPrior::ConceptSet {
+                support: in_set
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(w, &m)| m.then_some(w as u32))
+                    .collect(),
+                beta: *beta,
+            },
+        }
+    }
+
+    /// Rebuild from the mirror against a `vocab_size`-word vocabulary.
+    ///
+    /// # Errors
+    /// Fails if any vector length, word id, or parameter is inconsistent
+    /// with `vocab_size` (a corrupt or mismatched artifact).
+    pub fn from_raw(raw: RawPrior, vocab_size: usize) -> crate::Result<Self> {
+        let check_len = |len: usize, what: &str| {
+            if len == vocab_size {
+                Ok(())
+            } else {
+                Err(CoreError::InvalidConfig(format!(
+                    "{what} has {len} entries for a {vocab_size}-word vocabulary"
+                )))
+            }
+        };
+        match raw {
+            RawPrior::Symmetric { beta } => TopicPrior::symmetric(beta, vocab_size),
+            RawPrior::Fixed { delta } => {
+                check_len(delta.len(), "fixed prior delta")?;
+                let sum: f64 = delta.iter().sum();
+                if !(sum > 0.0 && sum.is_finite()) {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "fixed prior delta sums to {sum}"
+                    )));
+                }
+                Ok(TopicPrior::Fixed { delta, sum })
+            }
+            RawPrior::Integrated(table) => Ok(TopicPrior::Integrated(IntegrationTable::from_raw(
+                table, vocab_size,
+            )?)),
+            RawPrior::Frozen { phi } => {
+                check_len(phi.len(), "frozen prior phi")?;
+                if !phi.iter().all(|&p| p.is_finite() && p >= 0.0) {
+                    return Err(CoreError::InvalidConfig(
+                        "frozen prior phi has negative or non-finite entries".into(),
+                    ));
+                }
+                Ok(TopicPrior::Frozen { phi })
+            }
+            RawPrior::ConceptSet { support, beta } => {
+                if let Some(&w) = support.iter().find(|&&w| w as usize >= vocab_size) {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "concept-set word id {w} outside vocabulary of size {vocab_size}"
+                    )));
+                }
+                TopicPrior::concept_set(&support, beta, vocab_size)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_knowledge::{SmoothingFunction, SourceTopic};
+    use srclda_math::DiscretizedGaussian;
+
+    fn weight_grid(p: &TopicPrior, v: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        for w in 0..v {
+            for &(nw, nt) in &[(0.0, 0.0), (2.0, 7.0), (15.0, 40.0)] {
+                out.push(p.word_weight(w, nw, nt));
+            }
+        }
+        out
+    }
+
+    fn assert_round_trip(p: &TopicPrior, v: usize) {
+        let raw = p.to_raw();
+        let back = TopicPrior::from_raw(raw.clone(), v).unwrap();
+        assert_eq!(weight_grid(p, v), weight_grid(&back, v), "{}", p.kind());
+        assert_eq!(raw, back.to_raw(), "second trip must be stable");
+        assert_eq!(p.kind(), back.kind());
+    }
+
+    #[test]
+    fn symmetric_round_trips() {
+        assert_round_trip(&TopicPrior::symmetric(0.37, 6).unwrap(), 6);
+    }
+
+    #[test]
+    fn fixed_round_trips() {
+        let t = SourceTopic::new("T", vec![5.0, 0.0, 2.5, 1.0]);
+        assert_round_trip(&TopicPrior::fixed_from_source(&t, 0.01), 4);
+    }
+
+    #[test]
+    fn frozen_round_trips() {
+        let t = SourceTopic::new("T", vec![5.0, 0.0, 2.5, 1.0]);
+        assert_round_trip(&TopicPrior::frozen_from_source(&t, 0.01), 4);
+    }
+
+    #[test]
+    fn concept_set_round_trips() {
+        assert_round_trip(&TopicPrior::concept_set(&[0, 3], 0.5, 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn integrated_dense_round_trips() {
+        let t = SourceTopic::new("T", vec![6.0, 3.0, 0.0, 1.0]);
+        let q = DiscretizedGaussian::unit_interval(0.7, 0.3, 5).unwrap();
+        let g = SmoothingFunction::identity();
+        let mut p = TopicPrior::integrated(&t, 0.01, &g, &q);
+        // Adapt once so the round trip must preserve *posterior* weights,
+        // not just the prior discretization.
+        p.adapt_lambda(vec![(0usize, 12u32), (1, 4)], 16);
+        assert_round_trip(&p, 4);
+    }
+
+    #[test]
+    fn integrated_sparse_round_trips() {
+        let v = 9000;
+        let mut counts = vec![0.0; v];
+        counts[5] = 4.0;
+        counts[7777] = 9.0;
+        let t = SourceTopic::new("T", counts);
+        let q = DiscretizedGaussian::unit_interval(0.7, 0.3, 4).unwrap();
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&t, 0.01, &g, &q);
+        let raw = p.to_raw();
+        assert!(matches!(
+            &raw,
+            RawPrior::Integrated(RawIntegrationTable {
+                layout: RawIntegrationLayout::Sparse { .. },
+                ..
+            })
+        ));
+        let back = TopicPrior::from_raw(raw, v).unwrap();
+        for &w in &[5usize, 6, 7777, 0] {
+            assert_eq!(p.word_weight(w, 1.0, 5.0), back.word_weight(w, 1.0, 5.0));
+            assert_eq!(p.effective_delta(w), back.effective_delta(w));
+        }
+    }
+
+    #[test]
+    fn adaptation_still_works_after_round_trip() {
+        let t = SourceTopic::new("T", vec![40.0, 12.0, 4.0, 1.0]);
+        let q = DiscretizedGaussian::unit_interval(0.5, 10.0, 6).unwrap();
+        let g = SmoothingFunction::identity();
+        let p = TopicPrior::integrated(&t, 0.01, &g, &q);
+        let mut a = p.clone();
+        let mut b = TopicPrior::from_raw(p.to_raw(), 4).unwrap();
+        let counts = vec![(0usize, 70u32), (1, 21), (2, 7), (3, 2)];
+        a.adapt_lambda(counts.clone(), 100);
+        b.adapt_lambda(counts, 100);
+        for w in 0..4 {
+            assert_eq!(a.word_weight(w, 1.0, 5.0), b.word_weight(w, 1.0, 5.0));
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_mirrors() {
+        // Wrong delta length.
+        assert!(TopicPrior::from_raw(
+            RawPrior::Fixed {
+                delta: vec![1.0, 2.0]
+            },
+            3
+        )
+        .is_err());
+        // Zero-mass delta.
+        assert!(TopicPrior::from_raw(
+            RawPrior::Fixed {
+                delta: vec![0.0, 0.0]
+            },
+            2
+        )
+        .is_err());
+        // Out-of-range concept word.
+        assert!(TopicPrior::from_raw(
+            RawPrior::ConceptSet {
+                support: vec![9],
+                beta: 0.5
+            },
+            3
+        )
+        .is_err());
+        // Bad beta.
+        assert!(TopicPrior::from_raw(RawPrior::Symmetric { beta: -1.0 }, 3).is_err());
+        // Non-finite frozen phi.
+        assert!(TopicPrior::from_raw(
+            RawPrior::Frozen {
+                phi: vec![0.5, f64::NAN]
+            },
+            2
+        )
+        .is_err());
+        // Integrated: mismatched level counts.
+        let bad = RawIntegrationTable {
+            weights: vec![0.5, 0.5],
+            prior_log_weights: vec![0.0],
+            sums: vec![1.0, 1.0],
+            layout: RawIntegrationLayout::Dense {
+                values: vec![1.0; 8],
+            },
+        };
+        assert!(TopicPrior::from_raw(RawPrior::Integrated(bad), 4).is_err());
+        // Integrated sparse: unsorted support breaks binary search.
+        let bad = RawIntegrationTable {
+            weights: vec![1.0],
+            prior_log_weights: vec![0.0],
+            sums: vec![1.0],
+            layout: RawIntegrationLayout::Sparse {
+                support: vec![3, 1],
+                values: vec![1.0, 1.0],
+                zero_values: vec![0.1],
+            },
+        };
+        assert!(TopicPrior::from_raw(RawPrior::Integrated(bad), 4).is_err());
+    }
+
+    #[test]
+    fn kinds_match() {
+        let t = SourceTopic::new("T", vec![1.0, 2.0]);
+        for p in [
+            TopicPrior::symmetric(0.1, 2).unwrap(),
+            TopicPrior::fixed_from_source(&t, 0.01),
+            TopicPrior::frozen_from_source(&t, 0.01),
+            TopicPrior::concept_set(&[0], 0.1, 2).unwrap(),
+        ] {
+            assert_eq!(p.kind(), p.to_raw().kind());
+        }
+    }
+}

@@ -239,6 +239,106 @@ impl IntegrationTable {
         }
     }
 
+    /// Convert to the serializable mirror (see [`crate::persist`]). All f64
+    /// state is copied verbatim, so the round trip is bit-exact.
+    pub fn to_raw(&self) -> crate::persist::RawIntegrationTable {
+        use crate::persist::{RawIntegrationLayout, RawIntegrationTable};
+        RawIntegrationTable {
+            weights: self.weights.clone(),
+            prior_log_weights: self.prior_log_weights.clone(),
+            sums: self.sums.clone(),
+            layout: match &self.layout {
+                IntegrationLayout::Dense { values } => RawIntegrationLayout::Dense {
+                    values: values.clone(),
+                },
+                IntegrationLayout::Sparse {
+                    support,
+                    values,
+                    zero_values,
+                } => RawIntegrationLayout::Sparse {
+                    support: support.clone(),
+                    values: values.clone(),
+                    zero_values: zero_values.clone(),
+                },
+            },
+        }
+    }
+
+    /// Rebuild from the mirror, revalidating every structural invariant the
+    /// sampling hot path relies on (lengths, sorted sparse support).
+    ///
+    /// # Errors
+    /// Fails on any inconsistency (a corrupt or mismatched artifact).
+    pub fn from_raw(
+        raw: crate::persist::RawIntegrationTable,
+        vocab_size: usize,
+    ) -> crate::Result<Self> {
+        use crate::persist::RawIntegrationLayout;
+        let bad = |msg: String| CoreError::InvalidConfig(format!("integration table: {msg}"));
+        let a = raw.weights.len();
+        if a == 0 {
+            return Err(bad("no quadrature levels".into()));
+        }
+        if raw.prior_log_weights.len() != a || raw.sums.len() != a {
+            return Err(bad(format!(
+                "level-count mismatch: {} weights, {} prior weights, {} sums",
+                a,
+                raw.prior_log_weights.len(),
+                raw.sums.len()
+            )));
+        }
+        let layout = match raw.layout {
+            RawIntegrationLayout::Dense { values } => {
+                if values.len() != vocab_size * a {
+                    return Err(bad(format!(
+                        "dense table has {} values for V={vocab_size}, A={a}",
+                        values.len()
+                    )));
+                }
+                IntegrationLayout::Dense { values }
+            }
+            RawIntegrationLayout::Sparse {
+                support,
+                values,
+                zero_values,
+            } => {
+                if values.len() != support.len() * a {
+                    return Err(bad(format!(
+                        "sparse table has {} values for {} support words, A={a}",
+                        values.len(),
+                        support.len()
+                    )));
+                }
+                if zero_values.len() != a {
+                    return Err(bad(format!(
+                        "{} zero-row values for A={a}",
+                        zero_values.len()
+                    )));
+                }
+                if !support.windows(2).all(|p| p[0] < p[1]) {
+                    return Err(bad("sparse support is not strictly increasing".into()));
+                }
+                if let Some(&w) = support.iter().find(|&&w| w as usize >= vocab_size) {
+                    return Err(bad(format!(
+                        "support word {w} outside vocabulary of size {vocab_size}"
+                    )));
+                }
+                IntegrationLayout::Sparse {
+                    support,
+                    values,
+                    zero_values,
+                }
+            }
+        };
+        Ok(Self {
+            weights: raw.weights,
+            prior_log_weights: raw.prior_log_weights,
+            a,
+            sums: raw.sums,
+            layout,
+        })
+    }
+
     /// Expected hyperparameter `E[δ_w^{g(λ)}]` under the quadrature — used
     /// by the joint log-likelihood as the effective Dirichlet parameter.
     pub fn expected_delta(&self, w: usize) -> f64 {

@@ -61,6 +61,34 @@ impl Tokenizer {
         self
     }
 
+    /// Rebuild from the four configuration values (deserialization — the
+    /// inverse of the [`Tokenizer::to_parts`] accessor).
+    pub fn from_parts(
+        lowercase: bool,
+        min_len: usize,
+        remove_stopwords: bool,
+        keep_numbers: bool,
+    ) -> Self {
+        Self {
+            lowercase,
+            min_len,
+            remove_stopwords,
+            keep_numbers,
+        }
+    }
+
+    /// The full configuration as `(lowercase, min_len, remove_stopwords,
+    /// keep_numbers)` — everything needed to persist a tokenizer so a
+    /// served model preprocesses raw text exactly as training did.
+    pub fn to_parts(&self) -> (bool, usize, bool, bool) {
+        (
+            self.lowercase,
+            self.min_len,
+            self.remove_stopwords,
+            self.keep_numbers,
+        )
+    }
+
     /// Tokenize `text` into owned strings.
     pub fn tokenize(&self, text: &str) -> Vec<String> {
         let mut out = Vec::new();
@@ -142,5 +170,20 @@ mod tests {
     fn empty_input() {
         assert!(Tokenizer::default().tokenize("").is_empty());
         assert!(Tokenizer::default().tokenize("  ,,, !!!").is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let t = Tokenizer::default()
+            .lowercase(false)
+            .min_len(4)
+            .remove_stopwords(false)
+            .keep_numbers(true);
+        let (lc, ml, rs, kn) = t.to_parts();
+        assert_eq!((lc, ml, rs, kn), (false, 4, false, true));
+        let back = Tokenizer::from_parts(lc, ml, rs, kn);
+        let text = "The Umpire saw 1234 baseballs fly";
+        assert_eq!(t.tokenize(text), back.tokenize(text));
+        assert_eq!(back.to_parts(), t.to_parts());
     }
 }

@@ -52,17 +52,35 @@ pub fn is_distribution(p: &[f64], tol: f64) -> bool {
     (sum - 1.0).abs() <= tol && p.iter().all(|&x| x >= -tol && x.is_finite())
 }
 
-/// Indices of the `n` largest entries, descending (ties broken by index).
+/// Indices of the `n` largest entries, descending.
 ///
-/// This is how "top-10 words per topic" lists are extracted throughout the
-/// evaluation.
+/// **Tie-breaking contract (pinned):** entries with exactly equal values are
+/// ordered by ascending index — the *lowest index wins*. This is how
+/// "top-10 words per topic" lists are extracted throughout the evaluation
+/// and how `FittedModel::top_words` and the serving layer pick topic
+/// labels, so the rule is part of the public API: refactors must keep it
+/// (and are held to it by `tie_break_is_lowest_index_first` below) or
+/// top-word lists would shuffle across releases for φ rows with repeated
+/// probabilities. NaN entries sort *after* every comparable value (by
+/// index among themselves), keeping the comparator a total order so the
+/// sort can neither panic nor mis-rank the finite entries around a NaN.
 pub fn top_n_indices(values: &[f64], n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
     idx.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        match (values[a].is_nan(), values[b].is_nan()) {
+            // NaNs sink below every comparable value; index order among
+            // themselves. Folding them in via `unwrap_or(Equal)` instead
+            // would make the comparator intransitive (NaN "equal" to both
+            // 0.1 and 0.9) — an inconsistent order the sort may amplify
+            // into mis-ranked finite entries or reject with a panic.
+            (true, true) => a.cmp(&b),
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => values[b]
+                .partial_cmp(&values[a])
+                .expect("both comparable")
+                .then(a.cmp(&b)),
+        }
     });
     idx.truncate(n);
     idx
@@ -121,5 +139,26 @@ mod tests {
         assert_eq!(top_n_indices(&v, 3), vec![1, 2, 3]);
         assert_eq!(top_n_indices(&v, 10), vec![1, 2, 3, 0]);
         assert_eq!(top_n_indices(&v, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tie_break_is_lowest_index_first() {
+        // The pinned public contract: equal values sort by ascending index.
+        let all_equal = [0.25; 4];
+        assert_eq!(top_n_indices(&all_equal, 4), vec![0, 1, 2, 3]);
+        assert_eq!(top_n_indices(&all_equal, 2), vec![0, 1]);
+        // Ties in the middle of an otherwise ordered vector.
+        let v = [0.4, 0.3, 0.3, 0.3, 0.5];
+        assert_eq!(top_n_indices(&v, 5), vec![4, 0, 1, 2, 3]);
+        // The sort is stable under permutation of equal tails: truncating
+        // must take the lowest-indexed of the tied entries.
+        assert_eq!(top_n_indices(&v, 3), vec![4, 0, 1]);
+        // NaNs sort after every comparable value, in index order — and must
+        // not perturb the ranking of the finite entries around them.
+        let v = [0.5, f64::NAN, 0.9, f64::NAN, 0.1];
+        assert_eq!(top_n_indices(&v, 5), vec![2, 0, 4, 1, 3]);
+        assert_eq!(top_n_indices(&v, 1), vec![2]);
+        let all_nan = [f64::NAN; 3];
+        assert_eq!(top_n_indices(&all_nan, 3), vec![0, 1, 2]);
     }
 }

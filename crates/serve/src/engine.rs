@@ -1,0 +1,449 @@
+//! The online inference engine: raw text in, labeled topic mixtures out.
+//!
+//! [`InferenceEngine`] owns everything a request needs — the fold-in scorer,
+//! the training vocabulary, and the training tokenizer configuration — so a
+//! request is a pure function of the engine and the input text:
+//!
+//! 1. tokenize with the *training* tokenizer (identical preprocessing),
+//! 2. map tokens to word ids, counting and dropping out-of-vocabulary terms
+//!    (a served model cannot grow its vocabulary per request),
+//! 3. run fixed-φ Gibbs fold-in ([`srclda_core::inference`]) with a seed
+//!    derived from the token content, and
+//! 4. report θ, top labeled topics, and per-token perplexity.
+//!
+//! Deriving the per-document seed from the token content (XOR of the base
+//! seed with an FNV-1a hash of the ids) makes results independent of
+//! request order, batch position, and worker assignment — which is what
+//! makes both the LRU cache and the multi-worker batch path transparent:
+//! serial and parallel execution return bit-identical responses.
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+use crate::lru::LruCache;
+use srclda_core::{FoldInConfig, Inference};
+use srclda_corpus::{Tokenizer, Vocabulary};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Fold-in sweeps and base seed (per-document seeds are derived from
+    /// this XOR a content hash).
+    pub fold_in: FoldInConfig,
+    /// LRU entries for repeated documents; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            fold_in: FoldInConfig::default(),
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One scored document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentScore {
+    theta: Vec<f64>,
+    log_likelihood: f64,
+    tokens: usize,
+    oov_tokens: usize,
+}
+
+impl DocumentScore {
+    /// The inferred document–topic distribution θ̃.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Total log-likelihood of the in-vocabulary tokens.
+    pub fn log_likelihood(&self) -> f64 {
+        self.log_likelihood
+    }
+
+    /// In-vocabulary tokens that were folded in.
+    pub fn num_tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Tokens dropped because the training vocabulary does not contain them.
+    pub fn oov_tokens(&self) -> usize {
+        self.oov_tokens
+    }
+
+    /// Per-token perplexity (1.0 for a document with no known tokens).
+    pub fn perplexity(&self) -> f64 {
+        if self.tokens == 0 {
+            1.0
+        } else {
+            (-self.log_likelihood / self.tokens as f64).exp()
+        }
+    }
+
+    /// Indices of the `n` most probable topics, descending (ties broken by
+    /// lowest index).
+    pub fn top_topics(&self, n: usize) -> Vec<usize> {
+        srclda_math::simplex::top_n_indices(&self.theta, n)
+    }
+}
+
+/// Cache performance counters (monotonic since engine construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran fold-in.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A loaded model ready to serve inference requests. Shared-reference
+/// (`&self`) methods are safe to call from many threads at once.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    inference: Inference,
+    vocab: Vocabulary,
+    tokenizer: Tokenizer,
+    options: EngineOptions,
+    cache: Option<Mutex<LruCache<Vec<u32>, Arc<DocumentScore>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl InferenceEngine {
+    /// Build from a loaded artifact.
+    ///
+    /// # Errors
+    /// Propagates artifact validation failures.
+    pub fn from_artifact(
+        artifact: &ModelArtifact,
+        options: EngineOptions,
+    ) -> Result<Self, ServeError> {
+        Ok(Self {
+            inference: artifact.inference()?,
+            vocab: artifact.vocabulary().clone(),
+            tokenizer: artifact.tokenizer().clone(),
+            options,
+            cache: (options.cache_capacity > 0)
+                .then(|| Mutex::new(LruCache::new(options.cache_capacity))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying fold-in scorer.
+    pub fn inference(&self) -> &Inference {
+        &self.inference
+    }
+
+    /// Label of topic `t` (`None` for unlabeled topics).
+    pub fn label(&self, t: usize) -> Option<&str> {
+        self.inference.label(t)
+    }
+
+    /// Topic count `T`.
+    pub fn num_topics(&self) -> usize {
+        self.inference.num_topics()
+    }
+
+    /// Tokenize raw text with the training configuration and map it into
+    /// the training vocabulary. Returns `(word ids, dropped OOV count)`.
+    pub fn tokenize(&self, text: &str) -> (Vec<u32>, usize) {
+        let mut ids = Vec::new();
+        let mut oov = 0usize;
+        for token in self.tokenizer.tokenize(text) {
+            match self.vocab.get(&token) {
+                Some(id) => ids.push(id.0),
+                None => oov += 1,
+            }
+        }
+        (ids, oov)
+    }
+
+    /// Score one raw-text document.
+    ///
+    /// # Errors
+    /// Propagates fold-in failures (cannot occur for ids produced by
+    /// [`InferenceEngine::tokenize`], but the contract is kept honest).
+    pub fn infer(&self, text: &str) -> Result<Arc<DocumentScore>, ServeError> {
+        let (ids, oov) = self.tokenize(text);
+        self.infer_ids(ids, oov)
+    }
+
+    fn infer_ids(&self, ids: Vec<u32>, oov: usize) -> Result<Arc<DocumentScore>, ServeError> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lock().expect("cache lock").get(&ids) {
+                // OOV counts are a property of the raw text, not the token
+                // ids; two texts with the same ids may differ in OOV. Clone
+                // the scored result and patch the count so the cache stays
+                // keyed on what actually determines θ.
+                let hit = hit.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if hit.oov_tokens == oov {
+                    return Ok(hit);
+                }
+                return Ok(Arc::new(DocumentScore {
+                    oov_tokens: oov,
+                    ..(*hit).clone()
+                }));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let config = FoldInConfig {
+            iterations: self.options.fold_in.iterations,
+            seed: self.options.fold_in.seed ^ content_hash(&ids),
+        };
+        let doc = self.inference.fold_in(&ids, &config)?;
+        let score = Arc::new(DocumentScore {
+            theta: doc.theta().to_vec(),
+            log_likelihood: doc.log_likelihood(),
+            tokens: doc.num_tokens(),
+            oov_tokens: oov,
+        });
+        if let Some(cache) = &self.cache {
+            cache.lock().expect("cache lock").insert(ids, score.clone());
+        }
+        Ok(score)
+    }
+
+    /// Score a batch serially, preserving input order.
+    ///
+    /// # Errors
+    /// Fails on the first document that fails (all-or-nothing).
+    pub fn infer_batch<S: AsRef<str>>(
+        &self,
+        docs: &[S],
+    ) -> Result<Vec<Arc<DocumentScore>>, ServeError> {
+        docs.iter().map(|d| self.infer(d.as_ref())).collect()
+    }
+
+    /// Score a batch on `workers` threads, preserving input order and
+    /// returning bit-identical results to [`InferenceEngine::infer_batch`]
+    /// (per-document seeds depend only on content). Documents are split
+    /// into contiguous shards of near-equal count, one per worker.
+    ///
+    /// # Errors
+    /// Fails if any document fails (all-or-nothing).
+    pub fn infer_batch_parallel<S: AsRef<str> + Sync>(
+        &self,
+        docs: &[S],
+        workers: usize,
+    ) -> Result<Vec<Arc<DocumentScore>>, ServeError> {
+        let workers = workers.max(1).min(docs.len().max(1));
+        if workers <= 1 {
+            return self.infer_batch(docs);
+        }
+        let mut slots: Vec<Option<Result<Arc<DocumentScore>, ServeError>>> =
+            (0..docs.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut rest: &mut [Option<Result<Arc<DocumentScore>, ServeError>>] = &mut slots;
+            let mut start = 0usize;
+            for w in 0..workers {
+                // Contiguous shards: docs.len()/workers ± 1 each.
+                let share = (docs.len() - start).div_ceil(workers - w);
+                let (shard, tail) = rest.split_at_mut(share);
+                rest = tail;
+                let shard_start = start;
+                start += share;
+                s.spawn(move |_| {
+                    for (offset, slot) in shard.iter_mut().enumerate() {
+                        *slot = Some(self.infer(docs[shard_start + offset].as_ref()));
+                    }
+                });
+            }
+        })
+        .expect("inference worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by a worker"))
+            .collect()
+    }
+
+    /// Cache counters (all zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .cache
+                .as_ref()
+                .map_or(0, |c| c.lock().expect("cache lock").len()),
+        }
+    }
+}
+
+/// FNV-1a 64 over the little-endian token ids — the content hash mixed into
+/// per-document fold-in seeds and (implicitly) the cache key. Reuses the
+/// artifact codec's checksum function; the one transient buffer is noise
+/// next to the fold-in it seeds.
+fn content_hash(ids: &[u32]) -> u64 {
+    let mut bytes = Vec::with_capacity(ids.len() * 4);
+    for &id in ids {
+        bytes.extend_from_slice(&id.to_le_bytes());
+    }
+    crate::codec::fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_core::prelude::*;
+    use srclda_corpus::CorpusBuilder;
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn engine(options: EngineOptions) -> InferenceEngine {
+        let tokenizer = Tokenizer::default().min_len(2);
+        let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+        for _ in 0..8 {
+            b.add_text("school", "pencil pencil ruler eraser notebook");
+            b.add_text("sports", "baseball umpire baseball glove pitcher");
+        }
+        let corpus = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_article(
+            "School Supplies",
+            "pencil pencil ruler ruler eraser notebook",
+        );
+        ks.add_article("Baseball", "baseball baseball umpire glove pitcher");
+        let source = ks.build(corpus.vocabulary());
+        let fitted = SourceLda::builder()
+            .knowledge_source(source)
+            .variant(Variant::Bijective)
+            .alpha(0.5)
+            .iterations(80)
+            .seed(11)
+            .build()
+            .unwrap()
+            .fit(&corpus)
+            .unwrap();
+        let artifact =
+            ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+        InferenceEngine::from_artifact(&artifact, options).unwrap()
+    }
+
+    #[test]
+    fn raw_text_is_labeled_correctly() {
+        let e = engine(EngineOptions::default());
+        let score = e.infer("The umpire caught the baseball!").unwrap();
+        let top = score.top_topics(1)[0];
+        assert_eq!(e.label(top), Some("Baseball"));
+        assert!(score.num_tokens() >= 2);
+        assert!(score.perplexity() > 1.0);
+    }
+
+    #[test]
+    fn oov_terms_are_counted_and_dropped() {
+        let e = engine(EngineOptions::default());
+        let score = e.infer("pencil quasar zeitgeist").unwrap();
+        assert_eq!(score.num_tokens(), 1);
+        assert_eq!(score.oov_tokens(), 2);
+        // All-OOV text degrades to the prior.
+        let blank = e.infer("quasar zeitgeist").unwrap();
+        assert_eq!(blank.num_tokens(), 0);
+        assert_eq!(blank.perplexity(), 1.0);
+        let t = e.num_topics();
+        assert!(blank
+            .theta()
+            .iter()
+            .all(|&p| (p - 1.0 / t as f64).abs() < 1e-12));
+    }
+
+    #[test]
+    fn identical_text_hits_the_cache_with_identical_results() {
+        let e = engine(EngineOptions::default());
+        let a = e.infer("pencil ruler eraser").unwrap();
+        let b = e.infer("pencil ruler eraser").unwrap();
+        assert_eq!(a, b);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let e = engine(EngineOptions {
+            cache_capacity: 0,
+            ..EngineOptions::default()
+        });
+        let a = e.infer("pencil ruler").unwrap();
+        let b = e.infer("pencil ruler").unwrap();
+        // Still deterministic (content-derived seed), just recomputed.
+        assert_eq!(a, b);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn cached_entry_patches_oov_for_differing_raw_text() {
+        let e = engine(EngineOptions::default());
+        // Same in-vocabulary ids, different OOV payload.
+        let a = e.infer("pencil ruler").unwrap();
+        let b = e.infer("pencil xylophone ruler").unwrap();
+        assert_eq!(a.theta(), b.theta());
+        assert_eq!(a.oov_tokens(), 0);
+        assert_eq!(b.oov_tokens(), 1);
+        assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_bit_exactly() {
+        let e = engine(EngineOptions {
+            cache_capacity: 0,
+            ..EngineOptions::default()
+        });
+        let docs: Vec<String> = (0..23)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("pencil ruler eraser notebook pencil {i}")
+                } else {
+                    format!("baseball umpire glove pitcher {i}")
+                }
+            })
+            .collect();
+        let serial = e.infer_batch(&docs).unwrap();
+        for workers in [2, 3, 8, 64] {
+            let parallel = e.infer_batch_parallel(&docs, workers).unwrap();
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s, p, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_order_is_preserved() {
+        let e = engine(EngineOptions::default());
+        let docs = ["pencil pencil pencil", "baseball baseball umpire"];
+        let out = e.infer_batch_parallel(&docs, 2).unwrap();
+        assert_eq!(e.label(out[0].top_topics(1)[0]), Some("School Supplies"));
+        assert_eq!(e.label(out[1].top_topics(1)[0]), Some("Baseball"));
+    }
+
+    #[test]
+    fn results_are_independent_of_batch_position() {
+        let e = engine(EngineOptions {
+            cache_capacity: 0,
+            ..EngineOptions::default()
+        });
+        let alone = e.infer("pencil ruler baseball").unwrap();
+        let batch = e
+            .infer_batch(&["umpire glove", "pencil ruler baseball", "eraser"])
+            .unwrap();
+        assert_eq!(*alone, *batch[1]);
+    }
+
+    #[test]
+    fn empty_batch_and_zero_workers_are_fine() {
+        let e = engine(EngineOptions::default());
+        assert!(e.infer_batch_parallel::<&str>(&[], 4).unwrap().is_empty());
+        let one = e.infer_batch_parallel(&["pencil"], 0).unwrap();
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the persistence and serving layer.
+
+use std::fmt;
+
+/// Errors surfaced by the artifact codec and the inference engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure while reading or writing an artifact.
+    Io(std::io::Error),
+    /// The buffer does not start with the artifact magic.
+    BadMagic {
+        /// The first bytes actually found (at most 8).
+        found: Vec<u8>,
+    },
+    /// The artifact was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version recorded in the artifact header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The payload checksum does not match the trailer.
+    ChecksumMismatch {
+        /// Checksum recomputed over the payload.
+        computed: u64,
+        /// Checksum stored in the artifact trailer.
+        stored: u64,
+    },
+    /// The byte stream ended or a section overran its bounds.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// Structurally invalid content (bad section table, lengths, tags…).
+    Corrupt(String),
+    /// A required section is missing from the section table.
+    MissingSection {
+        /// Human-readable section name.
+        name: &'static str,
+    },
+    /// The decoded model failed semantic validation in `srclda_core`.
+    Core(srclda_core::CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::BadMagic { found } => {
+                write!(f, "not a source-lda model artifact (magic {found:02x?})")
+            }
+            ServeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "artifact format version {found} is not supported (this build reads version {supported})"
+            ),
+            ServeError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "artifact checksum mismatch: computed {computed:#018x}, stored {stored:#018x}"
+            ),
+            ServeError::Truncated { context } => {
+                write!(f, "artifact truncated while decoding {context}")
+            }
+            ServeError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            ServeError::MissingSection { name } => {
+                write!(f, "artifact is missing required section `{name}`")
+            }
+            ServeError::Core(e) => write!(f, "decoded model failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<srclda_core::CoreError> for ServeError {
+    fn from(e: srclda_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('1'));
+        let e = ServeError::ChecksumMismatch {
+            computed: 1,
+            stored: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = ServeError::MissingSection { name: "phi" };
+        assert!(e.to_string().contains("phi"));
+        let e = ServeError::Truncated { context: "labels" };
+        assert!(e.to_string().contains("labels"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ServeError::from(srclda_core::CoreError::NoTopics);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ServeError::from(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::Corrupt("x".into())).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Model persistence and online inference for the Source-LDA reproduction.
+//!
+//! The paper's workflow is train-once, use-forever: a Source-LDA model is
+//! fitted against a knowledge source (Wikipedia, MeSH) and then applied to
+//! streams of unseen documents — the held-out estimation of §III.C.5a and
+//! the Bio-LDA-style discovery workloads built on top of it. This crate is
+//! that missing serving layer:
+//!
+//! * [`artifact`] — a versioned, checksummed binary format
+//!   ([`ModelArtifact`]) that round-trips a fitted model's φ/α/labels/priors
+//!   together with the vocabulary and tokenizer configuration needed to
+//!   process raw text (hand-rolled little-endian codec in [`codec`]; no
+//!   external serialization dependency);
+//! * [`engine`] — [`InferenceEngine`]: load an artifact, accept raw text,
+//!   fold it into the frozen model (fixed-φ Gibbs, via
+//!   [`srclda_core::inference`]), and return θ, top labeled topics, and
+//!   perplexity — with an LRU cache ([`lru`]) for repeated documents and a
+//!   multi-worker batch path for concurrent request streams;
+//! * `srclda-infer` — a CLI binary with `save` / `inspect` / `infer`
+//!   subcommands over the same API.
+//!
+//! Everything is deterministic: fold-in seeds derive from document content,
+//! so a response is a pure function of (artifact bytes, input text,
+//! configured seed) — identical across runs, batch orders, and worker
+//! counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod codec;
+pub mod engine;
+pub mod error;
+pub mod lru;
+
+pub use artifact::{list_sections, ModelArtifact, SectionInfo, FORMAT_VERSION, MAGIC};
+pub use engine::{CacheStats, DocumentScore, EngineOptions, InferenceEngine};
+pub use error::ServeError;
+pub use lru::LruCache;
+
+/// Convenient `Result` alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,146 @@
+//! A small least-recently-used cache for repeated inference requests.
+//!
+//! Serving workloads see heavy repetition (retries, near-duplicate posts,
+//! trending documents), and fold-in is deterministic for a given token
+//! sequence — so identical requests can be answered from cache without any
+//! change in observable behavior.
+//!
+//! Implementation note: entries carry a monotonically increasing access
+//! stamp and eviction scans for the minimum. That makes `insert` O(capacity)
+//! in the worst case, which is the right trade at serving cache sizes (10²–
+//! 10⁴ entries guarding fold-in runs that are ~10⁵ multiplies each): the
+//! scan is a contiguous sweep over a flat map, and we avoid the
+//! linked-list bookkeeping (and extra per-entry allocation) of a classic
+//! O(1) LRU. Revisit if profiles ever show eviction on a hot path.
+
+use srclda_math::FxHashMap;
+use std::hash::Hash;
+
+/// An LRU cache with a fixed capacity of at least 1.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Create with `capacity` entries (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key`, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((value, stamp)) => {
+                *stamp = tick;
+                Some(&*value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry if the
+    /// cache is full. Re-inserting an existing key replaces its value.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(c.get(&1), Some(&10));
+        c.insert(3, 30);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn eviction_respects_access_recency_not_insertion_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in 1..=3 {
+            c.insert(k, k);
+        }
+        // Touch 3, then 2, then 1 — making 3 the least recently used.
+        assert_eq!(c.get(&3), Some(&3));
+        assert_eq!(c.get(&2), Some(&2));
+        assert_eq!(c.get(&1), Some(&1));
+        c.insert(4, 4);
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.get(&1), Some(&1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the artifact codec: arbitrary models must
+//! round-trip bit-exactly, and malformed bytes must fail cleanly (never
+//! panic, never silently succeed).
+
+use proptest::prelude::*;
+use srclda_core::persist::RawPrior;
+use srclda_corpus::{Tokenizer, Vocabulary};
+use srclda_math::DenseMatrix;
+use srclda_serve::{ModelArtifact, ServeError, FORMAT_VERSION};
+
+/// An arbitrary valid model: T topics × V words with positive φ mass,
+/// optional labels, and a mix of prior kinds, all derived from `seed`.
+fn build_artifact(t: usize, v: usize, seed: u64) -> ModelArtifact {
+    {
+        // Derive deterministic but varied contents from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let phi_data: Vec<f64> = (0..t * v)
+            .map(|_| (next() % 1000) as f64 / 1000.0 + 1e-6)
+            .collect();
+        let mut phi = DenseMatrix::from_vec(t, v, phi_data);
+        phi.normalize_rows();
+        let labels: Vec<Option<String>> = (0..t)
+            .map(|i| (next() % 2 == 0).then(|| format!("topic-{i}")))
+            .collect();
+        let priors: Vec<RawPrior> = (0..t)
+            .map(|_| match next() % 3 {
+                0 => RawPrior::Symmetric {
+                    beta: (next() % 100 + 1) as f64 / 100.0,
+                },
+                1 => RawPrior::Fixed {
+                    delta: (0..v).map(|_| (next() % 500 + 1) as f64 / 100.0).collect(),
+                },
+                _ => RawPrior::ConceptSet {
+                    support: (0..v as u32).filter(|_| next() % 2 == 0).chain([0]).fold(
+                        Vec::new(),
+                        |mut acc, w| {
+                            if acc.last() != Some(&w) && !acc.contains(&w) {
+                                acc.push(w);
+                            }
+                            acc
+                        },
+                    ),
+                    beta: 0.5,
+                },
+            })
+            .collect();
+        let vocab = Vocabulary::from_words((0..v).map(|i| format!("word{i}")));
+        let tokenizer = Tokenizer::from_parts(
+            next() % 2 == 0,
+            (next() % 4) as usize,
+            next() % 2 == 0,
+            next() % 2 == 0,
+        );
+        ModelArtifact::new(
+            1.0 / 16.0 + (next() % 16) as f64,
+            phi,
+            labels,
+            priors,
+            vocab,
+            tokenizer,
+        )
+        .expect("strategy builds valid artifacts")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encode_decode_is_bit_exact(t in 2usize..6, v in 2usize..24, seed in any::<u64>()) {
+        let artifact = build_artifact(t, v, seed);
+        let bytes = artifact.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        // φ compared by bit pattern, not float equality.
+        let a_bits: Vec<u64> = artifact.phi().as_slice().iter().map(|x| x.to_bits()).collect();
+        let b_bits: Vec<u64> = back.phi().as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(a_bits, b_bits);
+        prop_assert_eq!(artifact.alpha().to_bits(), back.alpha().to_bits());
+        prop_assert_eq!(artifact.labels(), back.labels());
+        prop_assert_eq!(artifact.priors(), back.priors());
+        prop_assert_eq!(artifact.vocabulary().words(), back.vocabulary().words());
+        prop_assert_eq!(artifact.tokenizer().to_parts(), back.tokenizer().to_parts());
+        // Re-encoding is deterministic and stable.
+        prop_assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly(
+        t in 2usize..6,
+        v in 2usize..24,
+        seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+    ) {
+        let artifact = build_artifact(t, v, seed);
+        let bytes = artifact.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(ModelArtifact::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_corruption_fails_cleanly(
+        t in 2usize..6,
+        v in 2usize..24,
+        seed in any::<u64>(),
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // The checksum trailer covers the full payload, so flipping any one
+        // bit anywhere must be caught (by checksum, magic, or version).
+        let artifact = build_artifact(t, v, seed);
+        let mut bytes = artifact.to_bytes();
+        let idx = ((bytes.len() - 1) as f64 * frac) as usize;
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(ModelArtifact::from_bytes(&bytes).is_err());
+    }
+}
+
+#[test]
+fn corrupted_header_reports_bad_magic() {
+    let bytes = b"NOTAMODL the rest does not matter".to_vec();
+    assert!(matches!(
+        ModelArtifact::from_bytes(&bytes),
+        Err(ServeError::BadMagic { .. })
+    ));
+}
+
+#[test]
+fn future_version_reports_unsupported() {
+    // Build a valid artifact, then bump the version field and re-stamp the
+    // checksum: a well-formed file from the future must be refused by
+    // version, not by checksum.
+    let artifact = tiny_artifact();
+    let mut bytes = artifact.to_bytes();
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let body = bytes.len() - 8;
+    let checksum = srclda_serve::codec::fnv1a64(&bytes[..body]);
+    let len = bytes.len();
+    bytes[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+    assert!(matches!(
+        ModelArtifact::from_bytes(&bytes),
+        Err(ServeError::UnsupportedVersion { found, supported })
+            if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+    ));
+}
+
+#[test]
+fn wrong_checksum_is_distinguished_from_truncation() {
+    let artifact = tiny_artifact();
+    let mut bytes = artifact.to_bytes();
+    let len = bytes.len();
+    bytes[len - 1] ^= 0xff;
+    assert!(matches!(
+        ModelArtifact::from_bytes(&bytes),
+        Err(ServeError::ChecksumMismatch { .. })
+    ));
+}
+
+fn tiny_artifact() -> ModelArtifact {
+    let mut phi = DenseMatrix::from_vec(2, 3, vec![3.0, 2.0, 1.0, 1.0, 2.0, 3.0]);
+    phi.normalize_rows();
+    ModelArtifact::new(
+        0.5,
+        phi,
+        vec![Some("A".into()), None],
+        vec![
+            RawPrior::Symmetric { beta: 0.1 },
+            RawPrior::Fixed {
+                delta: vec![1.0, 2.0, 3.0],
+            },
+        ],
+        Vocabulary::from_words(["a", "b", "c"]),
+        Tokenizer::default(),
+    )
+    .unwrap()
+}

@@ -1,0 +1,125 @@
+//! The subsystem's headline invariant: persisting a model and serving it
+//! from the artifact is *observably identical* to serving the in-memory
+//! `FittedModel` — same θ bits, same assignments, same perplexity.
+
+use srclda_core::prelude::*;
+use srclda_corpus::{CorpusBuilder, Tokenizer};
+use srclda_knowledge::KnowledgeSourceBuilder;
+use srclda_serve::{EngineOptions, InferenceEngine, ModelArtifact};
+
+fn train() -> (srclda_corpus::Corpus, FittedModel, Tokenizer) {
+    let tokenizer = Tokenizer::default();
+    let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+    for i in 0..12 {
+        b.add_text(
+            format!("school-{i}"),
+            "pencil ruler eraser notebook pencil crayon ruler",
+        );
+        b.add_text(
+            format!("sports-{i}"),
+            "baseball umpire glove pitcher inning baseball",
+        );
+        b.add_text(
+            format!("finance-{i}"),
+            "stock bond dividend market stock broker",
+        );
+    }
+    let corpus = b.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil ruler eraser notebook crayon ".repeat(25),
+    );
+    ks.add_article(
+        "Baseball",
+        "baseball umpire glove pitcher inning ".repeat(25),
+    );
+    ks.add_article("Finance", "stock bond dividend market broker ".repeat(25));
+    let source = ks.build(corpus.vocabulary());
+    let fitted = SourceLda::builder()
+        .knowledge_source(source)
+        .variant(Variant::Bijective)
+        .alpha(0.5)
+        .iterations(120)
+        .seed(23)
+        .build()
+        .unwrap()
+        .fit(&corpus)
+        .unwrap();
+    (corpus, fitted, tokenizer)
+}
+
+#[test]
+fn save_load_infer_matches_in_memory_fold_in_bit_exactly() {
+    let (corpus, fitted, tokenizer) = train();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+
+    // Round-trip through bytes, as a real deployment would through a file.
+    let loaded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+
+    let held_out = "the umpire dropped a pencil near the pitcher before the inning";
+    let tokens: Vec<u32> = tokenizer
+        .tokenize(held_out)
+        .into_iter()
+        .filter_map(|t| corpus.vocabulary().get(&t))
+        .map(|id| id.0)
+        .collect();
+    assert!(
+        tokens.len() >= 4,
+        "held-out doc must overlap the vocabulary"
+    );
+
+    let cfg = FoldInConfig {
+        iterations: 40,
+        seed: 97,
+    };
+    let in_memory = Inference::from_fitted(&fitted)
+        .fold_in(&tokens, &cfg)
+        .unwrap();
+    let from_disk = loaded.inference().unwrap().fold_in(&tokens, &cfg).unwrap();
+
+    let mem_bits: Vec<u64> = in_memory.theta().iter().map(|x| x.to_bits()).collect();
+    let disk_bits: Vec<u64> = from_disk.theta().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(mem_bits, disk_bits, "θ must round-trip bit-exactly");
+    assert_eq!(in_memory.assignments(), from_disk.assignments());
+    assert_eq!(
+        in_memory.log_likelihood().to_bits(),
+        from_disk.log_likelihood().to_bits()
+    );
+    assert_eq!(
+        in_memory.perplexity().to_bits(),
+        from_disk.perplexity().to_bits()
+    );
+}
+
+#[test]
+fn engine_from_disk_matches_engine_from_memory() {
+    let (corpus, fitted, tokenizer) = train();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+    let loaded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+
+    let mem_engine = InferenceEngine::from_artifact(&artifact, EngineOptions::default()).unwrap();
+    let disk_engine = InferenceEngine::from_artifact(&loaded, EngineOptions::default()).unwrap();
+
+    let docs = [
+        "umpire umpire baseball glove",
+        "pencil and ruler on the market",
+        "dividend dividend stock bond broker",
+        "totally unrelated quasar text",
+    ];
+    let a = mem_engine.infer_batch(&docs).unwrap();
+    let b = disk_engine.infer_batch_parallel(&docs, 3).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn labels_survive_the_round_trip_into_responses() {
+    let (corpus, fitted, tokenizer) = train();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+    let loaded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+    let engine = InferenceEngine::from_artifact(&loaded, EngineOptions::default()).unwrap();
+    let score = engine.infer("stock broker sells bond dividend").unwrap();
+    assert_eq!(engine.label(score.top_topics(1)[0]), Some("Finance"));
+}

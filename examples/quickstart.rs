@@ -2,7 +2,9 @@
 //!
 //! Two three-word documents mix "School Supplies" and "Baseball" tokens.
 //! Plain LDA can split them arbitrarily; Source-LDA, given two knowledge
-//! source articles, assigns every token to the right labeled topic.
+//! source articles, assigns every token to the right labeled topic. The
+//! final act persists the trained model to a `.slda` artifact and reloads
+//! it to label raw text online — the serving workflow.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -90,5 +92,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect::<Vec<_>>()
         );
     }
+
+    // 7. Persist the trained model to a versioned, checksummed artifact…
+    let artifact =
+        ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &Tokenizer::permissive())?;
+    let path = std::env::temp_dir().join("quickstart-model.slda");
+    artifact.save(&path)?;
+    println!(
+        "\nsaved model to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // 8. …reload it (as a serving process would) and label raw text online.
+    let engine =
+        InferenceEngine::from_artifact(&ModelArtifact::load(&path)?, EngineOptions::default())?;
+    for text in ["pencil ruler pencil", "the umpire saw a baseball"] {
+        let score = engine.infer(text)?;
+        let top = score.top_topics(1)[0];
+        println!(
+            "  \"{text}\" → {} (θ {:.2}, perplexity {:.2})",
+            engine.label(top).unwrap_or("?"),
+            score.theta()[top],
+            score.perplexity()
+        );
+    }
+    std::fs::remove_file(&path).ok();
     Ok(())
 }

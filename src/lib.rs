@@ -18,7 +18,9 @@
 //!   counting, PMI, IR-LDA);
 //! * [`srclda_synth`] — synthetic data generators (grid topics, Wikipedia-
 //!   like articles, newswire corpora);
-//! * [`srclda_eval`] — evaluation metrics and report rendering.
+//! * [`srclda_eval`] — evaluation metrics and report rendering;
+//! * [`srclda_serve`] — model persistence (versioned `.slda` artifacts) and
+//!   the online fold-in inference engine (plus the `srclda-infer` CLI).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +58,7 @@ pub use srclda_eval as eval;
 pub use srclda_knowledge as knowledge;
 pub use srclda_labeling as labeling;
 pub use srclda_math as math;
+pub use srclda_serve as serve;
 pub use srclda_synth as synth;
 
 /// One-stop imports for typical usage.
@@ -66,4 +69,5 @@ pub mod prelude {
     };
     pub use srclda_knowledge::{KnowledgeSource, KnowledgeSourceBuilder};
     pub use srclda_math::{rng_from_seed, SldaRng};
+    pub use srclda_serve::{EngineOptions, InferenceEngine, ModelArtifact};
 }

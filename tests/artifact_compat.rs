@@ -1,0 +1,112 @@
+//! Format-compatibility guard: the committed golden artifact under
+//! `tests/fixtures/` was written by an earlier build at format version 1,
+//! and the current code must keep loading it byte-for-byte.
+//!
+//! If a change to the codec breaks `golden_artifact_still_loads`, that
+//! change is a **format break**: bump `srclda_serve::FORMAT_VERSION`, keep
+//! a decode path for the old version (or consciously drop it), and only
+//! then regenerate the fixture with
+//!
+//! ```sh
+//! cargo test --test artifact_compat -- --ignored regenerate_golden_fixture
+//! ```
+//!
+//! The regenerator is fully deterministic (fixed corpus, fixed seed), so a
+//! regenerated fixture diffs empty unless the format really changed.
+
+use source_lda::prelude::*;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("model_v1.slda")
+}
+
+/// The exact model the fixture was generated from (quickstart's §I case
+/// study, pinned seeds). Must never change without a format-version bump.
+fn golden_model() -> (Corpus, source_lda::core::FittedModel, Tokenizer) {
+    let tokenizer = Tokenizer::permissive();
+    let mut builder = CorpusBuilder::new().tokenizer(tokenizer.clone());
+    builder.add_tokens("d1", &["pencil", "pencil", "umpire"]);
+    builder.add_tokens("d2", &["ruler", "ruler", "baseball"]);
+    let corpus = builder.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil ruler eraser notebook pencil ruler pencil ".repeat(40),
+    );
+    ks.add_article(
+        "Baseball",
+        "baseball umpire pitcher inning baseball umpire baseball ".repeat(40),
+    );
+    let knowledge = ks.build(corpus.vocabulary());
+    let fitted = SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(Variant::Bijective)
+        .alpha(0.5)
+        .iterations(300)
+        .seed(7)
+        .build()
+        .unwrap()
+        .fit(&corpus)
+        .unwrap();
+    (corpus, fitted, tokenizer)
+}
+
+#[test]
+fn golden_artifact_still_loads() {
+    let artifact = ModelArtifact::load(fixture_path()).expect(
+        "the committed v1 fixture failed to load — this is a format break; \
+         see the module docs for the required version-bump procedure",
+    );
+    assert_eq!(artifact.num_topics(), 2);
+    assert_eq!(artifact.vocab_size(), 4);
+    assert_eq!(artifact.alpha(), 0.5);
+    assert_eq!(artifact.labels()[0].as_deref(), Some("School Supplies"));
+    assert_eq!(artifact.labels()[1].as_deref(), Some("Baseball"));
+    assert_eq!(
+        artifact.vocabulary().words(),
+        ["pencil", "umpire", "ruler", "baseball"]
+    );
+    // The artifact still *serves*: raw text routes to the right label.
+    let engine = InferenceEngine::from_artifact(&artifact, EngineOptions::default()).unwrap();
+    let school = engine.infer("pencil ruler pencil").unwrap();
+    assert_eq!(
+        engine.label(school.top_topics(1)[0]),
+        Some("School Supplies")
+    );
+    let sports = engine.infer("umpire baseball umpire").unwrap();
+    assert_eq!(engine.label(sports.top_topics(1)[0]), Some("Baseball"));
+}
+
+#[test]
+fn golden_fixture_is_reproducible_from_the_pinned_model() {
+    // The committed bytes must equal a fresh encode of the pinned model —
+    // i.e. the encoder has not silently drifted within format version 1.
+    let (corpus, fitted, tokenizer) = golden_model();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+    let committed = std::fs::read(fixture_path()).expect("fixture file present");
+    assert_eq!(
+        artifact.to_bytes(),
+        committed,
+        "encoder output drifted from the committed v1 fixture — if this is \
+         intentional, bump FORMAT_VERSION and regenerate (see module docs)"
+    );
+}
+
+/// Regenerates the fixture. Run explicitly (`--ignored`); see module docs.
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    let (corpus, fitted, tokenizer) = golden_model();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    artifact.save(fixture_path()).unwrap();
+    println!(
+        "wrote {} ({} bytes)",
+        fixture_path().display(),
+        std::fs::metadata(fixture_path()).unwrap().len()
+    );
+}
