@@ -1,0 +1,19 @@
+//! Training-sweep throughput benchmark: tokens/sec through the serial
+//! Gibbs sampler, dense reference sweep vs. optimized kernel, per model
+//! family × T × V. Writes `BENCH_sweep.json` into the working directory.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "sweep_throughput",
+        "Training-sweep throughput (tokens/sec): dense reference sweep vs. \
+         optimized kernel per model family; emits BENCH_sweep.json.",
+        &[],
+    );
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!(
+        "{}",
+        srclda_bench::experiments::sweep_throughput::run(scale)
+    );
+}

@@ -1,0 +1,395 @@
+//! Training-sweep throughput: tokens/second through the serial collapsed
+//! Gibbs sampler, **dense reference sweep vs. optimized kernel**, per model
+//! family × topic count × vocabulary size.
+//!
+//! This is the repo's performance trajectory, not a paper figure: every
+//! ROADMAP direction (the Fig. 8f `B = 10000` scaling run, corpus-scale
+//! serving) gates on how fast one Gibbs sweep runs, so this experiment
+//! times the same fit twice — once with `Backend::SerialDense` (the
+//! straightforward per-(token, topic) `word_weight` loop) and once with
+//! `Backend::Serial` (flat prior tables, cached reciprocals, sparse
+//! document-topic bookkeeping, non-atomic counts) — and reports both in
+//! tokens/second. The two backends walk bit-identical chains from the same
+//! seed (asserted here on every cell), so the comparison times identical
+//! statistical work.
+//!
+//! Besides the printed report, the experiment writes `BENCH_sweep.json`
+//! into the working directory so CI and future PRs have a machine-readable
+//! perf baseline to beat.
+
+use crate::cli::{banner, Scale};
+use srclda_core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use srclda_core::{Backend, Ctm, Eda, FittedModel, Lda, SmoothingMode, SourceLda, Variant};
+use srclda_corpus::Corpus;
+use srclda_knowledge::KnowledgeSource;
+use srclda_synth::random_source_topics;
+use std::time::Instant;
+
+/// One benchmark cell: a model family at a (T, V) shape.
+struct Cell {
+    family: &'static str,
+    topics: usize,
+    vocab: usize,
+    docs: usize,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    dense_tokens_per_sec: f64,
+    kernel_tokens_per_sec: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.kernel_tokens_per_sec / self.dense_tokens_per_sec.max(1e-9)
+    }
+}
+
+/// Synthetic world shared by a cell: source topics over a `v`-word
+/// vocabulary and a corpus generated from them.
+fn world(
+    v: usize,
+    topics: usize,
+    support: usize,
+    docs: usize,
+    doc_len: usize,
+    seed: u64,
+) -> (KnowledgeSource, Corpus) {
+    let (vocab, knowledge) = random_source_topics(v, topics, support, 200, seed);
+    let active: Vec<usize> = (0..topics.min(24)).collect();
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: docs,
+        doc_len: DocLength::Fixed(doc_len),
+        lambda_mode: LambdaMode::None,
+        seed: seed ^ 0x5eed,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&active), &vocab)
+    .expect("generation succeeds");
+    (knowledge, generated.corpus)
+}
+
+/// Time the sweeps of one model per backend and assert the chains are
+/// identical, so both timings cover the same statistical work.
+///
+/// **Differential timing:** `fit(backend, iters)` includes one-off work
+/// the sweep rate must not charge for — prior construction (per-table
+/// `powf`/`ln Γ` caches), count initialization, and the final φ/θ
+/// extraction. Each backend is therefore timed at two sweep counts
+/// (`sweeps` and `sweeps/4`), best-of-two each, and the rate is computed
+/// from the *difference*: the fixed setup cost cancels exactly and the
+/// reported tokens/sec is sweep-only throughput.
+fn time_pair<F: Fn(Backend, usize) -> FittedModel>(
+    fit: F,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+) -> (f64, f64) {
+    let base = (sweeps / 4).max(1);
+    assert!(sweeps > base, "need two distinct sweep counts");
+    let delta_tokens = (tokens_per_sweep * (sweeps - base)) as f64;
+    let rate = |backend: Backend| -> (f64, FittedModel) {
+        let time_of = |iters: usize| -> (f64, FittedModel) {
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let fitted = fit(backend, iters);
+                best = best.min(start.elapsed().as_secs_f64());
+                last = Some(fitted);
+            }
+            (best, last.expect("at least one run"))
+        };
+        let (base_secs, _) = time_of(base);
+        let (full_secs, fitted) = time_of(sweeps);
+        (delta_tokens / (full_secs - base_secs).max(1e-9), fitted)
+    };
+    let (dense, dense_fit) = rate(Backend::SerialDense);
+    let (kernel, kernel_fit) = rate(Backend::Serial);
+    assert_eq!(
+        dense_fit.assignments(),
+        kernel_fit.assignments(),
+        "kernel chain diverged from dense reference"
+    );
+    (dense, kernel)
+}
+
+/// Run every family cell for a scale.
+fn run_cells(scale: Scale) -> Vec<Cell> {
+    let topics = scale.pick(48, 128, 512);
+    let v = scale.pick(1500, 3000, 4000);
+    let v_sparse = scale.pick(6000, 9000, 12000);
+    let docs = scale.pick(60, 150, 300);
+    let doc_len = scale.pick(60, 80, 100);
+    let sweeps = scale.pick(40, 40, 40);
+    let support = scale.pick(12, 25, 40);
+    // The paper's default quadrature depth (ModelConfig::approximation_steps).
+    let steps = 8;
+
+    let mut cells = Vec::new();
+    let mut push = |family: &'static str,
+                    topics: usize,
+                    vocab: usize,
+                    corpus: &Corpus,
+                    sweeps: usize,
+                    rates: (f64, f64)| {
+        cells.push(Cell {
+            family,
+            topics,
+            vocab,
+            docs: corpus.num_docs(),
+            tokens_per_sweep: corpus.num_tokens(),
+            sweeps,
+            dense_tokens_per_sec: rates.0,
+            kernel_tokens_per_sec: rates.1,
+        });
+    };
+
+    // Plain LDA: every topic symmetric.
+    {
+        let (_, corpus) = world(v, topics, support, docs, doc_len, 21);
+        let rates = time_pair(
+            |backend, iters| {
+                Lda::builder()
+                    .topics(topics)
+                    .alpha(0.5)
+                    .beta(0.05)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push("lda", topics, v, &corpus, sweeps, rates);
+    }
+
+    // Source-LDA with fixed δ priors (mixture variant).
+    {
+        let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 22);
+        let rates = time_pair(
+            |backend, iters| {
+                SourceLda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .variant(Variant::Mixture)
+                    .unlabeled_topics(topics / 8)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push(
+            "srclda_fixed",
+            topics + topics / 8,
+            v,
+            &corpus,
+            sweeps,
+            rates,
+        );
+    }
+
+    // The full λ-integrated model, dense integration layout (V ≤ 4096).
+    {
+        let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 23);
+        let rates = time_pair(
+            |backend, iters| {
+                SourceLda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .variant(Variant::Full)
+                    .approximation_steps(steps)
+                    .smoothing(SmoothingMode::Identity)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push("srclda_integrated", topics, v, &corpus, sweeps, rates);
+    }
+
+    // The full λ-integrated model, sparse integration layout (V > 4096;
+    // exercises the per-word row pointer that replaced the binary search).
+    {
+        let (knowledge, corpus) = world(v_sparse, topics, support, docs, doc_len, 24);
+        let rates = time_pair(
+            |backend, iters| {
+                SourceLda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .variant(Variant::Full)
+                    .approximation_steps(steps)
+                    .smoothing(SmoothingMode::Identity)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push(
+            "srclda_integrated_sparse",
+            topics,
+            v_sparse,
+            &corpus,
+            sweeps,
+            rates,
+        );
+    }
+
+    // EDA (frozen topics) and CTM (concept sets).
+    {
+        let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 25);
+        let rates = time_pair(
+            |backend, iters| {
+                Eda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push("eda", topics, v, &corpus, sweeps, rates);
+
+        let rates = time_pair(
+            |backend, iters| {
+                Ctm::builder()
+                    .knowledge_source(knowledge.clone())
+                    .beta(0.1)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+        );
+        push("ctm", topics, v, &corpus, sweeps, rates);
+    }
+
+    cells
+}
+
+/// Render `BENCH_sweep.json` (hand-rolled: the workspace is offline and
+/// vendors no JSON crate; every value is numeric or a static identifier).
+fn render_json(scale: Scale, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"sweep_throughput\",\n");
+    out.push_str("  \"unit\": \"tokens_per_sec\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"topics\": {}, \"vocab\": {}, \"docs\": {}, \
+             \"tokens_per_sweep\": {}, \"sweeps\": {}, \
+             \"dense_tokens_per_sec\": {:.1}, \"kernel_tokens_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}{}\n",
+            c.family,
+            c.topics,
+            c.vocab,
+            c.docs,
+            c.tokens_per_sweep,
+            c.sweeps,
+            c.dense_tokens_per_sec,
+            c.kernel_tokens_per_sec,
+            c.speedup(),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = banner(
+        "TPS",
+        "training sweep throughput (dense reference vs kernel)",
+        scale,
+    );
+    let cells = run_cells(scale);
+    out.push_str(&format!(
+        "{:<26} {:>6} {:>6} {:>14} {:>14} {:>9}\n",
+        "family", "T", "V", "dense tok/s", "kernel tok/s", "speedup"
+    ));
+    for c in &cells {
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>6} {:>14.0} {:>14.0} {:>8.2}x\n",
+            c.family,
+            c.topics,
+            c.vocab,
+            c.dense_tokens_per_sec,
+            c.kernel_tokens_per_sec,
+            c.speedup()
+        ));
+    }
+    out.push_str(
+        "(both backends walk bit-identical chains; tokens/sec counts one \
+         token-draw per corpus token per sweep)\n",
+    );
+    let json = render_json(scale, &cells);
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => out.push_str("wrote BENCH_sweep.json\n"),
+        Err(e) => out.push_str(&format!("warning: could not write BENCH_sweep.json: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_covers_every_family_and_emits_json() {
+        let cells = run_cells(Scale::Smoke);
+        let families: Vec<&str> = cells.iter().map(|c| c.family).collect();
+        for f in [
+            "lda",
+            "srclda_fixed",
+            "srclda_integrated",
+            "srclda_integrated_sparse",
+            "eda",
+            "ctm",
+        ] {
+            assert!(families.contains(&f), "missing family {f}");
+        }
+        for c in &cells {
+            assert!(c.dense_tokens_per_sec > 0.0 && c.kernel_tokens_per_sec > 0.0);
+        }
+        let json = render_json(Scale::Smoke, &cells);
+        assert!(json.contains("\"experiment\": \"sweep_throughput\""));
+        assert!(json.contains("\"kernel_tokens_per_sec\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+    }
+}

@@ -6,11 +6,14 @@
 //! process would), and then asked to fold in a stream of raw-text
 //! documents. Reported cells:
 //!
-//! * `serial_docs_per_sec` — one thread, cache disabled;
-//! * `workers_docs_per_sec` — the multi-worker batch path, cache disabled
-//!   (the concurrency win);
-//! * `warm_cache_docs_per_sec` — serial re-run of the same batch against a
-//!   populated LRU cache (the repetition win).
+//! * `serial` — one thread, cache disabled;
+//! * `workers` — the multi-worker batch path, cache disabled (the
+//!   concurrency win);
+//! * `warm_cache` — serial re-run of the same batch against a populated
+//!   LRU cache (the repetition win).
+//!
+//! Every cell reports both docs/sec and tokens/sec, the latter so serving
+//! and training (`sweep_throughput`) throughput share one unit.
 
 use crate::cli::{banner, Scale};
 use srclda_core::{Backend, FoldInConfig, SmoothingMode, SourceLda, Variant};
@@ -183,13 +186,25 @@ pub fn run(scale: Scale) -> String {
     let warm_rate = docs_per_sec(requests.len(), start.elapsed().as_secs_f64());
     let stats = cached_engine.cache_stats();
 
-    out.push_str(&format!("serial_docs_per_sec      {serial_rate:>12.1}\n"));
+    // Tokens/doc converts each docs/sec cell into tokens/sec, putting
+    // serving throughput in the same unit as `sweep_throughput`'s training
+    // numbers (one fold-in token-draw ≈ one training token-draw).
+    let total_tokens: usize = serial.iter().map(|s| s.num_tokens()).sum();
+    let tokens_per_doc = total_tokens as f64 / requests.len().max(1) as f64;
+    let cell = |rate: f64| format!("{rate:>12.1}  {:>14.1}", rate * tokens_per_doc);
     out.push_str(&format!(
-        "workers_docs_per_sec     {parallel_rate:>12.1}  ({:.2}x, {workers} workers)\n",
+        "{:<24} {:>12} {:>14}\n",
+        "", "docs/sec", "tokens/sec"
+    ));
+    out.push_str(&format!("serial                   {}\n", cell(serial_rate)));
+    out.push_str(&format!(
+        "workers                  {}  ({:.2}x, {workers} workers)\n",
+        cell(parallel_rate),
         parallel_rate / serial_rate
     ));
     out.push_str(&format!(
-        "warm_cache_docs_per_sec  {warm_rate:>12.1}  ({:.0}x, {} hits / {} misses)\n",
+        "warm_cache               {}  ({:.0}x, {} hits / {} misses)\n",
+        cell(warm_rate),
         warm_rate / serial_rate,
         stats.hits,
         stats.misses
@@ -205,9 +220,13 @@ mod tests {
     #[test]
     fn smoke_report_contains_all_cells() {
         let report = run(Scale::Smoke);
-        assert!(report.contains("serial_docs_per_sec"));
-        assert!(report.contains("workers_docs_per_sec"));
-        assert!(report.contains("warm_cache_docs_per_sec"));
+        // Pin the exact row labels (line starts), not bare substrings that
+        // other report text ("4 workers") would also satisfy.
+        assert!(report.contains("\nserial "));
+        assert!(report.contains("\nworkers "));
+        assert!(report.contains("\nwarm_cache "));
+        assert!(report.contains("docs/sec"));
+        assert!(report.contains("tokens/sec"));
     }
 
     #[test]

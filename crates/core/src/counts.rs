@@ -123,13 +123,66 @@ impl CountMatrices {
         );
     }
 
+    /// [`Self::increment`] without atomic read-modify-write: a relaxed load
+    /// plus a relaxed store per cell, which compile to plain `mov`s instead
+    /// of `lock xadd`. Correct **only** while a single thread mutates the
+    /// matrices — the serial sampling kernel's fast path. The parallel
+    /// backends must keep using [`Self::increment`].
+    #[inline]
+    pub fn increment_serial(&self, w: usize, d: usize, t: usize) {
+        for cell in [
+            &self.nw[w * self.t + t],
+            &self.nd[d * self.t + t],
+            &self.nt[t],
+        ] {
+            cell.store(cell.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Self::decrement`] without atomic read-modify-write; same
+    /// single-writer contract as [`Self::increment_serial`].
+    ///
+    /// # Panics
+    /// Debug builds panic on underflow (an invariant violation).
+    #[inline]
+    pub fn decrement_serial(&self, w: usize, d: usize, t: usize) {
+        for cell in [
+            &self.nw[w * self.t + t],
+            &self.nd[d * self.t + t],
+            &self.nt[t],
+        ] {
+            let v = cell.load(Ordering::Relaxed);
+            debug_assert!(v > 0, "count underflow at w={w} d={d} t={t}");
+            cell.store(v.wrapping_sub(1), Ordering::Relaxed);
+        }
+    }
+
     /// Number of documents in which topic `t` has at least `min_tokens`
     /// assignments (the document-frequency signal used by the superset
     /// topic reduction, §III.C.3).
     pub fn topic_doc_frequency(&self, t: usize, min_tokens: u32) -> usize {
+        let threshold = min_tokens.max(1);
         (0..self.num_docs())
-            .filter(|&d| self.nd(d, t) >= min_tokens.max(1))
+            .filter(|&d| self.nd(d, t) >= threshold)
             .count()
+    }
+
+    /// Document frequencies of **all** topics in one pass over `nd`:
+    /// `out[t]` counts the documents with at least `min_tokens` assignments
+    /// to topic `t`. Equivalent to calling [`Self::topic_doc_frequency`]
+    /// once per topic, but walks the `D×T` matrix once instead of `T` times
+    /// (the superset-reduction pass was `O(D·T²)` without it).
+    pub fn topic_doc_frequencies(&self, min_tokens: u32) -> Vec<usize> {
+        let threshold = min_tokens.max(1);
+        let mut out = vec![0usize; self.t];
+        for d in 0..self.num_docs() {
+            for (freq, cell) in out.iter_mut().zip(self.nd_row(d)) {
+                if cell.load(Ordering::Relaxed) >= threshold {
+                    *freq += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Verify internal consistency (test helper): column sums of `nw` match
@@ -223,6 +276,45 @@ mod tests {
         assert_eq!(c.topic_doc_frequency(0, 2), 1);
         assert_eq!(c.topic_doc_frequency(1, 1), 1);
         assert_eq!(c.topic_doc_frequency(1, 3), 0);
+    }
+
+    #[test]
+    fn batched_doc_frequencies_match_per_topic_queries() {
+        let c = CountMatrices::new(3, 4, &[5, 4, 3]);
+        // Scatter some assignments across docs and topics.
+        for (w, d, t, n) in [(0, 0, 0, 3), (1, 0, 2, 2), (2, 1, 2, 4), (0, 2, 1, 3)] {
+            for _ in 0..n {
+                c.increment(w, d, t);
+            }
+        }
+        for min_tokens in [0, 1, 2, 3, 5] {
+            let batched = c.topic_doc_frequencies(min_tokens);
+            let individual: Vec<usize> = (0..4)
+                .map(|t| c.topic_doc_frequency(t, min_tokens))
+                .collect();
+            assert_eq!(batched, individual, "min_tokens={min_tokens}");
+        }
+        // min_tokens = 0 behaves as 1 (a zero threshold would count every
+        // document for every topic).
+        assert_eq!(c.topic_doc_frequencies(0), c.topic_doc_frequencies(1));
+    }
+
+    #[test]
+    fn serial_ops_match_atomic_ops() {
+        let atomic = CountMatrices::new(3, 2, &[4]);
+        let serial = CountMatrices::new(3, 2, &[4]);
+        let moves = [(0usize, 0usize, 1usize), (1, 0, 0), (0, 0, 1), (2, 0, 0)];
+        for &(w, d, t) in &moves {
+            atomic.increment(w, d, t);
+            serial.increment_serial(w, d, t);
+        }
+        atomic.decrement(0, 0, 1);
+        serial.decrement_serial(0, 0, 1);
+        assert_eq!(atomic.snapshot_nw(), serial.snapshot_nw());
+        assert_eq!(atomic.snapshot_nt(), serial.snapshot_nt());
+        for t in 0..2 {
+            assert_eq!(atomic.nd(0, t), serial.nd(0, t));
+        }
     }
 
     #[test]

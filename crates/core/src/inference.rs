@@ -102,8 +102,26 @@ impl InferredDocument {
 #[derive(Debug, Clone)]
 pub struct Inference {
     phi: DenseMatrix<f64>,
+    /// φ transposed to word-major (`phi_t[w*T + t] = φ_tw`): the fold-in
+    /// inner loop walks all topics of one word, which in the topic-major
+    /// `phi` strides by `V` per step. The copy doubles φ's memory but makes
+    /// the per-token scan a contiguous read — the right trade for a
+    /// serving engine that holds one model and scores many documents.
+    phi_t: Vec<f64>,
     alpha: f64,
     labels: Vec<Option<String>>,
+}
+
+/// Word-major copy of a topic-major φ matrix.
+fn transpose_phi(phi: &DenseMatrix<f64>) -> Vec<f64> {
+    let (t_count, v) = (phi.rows(), phi.cols());
+    let mut phi_t = vec![0.0; v * t_count];
+    for t in 0..t_count {
+        for (w, &p) in phi.row(t).iter().enumerate() {
+            phi_t[w * t_count + t] = p;
+        }
+    }
+    phi_t
 }
 
 impl Inference {
@@ -133,13 +151,22 @@ impl Inference {
                 phi.rows()
             )));
         }
-        Ok(Self { phi, alpha, labels })
+        let phi_t = transpose_phi(&phi);
+        Ok(Self {
+            phi,
+            phi_t,
+            alpha,
+            labels,
+        })
     }
 
     /// Snapshot a fitted model's φ/α/labels for serving.
     pub fn from_fitted(fitted: &FittedModel) -> Self {
+        let phi = fitted.phi().clone();
+        let phi_t = transpose_phi(&phi);
         Self {
-            phi: fitted.phi().clone(),
+            phi,
+            phi_t,
             alpha: fitted.alpha(),
             labels: fitted.labels().to_vec(),
         }
@@ -215,15 +242,22 @@ impl Inference {
             })
             .collect();
 
+        // `fact[t]` mirrors `nd[t] as f64 + α`, patched at the two topics a
+        // token move touches — the same incremental bookkeeping as the
+        // training kernel, and bit-identical to recomputing per topic.
+        let mut fact: Vec<f64> = nd.iter().map(|&n| n as f64 + self.alpha).collect();
         let mut buf = vec![0.0; t_count];
         for _ in 0..config.iterations.max(1) {
             for (j, &word) in tokens.iter().enumerate() {
                 let w = word as usize;
                 let old = z[j] as usize;
                 nd[old] -= 1;
+                fact[old] = nd[old] as f64 + self.alpha;
+                // Word-major φ row: all topics of `w`, contiguous.
+                let phi_row = &self.phi_t[w * t_count..(w + 1) * t_count];
                 let mut acc = 0.0;
-                for t in 0..t_count {
-                    acc += self.phi[(t, w)] * (nd[t] as f64 + self.alpha);
+                for (t, (&p, &f)) in phi_row.iter().zip(&fact).enumerate() {
+                    acc += p * f;
                     buf[t] = acc;
                 }
                 let new = if acc > 0.0 && acc.is_finite() {
@@ -234,6 +268,7 @@ impl Inference {
                 };
                 z[j] = new as u32;
                 nd[new] += 1;
+                fact[new] = nd[new] as f64 + self.alpha;
             }
         }
 
@@ -422,6 +457,21 @@ mod tests {
             .unwrap();
         assert_eq!(inf.label(0), Some("A"));
         assert_eq!(inf.label(1), None);
+    }
+
+    #[test]
+    fn transposed_phi_matches_topic_major_phi() {
+        let (_, fitted) = train();
+        let inf = Inference::from_fitted(&fitted);
+        let (t_count, v) = (inf.num_topics(), inf.vocab_size());
+        for w in 0..v {
+            for t in 0..t_count {
+                assert_eq!(
+                    inf.phi_t[w * t_count + t].to_bits(),
+                    inf.phi()[(t, w)].to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,9 @@ impl GibbsModel {
             .filter(|_| priors.iter().any(TopicPrior::is_integrated));
         let total_iters = self.config.iterations;
         let burn_in = self.config.lambda_burn_in;
+        // The serial kernel's combined prior table survives adaptation
+        // chunks (λ re-weighting never touches its contents).
+        let mut combined_cache = None;
         let mut completed = 0usize;
         while completed < total_iters {
             let chunk = match adapt_every {
@@ -149,6 +152,7 @@ impl GibbsModel {
                 &mut z,
                 &mut rng,
                 chunk,
+                &mut combined_cache,
                 |iter_in_chunk| {
                     let iter = base + iter_in_chunk;
                     if let Some(every) = trace.log_likelihood_every {
@@ -333,6 +337,12 @@ impl FittedModel {
     /// `min_tokens` assignments.
     pub fn topic_doc_frequency(&self, t: usize, min_tokens: u32) -> usize {
         self.counts.topic_doc_frequency(t, min_tokens)
+    }
+
+    /// Document frequencies of all topics in one pass over the counts (see
+    /// [`CountMatrices::topic_doc_frequencies`]).
+    pub fn topic_doc_frequencies(&self, min_tokens: u32) -> Vec<usize> {
+        self.counts.topic_doc_frequencies(min_tokens)
     }
 }
 

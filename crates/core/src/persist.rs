@@ -138,9 +138,9 @@ impl TopicPrior {
                 }
                 Ok(TopicPrior::Fixed { delta, sum })
             }
-            RawPrior::Integrated(table) => Ok(TopicPrior::Integrated(IntegrationTable::from_raw(
-                table, vocab_size,
-            )?)),
+            RawPrior::Integrated(table) => Ok(TopicPrior::Integrated(Box::new(
+                IntegrationTable::from_raw(table, vocab_size)?,
+            ))),
             RawPrior::Frozen { phi } => {
                 check_len(phi.len(), "frozen prior phi")?;
                 if !phi.iter().all(|&p| p.is_finite() && p >= 0.0) {

@@ -15,6 +15,18 @@
 //! The φ estimates (Eq. 1 / Eq. 4) are the same expressions evaluated at the
 //! final counts, so [`TopicPrior::word_weight`] serves both sampling and
 //! output.
+//!
+//! ## Canonical arithmetic
+//!
+//! Every ratio above is evaluated as `numerator * (1.0 / denominator)` —
+//! multiply by a reciprocal, never divide directly. This is deliberate: the
+//! Gibbs hot-path kernel ([`crate::sampler::kernel`]) caches the per-topic
+//! reciprocals and refreshes them incrementally as `n_t` changes, and the
+//! kernel's cached weights must match `word_weight` **bit for bit** so the
+//! optimized sweep walks the exact chain of the dense reference sweep. Any
+//! change to the expression shapes here must be mirrored in the kernel's
+//! flat sweep tables (and vice versa); the equivalence is pinned by property
+//! tests in the kernel module.
 
 use crate::error::CoreError;
 use srclda_knowledge::{SmoothingFunction, SourceTopic};
@@ -26,6 +38,10 @@ use srclda_math::DiscretizedGaussian;
 /// `B = 10000` scaling benchmark within memory (dense would need
 /// `O(V·A·B)` floats).
 const DENSE_INTEGRATION_MAX_VOCAB: usize = 4096;
+
+/// Sentinel in the sparse layout's per-word row pointer marking a word
+/// outside the support (its δ row is the shared `zero_values` row).
+const NO_ROW: u32 = u32::MAX;
 
 /// The λ-integration table of one source topic: per quadrature level `a`,
 /// the powered hyperparameters `δ^{g(λₐ)}` and their sum.
@@ -41,6 +57,8 @@ pub struct IntegrationTable {
     a: usize,
     /// `Σ_w δ_w^{g(λₐ)}` per level.
     sums: Vec<f64>,
+    /// `ln Γ(Σ_w δ_w^{g(λₐ)})` per level (adapt baseline, see [`Self::adapt`]).
+    sums_lngamma: Vec<f64>,
     /// Storage layout.
     layout: IntegrationLayout,
 }
@@ -48,15 +66,89 @@ pub struct IntegrationTable {
 #[derive(Debug, Clone)]
 enum IntegrationLayout {
     /// `values[w*A + a] = (n_w + ε)^{g(λₐ)}` for every vocabulary word.
-    Dense { values: Vec<f64> },
+    Dense {
+        values: Vec<f64>,
+        /// `ln Γ(values[..])`, same layout (adapt baseline cache).
+        values_lngamma: Vec<f64>,
+        /// The shared off-support δ row `ε^{g(λₐ)}` (empty when the table
+        /// was rebuilt from a raw artifact, where support is no longer
+        /// recoverable — the kernel then skips the off-support shortcut).
+        zero_row: Vec<f64>,
+        /// Off-support membership per word (empty when unknown). When
+        /// `off_support[w]`, row `w` of `values` is a verbatim copy of
+        /// `zero_row` — the invariant behind the kernel's cached
+        /// `S2_zero` shortcut.
+        off_support: Vec<bool>,
+    },
     /// Only support words stored; zero-count words share `zero_values[a] =
     /// ε^{g(λₐ)}`.
     Sparse {
         support: Vec<u32>,
         values: Vec<f64>,
         zero_values: Vec<f64>,
+        /// Per-word row pointer: `row_of[w]` is the row index into `values`
+        /// (or [`NO_ROW`] for off-support words). Gives the sampling hot
+        /// path a direct load where it previously binary-searched `support`
+        /// once per (token, topic).
+        row_of: Vec<u32>,
+        /// `ln Γ(values[..])`, same layout as `values`.
+        values_lngamma: Vec<f64>,
+        /// `ln Γ(zero_values[..])`.
+        zero_lngamma: Vec<f64>,
     },
 }
+
+/// Build the per-word row pointer for a sparse layout.
+fn build_row_of(support: &[u32], vocab_size: usize) -> Vec<u32> {
+    let mut row_of = vec![NO_ROW; vocab_size];
+    for (si, &w) in support.iter().enumerate() {
+        row_of[w as usize] = si as u32;
+    }
+    row_of
+}
+
+/// `ln Γ` of every entry (the adapt baselines, cached at build time so
+/// [`IntegrationTable::adapt`] never recomputes them per call).
+fn lngamma_all(values: &[f64]) -> Vec<f64> {
+    use srclda_math::special::ln_gamma;
+    values.iter().map(|&v| ln_gamma(v)).collect()
+}
+
+/// The canonical `S2 = Σₐ δₐ·qrₐ` accumulation of the factored Eq. 3
+/// evaluation (see [`IntegrationTable::weight`]): level `a` adds into
+/// partial `a mod 4`, partials combine as `(p₀+p₁) + (p₂+p₃)`. The mod-4
+/// interleave breaks the floating-point dependency chain that otherwise
+/// serializes the sampling hot loop; the statically-unrolled body keeps
+/// the four partials in registers. Every evaluation path (this module and
+/// the sweep kernel's cached tables) must go through this function — or
+/// reproduce it exactly — to keep weights bit-identical.
+#[inline]
+pub(crate) fn dot_mod4(row: &[f64], qr: &[f64]) -> f64 {
+    debug_assert_eq!(row.len(), qr.len());
+    let mut s2 = [0.0f64; 4];
+    let mut chunks = row.chunks_exact(4);
+    let mut qr_chunks = qr.chunks_exact(4);
+    for (rc, qc) in chunks.by_ref().zip(qr_chunks.by_ref()) {
+        s2[0] += rc[0] * qc[0];
+        s2[1] += rc[1] * qc[1];
+        s2[2] += rc[2] * qc[2];
+        s2[3] += rc[3] * qc[3];
+    }
+    for (i, (&delta, &q)) in chunks
+        .remainder()
+        .iter()
+        .zip(qr_chunks.remainder())
+        .enumerate()
+    {
+        s2[i] += delta * q;
+    }
+    (s2[0] + s2[1]) + (s2[2] + s2[3])
+}
+
+/// Stack budget for the per-call `qr` scratch row in
+/// [`IntegrationTable::weight`] (heap fallback above it; `A` is typically
+/// 4–16).
+const QR_STACK: usize = 32;
 
 impl IntegrationTable {
     /// Build the table for one source topic.
@@ -97,12 +189,24 @@ impl IntegrationTable {
                     }
                 }
             }
+            let values_lngamma = lngamma_all(&values);
+            let sums_lngamma = lngamma_all(&sums);
+            let mut off_support = vec![true; v];
+            for &sw in &support {
+                off_support[sw as usize] = false;
+            }
             Self {
                 weights,
                 prior_log_weights,
                 a,
                 sums,
-                layout: IntegrationLayout::Dense { values },
+                sums_lngamma,
+                layout: IntegrationLayout::Dense {
+                    values,
+                    values_lngamma,
+                    zero_row: zero_values,
+                    off_support,
+                },
             }
         } else {
             let mut values = vec![0.0; support.len() * a];
@@ -113,15 +217,23 @@ impl IntegrationTable {
                     sums[ai] += val;
                 }
             }
+            let row_of = build_row_of(&support, v);
+            let values_lngamma = lngamma_all(&values);
+            let zero_lngamma = lngamma_all(&zero_values);
+            let sums_lngamma = lngamma_all(&sums);
             Self {
                 weights,
                 prior_log_weights,
                 a,
                 sums,
+                sums_lngamma,
                 layout: IntegrationLayout::Sparse {
                     support,
                     values,
                     zero_values,
+                    row_of,
+                    values_lngamma,
+                    zero_lngamma,
                 },
             }
         }
@@ -137,28 +249,123 @@ impl IntegrationTable {
         matches!(self.layout, IntegrationLayout::Dense { .. })
     }
 
-    /// The numerically integrated weight (Eq. 3 numerator/denominator pair).
+    /// The δ row of word `w` (length `A`): a direct slice into the dense
+    /// table, or a `row_of`-pointed row / the shared zero row for the
+    /// sparse layout. No binary search on any path.
     #[inline]
-    fn weight(&self, w: usize, nw: f64, nt: f64) -> f64 {
-        // Σₐ wₐ (nw + δₐ) / (nt + Σδₐ) over a per-word δ row.
-        let combine = |row: &[f64]| -> f64 {
-            row.iter()
-                .zip(self.weights.iter())
-                .zip(self.sums.iter())
-                .map(|((&delta, &q), &sum)| q * (nw + delta) / (nt + sum))
-                .sum()
-        };
+    pub(crate) fn delta_row(&self, w: usize) -> &[f64] {
         match &self.layout {
-            IntegrationLayout::Dense { values } => combine(&values[w * self.a..(w + 1) * self.a]),
+            IntegrationLayout::Dense { values, .. } => &values[w * self.a..(w + 1) * self.a],
             IntegrationLayout::Sparse {
-                support,
                 values,
                 zero_values,
-            } => match support.binary_search(&(w as u32)) {
-                Ok(si) => combine(&values[si * self.a..(si + 1) * self.a]),
-                Err(_) => combine(zero_values),
-            },
+                row_of,
+                ..
+            } => {
+                let si = row_of[w];
+                if si == NO_ROW {
+                    zero_values
+                } else {
+                    &values[si as usize * self.a..(si as usize + 1) * self.a]
+                }
+            }
         }
+    }
+
+    /// The cached `ln Γ(δ)` row matching [`Self::delta_row`].
+    #[inline]
+    fn lngamma_row(&self, w: usize) -> &[f64] {
+        match &self.layout {
+            IntegrationLayout::Dense { values_lngamma, .. } => {
+                &values_lngamma[w * self.a..(w + 1) * self.a]
+            }
+            IntegrationLayout::Sparse {
+                values_lngamma,
+                zero_lngamma,
+                row_of,
+                ..
+            } => {
+                let si = row_of[w];
+                if si == NO_ROW {
+                    zero_lngamma
+                } else {
+                    &values_lngamma[si as usize * self.a..(si as usize + 1) * self.a]
+                }
+            }
+        }
+    }
+
+    /// The per-level denominator addends `Σ_w δ_w^{g(λₐ)}` (kernel view).
+    #[inline]
+    pub(crate) fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// The shared off-support δ row, when known (`None` for tables rebuilt
+    /// from raw dense artifacts). Paired with [`Self::is_off_support`]:
+    /// whenever that returns `true` for `w`, [`Self::delta_row`]`(w)` is
+    /// value-identical to this row, so `S2` computed against it can be
+    /// cached per topic.
+    #[inline]
+    pub(crate) fn zero_row(&self) -> Option<&[f64]> {
+        match &self.layout {
+            IntegrationLayout::Dense { zero_row, .. } => {
+                (!zero_row.is_empty()).then_some(&zero_row[..])
+            }
+            IntegrationLayout::Sparse { zero_values, .. } => Some(zero_values),
+        }
+    }
+
+    /// Whether word `w` is outside this topic's source support (always
+    /// `false` when support is unknown — a conservative answer that only
+    /// disables the kernel's `S2_zero` shortcut, never correctness).
+    #[inline]
+    pub(crate) fn is_off_support(&self, w: usize) -> bool {
+        match &self.layout {
+            IntegrationLayout::Dense { off_support, .. } => {
+                !off_support.is_empty() && off_support[w]
+            }
+            IntegrationLayout::Sparse { row_of, .. } => row_of[w] == NO_ROW,
+        }
+    }
+
+    /// The numerically integrated weight (Eq. 3 numerator/denominator pair),
+    /// evaluated in the factored form
+    ///
+    /// ```text
+    /// Σₐ wₐ (nw + δₐ) rₐ  =  nw · Σₐ wₐrₐ  +  Σₐ δₐ wₐrₐ ,   rₐ = 1/(nt + Σδₐ)
+    /// ```
+    ///
+    /// with `S1 = Σ wₐrₐ` accumulated in level order, `S2 = Σ δₐ wₐrₐ`
+    /// accumulated through [`dot_mod4`] (four interleaved partials), and
+    /// the result formed as `nw*S1 + S2`. This shape is canonical: the
+    /// kernel caches the per-level `wₐrₐ` products **and** the per-topic
+    /// `S1` (both depend only on `nt`), pays one multiply-add per level
+    /// for `S2`, and must reproduce this exact sum bit for bit.
+    /// (`pub(crate)` so the parallel sampler's flat tables evaluate
+    /// integrated weights through this exact code path.)
+    #[inline]
+    pub(crate) fn weight(&self, w: usize, nw: f64, nt: f64) -> f64 {
+        if self.a <= QR_STACK {
+            let mut qr = [0.0f64; QR_STACK];
+            self.weight_with_scratch(&mut qr[..self.a], w, nw, nt)
+        } else {
+            let mut qr = vec![0.0; self.a];
+            self.weight_with_scratch(&mut qr, w, nw, nt)
+        }
+    }
+
+    /// [`Self::weight`] with caller-provided `qr` scratch (length `A`).
+    #[inline]
+    fn weight_with_scratch(&self, qr: &mut [f64], w: usize, nw: f64, nt: f64) -> f64 {
+        let row = self.delta_row(w);
+        let mut s1 = 0.0;
+        for ((slot, &q), &sum) in qr.iter_mut().zip(self.weights.iter()).zip(self.sums.iter()) {
+            let v = q * (1.0 / (nt + sum));
+            *slot = v;
+            s1 += v;
+        }
+        nw * s1 + dot_mod4(row, qr)
     }
 
     /// The current quadrature weights (prior weights until adapted).
@@ -191,35 +398,25 @@ impl IntegrationTable {
     ///
     /// Only words with non-zero counts contribute to the beta-function
     /// ratio (`ln Γ(δ) − ln Γ(δ) = 0` otherwise), so the update is
-    /// `O(nnz(topic) · A)`.
+    /// `O(nnz(topic) · A)`. The `ln Γ(δ)` baselines are cached at
+    /// table-build time (one `ln Γ` per entry, ever) so each call pays only
+    /// the count-dependent `ln Γ(δ + n)` evaluations.
     ///
     /// `topic_counts` yields the `(word, count)` pairs with `count > 0`.
     pub fn adapt<I: IntoIterator<Item = (usize, u32)>>(&mut self, topic_counts: I, nt: u32) {
         use srclda_math::special::ln_gamma;
-        let a = self.a;
         let mut loglik = self.prior_log_weights.clone();
         let ntf = nt as f64;
         for (ai, ll) in loglik.iter_mut().enumerate() {
-            *ll -= ln_gamma(self.sums[ai] + ntf) - ln_gamma(self.sums[ai]);
+            *ll -= ln_gamma(self.sums[ai] + ntf) - self.sums_lngamma[ai];
         }
         for (w, n) in topic_counts {
             debug_assert!(n > 0);
             let nf = n as f64;
-            let mut add = |row: &[f64]| {
-                for (ai, &delta) in row.iter().enumerate() {
-                    loglik[ai] += ln_gamma(delta + nf) - ln_gamma(delta);
-                }
-            };
-            match &self.layout {
-                IntegrationLayout::Dense { values } => add(&values[w * a..(w + 1) * a]),
-                IntegrationLayout::Sparse {
-                    support,
-                    values,
-                    zero_values,
-                } => match support.binary_search(&(w as u32)) {
-                    Ok(si) => add(&values[si * a..(si + 1) * a]),
-                    Err(_) => add(zero_values),
-                },
+            let row = self.delta_row(w);
+            let base = self.lngamma_row(w);
+            for (ai, (&delta, &lg)) in row.iter().zip(base).enumerate() {
+                loglik[ai] += ln_gamma(delta + nf) - lg;
             }
         }
         // Softmax back to normalized weights.
@@ -248,13 +445,14 @@ impl IntegrationTable {
             prior_log_weights: self.prior_log_weights.clone(),
             sums: self.sums.clone(),
             layout: match &self.layout {
-                IntegrationLayout::Dense { values } => RawIntegrationLayout::Dense {
+                IntegrationLayout::Dense { values, .. } => RawIntegrationLayout::Dense {
                     values: values.clone(),
                 },
                 IntegrationLayout::Sparse {
                     support,
                     values,
                     zero_values,
+                    ..
                 } => RawIntegrationLayout::Sparse {
                     support: support.clone(),
                     values: values.clone(),
@@ -295,7 +493,16 @@ impl IntegrationTable {
                         values.len()
                     )));
                 }
-                IntegrationLayout::Dense { values }
+                let values_lngamma = lngamma_all(&values);
+                // Support membership is not serialized for the dense
+                // layout; leave the hints empty (the kernel then computes
+                // every row's dot product — slower, never incorrect).
+                IntegrationLayout::Dense {
+                    values,
+                    values_lngamma,
+                    zero_row: Vec::new(),
+                    off_support: Vec::new(),
+                }
             }
             RawIntegrationLayout::Sparse {
                 support,
@@ -323,18 +530,26 @@ impl IntegrationTable {
                         "support word {w} outside vocabulary of size {vocab_size}"
                     )));
                 }
+                let row_of = build_row_of(&support, vocab_size);
+                let values_lngamma = lngamma_all(&values);
+                let zero_lngamma = lngamma_all(&zero_values);
                 IntegrationLayout::Sparse {
                     support,
                     values,
                     zero_values,
+                    row_of,
+                    values_lngamma,
+                    zero_lngamma,
                 }
             }
         };
+        let sums_lngamma = lngamma_all(&raw.sums);
         Ok(Self {
             weights: raw.weights,
             prior_log_weights: raw.prior_log_weights,
             a,
             sums: raw.sums,
+            sums_lngamma,
             layout,
         })
     }
@@ -342,33 +557,11 @@ impl IntegrationTable {
     /// Expected hyperparameter `E[δ_w^{g(λ)}]` under the quadrature — used
     /// by the joint log-likelihood as the effective Dirichlet parameter.
     pub fn expected_delta(&self, w: usize) -> f64 {
-        match &self.layout {
-            IntegrationLayout::Dense { values } => {
-                let row = &values[w * self.a..(w + 1) * self.a];
-                row.iter()
-                    .zip(self.weights.iter())
-                    .map(|(&v, &q)| q * v)
-                    .sum()
-            }
-            IntegrationLayout::Sparse {
-                support,
-                values,
-                zero_values,
-            } => match support.binary_search(&(w as u32)) {
-                Ok(si) => {
-                    let row = &values[si * self.a..(si + 1) * self.a];
-                    row.iter()
-                        .zip(self.weights.iter())
-                        .map(|(&v, &q)| q * v)
-                        .sum()
-                }
-                Err(_) => zero_values
-                    .iter()
-                    .zip(self.weights.iter())
-                    .map(|(&v, &q)| q * v)
-                    .sum(),
-            },
-        }
+        self.delta_row(w)
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(&v, &q)| q * v)
+            .sum()
     }
 }
 
@@ -389,8 +582,11 @@ pub enum TopicPrior {
         /// Precomputed `Σ δ`.
         sum: f64,
     },
-    /// λ-integrated source prior (the full Source-LDA model).
-    Integrated(IntegrationTable),
+    /// λ-integrated source prior (the full Source-LDA model). Boxed: the
+    /// table carries several cache vectors, and a mixed prior vector
+    /// shouldn't pay its inline size for every symmetric topic (the
+    /// sampling hot path reads flattened sweep tables, not this enum).
+    Integrated(Box<IntegrationTable>),
     /// Frozen word distribution (EDA): counts never influence the weight.
     Frozen {
         /// The fixed distribution `φ`.
@@ -444,7 +640,9 @@ impl TopicPrior {
         g: &SmoothingFunction,
         quadrature: &DiscretizedGaussian,
     ) -> Self {
-        Self::Integrated(IntegrationTable::new(topic, epsilon, g, quadrature))
+        Self::Integrated(Box::new(IntegrationTable::new(
+            topic, epsilon, g, quadrature,
+        )))
     }
 
     /// Frozen prior (EDA) from a source topic's smoothed distribution.
@@ -481,11 +679,15 @@ impl TopicPrior {
 
     /// The sampling/φ weight for word `w` given the effective counts
     /// `nw = n_wt` and `nt = n_t` (Eqs. 1–4 depending on the kind).
+    ///
+    /// Ratios are evaluated as `numer * (1.0 / denom)` — the canonical
+    /// arithmetic the hot-path kernel reproduces from cached reciprocals
+    /// (see the module docs).
     #[inline]
     pub fn word_weight(&self, w: usize, nw: f64, nt: f64) -> f64 {
         match self {
-            TopicPrior::Symmetric { beta, denom_add } => (nw + beta) / (nt + denom_add),
-            TopicPrior::Fixed { delta, sum } => (nw + delta[w]) / (nt + sum),
+            TopicPrior::Symmetric { beta, denom_add } => (nw + beta) * (1.0 / (nt + denom_add)),
+            TopicPrior::Fixed { delta, sum } => (nw + delta[w]) * (1.0 / (nt + sum)),
             TopicPrior::Integrated(table) => table.weight(w, nw, nt),
             TopicPrior::Frozen { phi } => phi[w],
             TopicPrior::ConceptSet {
@@ -494,7 +696,7 @@ impl TopicPrior {
                 denom_add,
             } => {
                 if in_set[w] {
-                    (nw + beta) / (nt + denom_add)
+                    (nw + beta) * (1.0 / (nt + denom_add))
                 } else {
                     0.0
                 }

@@ -1,11 +1,14 @@
-//! Sampler backends: the serial collapsed Gibbs sweep and the paper's two
-//! exact parallel algorithms.
+//! Sampler backends: the optimized serial Gibbs kernel, the dense
+//! reference sweep, and the paper's two exact parallel algorithms.
 //!
-//! All three backends draw **one uniform variate per token** from the same
+//! All backends draw **one uniform variate per token** from the same
 //! leader RNG and realize the same categorical draw, so — up to last-ulp
 //! floating-point re-association in the parallel scans — they walk identical
-//! chains from identical seeds.
+//! chains from identical seeds. The kernel ([`kernel`]) and the dense
+//! reference ([`serial`]) are bit-identical by construction (flat tables
+//! and cached reciprocals reproduce `TopicPrior::word_weight` exactly).
 
+pub mod kernel;
 pub mod parallel;
 pub mod serial;
 
@@ -17,8 +20,16 @@ use srclda_math::SldaRng;
 /// Which sampling algorithm executes the per-token topic draw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Single-threaded linear-scan sampling (Algorithm 1).
+    /// Single-threaded sampling (Algorithm 1) through the optimized hot
+    /// path: flat prior tables, cached reciprocals, sparse document-topic
+    /// bookkeeping, non-atomic counts (see [`kernel`]).
     Serial,
+    /// Single-threaded sampling through the dense reference sweep — the
+    /// straightforward per-(token, topic) `word_weight` loop. Walks the
+    /// same chain as [`Backend::Serial`] bit for bit; kept as the
+    /// equivalence baseline and the "before" side of the
+    /// `sweep_throughput` benchmark.
+    SerialDense,
     /// Algorithm 2: Blelloch prefix-sums scan over the probability vector,
     /// parallelized over `threads` workers with per-level barriers.
     PrefixSums {
@@ -36,7 +47,7 @@ impl Backend {
     /// Number of worker threads this backend uses.
     pub fn threads(&self) -> usize {
         match self {
-            Backend::Serial => 1,
+            Backend::Serial | Backend::SerialDense => 1,
             Backend::PrefixSums { threads } | Backend::SimpleParallel { threads } => *threads,
         }
     }
@@ -74,16 +85,31 @@ impl<'a> SweepContext<'a> {
 /// Run `iterations` full Gibbs sweeps with the chosen backend, mutating the
 /// assignment vector `z` and the counts. `on_sweep` is invoked after every
 /// sweep with the completed iteration index (1-based) for trace recording.
+///
+/// `combined_cache` carries the kernel's word-major combined table across
+/// calls: the fitting loop invokes `run_sweeps` once per λ-adaptation chunk,
+/// and the table's contents (δ/φ rows, masks, support membership) are
+/// invariant under adaptation, so rebuilding the multi-MB copy per chunk
+/// would be pure waste. Pass a fresh `&mut None` when no reuse applies.
 pub(crate) fn run_sweeps<F: FnMut(usize)>(
     backend: Backend,
     ctx: &SweepContext<'_>,
     z: &mut [Vec<u32>],
     rng: &mut SldaRng,
     iterations: usize,
+    combined_cache: &mut Option<kernel::Combined>,
     mut on_sweep: F,
 ) {
     match backend {
         Backend::Serial => {
+            let mut k = kernel::Kernel::new(ctx, combined_cache.take());
+            for iter in 1..=iterations {
+                k.sweep(ctx, z, rng);
+                on_sweep(iter);
+            }
+            *combined_cache = k.into_combined();
+        }
+        Backend::SerialDense => {
             let mut buf = vec![0.0; ctx.num_topics()];
             for iter in 1..=iterations {
                 serial::sweep(ctx, z, rng, &mut buf);
@@ -122,6 +148,7 @@ mod tests {
     #[test]
     fn thread_counts() {
         assert_eq!(Backend::Serial.threads(), 1);
+        assert_eq!(Backend::SerialDense.threads(), 1);
         assert_eq!(Backend::PrefixSums { threads: 4 }.threads(), 4);
         assert_eq!(Backend::SimpleParallel { threads: 6 }.threads(), 6);
     }

@@ -22,6 +22,7 @@
 //! [`CountMatrices`](crate::counts::CountMatrices); ordering between phases
 //! comes from the [`SpinBarrier`].
 
+use super::kernel::SweepTables;
 use super::SweepContext;
 use crate::sync::{SharedF64Buffer, SharedF64Cell, SharedUsizeCell, SpinBarrier};
 use rand::Rng;
@@ -44,6 +45,11 @@ const NO_FORCED_TOPIC: usize = usize::MAX;
 /// State shared by all participants for the duration of a fit.
 struct Shared<'a, 'b> {
     ctx: &'a SweepContext<'b>,
+    /// Flat prior tables (shared read-only). Workers compute weights
+    /// through [`SweepTables::weight_at`], which derives reciprocals fresh
+    /// per call — bit-identical to the serial kernel's cached evaluation,
+    /// so parallel and serial chains stay in lock-step.
+    tables: SweepTables<'b>,
     algo: Algo,
     iterations: usize,
     threads: usize,
@@ -81,6 +87,7 @@ impl<'a, 'b> Shared<'a, 'b> {
             .collect();
         Self {
             ctx,
+            tables: SweepTables::new(ctx.priors),
             algo,
             iterations,
             threads,
@@ -117,11 +124,12 @@ pub(crate) fn run<F: FnMut(usize)>(
 ) {
     let threads = threads.clamp(1, ctx.num_topics().max(1));
     if threads == 1 {
-        // Degenerate pool: run the equivalent single-threaded arithmetic.
-        // (Block scans with one block are the plain serial scan.)
-        let mut buf = vec![0.0; ctx.num_topics()];
+        // Degenerate pool: run the equivalent single-threaded arithmetic
+        // through the optimized kernel (block scans with one block are the
+        // plain serial scan, and the kernel is bit-identical to it).
+        let mut k = super::kernel::Kernel::new(ctx, None);
         for iter in 1..=iterations {
-            super::serial::sweep(ctx, z, rng, &mut buf);
+            k.sweep(ctx, z, rng);
             on_sweep(iter);
         }
         return;
@@ -240,7 +248,6 @@ fn publish_draw(sh: &Shared<'_, '_>, total: f64, rng: &mut SldaRng) {
 /// total. PrefixSums: raw weights into both buffers (padding zeroed).
 fn phase_weights(p: usize, sh: &Shared<'_, '_>, d: usize, w: usize) {
     let counts = sh.ctx.counts;
-    let priors = sh.ctx.priors;
     let alpha = sh.ctx.alpha;
     let nw_row = counts.nw_row(w);
     let nd_row = counts.nd_row(d);
@@ -250,7 +257,8 @@ fn phase_weights(p: usize, sh: &Shared<'_, '_>, d: usize, w: usize) {
         Algo::Simple => {
             let mut acc = 0.0;
             for t in range {
-                let weight = priors[t].word_weight(
+                let weight = sh.tables.weight_at(
+                    t,
                     w,
                     nw_row[t].load(Ordering::Relaxed) as f64,
                     nt[t].load(Ordering::Relaxed) as f64,
@@ -263,7 +271,8 @@ fn phase_weights(p: usize, sh: &Shared<'_, '_>, d: usize, w: usize) {
         Algo::PrefixSums => {
             for t in range {
                 let weight = if t < sh.t_count {
-                    priors[t].word_weight(
+                    sh.tables.weight_at(
+                        t,
                         w,
                         nw_row[t].load(Ordering::Relaxed) as f64,
                         nt[t].load(Ordering::Relaxed) as f64,

@@ -1,5 +1,6 @@
-//! The serial collapsed Gibbs sweep (the `Sample` procedure of the paper's
-//! Algorithm 1).
+//! The **dense reference** serial collapsed Gibbs sweep (the `Sample`
+//! procedure of the paper's Algorithm 1), exposed as
+//! [`Backend::SerialDense`](crate::sampler::Backend::SerialDense).
 //!
 //! Per token: decrement the counts for the current assignment, accumulate
 //! the unnormalized topic probabilities `p_t` (Eq. 2 for symmetric/fixed
@@ -9,6 +10,11 @@
 //! The document-length denominator `n_d + Kα` of the topic prior is constant
 //! across topics for a fixed token and therefore dropped (it cancels in the
 //! categorical normalization).
+//!
+//! This loop is the semantic baseline the optimized kernel
+//! ([`crate::sampler::kernel`]) must match bit for bit; production serial
+//! sampling routes through the kernel instead. Keep the two in lock-step
+//! when touching either.
 
 use super::SweepContext;
 use rand::Rng;

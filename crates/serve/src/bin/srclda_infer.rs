@@ -321,11 +321,18 @@ fn cmd_infer(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let stats = engine.cache_stats();
+    // Tokens/sec alongside docs/sec so serving throughput is directly
+    // comparable with the training numbers from `sweep_throughput`.
+    let total_tokens: usize = scores.iter().map(|s| s.num_tokens()).sum();
+    let secs = elapsed.as_secs_f64().max(1e-9);
     eprintln!(
-        "{} docs in {:.3}s ({:.1} docs/sec, {} workers, cache {}h/{}m)",
+        "{} docs ({} tokens) in {:.3}s ({:.1} docs/sec, {:.1} tokens/sec, {} workers, \
+         cache {}h/{}m)",
         docs.len(),
+        total_tokens,
         elapsed.as_secs_f64(),
-        docs.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        docs.len() as f64 / secs,
+        total_tokens as f64 / secs,
         workers.max(1),
         stats.hits,
         stats.misses,

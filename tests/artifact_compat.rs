@@ -12,7 +12,16 @@
 //! ```
 //!
 //! The regenerator is fully deterministic (fixed corpus, fixed seed), so a
-//! regenerated fixture diffs empty unless the format really changed.
+//! regenerated fixture diffs empty unless the format — or the pinned
+//! model's *values* — really changed.
+//!
+//! Distinguish two failure modes: if `golden_artifact_still_loads` fails,
+//! the **byte layout** broke and the version-bump procedure above applies.
+//! If only `golden_fixture_is_reproducible_from_the_pinned_model` fails
+//! while the fixture still loads, the encoded **values** drifted — e.g. an
+//! intentional change to the sampler's canonical floating-point arithmetic
+//! shifted φ by ulps. That needs no version bump: regenerate the fixture
+//! and call the change out in the PR.
 
 use source_lda::prelude::*;
 use std::path::PathBuf;

@@ -1,0 +1,183 @@
+//! The optimized serial kernel (`Backend::Serial` — flat prior tables,
+//! cached denominator reciprocals, sparse document-topic bookkeeping,
+//! non-atomic counts) must walk the **identical** chain as the dense
+//! reference sweep (`Backend::SerialDense`), verified through the public
+//! API on models covering every prior kind.
+//!
+//! **Tolerance: exact (zero)** — same rationale as
+//! `backend_equivalence.rs`, but here the bar is even stricter: the kernel
+//! reproduces `TopicPrior::word_weight` bit for bit from cached
+//! reciprocals (every cached value is recomputed `1.0 / (n_t + c)` at the
+//! current counts, never derived incrementally), so no draw can move by
+//! even an ulp. Assignments, φ, and θ must match bitwise on every seed,
+//! not just pinned ones. Run this suite in a debug build to also arm the
+//! kernel's `debug_assert` underflow checks (CI does).
+
+use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use source_lda::prelude::*;
+use source_lda::synth::random_source_topics;
+
+fn fit_source_lda(backend: Backend, variant: Variant, seed: u64) -> FittedModel {
+    let (vocab, knowledge) = random_source_topics(250, 16, 10, 120, 11);
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: 30,
+        doc_len: DocLength::Fixed(25),
+        lambda_mode: LambdaMode::None,
+        seed: 13,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&(0..6).collect::<Vec<_>>()), &vocab)
+    .unwrap();
+    SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(variant)
+        .unlabeled_topics(3)
+        .approximation_steps(3)
+        .smoothing(SmoothingMode::Identity)
+        .alpha(0.5)
+        .iterations(20)
+        .backend(backend)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .fit(&generated.corpus)
+        .unwrap()
+}
+
+fn assert_identical(a: &FittedModel, b: &FittedModel, what: &str) {
+    assert_eq!(a.assignments(), b.assignments(), "{what}: chains diverged");
+    assert_eq!(a.phi().as_slice(), b.phi().as_slice(), "{what}: φ diverged");
+    assert_eq!(
+        a.theta().as_slice(),
+        b.theta().as_slice(),
+        "{what}: θ diverged"
+    );
+}
+
+#[test]
+fn kernel_matches_dense_on_lambda_integrated_model() {
+    // Several seeds, not one pinned seed: the equivalence is structural.
+    for seed in [7u64, 77, 770] {
+        let dense = fit_source_lda(Backend::SerialDense, Variant::Full, seed);
+        let kernel = fit_source_lda(Backend::Serial, Variant::Full, seed);
+        assert_identical(&kernel, &dense, &format!("full variant, seed {seed}"));
+    }
+}
+
+#[test]
+fn kernel_matches_dense_on_fixed_prior_model() {
+    let dense = fit_source_lda(Backend::SerialDense, Variant::Mixture, 21);
+    let kernel = fit_source_lda(Backend::Serial, Variant::Mixture, 21);
+    assert_identical(&kernel, &dense, "mixture variant");
+}
+
+#[test]
+fn kernel_matches_dense_with_adaptive_lambda() {
+    // λ adaptation rebuilds the sweep tables between chunks; the chains
+    // must still agree sweep for sweep.
+    let fit = |backend: Backend| -> FittedModel {
+        let (vocab, knowledge) = random_source_topics(200, 10, 8, 100, 5);
+        let generated = SourceLdaGenerator {
+            alpha: 0.5,
+            num_docs: 20,
+            doc_len: DocLength::Fixed(20),
+            lambda_mode: LambdaMode::None,
+            seed: 3,
+            ..SourceLdaGenerator::default()
+        }
+        .generate(&knowledge.select(&(0..5).collect::<Vec<_>>()), &vocab)
+        .unwrap();
+        SourceLda::builder()
+            .knowledge_source(knowledge)
+            .variant(Variant::Full)
+            .approximation_steps(3)
+            .smoothing(SmoothingMode::Identity)
+            .adaptive_lambda(5)
+            .lambda_burn_in(5)
+            .alpha(0.5)
+            .iterations(18)
+            .backend(backend)
+            .seed(99)
+            .build()
+            .unwrap()
+            .fit(&generated.corpus)
+            .unwrap()
+    };
+    assert_identical(
+        &fit(Backend::Serial),
+        &fit(Backend::SerialDense),
+        "adaptive λ",
+    );
+}
+
+#[test]
+fn kernel_matches_dense_on_plain_lda() {
+    let fit = |backend: Backend| -> FittedModel {
+        let mut b = source_lda::corpus::CorpusBuilder::new()
+            .tokenizer(source_lda::corpus::Tokenizer::permissive());
+        for i in 0..12 {
+            b.add_tokens(
+                format!("d{i}"),
+                &["alpha", "beta", "gamma", "delta", "epsilon", "zeta"][i % 3..i % 3 + 3],
+            );
+        }
+        let corpus = b.build();
+        Lda::builder()
+            .topics(4)
+            .alpha(0.3)
+            .beta(0.05)
+            .iterations(60)
+            .backend(backend)
+            .seed(8)
+            .build()
+            .unwrap()
+            .fit(&corpus)
+            .unwrap()
+    };
+    assert_identical(&fit(Backend::Serial), &fit(Backend::SerialDense), "LDA");
+}
+
+#[test]
+fn kernel_matches_dense_on_frozen_and_concept_models() {
+    let (vocab, knowledge) = random_source_topics(150, 8, 8, 80, 9);
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: 20,
+        doc_len: DocLength::Fixed(20),
+        lambda_mode: LambdaMode::None,
+        seed: 17,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&(0..8).collect::<Vec<_>>()), &vocab)
+    .unwrap();
+
+    let eda = |backend: Backend| {
+        Eda::builder()
+            .knowledge_source(knowledge.clone())
+            .alpha(0.4)
+            .iterations(25)
+            .backend(backend)
+            .seed(31)
+            .build()
+            .unwrap()
+            .fit(&generated.corpus)
+            .unwrap()
+    };
+    assert_identical(&eda(Backend::Serial), &eda(Backend::SerialDense), "EDA");
+
+    let ctm = |backend: Backend| {
+        Ctm::builder()
+            .knowledge_source(knowledge.clone())
+            .beta(0.2)
+            .alpha(0.4)
+            .iterations(25)
+            .backend(backend)
+            .seed(31)
+            .build()
+            .unwrap()
+            .fit(&generated.corpus)
+            .unwrap()
+    };
+    assert_identical(&ctm(Backend::Serial), &ctm(Backend::SerialDense), "CTM");
+}
