@@ -34,6 +34,7 @@ fn main() {
         ("fig8f_scaling", experiments::fig8f::run),
         ("ablations", experiments::ablation::run),
         ("throughput_serving", experiments::throughput::run),
+        ("throughput_http", experiments::throughput_http::run),
         ("sweep_throughput", experiments::sweep_throughput::run),
     ];
     for (name, f) in runs {

@@ -1,0 +1,18 @@
+//! HTTP serving throughput benchmark: boots the `srclda-served` daemon on
+//! a loopback port and drives it with a self-contained load generator —
+//! requests/sec and tokens/sec for serial vs pooled workers vs warm
+//! cache. Writes `BENCH_serve.json` into the working directory.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    srclda_bench::cli::handle_help(
+        &args,
+        "throughput_http",
+        "Serving throughput over loopback HTTP (requests/sec, tokens/sec): \
+         serial vs pooled workers vs warm cache through a real \
+         srclda-served daemon; emits BENCH_serve.json.",
+        &[],
+    );
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!("{}", srclda_bench::experiments::throughput_http::run(scale));
+}

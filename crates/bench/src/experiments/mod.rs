@@ -11,3 +11,4 @@ pub mod sweep_throughput;
 pub mod table0;
 pub mod table1;
 pub mod throughput;
+pub mod throughput_http;

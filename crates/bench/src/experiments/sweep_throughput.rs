@@ -35,6 +35,10 @@ struct Cell {
     sweeps: usize,
     dense_tokens_per_sec: f64,
     kernel_tokens_per_sec: f64,
+    /// True when either backend's differential timing never produced a
+    /// positive delta (see [`differential_rate`]): the reported rates are
+    /// whole-run fallbacks, not sweep-only throughput.
+    unreliable: bool,
 }
 
 impl Cell {
@@ -68,48 +72,85 @@ fn world(
     (knowledge, generated.corpus)
 }
 
-/// Time the sweeps of one model per backend and assert the chains are
-/// identical, so both timings cover the same statistical work.
+/// How many times [`differential_rate`] doubles the sweep counts looking
+/// for a positive timing delta before giving up.
+const MAX_RETRIES: usize = 3;
+
+/// Sweep-only tokens/sec from differential timing, with noise detection.
 ///
-/// **Differential timing:** `fit(backend, iters)` includes one-off work
-/// the sweep rate must not charge for — prior construction (per-table
-/// `powf`/`ln Γ` caches), count initialization, and the final φ/θ
-/// extraction. Each backend is therefore timed at two sweep counts
-/// (`sweeps` and `sweeps/4`), best-of-two each, and the rate is computed
-/// from the *difference*: the fixed setup cost cancels exactly and the
-/// reported tokens/sec is sweep-only throughput.
+/// `time_of(iters)` returns the (best-of-several) seconds for a fit at
+/// `iters` sweeps. The rate comes from timing two sweep counts (`sweeps`
+/// and `sweeps/4`) and dividing the token delta by the time *difference*,
+/// so fixed setup cost (prior construction, count init, φ/θ extraction)
+/// cancels exactly.
+///
+/// On a noisy box the difference can come out non-positive — the full run
+/// raced a quiet scheduler while the base run ate an interrupt. The old
+/// `(full - base).max(1e-9)` clamp silently turned that into *billions*
+/// of tokens/sec. Instead: retry with doubled sweep counts (the sweep
+/// signal grows linearly while timer noise does not), bounded at
+/// [`MAX_RETRIES`] doublings; if the delta never goes positive, fall back
+/// to the whole-run rate (a real, conservative measurement that includes
+/// setup) and return `unreliable = true` so the JSON entry is marked
+/// rather than fabricated.
+fn differential_rate(
+    mut time_of: impl FnMut(usize) -> f64,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+) -> (f64, bool) {
+    let mut sweeps_now = sweeps;
+    for _ in 0..=MAX_RETRIES {
+        let base = (sweeps_now / 4).max(1);
+        assert!(sweeps_now > base, "need two distinct sweep counts");
+        let base_secs = time_of(base);
+        let full_secs = time_of(sweeps_now);
+        let delta_secs = full_secs - base_secs;
+        if delta_secs > 0.0 {
+            let delta_tokens = (tokens_per_sweep * (sweeps_now - base)) as f64;
+            return (delta_tokens / delta_secs, false);
+        }
+        sweeps_now *= 2;
+    }
+    let full_secs = time_of(sweeps_now).max(1e-9);
+    ((tokens_per_sweep * sweeps_now) as f64 / full_secs, true)
+}
+
+/// Time the sweeps of one model per backend ([`differential_rate`], best
+/// of two runs per sweep count) and assert the chains are identical, so
+/// both timings cover the same statistical work. Returns
+/// `(dense tokens/sec, kernel tokens/sec, unreliable)`.
 fn time_pair<F: Fn(Backend, usize) -> FittedModel>(
     fit: F,
     tokens_per_sweep: usize,
     sweeps: usize,
-) -> (f64, f64) {
-    let base = (sweeps / 4).max(1);
-    assert!(sweeps > base, "need two distinct sweep counts");
-    let delta_tokens = (tokens_per_sweep * (sweeps - base)) as f64;
-    let rate = |backend: Backend| -> (f64, FittedModel) {
-        let time_of = |iters: usize| -> (f64, FittedModel) {
-            let mut best = f64::INFINITY;
-            let mut last = None;
-            for _ in 0..2 {
-                let start = Instant::now();
-                let fitted = fit(backend, iters);
-                best = best.min(start.elapsed().as_secs_f64());
-                last = Some(fitted);
-            }
-            (best, last.expect("at least one run"))
-        };
-        let (base_secs, _) = time_of(base);
-        let (full_secs, fitted) = time_of(sweeps);
-        (delta_tokens / (full_secs - base_secs).max(1e-9), fitted)
-    };
-    let (dense, dense_fit) = rate(Backend::SerialDense);
-    let (kernel, kernel_fit) = rate(Backend::Serial);
+) -> (f64, f64, bool) {
+    // Chain equivalence is checked on dedicated fits at the nominal sweep
+    // count, independent of however many sweeps the timing loop ends up
+    // using — the two concerns must not share a knob.
+    let dense_fit = fit(Backend::SerialDense, sweeps);
+    let kernel_fit = fit(Backend::Serial, sweeps);
     assert_eq!(
         dense_fit.assignments(),
         kernel_fit.assignments(),
         "kernel chain diverged from dense reference"
     );
-    (dense, kernel)
+    let fit = &fit;
+    let time_of = |backend: Backend| {
+        move |iters: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let _ = fit(backend, iters);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+    };
+    let (dense, dense_unreliable) =
+        differential_rate(time_of(Backend::SerialDense), tokens_per_sweep, sweeps);
+    let (kernel, kernel_unreliable) =
+        differential_rate(time_of(Backend::Serial), tokens_per_sweep, sweeps);
+    (dense, kernel, dense_unreliable || kernel_unreliable)
 }
 
 /// Run every family cell for a scale.
@@ -130,7 +171,7 @@ fn run_cells(scale: Scale) -> Vec<Cell> {
                     vocab: usize,
                     corpus: &Corpus,
                     sweeps: usize,
-                    rates: (f64, f64)| {
+                    rates: (f64, f64, bool)| {
         cells.push(Cell {
             family,
             topics,
@@ -140,6 +181,7 @@ fn run_cells(scale: Scale) -> Vec<Cell> {
             sweeps,
             dense_tokens_per_sec: rates.0,
             kernel_tokens_per_sec: rates.1,
+            unreliable: rates.2,
         });
     };
 
@@ -314,7 +356,7 @@ fn render_json(scale: Scale, cells: &[Cell]) -> String {
             "    {{\"family\": \"{}\", \"topics\": {}, \"vocab\": {}, \"docs\": {}, \
              \"tokens_per_sweep\": {}, \"sweeps\": {}, \
              \"dense_tokens_per_sec\": {:.1}, \"kernel_tokens_per_sec\": {:.1}, \
-             \"speedup\": {:.3}}}{}\n",
+             \"speedup\": {:.3}, \"unreliable\": {}}}{}\n",
             c.family,
             c.topics,
             c.vocab,
@@ -324,6 +366,7 @@ fn render_json(scale: Scale, cells: &[Cell]) -> String {
             c.dense_tokens_per_sec,
             c.kernel_tokens_per_sec,
             c.speedup(),
+            c.unreliable,
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }
@@ -345,13 +388,14 @@ pub fn run(scale: Scale) -> String {
     ));
     for c in &cells {
         out.push_str(&format!(
-            "{:<26} {:>6} {:>6} {:>14.0} {:>14.0} {:>8.2}x\n",
+            "{:<26} {:>6} {:>6} {:>14.0} {:>14.0} {:>8.2}x{}\n",
             c.family,
             c.topics,
             c.vocab,
             c.dense_tokens_per_sec,
             c.kernel_tokens_per_sec,
-            c.speedup()
+            c.speedup(),
+            if c.unreliable { "  UNRELIABLE" } else { "" },
         ));
     }
     out.push_str(
@@ -369,6 +413,66 @@ pub fn run(scale: Scale) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn differential_rate_uses_the_delta_when_it_is_positive() {
+        // A clean machine: time is exactly setup + per-sweep cost.
+        let time_of = |iters: usize| 0.5 + iters as f64 * 0.01;
+        let (rate, unreliable) = differential_rate(time_of, 1000, 40);
+        assert!(!unreliable);
+        // Setup cancels: (40 − 10) sweeps · 1000 tokens / 0.30 s.
+        assert!((rate - 100_000.0).abs() < 1e-6, "rate = {rate}");
+    }
+
+    #[test]
+    fn non_positive_delta_retries_with_doubled_sweeps() {
+        // The first attempt is swamped by noise (base slower than full);
+        // every later attempt is clean. The rate must come from the
+        // *doubled* sweep counts and still be reliable.
+        let mut calls: Vec<usize> = Vec::new();
+        let mut attempt = 0usize;
+        let time_of = |iters: usize| {
+            calls.push(iters);
+            attempt += 1;
+            if attempt <= 2 {
+                1.0 // base_secs == full_secs → delta 0
+            } else {
+                0.5 + iters as f64 * 0.01
+            }
+        };
+        let (rate, unreliable) = differential_rate(time_of, 1000, 40);
+        assert!(!unreliable);
+        assert!((rate - 100_000.0).abs() < 1e-6, "rate = {rate}");
+        assert_eq!(calls, [10, 40, 20, 80], "second attempt doubles the sweeps");
+    }
+
+    #[test]
+    fn persistent_non_positive_delta_is_marked_unreliable_not_fabricated() {
+        // Pathological timer: every measurement is the same constant, so
+        // no amount of doubling produces a positive delta.
+        let mut calls = 0usize;
+        let (rate, unreliable) = differential_rate(
+            |_| {
+                calls += 1;
+                2.0
+            },
+            1000,
+            40,
+        );
+        assert!(unreliable, "a zero delta must be flagged");
+        // Fallback is the whole-run rate at the final (maximally doubled)
+        // sweep count: 40·2^(MAX_RETRIES+1) sweeps · 1000 tokens / 2 s —
+        // six orders of magnitude below what the old 1e-9 clamp reported.
+        let final_sweeps = 40 << (MAX_RETRIES + 1);
+        let expect = (final_sweeps * 1000) as f64 / 2.0;
+        assert!(
+            (rate - expect).abs() < 1e-6,
+            "rate = {rate}, expect {expect}"
+        );
+        assert!(rate < 1e9, "must not fabricate billions of tokens/sec");
+        // Bounded: two timings per attempt, plus one fallback timing.
+        assert_eq!(calls, 2 * (MAX_RETRIES + 1) + 1);
+    }
 
     #[test]
     fn smoke_report_covers_every_family_and_emits_json() {
@@ -391,5 +495,6 @@ mod tests {
         assert!(json.contains("\"experiment\": \"sweep_throughput\""));
         assert!(json.contains("\"kernel_tokens_per_sec\""));
         assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"unreliable\": "));
     }
 }

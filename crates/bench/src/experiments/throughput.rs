@@ -26,7 +26,9 @@ use std::time::Instant;
 /// a batch of raw-text request documents. Engines with different cache
 /// configurations are built from the one artifact via [`make_engine`] —
 /// training dominates wall-clock and must not be repeated per engine.
-fn setup(scale: Scale) -> (ModelArtifact, FoldInConfig, Vec<String>) {
+/// (Shared with `throughput_http`, which serves the same workload over
+/// loopback HTTP so the two experiments are directly comparable.)
+pub(crate) fn setup(scale: Scale) -> (ModelArtifact, FoldInConfig, Vec<String>) {
     let vocab_size = scale.pick(300, 1200, 2000);
     let topics = scale.pick(12, 60, 150);
     let support = scale.pick(12, 25, 40);

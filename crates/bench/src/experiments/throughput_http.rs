@@ -1,0 +1,300 @@
+//! End-to-end HTTP serving throughput: requests/second and tokens/second
+//! through a real `srclda-served` daemon over loopback.
+//!
+//! `throughput_serving` measures the engine API in-process;
+//! this experiment stacks the whole network path on top — TCP accept,
+//! HTTP parsing, JSON encode/decode, the worker pool — using the same
+//! trained artifact and the same request stream ([`super::throughput::setup`]),
+//! so the two reports are directly comparable. A self-contained load
+//! generator (one persistent keep-alive connection per client thread)
+//! drives three cells:
+//!
+//! * `serial` — one server worker, one client, cache disabled;
+//! * `pooled` — a worker pool with matching concurrent clients, cache
+//!   disabled (the concurrency win, now including socket costs);
+//! * `warm_cache` — the pooled setup re-sent against a populated LRU
+//!   cache (the repetition win).
+//!
+//! Every response is parsed and spot-checked against the others — the
+//! daemon's determinism guarantee means every cell must serve identical
+//! bytes for the same document. Besides the printed report, the
+//! experiment writes `BENCH_serve.json` next to `BENCH_sweep.json` so CI
+//! and future PRs have a serving-perf baseline to beat.
+
+use crate::cli::{banner, Scale};
+use srclda_serve::server::json;
+use srclda_serve::{EngineOptions, ModelRegistry, Server, ServerConfig, ServerHandle};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured cell.
+struct Cell {
+    name: &'static str,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    requests_per_sec: f64,
+    tokens_per_sec: f64,
+    latency_p50_ms: f64,
+    latency_p99_ms: f64,
+}
+
+/// Boot a daemon on an ephemeral loopback port serving the artifact at
+/// `path` under the name `bench`.
+fn boot(
+    path: &std::path::Path,
+    options: EngineOptions,
+    workers: usize,
+) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let registry = Arc::new(ModelRegistry::new(options));
+    registry.load("bench", path).expect("artifact loads");
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            batch_workers: 1,
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("daemon binds");
+    let handle = server.handle().expect("bound address");
+    let join = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (handle, join)
+}
+
+/// Read one HTTP response from a buffered stream; returns (status, body).
+fn read_response<R: BufRead>(reader: &mut R) -> (u16, String) {
+    srclda_serve::server::http::read_simple_response(reader).expect("response parses")
+}
+
+/// Drive `requests` through the daemon on `clients` persistent keep-alive
+/// connections (contiguous shards, like the engine's batch path). Returns
+/// (elapsed seconds, total folded tokens, response body of document 0).
+fn generate_load(addr: SocketAddr, requests: &[String], clients: usize) -> (f64, u64, String) {
+    let tokens = AtomicU64::new(0);
+    let first_body = std::sync::Mutex::new(String::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        let mut rest = requests;
+        let mut offset = 0usize;
+        for c in 0..clients {
+            let share = rest.len().div_ceil(clients - c);
+            let (shard, tail) = rest.split_at(share);
+            rest = tail;
+            let shard_start = offset;
+            offset += share;
+            let tokens = &tokens;
+            let first_body = &first_body;
+            s.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("client connects");
+                // One write per request and Nagle off: a multi-segment
+                // write on loopback trips the delayed-ACK interaction and
+                // caps a keep-alive connection at ~25 requests/sec.
+                stream.set_nodelay(true).expect("nodelay");
+                let mut writer = stream.try_clone().expect("stream clones");
+                let mut reader = BufReader::new(stream);
+                for (i, doc) in shard.iter().enumerate() {
+                    let body = json::obj(vec![("text", json::Value::from(doc.as_str()))]).render();
+                    let request = format!(
+                        "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                        body.len()
+                    );
+                    writer
+                        .write_all(request.as_bytes())
+                        .expect("request writes");
+                    let (status, response) = read_response(&mut reader);
+                    assert_eq!(status, 200, "daemon refused a request: {response}");
+                    let parsed = json::parse(&response).expect("response is json");
+                    let doc_tokens = parsed
+                        .get("tokens")
+                        .and_then(json::Value::as_usize)
+                        .expect("tokens field");
+                    tokens.fetch_add(doc_tokens as u64, Ordering::Relaxed);
+                    if shard_start + i == 0 {
+                        *first_body.lock().expect("first body lock") = response;
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let first = first_body.lock().expect("first body lock").clone();
+    (elapsed, tokens.load(Ordering::Relaxed), first)
+}
+
+/// Query `/metrics` and pull the two latency quantiles (ms).
+fn latency_quantiles(addr: SocketAddr) -> (f64, f64) {
+    let stream = TcpStream::connect(addr).expect("metrics connect");
+    let mut writer = stream.try_clone().expect("stream clones");
+    write!(writer, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n").expect("metrics request");
+    let (status, body) = read_response(&mut BufReader::new(stream));
+    assert_eq!(status, 200);
+    let v = json::parse(&body).expect("metrics json");
+    let infer = v.get("infer").expect("infer section");
+    let q = |key: &str| infer.get(key).and_then(json::Value::as_f64).unwrap_or(0.0);
+    (q("latency_p50_ms"), q("latency_p99_ms"))
+}
+
+fn run_cells(scale: Scale) -> Vec<Cell> {
+    let (artifact, fold_in, requests) = super::throughput::setup(scale);
+    let artifact_path = std::env::temp_dir().join(format!(
+        "srclda-throughput-http-{}.slda",
+        std::process::id()
+    ));
+    artifact.save(&artifact_path).expect("artifact saves");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pool = scale.pick(2, 4, 6).min(cores.max(2));
+    let no_cache = EngineOptions {
+        fold_in,
+        cache_capacity: 0,
+    };
+    let cached = EngineOptions {
+        fold_in,
+        cache_capacity: requests.len().max(1),
+    };
+
+    let mut cells = Vec::new();
+    let mut reference_body: Option<String> = None;
+    let mut measure =
+        |name: &'static str, options: EngineOptions, workers: usize, clients: usize, warm: bool| {
+            let (handle, join) = boot(&artifact_path, options, workers);
+            let addr = handle.addr();
+            if warm {
+                // Populate the cache outside the timed window.
+                let _ = generate_load(addr, &requests, clients);
+            }
+            let (secs, tokens, first_body) = generate_load(addr, &requests, clients);
+            let (p50, p99) = latency_quantiles(addr);
+            handle.shutdown();
+            join.join().expect("daemon stops cleanly");
+            // Determinism across cells: same artifact + same fold-in config →
+            // the exact same response bytes for document 0, cached or not.
+            match &reference_body {
+                None => reference_body = Some(first_body),
+                Some(reference) => assert_eq!(
+                    reference, &first_body,
+                    "cell {name} served different bytes for the same document"
+                ),
+            }
+            let secs = secs.max(1e-9);
+            cells.push(Cell {
+                name,
+                workers,
+                clients,
+                requests: requests.len(),
+                requests_per_sec: requests.len() as f64 / secs,
+                tokens_per_sec: tokens as f64 / secs,
+                latency_p50_ms: p50,
+                latency_p99_ms: p99,
+            });
+        };
+
+    measure("serial", no_cache, 1, 1, false);
+    measure("pooled", no_cache, pool, pool, false);
+    measure("warm_cache", cached, pool, pool, true);
+
+    let _ = std::fs::remove_file(&artifact_path);
+    cells
+}
+
+/// Render `BENCH_serve.json` (hand-rolled like `BENCH_sweep.json`: the
+/// workspace vendors no JSON writer and every value is numeric or a
+/// static identifier).
+fn render_json(scale: Scale, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"throughput_http\",\n");
+    out.push_str("  \"unit\": \"requests_per_sec\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"workers\": {}, \"clients\": {}, \"requests\": {}, \
+             \"requests_per_sec\": {:.1}, \"tokens_per_sec\": {:.1}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}}}{}\n",
+            c.name,
+            c.workers,
+            c.clients,
+            c.requests,
+            c.requests_per_sec,
+            c.tokens_per_sec,
+            c.latency_p50_ms,
+            c.latency_p99_ms,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = banner(
+        "HTTP",
+        "serving throughput over loopback HTTP (srclda-served daemon)",
+        scale,
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("machine parallelism: {cores} cores\n"));
+    let cells = run_cells(scale);
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>7} {:>12} {:>14} {:>10} {:>10}\n",
+        "cell", "workers", "clients", "reqs/sec", "tokens/sec", "p50 ms", "p99 ms"
+    ));
+    let serial_rate = cells
+        .iter()
+        .find(|c| c.name == "serial")
+        .map_or(1e-9, |c| c.requests_per_sec);
+    for c in &cells {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>7} {:>12.1} {:>14.1} {:>10.3} {:>10.3}  ({:.2}x)\n",
+            c.name,
+            c.workers,
+            c.clients,
+            c.requests_per_sec,
+            c.tokens_per_sec,
+            c.latency_p50_ms,
+            c.latency_p99_ms,
+            c.requests_per_sec / serial_rate,
+        ));
+    }
+    out.push_str(
+        "(every cell serves bit-identical response bytes — asserted on a \
+         shared document)\n",
+    );
+    let json = render_json(scale, &cells);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => out.push_str("wrote BENCH_serve.json\n"),
+        Err(e) => out.push_str(&format!("warning: could not write BENCH_serve.json: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cells_cover_serial_pooled_and_warm_cache() {
+        let cells = run_cells(Scale::Smoke);
+        let names: Vec<&str> = cells.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["serial", "pooled", "warm_cache"]);
+        for c in &cells {
+            assert!(c.requests > 0);
+            assert!(c.requests_per_sec > 0.0, "{} had no throughput", c.name);
+            assert!(c.tokens_per_sec > 0.0);
+            assert!(c.latency_p99_ms >= c.latency_p50_ms);
+        }
+        let json = render_json(Scale::Smoke, &cells);
+        assert!(json.contains("\"experiment\": \"throughput_http\""));
+        assert!(json.contains("\"cell\": \"warm_cache\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"latency_p99_ms\""));
+    }
+}

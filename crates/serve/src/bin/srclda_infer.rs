@@ -110,6 +110,44 @@ fn usage_error(msg: &str) -> Result<(), Box<dyn std::error::Error>> {
     std::process::exit(2);
 }
 
+/// Strict argument validation, run before each subcommand touches its
+/// flags: every `-`-prefixed token must be a known option for that
+/// subcommand (in either `--flag value` or `--flag=value` form, matching
+/// the experiment binaries), space-form options must actually have a
+/// value, and at most `positionals` bare arguments are accepted. Unknown
+/// or misplaced arguments exit 2 — a typo like `--batchh` must not
+/// silently run with defaults.
+fn validate_args(
+    args: &[String],
+    allowed: &[&str],
+    positionals: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut seen_positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with('-') {
+            let flag = arg.split('=').next().unwrap_or(arg);
+            if !allowed.contains(&flag) {
+                return usage_error(&format!("unknown option {flag:?}"));
+            }
+            if !arg.contains('=') {
+                if args.get(i + 1).is_none() {
+                    return usage_error(&format!("option {flag} requires a value"));
+                }
+                i += 1; // the next token is this option's value, not a flag
+            }
+        } else {
+            seen_positionals += 1;
+            if seen_positionals > positionals {
+                return usage_error(&format!("unexpected argument {arg:?}"));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     for (i, arg) in args.iter().enumerate() {
         if arg == flag {
@@ -160,6 +198,20 @@ fn non_empty_lines(path: &str) -> Result<Vec<String>, Box<dyn std::error::Error>
 }
 
 fn cmd_save(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        args,
+        &[
+            "--docs",
+            "--source",
+            "--out",
+            "--variant",
+            "--unlabeled",
+            "--alpha",
+            "--iterations",
+            "--seed",
+        ],
+        0,
+    )?;
     let docs_path = required(args, "--docs")?;
     let source_path = required(args, "--source")?;
     let out_path = required(args, "--out")?;
@@ -228,6 +280,7 @@ fn cmd_save(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(args, &["--top"], 1)?;
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage_error("inspect requires an artifact path");
     };
@@ -262,6 +315,18 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_infer(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        args,
+        &[
+            "--batch",
+            "--text",
+            "--workers",
+            "--iterations",
+            "--seed",
+            "--top",
+        ],
+        1,
+    )?;
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return usage_error("infer requires an artifact path");
     };

@@ -1,0 +1,254 @@
+//! `srclda-served` — the long-lived Source-LDA serving daemon.
+//!
+//! ```text
+//! srclda-served --model wiki=model.slda --addr 127.0.0.1:7878 --workers 4
+//! curl -X POST http://127.0.0.1:7878/infer -d '{"model":"wiki","text":"..."}'
+//! ```
+//!
+//! Holds one or more `.slda` artifacts resident behind an HTTP/1.1
+//! endpoint (see `srclda_serve::server`), and shuts down gracefully on
+//! SIGTERM or ctrl-c: in-flight requests finish, their responses carry
+//! `Connection: close`, and the process exits 0.
+
+use srclda_core::FoldInConfig;
+use srclda_serve::{EngineOptions, ModelRegistry, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: srclda-served --model [name=]<artifact.slda> [options]
+
+options:
+  --model <[name=]path>  load an artifact, optionally under an explicit
+                         name (default: the file stem); repeatable — the
+                         first model is the default for /infer requests
+                         that do not name one
+  --addr <host:port>     bind address               (default: 127.0.0.1:7878)
+  --workers <n>          connection worker threads  (default: cpu count)
+  --batch-workers <n>    threads per batch /infer   (default: 1)
+  --cache <n>            LRU entries per model      (default: 1024; 0 off)
+  --iterations <n>       fold-in sweeps             (default: 30)
+  --seed <n>             base fold-in seed          (default: 0)
+  --help, -h             print this message and exit
+
+endpoints:
+  GET  /healthz          liveness + loaded model names
+  GET  /metrics          request counters, cache stats, tokens/sec, p50/p99
+  POST /infer            {\"text\": \"...\"} or {\"docs\": [...]}; optional
+                         \"model\" and \"top\"
+  POST /reload           hot-swap artifacts from disk ({\"model\": name}
+                         for one, empty body for all)";
+
+/// Flags that consume a value (in either `--flag value` or `--flag=value`
+/// form). Everything else starting with `--` is rejected.
+const VALUE_FLAGS: &[&str] = &[
+    "--model",
+    "--addr",
+    "--workers",
+    "--batch-workers",
+    "--cache",
+    "--iterations",
+    "--seed",
+];
+
+/// Set by the signal handler; polled by the monitor thread. A signal
+/// handler may only touch async-signal-safe state, and a static atomic
+/// store is exactly that.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Register `on_signal` for SIGINT (ctrl-c) and SIGTERM via libc's
+/// `signal(2)`. The workspace vendors no signal-handling crate and `std`
+/// exposes none, so this is the one place the serving stack talks to the
+/// platform directly; the handler itself only stores to a static atomic.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+fn exit_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// True iff `--help`/`-h` appears *as a flag* — a value consumed by a
+/// value-taking option (`--addr --help` is a bad value, not a help
+/// request) must not trigger usage, matching `srclda-infer`.
+fn wants_help(args: &[String]) -> bool {
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg == "--help" || arg == "-h" {
+            return true;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_value = true;
+        }
+    }
+    false
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if wants_help(&args) {
+        println!("{USAGE}");
+        return;
+    }
+
+    // Strict parse: collect (flag, value) pairs, rejecting unknown flags
+    // and bare positionals (exit 2, like every experiment binary).
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some((flag, value)) = arg.split_once('=') {
+            if !VALUE_FLAGS.contains(&flag) {
+                exit_usage(&format!("unknown option {flag:?}"));
+            }
+            pairs.push((flag.to_string(), value.to_string()));
+        } else if VALUE_FLAGS.contains(&arg.as_str()) {
+            let Some(value) = args.get(i + 1) else {
+                exit_usage(&format!("option {arg} requires a value"));
+            };
+            pairs.push((arg.clone(), value.clone()));
+            i += 1;
+        } else if arg.starts_with('-') {
+            exit_usage(&format!("unknown option {arg:?}"));
+        } else {
+            exit_usage(&format!("unexpected argument {arg:?}"));
+        }
+        i += 1;
+    }
+
+    let single = |flag: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    };
+    let parsed = |flag: &str, default: usize| -> usize {
+        match single(flag) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| exit_usage(&format!("invalid value {raw:?} for {flag}"))),
+        }
+    };
+
+    let models: Vec<(String, String)> = pairs
+        .iter()
+        .filter(|(f, _)| f == "--model")
+        .map(|(_, spec)| match spec.split_once('=') {
+            Some((name, path)) => (name.to_string(), path.to_string()),
+            None => {
+                let stem = std::path::Path::new(spec)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| spec.clone());
+                (stem, spec.clone())
+            }
+        })
+        .collect();
+    if models.is_empty() {
+        exit_usage("at least one --model is required");
+    }
+    // Two paths sharing a file stem would otherwise silently hot-swap
+    // each other at startup and serve only the last one.
+    for (i, (name, _)) in models.iter().enumerate() {
+        if models[..i].iter().any(|(seen, _)| seen == name) {
+            exit_usage(&format!(
+                "duplicate model name {name:?}; use --model name=path to disambiguate"
+            ));
+        }
+    }
+
+    let seed: u64 = match single("--seed") {
+        None => 0,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(&format!("invalid value {raw:?} for --seed"))),
+    };
+    let options = EngineOptions {
+        fold_in: FoldInConfig {
+            iterations: parsed("--iterations", 30),
+            seed,
+        },
+        cache_capacity: parsed("--cache", 1024),
+    };
+    let config = ServerConfig {
+        addr: single("--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: parsed(
+            "--workers",
+            std::thread::available_parallelism().map_or(2, |n| n.get()),
+        )
+        .max(1),
+        batch_workers: parsed("--batch-workers", 1).max(1),
+        ..ServerConfig::default()
+    };
+
+    let registry = std::sync::Arc::new(ModelRegistry::new(options));
+    for (name, path) in &models {
+        if let Err(e) = registry.load(name, path) {
+            eprintln!("error: cannot load model {name:?} from {path}: {e}");
+            std::process::exit(1);
+        }
+        let entry = registry.get(name).expect("just loaded");
+        eprintln!(
+            "loaded {name:?} from {path}: {} topics",
+            entry.engine.num_topics()
+        );
+    }
+
+    let server = match Server::bind(config.clone(), registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let handle = server.handle().expect("bound socket has an address");
+    eprintln!(
+        "srclda-served listening on http://{} ({} workers, {} batch workers)",
+        handle.addr(),
+        config.workers,
+        config.batch_workers
+    );
+
+    install_signal_handlers();
+    let monitor = {
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                eprintln!("srclda-served: shutdown signal received, draining");
+                handle.shutdown();
+                return;
+            }
+            if handle.is_shutdown() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        })
+    };
+
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        std::process::exit(1);
+    }
+    handle.shutdown(); // unblock the monitor if no signal ever arrived
+    let _ = monitor.join();
+    eprintln!("srclda-served: stopped");
+}

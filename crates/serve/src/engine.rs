@@ -23,7 +23,7 @@ use crate::lru::LruCache;
 use srclda_core::{FoldInConfig, Inference};
 use srclda_corpus::{Tokenizer, Vocabulary};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -176,7 +176,7 @@ impl InferenceEngine {
 
     fn infer_ids(&self, ids: Vec<u32>, oov: usize) -> Result<Arc<DocumentScore>, ServeError> {
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().expect("cache lock").get(&ids) {
+            if let Some(hit) = lock_cache(cache).get(&ids) {
                 // OOV counts are a property of the raw text, not the token
                 // ids; two texts with the same ids may differ in OOV. Clone
                 // the scored result and patch the count so the cache stays
@@ -205,7 +205,7 @@ impl InferenceEngine {
             oov_tokens: oov,
         });
         if let Some(cache) = &self.cache {
-            cache.lock().expect("cache lock").insert(ids, score.clone());
+            lock_cache(cache).insert(ids, score.clone());
         }
         Ok(score)
     }
@@ -268,12 +268,23 @@ impl InferenceEngine {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self
-                .cache
-                .as_ref()
-                .map_or(0, |c| c.lock().expect("cache lock").len()),
+            entries: self.cache.as_ref().map_or(0, |c| lock_cache(c).len()),
         }
     }
+}
+
+/// Acquire the cache lock, recovering from poisoning. A poisoned mutex
+/// only means some thread panicked *while holding the guard*; every value
+/// in the cache is a completed `Arc<DocumentScore>` inserted whole, and
+/// the `LruCache` itself never holds partially-applied state across a
+/// panic point (its mutations are single map operations). In a daemon,
+/// propagating the poison would turn one panicked worker into a permanent
+/// crash loop for every later request — recovery is both safe and the
+/// only acceptable behavior.
+fn lock_cache<'a, K: Eq + std::hash::Hash + Clone, V>(
+    cache: &'a Mutex<LruCache<K, V>>,
+) -> MutexGuard<'a, LruCache<K, V>> {
+    cache.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// FNV-1a 64 over the little-endian token ids — the content hash mixed into
@@ -390,6 +401,30 @@ mod tests {
         assert_eq!(a.oov_tokens(), 0);
         assert_eq!(b.oov_tokens(), 1);
         assert_eq!(e.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn inference_survives_a_poisoned_cache_lock() {
+        let e = engine(EngineOptions::default());
+        let before = e.infer("pencil ruler eraser").unwrap();
+        let cache = e.cache.as_ref().expect("cache is enabled by default");
+        // Simulate a worker panicking while holding the cache lock — the
+        // daemon failure mode that must not become a crash loop.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.lock().unwrap();
+            panic!("worker dies while holding the cache lock");
+        }));
+        assert!(panicked.is_err());
+        assert!(cache.lock().is_err(), "the lock should now be poisoned");
+        // Cache hits, new inserts, and stats must all still work.
+        let hit = e.infer("pencil ruler eraser").unwrap();
+        assert_eq!(before, hit);
+        let fresh = e.infer("baseball umpire glove").unwrap();
+        assert!(fresh.num_tokens() >= 2);
+        let stats = e.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
     }
 
     #[test]

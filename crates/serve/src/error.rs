@@ -38,6 +38,13 @@ pub enum ServeError {
         /// Human-readable section name.
         name: &'static str,
     },
+    /// A registry operation referenced a model name that is not loaded.
+    /// A dedicated variant (not `Corrupt`) so the HTTP layer can map
+    /// not-found to 404 by type instead of by matching message text.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
     /// The decoded model failed semantic validation in `srclda_core`.
     Core(srclda_core::CoreError),
 }
@@ -63,6 +70,9 @@ impl fmt::Display for ServeError {
             ServeError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
             ServeError::MissingSection { name } => {
                 write!(f, "artifact is missing required section `{name}`")
+            }
+            ServeError::UnknownModel { name } => {
+                write!(f, "no model named {name:?} is loaded")
             }
             ServeError::Core(e) => write!(f, "decoded model failed validation: {e}"),
         }
@@ -110,6 +120,10 @@ mod tests {
         assert!(e.to_string().contains("checksum"));
         let e = ServeError::MissingSection { name: "phi" };
         assert!(e.to_string().contains("phi"));
+        let e = ServeError::UnknownModel {
+            name: "wiki".into(),
+        };
+        assert!(e.to_string().contains("wiki"));
         let e = ServeError::Truncated { context: "labels" };
         assert!(e.to_string().contains("labels"));
     }

@@ -16,8 +16,15 @@
 //!   [`srclda_core::inference`]), and return θ, top labeled topics, and
 //!   perplexity — with an LRU cache ([`lru`]) for repeated documents and a
 //!   multi-worker batch path for concurrent request streams;
+//! * [`server`] — the `srclda-served` network daemon: a hand-rolled
+//!   HTTP/1.1 server over `std::net::TcpListener` with a fixed worker
+//!   pool, a multi-model [`ModelRegistry`] with atomic `Arc` hot-swap
+//!   reload, JSON request/response bodies whose floats round-trip θ
+//!   bit-exactly, `/healthz` + `/metrics` endpoints, and graceful
+//!   shutdown;
 //! * `srclda-infer` — a CLI binary with `save` / `inspect` / `infer`
-//!   subcommands over the same API.
+//!   subcommands over the same API (and `srclda-served` to run the
+//!   daemon).
 //!
 //! Everything is deterministic: fold-in seeds derive from document content,
 //! so a response is a pure function of (artifact bytes, input text,
@@ -32,11 +39,14 @@ pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod lru;
+pub mod server;
 
 pub use artifact::{list_sections, ModelArtifact, SectionInfo, FORMAT_VERSION, MAGIC};
 pub use engine::{CacheStats, DocumentScore, EngineOptions, InferenceEngine};
 pub use error::ServeError;
 pub use lru::LruCache;
+pub use server::registry::{ModelEntry, ModelRegistry};
+pub use server::{Server, ServerConfig, ServerHandle};
 
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,197 @@
+//! Lock-free serving metrics: request counters, inference volume, and a
+//! latency histogram good enough for p50/p99.
+//!
+//! Everything is plain relaxed atomics — metrics must never contend with
+//! the request path. Latency is recorded into logarithmically spaced
+//! buckets (~7% relative width), so quantiles are read as the upper edge
+//! of the bucket holding the target rank: a bounded-error estimate with a
+//! fixed 256-counter footprint, no sampling, and no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets; bucket `i` holds durations up to
+/// `BASE_MICROS * GROWTH^i` microseconds (the last bucket is unbounded).
+const BUCKETS: usize = 256;
+const BASE_MICROS: f64 = 1.0;
+const GROWTH: f64 = 1.07;
+
+/// A fixed-footprint log-bucketed latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_for(duration: Duration) -> usize {
+        let micros = duration.as_secs_f64() * 1e6;
+        if micros <= BASE_MICROS {
+            return 0;
+        }
+        let i = (micros / BASE_MICROS).ln() / GROWTH.ln();
+        (i.ceil() as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `i` in seconds.
+    fn upper_edge_secs(i: usize) -> f64 {
+        BASE_MICROS * GROWTH.powi(i as i32) / 1e6
+    }
+
+    /// Record one observation.
+    pub fn record(&self, duration: Duration) {
+        self.counts[Self::bucket_for(duration)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]` in seconds (`None` when empty).
+    /// The estimate is the upper edge of the bucket containing the rank,
+    /// so it over-reports by at most one bucket width (~7%).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in snapshot.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(Self::upper_edge_secs(i));
+            }
+        }
+        Some(Self::upper_edge_secs(BUCKETS - 1))
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Aggregate serving counters, shared by all workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests received — routed ones plus unparseable ones that were
+    /// answered with a 4xx, so this is always ≥ the sum of the response
+    /// counters below.
+    pub requests: AtomicU64,
+    /// Responses with 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Responses with 5xx status.
+    pub responses_server_error: AtomicU64,
+    /// Documents scored through `/infer`.
+    pub infer_docs: AtomicU64,
+    /// In-vocabulary tokens folded in through `/infer`.
+    pub infer_tokens: AtomicU64,
+    /// Nanoseconds spent inside inference (excludes socket I/O).
+    pub infer_nanos: AtomicU64,
+    /// End-to-end `/infer` handler latency.
+    pub infer_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Count one response by status class.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed `/infer` handler call.
+    pub fn record_infer(&self, docs: u64, tokens: u64, elapsed: Duration) {
+        self.infer_docs.fetch_add(docs, Ordering::Relaxed);
+        self.infer_tokens.fetch_add(tokens, Ordering::Relaxed);
+        self.infer_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.infer_latency.record(elapsed);
+    }
+
+    /// Tokens per second of inference compute time (not wall-clock): total
+    /// folded tokens over total in-handler nanoseconds.
+    pub fn tokens_per_sec(&self) -> f64 {
+        let nanos = self.infer_nanos.load(Ordering::Relaxed);
+        if nanos == 0 {
+            return 0.0;
+        }
+        self.infer_tokens.load(Ordering::Relaxed) as f64 / (nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_observations() {
+        let h = LatencyHistogram::default();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Bucket estimates over-report by at most one ~7% bucket.
+        assert!((0.050..0.056).contains(&p50), "p50 = {p50}");
+        assert!((0.099..0.111).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn extreme_durations_stay_in_range() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.0).unwrap() > 0.0);
+        assert!(h.quantile(1.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn metrics_aggregate_infer_calls() {
+        let m = Metrics::default();
+        m.record_infer(2, 100, Duration::from_millis(10));
+        m.record_infer(1, 50, Duration::from_millis(5));
+        assert_eq!(m.infer_docs.load(Ordering::Relaxed), 3);
+        assert_eq!(m.infer_tokens.load(Ordering::Relaxed), 150);
+        let tps = m.tokens_per_sec();
+        assert!((tps - 10_000.0).abs() < 1.0, "tokens/sec = {tps}");
+        assert_eq!(m.infer_latency.count(), 2);
+    }
+
+    #[test]
+    fn status_classes_are_counted_separately() {
+        let m = Metrics::default();
+        m.record_status(200);
+        m.record_status(204);
+        m.record_status(404);
+        m.record_status(500);
+        assert_eq!(m.responses_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_client_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_server_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.tokens_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The multi-model registry: named engines with atomic hot-swap reload.
+//!
+//! A daemon serves several models at once (A/B variants, per-tenant
+//! sources, staged rollouts), each loaded from an `.slda` artifact and
+//! addressed by name. Entries are `Arc<ModelEntry>`s behind one `RwLock`d
+//! map: a request clones the `Arc` under a momentary read lock and then
+//! works lock-free, so a concurrent [`ModelRegistry::reload`] — which
+//! builds the *new* engine entirely outside the lock and swaps the map
+//! slot in O(1) — never stalls traffic and never yanks a model out from
+//! under an in-flight request. The old engine is dropped when its last
+//! in-flight request finishes.
+
+use crate::engine::{EngineOptions, InferenceEngine};
+use crate::error::ServeError;
+use crate::ModelArtifact;
+use srclda_math::FxHashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// One named, loaded model.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// The registered name.
+    pub name: String,
+    /// The artifact path the entry was loaded from (reload re-reads it).
+    pub path: PathBuf,
+    /// The ready-to-serve engine.
+    pub engine: InferenceEngine,
+    /// Reload generation: 0 for the initial load, +1 per hot-swap.
+    pub generation: u64,
+}
+
+/// Named engines with hot-swap reload. All methods take `&self`; the
+/// registry is shared across workers as an `Arc<ModelRegistry>`.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    models: RwLock<FxHashMap<String, Arc<ModelEntry>>>,
+    /// Name of the first model registered; `/infer` without an explicit
+    /// `"model"` field routes here.
+    default: RwLock<Option<String>>,
+    options: EngineOptions,
+}
+
+impl ModelRegistry {
+    /// An empty registry whose engines will use `options`.
+    pub fn new(options: EngineOptions) -> Self {
+        Self {
+            models: RwLock::new(FxHashMap::default()),
+            default: RwLock::new(None),
+            options,
+        }
+    }
+
+    fn read_models(&self) -> RwLockReadGuard<'_, FxHashMap<String, Arc<ModelEntry>>> {
+        self.models.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_models(&self) -> RwLockWriteGuard<'_, FxHashMap<String, Arc<ModelEntry>>> {
+        self.models.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Load the artifact at `path` and register it as `name`. Registering
+    /// an existing name hot-swaps it (and bumps its generation).
+    ///
+    /// # Errors
+    /// Artifact read/decode/validation failures; the registry is left
+    /// unchanged on error.
+    pub fn load(&self, name: &str, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        let path = path.as_ref().to_path_buf();
+        // Build the new engine before taking any lock: artifact decode and
+        // prior reconstruction are the expensive part and must not block
+        // concurrent requests.
+        let artifact = ModelArtifact::load(&path)?;
+        let engine = InferenceEngine::from_artifact(&artifact, self.options)?;
+        let mut models = self.write_models();
+        let generation = models.get(name).map_or(0, |e| e.generation + 1);
+        models.insert(
+            name.to_string(),
+            Arc::new(ModelEntry {
+                name: name.to_string(),
+                path,
+                engine,
+                generation,
+            }),
+        );
+        drop(models);
+        let mut default = self.default.write().unwrap_or_else(|e| e.into_inner());
+        if default.is_none() {
+            *default = Some(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Re-read a registered model's artifact from disk and atomically swap
+    /// the entry. In-flight requests holding the old `Arc` are unaffected.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] when `name` is not registered;
+    /// artifact failures otherwise (the old entry stays live on failure).
+    pub fn reload(&self, name: &str) -> Result<(), ServeError> {
+        let path = self
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_string(),
+            })?
+            .path
+            .clone();
+        self.load(name, path)
+    }
+
+    /// Look up a model by name, or the default model for `None`.
+    pub fn resolve(&self, name: Option<&str>) -> Option<Arc<ModelEntry>> {
+        match name {
+            Some(name) => self.get(name),
+            None => {
+                let default = self.default.read().unwrap_or_else(|e| e.into_inner());
+                default.as_deref().and_then(|name| self.get(name))
+            }
+        }
+    }
+
+    /// Look up a model by exact name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.read_models().get(name).cloned()
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read_models().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.read_models().len()
+    }
+
+    /// True when no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.read_models().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_core::prelude::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn artifact(seed: u64) -> ModelArtifact {
+        let tokenizer = Tokenizer::default().min_len(2);
+        let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+        for _ in 0..6 {
+            b.add_text("school", "pencil ruler eraser notebook");
+            b.add_text("sports", "baseball umpire glove pitcher");
+        }
+        let corpus = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_article("School Supplies", "pencil ruler eraser notebook");
+        ks.add_article("Baseball", "baseball umpire glove pitcher");
+        let source = ks.build(corpus.vocabulary());
+        let fitted = SourceLda::builder()
+            .knowledge_source(source)
+            .variant(Variant::Bijective)
+            .alpha(0.5)
+            .iterations(40)
+            .seed(seed)
+            .build()
+            .unwrap()
+            .fit(&corpus)
+            .unwrap();
+        ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap()
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("srclda-registry-{}-{tag}.slda", std::process::id()))
+    }
+
+    #[test]
+    fn load_get_and_default_resolution() {
+        let a = temp_path("a");
+        let b = temp_path("b");
+        artifact(1).save(&a).unwrap();
+        artifact(2).save(&b).unwrap();
+        let reg = ModelRegistry::new(EngineOptions::default());
+        assert!(reg.is_empty());
+        assert!(reg.resolve(None).is_none());
+        reg.load("first", &a).unwrap();
+        reg.load("second", &b).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), ["first", "second"]);
+        assert_eq!(reg.resolve(None).unwrap().name, "first");
+        assert_eq!(reg.resolve(Some("second")).unwrap().name, "second");
+        assert!(reg.resolve(Some("missing")).is_none());
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn reload_swaps_the_entry_without_disturbing_held_arcs() {
+        let path = temp_path("swap");
+        artifact(1).save(&path).unwrap();
+        let reg = ModelRegistry::new(EngineOptions::default());
+        reg.load("m", &path).unwrap();
+        let held = reg.get("m").unwrap();
+        assert_eq!(held.generation, 0);
+        let before = held.engine.infer("pencil ruler").unwrap();
+
+        // A new artifact (different training seed → different φ) lands on
+        // the same path; reload swaps it in.
+        artifact(99).save(&path).unwrap();
+        reg.reload("m").unwrap();
+        let swapped = reg.get("m").unwrap();
+        assert_eq!(swapped.generation, 1);
+        assert!(!Arc::ptr_eq(&held, &swapped));
+
+        // The held entry still answers with the old model's θ.
+        let again = held.engine.infer("pencil ruler").unwrap();
+        assert_eq!(before, again);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn reload_failure_keeps_the_old_entry_live() {
+        let path = temp_path("fail");
+        artifact(1).save(&path).unwrap();
+        let reg = ModelRegistry::new(EngineOptions::default());
+        reg.load("m", &path).unwrap();
+        // Corrupt the file; reload must fail and leave generation 0 live.
+        std::fs::write(&path, b"not an artifact").unwrap();
+        assert!(reg.reload("m").is_err());
+        let entry = reg.get("m").unwrap();
+        assert_eq!(entry.generation, 0);
+        assert!(entry.engine.infer("pencil").is_ok());
+        assert!(reg.reload("missing").is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,188 @@
+//! Concurrency stress tests for [`InferenceEngine`]: many threads
+//! hammering duplicate documents through the shared LRU cache. The
+//! invariants under contention are exactly the ones a daemon depends on —
+//! `hits + misses == requests`, resident entries never exceed capacity,
+//! and every response for a given text is bit-identical no matter which
+//! thread computed or cached it.
+
+use srclda_core::prelude::*;
+use srclda_corpus::{CorpusBuilder, Tokenizer};
+use srclda_knowledge::KnowledgeSourceBuilder;
+use srclda_serve::{DocumentScore, EngineOptions, InferenceEngine, ModelArtifact};
+use std::sync::Arc;
+
+fn engine(cache_capacity: usize) -> InferenceEngine {
+    let tokenizer = Tokenizer::default().min_len(2);
+    let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+    for _ in 0..8 {
+        b.add_text("school", "pencil pencil ruler eraser notebook");
+        b.add_text("sports", "baseball umpire baseball glove pitcher");
+    }
+    let corpus = b.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil pencil ruler ruler eraser notebook",
+    );
+    ks.add_article("Baseball", "baseball baseball umpire glove pitcher");
+    let source = ks.build(corpus.vocabulary());
+    let fitted = SourceLda::builder()
+        .knowledge_source(source)
+        .variant(Variant::Bijective)
+        .alpha(0.5)
+        .iterations(60)
+        .seed(11)
+        .build()
+        .unwrap()
+        .fit(&corpus)
+        .unwrap();
+    let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
+    InferenceEngine::from_artifact(
+        &artifact,
+        EngineOptions {
+            cache_capacity,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Distinct in-vocabulary documents (the cache keys on token ids, so the
+/// texts must differ in ids, not just raw bytes).
+fn documents(n: usize) -> Vec<String> {
+    let words = [
+        "pencil", "ruler", "eraser", "notebook", "baseball", "umpire", "glove", "pitcher",
+    ];
+    (0..n)
+        .map(|i| {
+            let a = words[i % words.len()];
+            let b = words[(i + 1) % words.len()];
+            let c = words[(i * 3 + 2) % words.len()];
+            format!("{a} {b} {c} {a}")
+        })
+        .collect()
+}
+
+fn hammer(
+    engine: &InferenceEngine,
+    docs: &[String],
+    threads: usize,
+    rounds: usize,
+) -> Vec<Vec<Arc<DocumentScore>>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut scored = Vec::with_capacity(rounds * docs.len());
+                    for round in 0..rounds {
+                        for i in 0..docs.len() {
+                            // Offset per thread so threads collide on the
+                            // same documents at different times.
+                            let doc = &docs[(i + t + round) % docs.len()];
+                            scored.push(engine.infer(doc).expect("inference succeeds"));
+                        }
+                    }
+                    scored
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn stress_cache_counters_balance_and_results_are_bit_identical() {
+    let docs = documents(6);
+    let engine = engine(64); // roomy: nothing is ever evicted
+    let reference: Vec<Arc<DocumentScore>> =
+        docs.iter().map(|d| engine.infer(d).unwrap()).collect();
+
+    let threads = 8;
+    let rounds = 20;
+    let _ = hammer(&engine, &docs, threads, rounds);
+
+    let stats = engine.cache_stats();
+    let requests = (threads * rounds * docs.len() + docs.len()) as u64; // + the reference pass
+    assert_eq!(
+        stats.hits + stats.misses,
+        requests,
+        "every request is exactly one hit or one miss"
+    );
+    // With no eviction, each distinct document folds in exactly once.
+    assert_eq!(stats.misses as usize, docs.len());
+    assert_eq!(stats.entries, docs.len());
+    assert!(stats.entries <= 64);
+
+    // Whatever thread answered, the bits are the engine's bits.
+    for (i, doc) in docs.iter().enumerate() {
+        let again = engine.infer(doc).unwrap();
+        assert_eq!(*again, *reference[i], "doc {i} diverged under contention");
+    }
+}
+
+#[test]
+fn stress_under_eviction_pressure_keeps_every_invariant() {
+    let docs = documents(12);
+    let engine = engine(4); // far fewer slots than distinct documents
+    let reference: Vec<Arc<DocumentScore>> =
+        docs.iter().map(|d| engine.infer(d).unwrap()).collect();
+    let before = engine.cache_stats();
+
+    let threads = 8;
+    let rounds = 10;
+    let results = hammer(&engine, &docs, threads, rounds);
+
+    let stats = engine.cache_stats();
+    let requests = before.hits + before.misses + (threads * rounds * docs.len()) as u64;
+    assert_eq!(stats.hits + stats.misses, requests);
+    assert!(
+        stats.entries <= 4,
+        "entries {} exceeded capacity 4",
+        stats.entries
+    );
+    // Eviction forces recomputation, never divergence: every result from
+    // every thread carries the reference bits for its document.
+    for (t, scored) in results.iter().enumerate() {
+        for (j, score) in scored.iter().enumerate() {
+            let round = j / docs.len();
+            let i = j % docs.len();
+            let doc_index = (i + t + round) % docs.len();
+            assert_eq!(
+                **score, *reference[doc_index],
+                "thread {t} request {j} diverged"
+            );
+        }
+    }
+    assert!(
+        stats.misses > docs.len() as u64,
+        "capacity pressure must force recomputation (misses = {})",
+        stats.misses
+    );
+}
+
+#[test]
+fn stress_mixed_with_batch_paths_and_disabled_cache() {
+    // The uncached engine under the same hammering: counters stay zeroed
+    // except misses, and results still match (content-derived seeds).
+    let docs = documents(5);
+    let engine = engine(0);
+    let reference: Vec<Arc<DocumentScore>> =
+        docs.iter().map(|d| engine.infer(d).unwrap()).collect();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let docs = &docs;
+            let engine = &engine;
+            let reference = &reference;
+            s.spawn(move || {
+                let batch = engine.infer_batch_parallel(docs, 3).unwrap();
+                for (b, r) in batch.iter().zip(reference) {
+                    assert_eq!(**b, **r);
+                }
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.entries, 0);
+    assert_eq!(stats.misses, (docs.len() * 5) as u64); // reference + 4 batches
+}

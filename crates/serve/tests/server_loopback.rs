@@ -1,0 +1,463 @@
+//! Loopback integration tests for the `srclda-served` daemon: boot the
+//! real server in-process on an OS-assigned port, speak actual HTTP over
+//! `TcpStream`, and hold the responses to the subsystem's headline bar —
+//! θ from the wire must be **bit-identical** to θ from the engine API on
+//! the same artifact (same content-derived seeds), across concurrent
+//! connections, batches, and hot reloads.
+
+use srclda_core::prelude::*;
+use srclda_corpus::{CorpusBuilder, Tokenizer};
+use srclda_knowledge::KnowledgeSourceBuilder;
+use srclda_serve::server::json;
+use srclda_serve::{
+    EngineOptions, InferenceEngine, ModelArtifact, ModelRegistry, Server, ServerConfig,
+    ServerHandle,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn artifact(seed: u64) -> ModelArtifact {
+    artifact_with_alpha(seed, 0.5)
+}
+
+fn artifact_with_alpha(seed: u64, alpha: f64) -> ModelArtifact {
+    let tokenizer = Tokenizer::default().min_len(2);
+    let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+    for _ in 0..8 {
+        b.add_text("school", "pencil pencil ruler eraser notebook");
+        b.add_text("sports", "baseball umpire baseball glove pitcher");
+    }
+    let corpus = b.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil pencil ruler ruler eraser notebook",
+    );
+    ks.add_article("Baseball", "baseball baseball umpire glove pitcher");
+    let source = ks.build(corpus.vocabulary());
+    let fitted = SourceLda::builder()
+        .knowledge_source(source)
+        .variant(Variant::Bijective)
+        .alpha(alpha)
+        .iterations(60)
+        .seed(seed)
+        .build()
+        .unwrap()
+        .fit(&corpus)
+        .unwrap();
+    ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("srclda-loopback-{}-{tag}.slda", std::process::id()))
+}
+
+/// Boot a server with one model ("m") loaded from `path`.
+fn boot(path: &PathBuf, workers: usize) -> (ServerHandle, JoinHandle<()>, Arc<ModelRegistry>) {
+    let registry = Arc::new(ModelRegistry::new(EngineOptions::default()));
+    registry.load("m", path).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        batch_workers: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, registry.clone()).unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join, registry)
+}
+
+/// Read one HTTP response (status, body) from a buffered stream.
+fn read_response<R: BufRead>(reader: &mut R) -> (u16, String) {
+    srclda_serve::server::http::read_simple_response(reader).unwrap()
+}
+
+/// One-shot request on a fresh connection (`Connection: close`).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Extract θ from a single-document `/infer` response as raw bits.
+fn theta_bits(body: &str) -> Vec<u64> {
+    let v = json::parse(body).unwrap();
+    v.get("theta")
+        .unwrap_or_else(|| panic!("no theta in {body}"))
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_f64().unwrap().to_bits())
+        .collect()
+}
+
+fn engine_theta_bits(engine: &InferenceEngine, text: &str) -> Vec<u64> {
+    engine
+        .infer(text)
+        .unwrap()
+        .theta()
+        .iter()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+#[test]
+fn healthz_reports_loaded_models() {
+    let path = temp_path("healthz");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, _) = boot(&path, 2);
+    let (status, body) = http(handle.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("models").unwrap().as_arr().unwrap().len(), 1);
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn infer_theta_is_bit_identical_to_the_engine_api() {
+    let path = temp_path("bitexact");
+    let artifact = artifact(11);
+    artifact.save(&path).unwrap();
+    // The reference engine: same artifact, same (default) options the
+    // registry builds its engines with.
+    let engine = InferenceEngine::from_artifact(&artifact, EngineOptions::default()).unwrap();
+    let (handle, join, _) = boot(&path, 2);
+
+    for text in [
+        "the umpire caught the baseball",
+        "pencil ruler eraser notebook",
+        "pencil baseball quasar",
+        "",
+    ] {
+        let request = json::obj(vec![("text", json::Value::from(text))]).render();
+        let (status, body) = http(handle.addr(), "POST", "/infer", &request);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            theta_bits(&body),
+            engine_theta_bits(&engine, text),
+            "θ over the wire diverged for {text:?}"
+        );
+        let v = json::parse(&body).unwrap();
+        let reference = engine.infer(text).unwrap();
+        assert_eq!(
+            v.get("tokens").unwrap().as_usize(),
+            Some(reference.num_tokens())
+        );
+        assert_eq!(
+            v.get("oov_tokens").unwrap().as_usize(),
+            Some(reference.oov_tokens())
+        );
+        assert_eq!(
+            v.get("perplexity").unwrap().as_f64().unwrap().to_bits(),
+            reference.perplexity().to_bits()
+        );
+    }
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn batch_infer_matches_engine_batch_and_labels_topics() {
+    let path = temp_path("batch");
+    let artifact = artifact(11);
+    artifact.save(&path).unwrap();
+    let engine = InferenceEngine::from_artifact(&artifact, EngineOptions::default()).unwrap();
+    let (handle, join, _) = boot(&path, 2);
+
+    let docs = [
+        "pencil pencil ruler",
+        "baseball umpire glove",
+        "notebook eraser",
+    ];
+    let request = json::obj(vec![
+        (
+            "docs",
+            json::Value::Arr(docs.iter().map(|&d| d.into()).collect()),
+        ),
+        ("top", json::Value::from(1usize)),
+    ])
+    .render();
+    let (status, body) = http(handle.addr(), "POST", "/infer", &request);
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).unwrap();
+    let results = v.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), docs.len());
+    let reference = engine.infer_batch(&docs).unwrap();
+    for (result, reference) in results.iter().zip(&reference) {
+        let bits: Vec<u64> = result
+            .get("theta")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|p| p.as_f64().unwrap().to_bits())
+            .collect();
+        let expect: Vec<u64> = reference.theta().iter().map(|p| p.to_bits()).collect();
+        assert_eq!(bits, expect);
+        // `top: 1` limits the labeled topics per document.
+        assert_eq!(result.get("top").unwrap().as_arr().unwrap().len(), 1);
+    }
+    // The top topic of the baseball document is labeled.
+    let top = &results[1].get("top").unwrap().as_arr().unwrap()[0];
+    assert_eq!(top.get("label").unwrap().as_str(), Some("Baseball"));
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn concurrent_connections_all_see_identical_bits() {
+    let path = temp_path("concurrent");
+    let artifact = artifact(11);
+    artifact.save(&path).unwrap();
+    let engine = InferenceEngine::from_artifact(&artifact, EngineOptions::default()).unwrap();
+    let (handle, join, _) = boot(&path, 4);
+    let addr = handle.addr();
+
+    // Six texts with *distinct in-vocabulary token sequences* — the cache
+    // keys on token ids, so an OOV-only difference would collapse them.
+    let words = [
+        "pencil", "ruler", "eraser", "notebook", "baseball", "umpire", "glove", "pitcher",
+    ];
+    let texts: Vec<String> = (0..6)
+        .map(|i| format!("{} {} {}", words[i], words[i + 1], words[i + 2]))
+        .collect();
+    let expected: Vec<Vec<u64>> = texts
+        .iter()
+        .map(|t| engine_theta_bits(&engine, t))
+        .collect();
+    std::thread::scope(|s| {
+        for client in 0..8 {
+            let texts = &texts;
+            let expected = &expected;
+            s.spawn(move || {
+                // Each client hammers every text on a persistent
+                // keep-alive connection, out of phase with the others.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                for round in 0..3 {
+                    for i in 0..texts.len() {
+                        let idx = (i + client + round) % texts.len();
+                        let body =
+                            json::obj(vec![("text", json::Value::from(texts[idx].as_str()))])
+                                .render();
+                        write!(
+                            writer,
+                            "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .unwrap();
+                        let (status, response) = read_response(&mut reader);
+                        assert_eq!(status, 200, "{response}");
+                        assert_eq!(theta_bits(&response), expected[idx], "client {client}");
+                    }
+                }
+            });
+        }
+    });
+    // Cache coherence across all that traffic: hits + misses == requests.
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let cache = v.get("models").unwrap().as_arr().unwrap()[0]
+        .get("cache")
+        .unwrap();
+    let hits = cache.get("hits").unwrap().as_f64().unwrap() as u64;
+    let misses = cache.get("misses").unwrap().as_f64().unwrap() as u64;
+    assert_eq!(hits + misses, 8 * 3 * 6);
+    // The cache has no single-flight: two clients missing the same text
+    // concurrently both fold in (identical bits either way), so misses
+    // can exceed the 6 distinct texts — but never the first round's
+    // worst case of every client missing every text.
+    assert!(
+        (6..=8 * 6).contains(&misses),
+        "misses = {misses}, expected between 6 and 48"
+    );
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn error_paths_return_structured_json() {
+    let path = temp_path("errors");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, _) = boot(&path, 2);
+    let addr = handle.addr();
+
+    let cases = [
+        ("POST", "/infer", "not json", 400),
+        ("POST", "/infer", "{\"text\": 3}", 400),
+        ("POST", "/infer", "{}", 400),
+        ("POST", "/infer", "{\"text\": \"x\", \"docs\": []}", 400),
+        ("POST", "/infer", "{\"txet\": \"typo\"}", 400),
+        ("POST", "/infer", "{\"text\": \"x\", \"top\": -1}", 400),
+        (
+            "POST",
+            "/infer",
+            "{\"text\": \"x\", \"model\": \"nope\"}",
+            404,
+        ),
+        ("POST", "/reload", "{\"model\": \"nope\"}", 404),
+        // A typo'd key must not silently degrade into reload-all.
+        ("POST", "/reload", "{\"modle\": \"typo\"}", 400),
+        ("POST", "/reload", "[\"m\"]", 400),
+        ("GET", "/nope", "", 404),
+        ("POST", "/healthz", "", 405),
+        ("GET", "/infer", "", 405),
+    ];
+    for (method, route, body, expect) in cases {
+        let (status, response) = http(addr, method, route, body);
+        assert_eq!(status, expect, "{method} {route} {body} → {response}");
+        assert!(
+            json::parse(&response).unwrap().get("error").is_some() || status < 400,
+            "error responses carry an \"error\" field: {response}"
+        );
+    }
+    // Malformed HTTP gets a 400 too (handled below request parsing).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "BROKEN\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut BufReader::new(stream));
+    assert_eq!(status, 400);
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn metrics_count_requests_and_tokens() {
+    let path = temp_path("metrics");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, _) = boot(&path, 2);
+    let addr = handle.addr();
+
+    for _ in 0..3 {
+        let (status, _) = http(
+            addr,
+            "POST",
+            "/infer",
+            "{\"text\": \"pencil ruler baseball\"}",
+        );
+        assert_eq!(status, 200);
+    }
+    let (_, _) = http(addr, "POST", "/infer", "{\"nope\": 1}");
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("requests").unwrap().as_usize(), Some(5));
+    let responses = v.get("responses").unwrap();
+    assert_eq!(responses.get("ok").unwrap().as_usize(), Some(3));
+    assert_eq!(responses.get("client_error").unwrap().as_usize(), Some(1));
+    let infer = v.get("infer").unwrap();
+    assert_eq!(infer.get("docs").unwrap().as_usize(), Some(3));
+    assert_eq!(infer.get("tokens").unwrap().as_usize(), Some(9));
+    assert!(infer.get("tokens_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    assert!(infer.get("latency_p50_ms").unwrap().as_f64().unwrap() > 0.0);
+    assert!(
+        infer.get("latency_p99_ms").unwrap().as_f64().unwrap()
+            >= infer.get("latency_p50_ms").unwrap().as_f64().unwrap()
+    );
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn reload_hot_swaps_the_artifact_atomically() {
+    let path = temp_path("reload");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, registry) = boot(&path, 2);
+    let addr = handle.addr();
+    // An odd in-vocabulary token count: the topic counts cannot split
+    // evenly, so θ = (n + α)/(N + Tα) must differ between the two α's.
+    let text_request = "{\"text\": \"pencil ruler baseball umpire glove\"}";
+
+    let (_, before) = http(addr, "POST", "/infer", text_request);
+    let before_bits = theta_bits(&before);
+    assert_eq!(
+        json::parse(&before)
+            .unwrap()
+            .get("generation")
+            .unwrap()
+            .as_usize(),
+        Some(0)
+    );
+
+    // A different model (distinct α, so θ must change) lands on the same
+    // path; /reload swaps it in.
+    artifact_with_alpha(97, 0.9).save(&path).unwrap();
+    let (status, body) = http(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "{body}");
+    let reloaded = json::parse(&body).unwrap();
+    assert_eq!(reloaded.get("reloaded").unwrap().as_arr().unwrap().len(), 1);
+
+    let (_, after) = http(addr, "POST", "/infer", text_request);
+    assert_eq!(
+        json::parse(&after)
+            .unwrap()
+            .get("generation")
+            .unwrap()
+            .as_usize(),
+        Some(1)
+    );
+    assert_ne!(theta_bits(&after), before_bits, "swap must change θ");
+    // And the swapped engine matches a fresh engine on the new artifact.
+    let engine = InferenceEngine::from_artifact(
+        &ModelArtifact::load(&path).unwrap(),
+        EngineOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        theta_bits(&after),
+        engine_theta_bits(&engine, "pencil ruler baseball umpire glove")
+    );
+    assert_eq!(registry.get("m").unwrap().generation, 1);
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn graceful_shutdown_drains_and_releases_the_port() {
+    let path = temp_path("shutdown");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, _) = boot(&path, 3);
+    let addr = handle.addr();
+    let (status, _) = http(addr, "POST", "/infer", "{\"text\": \"pencil\"}");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    assert!(handle.is_shutdown());
+    join.join().expect("workers exit cleanly");
+
+    // Every listener clone is dropped once the workers exit, so the OS
+    // refuses new connections (retry briefly: TIME_WAIT etc.).
+    let mut refused = false;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(refused, "port should be released after shutdown");
+    let _ = std::fs::remove_file(path);
+}
