@@ -36,6 +36,7 @@ fn main() {
         ("throughput_serving", experiments::throughput::run),
         ("throughput_http", experiments::throughput_http::run),
         ("sweep_throughput", experiments::sweep_throughput::run),
+        ("train_throughput", experiments::train_throughput::run),
     ];
     for (name, f) in runs {
         let start = Instant::now();

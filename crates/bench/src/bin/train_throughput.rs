@@ -1,0 +1,270 @@
+//! Document-sharded training: the throughput benchmark **and** the
+//! checkpoint/resume driver.
+//!
+//! Without `--train`, runs the `train_throughput` experiment (tokens/sec,
+//! serial kernel vs `Backend::ShardedDocs` at S ∈ {1, 2, 4}; emits
+//! `BENCH_train.json`).
+//!
+//! With `--train`, runs a fully deterministic training job on the pinned
+//! golden-fixture corpus (the §I case-study world) and exercises the
+//! checkpoint lifecycle end to end:
+//!
+//! ```sh
+//! # train, writing a resumable v2 .slda snapshot every 6 sweeps, and
+//! # simulate a kill right after the sweep-12 checkpoint:
+//! train_throughput --train --sweeps 24 --shards 2 \
+//!     --checkpoint-every 6 --checkpoint-path ck.slda --stop-after 12
+//! # resume from the snapshot and finish:
+//! train_throughput --train --sweeps 24 --shards 2 --resume ck.slda
+//! # the printed "final digest" is bit-identical to an uninterrupted run:
+//! train_throughput --train --sweeps 24 --shards 2
+//! ```
+
+use srclda_bench::cli::{flag_present, flag_value, handle_help};
+use srclda_core::{Backend, GibbsModel, SourceLda, TrainCheckpoint, Variant};
+use srclda_corpus::{Corpus, CorpusBuilder, Tokenizer};
+use srclda_knowledge::KnowledgeSourceBuilder;
+use srclda_serve::codec::fnv1a64;
+use srclda_serve::ModelArtifact;
+
+const EXTRA_FLAGS: &[(&str, &str)] = &[
+    (
+        "--train",
+        "run the deterministic training demo instead of the benchmark",
+    ),
+    (
+        "--shards <S>",
+        "document shard count for --train (default 2)",
+    ),
+    ("--sweeps <N>", "Gibbs sweeps for --train (default 24)"),
+    ("--seed <N>", "run seed for --train (default 7)"),
+    (
+        "--checkpoint-every <N>",
+        "write a resumable .slda snapshot every N sweeps",
+    ),
+    (
+        "--checkpoint-path <P>",
+        "where --checkpoint-every writes (default train_checkpoint.slda)",
+    ),
+    (
+        "--resume <P>",
+        "resume training from a checkpoint-bearing .slda file",
+    ),
+    (
+        "--stop-after <K>",
+        "exit right after the sweep-K checkpoint (simulated kill)",
+    ),
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Option<usize> {
+    if !flag_present(args, flag) {
+        return None;
+    }
+    match flag_value(args, flag) {
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => die(&format!("{flag} needs a non-negative integer, got {v:?}")),
+        },
+        None => die(&format!("{flag} requires a value")),
+    }
+}
+
+/// The pinned golden-fixture corpus (the §I case-study world of
+/// `tests/artifact_compat.rs`, repeated so the shards have real work) and
+/// its knowledge source.
+fn golden_world() -> (Corpus, Tokenizer, srclda_knowledge::KnowledgeSource) {
+    let tokenizer = Tokenizer::permissive();
+    let mut builder = CorpusBuilder::new().tokenizer(tokenizer.clone());
+    for i in 0..24 {
+        builder.add_tokens(
+            format!("school-{i}"),
+            &["pencil", "pencil", "ruler", "eraser"],
+        );
+        builder.add_tokens(
+            format!("sports-{i}"),
+            &["baseball", "umpire", "baseball", "glove"],
+        );
+        // "bag" appears in *both* articles with equal weight, so its
+        // tokens stay genuinely stochastic: the final assignments depend
+        // on the chain, not just the priors. Without this every run
+        // converges to one prior-determined fixed point and the CI digest
+        // comparison could not distinguish a broken resume that merely
+        // re-converges.
+        builder.add_tokens(
+            format!("mixed-{i}"),
+            &["pencil", "baseball", "bag", "bag", "bag", "glove"],
+        );
+    }
+    let corpus = builder.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil ruler eraser notebook bag pencil ruler pencil ".repeat(40),
+    );
+    ks.add_article(
+        "Baseball",
+        "baseball umpire pitcher inning bag baseball umpire baseball glove ".repeat(40),
+    );
+    let knowledge = ks.build(corpus.vocabulary());
+    (corpus, tokenizer, knowledge)
+}
+
+/// FNV-1a digest over the final assignments and φ bits: two runs print
+/// the same digest iff they produced bit-identical models.
+fn digest(assignments: &[Vec<u32>], phi: &[f64]) -> u64 {
+    let mut bytes = Vec::new();
+    for doc in assignments {
+        for &t in doc {
+            bytes.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+    for &x in phi {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn train(args: &[String]) {
+    let shards = parse_usize(args, "--shards").unwrap_or(2);
+    let sweeps = parse_usize(args, "--sweeps").unwrap_or(24);
+    let seed = parse_usize(args, "--seed").unwrap_or(7) as u64;
+    let checkpoint_every = parse_usize(args, "--checkpoint-every");
+    let stop_after = parse_usize(args, "--stop-after");
+    let checkpoint_path = flag_value(args, "--checkpoint-path")
+        .unwrap_or("train_checkpoint.slda")
+        .to_string();
+    let resume_path = flag_value(args, "--resume").map(str::to_string);
+    if flag_present(args, "--resume") && resume_path.is_none() {
+        die("--resume requires a path");
+    }
+    if flag_present(args, "--checkpoint-path") && flag_value(args, "--checkpoint-path").is_none() {
+        die("--checkpoint-path requires a path");
+    }
+    match (stop_after, checkpoint_every) {
+        (Some(_), None) => die("--stop-after only makes sense with --checkpoint-every"),
+        (Some(stop), Some(every)) => {
+            // An unreachable stop sweep would silently never fire and the
+            // "simulated kill" would degrade into a full run.
+            if stop == 0 || !stop.is_multiple_of(every) || stop > sweeps {
+                die(&format!(
+                    "--stop-after {stop} is never a checkpoint boundary \
+                     (checkpoints fire at multiples of {every} up to {sweeps})"
+                ));
+            }
+        }
+        (None, _) => {}
+    }
+
+    let (corpus, tokenizer, knowledge) = golden_world();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model: GibbsModel = SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(Variant::Bijective)
+        .alpha(0.5)
+        .iterations(sweeps)
+        .seed(seed)
+        .backend(Backend::ShardedDocs { shards, threads })
+        .build()
+        .and_then(|m| m.assemble(corpus.vocab_size()))
+        .unwrap_or_else(|e| die(&e.to_string()));
+
+    let resume: Option<TrainCheckpoint> = resume_path.map(|path| {
+        let artifact =
+            ModelArtifact::load(&path).unwrap_or_else(|e| die(&format!("loading {path:?}: {e}")));
+        let cp = artifact
+            .checkpoint()
+            .unwrap_or_else(|| die(&format!("{path:?} carries no checkpoint section")))
+            .clone();
+        println!("resuming from {path:?} at sweep {}", cp.sweep);
+        cp
+    });
+
+    let labels = model.labels().to_vec();
+    let fitted = model
+        .fit_resumable(&corpus, resume.as_ref(), checkpoint_every, |cp| {
+            let artifact =
+                ModelArtifact::from_checkpoint(cp, labels.clone(), corpus.vocabulary(), &tokenizer)
+                    .map_err(|e| {
+                        srclda_core::CoreError::InvalidConfig(format!("checkpoint artifact: {e}"))
+                    })?;
+            artifact.save(&checkpoint_path).map_err(|e| {
+                srclda_core::CoreError::InvalidConfig(format!("writing {checkpoint_path:?}: {e}"))
+            })?;
+            println!("checkpoint at sweep {} -> {checkpoint_path}", cp.sweep);
+            if stop_after == Some(cp.sweep as usize) {
+                println!("stopping after sweep {} (simulated kill)", cp.sweep);
+                std::process::exit(0);
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| die(&e.to_string()));
+
+    println!(
+        "trained {} docs x {} sweeps, shards={shards}, seed={seed}",
+        corpus.num_docs(),
+        sweeps
+    );
+    println!(
+        "final digest: {:016x}",
+        digest(fitted.assignments(), fitted.phi().as_slice())
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    handle_help(
+        &args,
+        "train_throughput",
+        "Document-sharded training throughput (serial kernel vs ShardedDocs; \
+         emits BENCH_train.json), plus a deterministic --train mode \
+         exercising checkpoint/resume on the golden fixture corpus.",
+        EXTRA_FLAGS,
+    );
+    // Strict flag hygiene: unknown options exit 2 rather than silently
+    // benchmarking with a typo'd configuration.
+    let known_value_flags = [
+        "--scale",
+        "--shards",
+        "--sweeps",
+        "--seed",
+        "--checkpoint-every",
+        "--checkpoint-path",
+        "--resume",
+        "--stop-after",
+    ];
+    let known_bare = ["--train", "--smoke", "--full"];
+    let mut skip_next = false;
+    for (i, arg) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        let name = arg.split('=').next().unwrap_or(arg);
+        if known_bare.contains(&name) {
+            continue;
+        }
+        if known_value_flags.contains(&name) {
+            // `--flag value` form consumes the next argument.
+            if !arg.contains('=') && i + 1 < args.len() {
+                skip_next = true;
+            }
+            continue;
+        }
+        die(&format!("unknown argument {arg:?} (see --help)"));
+    }
+
+    if flag_present(&args, "--train") {
+        train(&args);
+        return;
+    }
+    let scale = srclda_bench::Scale::from_args(&args);
+    print!(
+        "{}",
+        srclda_bench::experiments::train_throughput::run(scale)
+    );
+}

@@ -12,3 +12,4 @@ pub mod table0;
 pub mod table1;
 pub mod throughput;
 pub mod throughput_http;
+pub mod train_throughput;

@@ -49,7 +49,7 @@ impl Cell {
 
 /// Synthetic world shared by a cell: source topics over a `v`-word
 /// vocabulary and a corpus generated from them.
-fn world(
+pub(crate) fn world(
     v: usize,
     topics: usize,
     support: usize,
@@ -93,7 +93,7 @@ const MAX_RETRIES: usize = 3;
 /// to the whole-run rate (a real, conservative measurement that includes
 /// setup) and return `unreliable = true` so the JSON entry is marked
 /// rather than fabricated.
-fn differential_rate(
+pub(crate) fn differential_rate(
     mut time_of: impl FnMut(usize) -> f64,
     tokens_per_sweep: usize,
     sweeps: usize,

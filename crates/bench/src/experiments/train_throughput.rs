@@ -1,0 +1,353 @@
+//! Training throughput of the **document-sharded backend**
+//! (`Backend::ShardedDocs`) against the serial kernel: tokens/second at
+//! `S ∈ {1, 2, 4}` shards, per model family.
+//!
+//! The paper's parallel algorithms scale with the *topic* count; document
+//! sharding is the corpus-scale axis (AD-LDA), and this experiment is its
+//! perf contract: on a single-core box the sharded backend must track the
+//! serial kernel closely (the snapshot/merge overhead is the price of the
+//! shard structure — the acceptance bar is ≤10% at `S > 1` on the 1-core
+//! reference machine), and on multi-core boxes the same `S` turns into
+//! real speedup without changing a single sampled bit (`threads` is pure
+//! scheduling). `S = 1` is additionally asserted bit-identical to
+//! `Backend::Serial` on every cell, so the timed work is the same
+//! statistical work.
+//!
+//! Rates come from the same differential timing as `sweep_throughput`
+//! (two sweep counts, setup cancels; non-positive deltas retry then fall
+//! back marked `unreliable`). Besides the printed report, the experiment
+//! writes `BENCH_train.json` into the working directory so CI and future
+//! PRs have a machine-readable baseline.
+
+use super::sweep_throughput::{differential_rate, world};
+use crate::cli::{banner, Scale};
+use srclda_core::{Backend, FittedModel, SmoothingMode, SourceLda, Variant};
+use std::time::Instant;
+
+/// Shard counts every cell is measured at.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One sharded measurement within a cell.
+struct ShardedRate {
+    shards: usize,
+    tokens_per_sec: f64,
+}
+
+/// One benchmark cell: a model family timed serial vs sharded.
+struct Cell {
+    family: &'static str,
+    topics: usize,
+    vocab: usize,
+    docs: usize,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    threads: usize,
+    serial_tokens_per_sec: f64,
+    sharded: Vec<ShardedRate>,
+    /// True when any backend's differential timing fell back to a
+    /// whole-run rate (see `sweep_throughput::differential_rate`).
+    unreliable: bool,
+}
+
+impl Cell {
+    /// `rate / serial` — above 1 is speedup, below 1 is overhead.
+    fn relative(&self, rate: f64) -> f64 {
+        rate / self.serial_tokens_per_sec.max(1e-9)
+    }
+}
+
+/// Time one family. `fit(backend, iters)` must be deterministic in the
+/// backend chain contract; S=1 is asserted bit-identical to serial here.
+fn time_family<F: Fn(Backend, usize) -> FittedModel>(
+    fit: F,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    threads: usize,
+) -> (f64, Vec<ShardedRate>, bool) {
+    let serial_fit = fit(Backend::Serial, sweeps);
+    let one_shard = fit(Backend::ShardedDocs { shards: 1, threads }, sweeps);
+    assert_eq!(
+        serial_fit.assignments(),
+        one_shard.assignments(),
+        "S=1 sharded chain diverged from Backend::Serial"
+    );
+    let fit = &fit;
+    let time_of = |backend: Backend| {
+        move |iters: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let _ = fit(backend, iters);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+    };
+    let (serial, mut unreliable) =
+        differential_rate(time_of(Backend::Serial), tokens_per_sweep, sweeps);
+    let mut sharded = Vec::new();
+    for shards in SHARD_COUNTS {
+        let backend = Backend::ShardedDocs { shards, threads };
+        let (rate, bad) = differential_rate(time_of(backend), tokens_per_sweep, sweeps);
+        unreliable |= bad;
+        sharded.push(ShardedRate {
+            shards,
+            tokens_per_sec: rate,
+        });
+    }
+    (serial, sharded, unreliable)
+}
+
+/// Cell dimensions, decoupled from [`Scale`] so the unit test can
+/// exercise the full pipeline on a micro corpus without paying the
+/// CI-scale timing runs in a debug build.
+struct Shapes {
+    topics: usize,
+    v: usize,
+    docs: usize,
+    doc_len: usize,
+    sweeps: usize,
+    support: usize,
+}
+
+impl Shapes {
+    /// Corpus-heavy shapes: document sharding targets corpus scale, so
+    /// the token mass per sweep must dominate the per-sweep `S·V·T`
+    /// snapshot/merge cost (that ratio *is* the overhead being measured —
+    /// at `tokens ≥ ~150·V` the S=4 merge price sits well under the 10%
+    /// acceptance bar).
+    fn for_scale(scale: Scale) -> Self {
+        Self {
+            topics: scale.pick(16, 48, 96),
+            v: scale.pick(400, 1200, 2500),
+            docs: scale.pick(1000, 1500, 2500),
+            doc_len: scale.pick(80, 100, 120),
+            sweeps: scale.pick(12, 20, 24),
+            support: scale.pick(12, 25, 40),
+        }
+    }
+
+    /// Tiny shapes for the debug-build unit test.
+    #[cfg(test)]
+    fn micro() -> Self {
+        Self {
+            topics: 6,
+            v: 120,
+            docs: 40,
+            doc_len: 30,
+            sweeps: 6,
+            support: 8,
+        }
+    }
+}
+
+/// Run every family cell at the given shapes.
+fn run_cells(shapes: &Shapes) -> Vec<Cell> {
+    let Shapes {
+        topics,
+        v,
+        docs,
+        doc_len,
+        sweeps,
+        support,
+    } = *shapes;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut cells = Vec::new();
+
+    // Source-LDA with fixed δ priors (mixture variant).
+    {
+        let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 31);
+        let (serial, sharded, unreliable) = time_family(
+            |backend, iters| {
+                SourceLda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .variant(Variant::Mixture)
+                    .unlabeled_topics(topics / 8)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+            threads,
+        );
+        cells.push(Cell {
+            family: "srclda_fixed",
+            topics: topics + topics / 8,
+            vocab: v,
+            docs: corpus.num_docs(),
+            tokens_per_sweep: corpus.num_tokens(),
+            sweeps,
+            threads,
+            serial_tokens_per_sec: serial,
+            sharded,
+            unreliable,
+        });
+    }
+
+    // The full λ-integrated model (identity smoothing, default quadrature).
+    {
+        let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 32);
+        let (serial, sharded, unreliable) = time_family(
+            |backend, iters| {
+                SourceLda::builder()
+                    .knowledge_source(knowledge.clone())
+                    .variant(Variant::Full)
+                    .approximation_steps(8)
+                    .smoothing(SmoothingMode::Identity)
+                    .alpha(0.5)
+                    .iterations(iters)
+                    .backend(backend)
+                    .seed(7)
+                    .build()
+                    .expect("valid model")
+                    .fit(&corpus)
+                    .expect("fit succeeds")
+            },
+            corpus.num_tokens(),
+            sweeps,
+            threads,
+        );
+        cells.push(Cell {
+            family: "srclda_integrated",
+            topics,
+            vocab: v,
+            docs: corpus.num_docs(),
+            tokens_per_sweep: corpus.num_tokens(),
+            sweeps,
+            threads,
+            serial_tokens_per_sec: serial,
+            sharded,
+            unreliable,
+        });
+    }
+
+    cells
+}
+
+/// Render `BENCH_train.json` (hand-rolled: the workspace is offline and
+/// vendors no JSON crate; every value is numeric or a static identifier).
+fn render_json(scale: Scale, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"train_throughput\",\n");
+    out.push_str("  \"unit\": \"tokens_per_sec\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"topics\": {}, \"vocab\": {}, \"docs\": {}, \
+             \"tokens_per_sweep\": {}, \"sweeps\": {}, \"threads\": {}, \
+             \"serial_tokens_per_sec\": {:.1}, \"sharded\": [",
+            c.family,
+            c.topics,
+            c.vocab,
+            c.docs,
+            c.tokens_per_sweep,
+            c.sweeps,
+            c.threads,
+            c.serial_tokens_per_sec,
+        ));
+        for (j, s) in c.sharded.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"shards\": {}, \"tokens_per_sec\": {:.1}, \"relative_to_serial\": {:.3}}}{}",
+                s.shards,
+                s.tokens_per_sec,
+                c.relative(s.tokens_per_sec),
+                if j + 1 < c.sharded.len() { ", " } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "], \"unreliable\": {}}}{}\n",
+            c.unreliable,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> String {
+    let mut out = banner(
+        "TRN",
+        "document-sharded training throughput (serial kernel vs ShardedDocs)",
+        scale,
+    );
+    let cells = run_cells(&Shapes::for_scale(scale));
+    out.push_str(&format!(
+        "{:<20} {:>6} {:>6} {:>8} {:>14} {:>7}  {}\n",
+        "family", "T", "V", "tokens", "serial tok/s", "threads", "sharded tok/s (xserial)"
+    ));
+    for c in &cells {
+        let sharded: Vec<String> = c
+            .sharded
+            .iter()
+            .map(|s| {
+                format!(
+                    "S{}: {:.0} ({:.2}x)",
+                    s.shards,
+                    s.tokens_per_sec,
+                    c.relative(s.tokens_per_sec)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>6} {:>8} {:>14.0} {:>7}  {}{}\n",
+            c.family,
+            c.topics,
+            c.vocab,
+            c.tokens_per_sweep,
+            c.serial_tokens_per_sec,
+            c.threads,
+            sharded.join("  "),
+            if c.unreliable { "  UNRELIABLE" } else { "" },
+        ));
+    }
+    out.push_str(
+        "(S=1 is asserted bit-identical to the serial kernel on every cell; \
+         S>1 is the AD-LDA approximate chain, deterministic in (seed, S) \
+         whatever the thread count)\n",
+    );
+    let json = render_json(scale, &cells);
+    match std::fs::write("BENCH_train.json", &json) {
+        Ok(()) => out.push_str("wrote BENCH_train.json\n"),
+        Err(e) => out.push_str(&format!("warning: could not write BENCH_train.json: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_run_covers_both_families_and_emits_json() {
+        let cells = run_cells(&Shapes::micro());
+        let families: Vec<&str> = cells.iter().map(|c| c.family).collect();
+        assert!(families.contains(&"srclda_fixed"));
+        assert!(families.contains(&"srclda_integrated"));
+        for c in &cells {
+            assert!(c.serial_tokens_per_sec > 0.0);
+            assert_eq!(
+                c.sharded.iter().map(|s| s.shards).collect::<Vec<_>>(),
+                SHARD_COUNTS.to_vec()
+            );
+            for s in &c.sharded {
+                assert!(s.tokens_per_sec > 0.0);
+            }
+        }
+        let json = render_json(Scale::Smoke, &cells);
+        assert!(json.contains("\"experiment\": \"train_throughput\""));
+        assert!(json.contains("\"serial_tokens_per_sec\""));
+        assert!(json.contains("\"relative_to_serial\""));
+        assert!(json.contains("\"scale\": \"smoke\""));
+    }
+}

@@ -18,6 +18,7 @@
 //! | Fig. 8 a–e Wikipedia-corpus evaluation | [`experiments::fig8`] | `fig8_wikipedia` |
 //! | Fig. 8 f parallel scaling | [`experiments::fig8f`] | `fig8f_scaling` |
 //! | serving throughput (ROADMAP workload) | [`experiments::throughput`] | `throughput_serving` |
+//! | sharded training throughput + checkpoint/resume | [`experiments::train_throughput`] | `train_throughput` |
 //! | everything | — | `all_experiments` |
 //!
 //! Every binary also accepts `--help` / `-h` (usage text, exit 0).

@@ -213,6 +213,71 @@ impl CountMatrices {
     pub fn snapshot_nt(&self) -> Vec<u32> {
         self.nt.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
+
+    /// Snapshot the `nd` matrix (row-major by document).
+    pub fn snapshot_nd(&self) -> Vec<u32> {
+        self.nd.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Overwrite `nw` and `nt` from plain-integer snapshots (the sharded
+    /// backend refreshes each shard's local word/topic counts from the
+    /// merged global state at every sweep boundary). Relaxed stores; the
+    /// single-writer contract of [`Self::increment_serial`] applies.
+    ///
+    /// # Panics
+    /// Panics if the snapshot lengths do not match `V·T` / `T`.
+    pub fn load_nw_nt(&self, nw: &[u32], nt: &[u32]) {
+        assert_eq!(nw.len(), self.nw.len(), "nw snapshot length");
+        assert_eq!(nt.len(), self.nt.len(), "nt snapshot length");
+        for (cell, &value) in self.nw.iter().zip(nw) {
+            cell.store(value, Ordering::Relaxed);
+        }
+        for (cell, &value) in self.nt.iter().zip(nt) {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulate this matrix's `nw`/`nt` **deltas against a base
+    /// snapshot** into `out`: `out[i] += self[i] − base[i]`, in wrapping
+    /// arithmetic so transient per-shard negatives cancel exactly when
+    /// every shard's delta has been applied. This is the sweep-boundary
+    /// merge of the sharded backend: starting from `out = base`, applying
+    /// every shard's delta yields counts consistent with the post-sweep
+    /// assignments.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not match `V·T` / `T`.
+    pub fn add_deltas_into(
+        &self,
+        base_nw: &[u32],
+        base_nt: &[u32],
+        out_nw: &mut [u32],
+        out_nt: &mut [u32],
+    ) {
+        assert_eq!(base_nw.len(), self.nw.len(), "base nw length");
+        assert_eq!(base_nt.len(), self.nt.len(), "base nt length");
+        assert_eq!(out_nw.len(), self.nw.len(), "out nw length");
+        assert_eq!(out_nt.len(), self.nt.len(), "out nt length");
+        for ((cell, &base), out) in self.nw.iter().zip(base_nw).zip(out_nw.iter_mut()) {
+            *out = out.wrapping_add(cell.load(Ordering::Relaxed).wrapping_sub(base));
+        }
+        for ((cell, &base), out) in self.nt.iter().zip(base_nt).zip(out_nt.iter_mut()) {
+            *out = out.wrapping_add(cell.load(Ordering::Relaxed).wrapping_sub(base));
+        }
+    }
+
+    /// Copy document `src_d`'s `nd` row from `src` into this matrix's row
+    /// `d` (the sharded backend publishing a shard-local document row back
+    /// into the global matrices).
+    ///
+    /// # Panics
+    /// Panics if the topic counts of the two matrices differ.
+    pub fn copy_nd_row_from(&self, d: usize, src: &CountMatrices, src_d: usize) {
+        assert_eq!(self.t, src.t, "topic count mismatch");
+        for (dst, cell) in self.nd_row(d).iter().zip(src.nd_row(src_d)) {
+            dst.store(cell.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +380,54 @@ mod tests {
         for t in 0..2 {
             assert_eq!(atomic.nd(0, t), serial.nd(0, t));
         }
+    }
+
+    #[test]
+    fn load_round_trips_snapshots() {
+        let a = CountMatrices::new(3, 2, &[2, 1]);
+        a.increment(0, 0, 1);
+        a.increment(2, 1, 0);
+        let b = CountMatrices::new(3, 2, &[2, 1]);
+        b.load_nw_nt(&a.snapshot_nw(), &a.snapshot_nt());
+        b.copy_nd_row_from(0, &a, 0);
+        b.copy_nd_row_from(1, &a, 1);
+        assert_eq!(b.snapshot_nw(), a.snapshot_nw());
+        assert_eq!(b.snapshot_nt(), a.snapshot_nt());
+        assert_eq!(b.snapshot_nd(), a.snapshot_nd());
+    }
+
+    #[test]
+    fn shard_deltas_merge_to_consistent_totals() {
+        // A "global" 2-word × 2-topic state with two tokens assigned.
+        let global = CountMatrices::new(2, 2, &[1, 1]);
+        global.increment(0, 0, 0);
+        global.increment(1, 1, 1);
+        let base_nw = global.snapshot_nw();
+        let base_nt = global.snapshot_nt();
+        // Two shards start from the snapshot; each moves its own token.
+        let mk_shard = |d: usize| {
+            let local = CountMatrices::new(2, 2, &[1]);
+            local.load_nw_nt(&base_nw, &base_nt);
+            local.copy_nd_row_from(0, &global, d);
+            local
+        };
+        let s0 = mk_shard(0);
+        s0.decrement(0, 0, 0);
+        s0.increment(0, 0, 1); // word 0: topic 0 → 1
+        let s1 = mk_shard(1);
+        s1.decrement(1, 0, 1);
+        s1.increment(1, 0, 0); // word 1: topic 1 → 0
+        let mut merged_nw = base_nw.clone();
+        let mut merged_nt = base_nt.clone();
+        s0.add_deltas_into(&base_nw, &base_nt, &mut merged_nw, &mut merged_nt);
+        s1.add_deltas_into(&base_nw, &base_nt, &mut merged_nw, &mut merged_nt);
+        global.load_nw_nt(&merged_nw, &merged_nt);
+        global.copy_nd_row_from(0, &s0, 0);
+        global.copy_nd_row_from(1, &s1, 0);
+        // nw[w][t] layout: [w0t0, w0t1, w1t0, w1t1]
+        assert_eq!(global.snapshot_nw(), vec![0, 1, 1, 0]);
+        assert_eq!(global.snapshot_nt(), vec![1, 1]);
+        assert!(global.check_invariants());
     }
 
     #[test]

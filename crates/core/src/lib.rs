@@ -53,7 +53,7 @@ pub use inference::{FoldInConfig, Inference, InferredDocument};
 pub use lda::Lda;
 pub use model::{FittedModel, GibbsModel};
 pub use params::{ModelConfig, SmoothingMode, TraceConfig};
-pub use persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior};
+pub use persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior, TrainCheckpoint};
 pub use sampler::Backend;
 pub use source_lda::{SourceLda, Variant};
 

@@ -5,11 +5,12 @@ use crate::counts::CountMatrices;
 use crate::error::CoreError;
 use crate::loglik;
 use crate::params::ModelConfig;
+use crate::persist::TrainCheckpoint;
 use crate::prior::TopicPrior;
-use crate::sampler::{run_sweeps, SweepContext};
+use crate::sampler::{run_sweeps, SamplerRngs, SweepCache, SweepContext};
 use rand::Rng;
 use srclda_corpus::Corpus;
-use srclda_math::{rng_from_seed, DenseMatrix};
+use srclda_math::{rng_from_seed, rng_from_state, rng_state, spawn_rng, DenseMatrix, SldaRng};
 
 /// A fully-specified topic model: one prior per topic, optional labels, and
 /// the run configuration. Construct via the model builders ([`crate::Lda`],
@@ -64,6 +65,13 @@ impl GibbsModel {
         &self.priors
     }
 
+    /// Per-topic labels (`None` for unlabeled topics) — what a
+    /// [`FittedModel`] will carry, available before fitting so tooling can
+    /// persist mid-training snapshots.
+    pub fn labels(&self) -> &[Option<String>] {
+        &self.labels
+    }
+
     /// The run configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.config
@@ -74,6 +82,46 @@ impl GibbsModel {
     /// # Errors
     /// Fails on an empty corpus or vocabulary mismatch.
     pub fn fit(&self, corpus: &Corpus) -> crate::Result<FittedModel> {
+        self.fit_resumable(corpus, None, None, |_| Ok(()))
+    }
+
+    /// [`Self::fit`] with training checkpoint/resume support.
+    ///
+    /// * `resume` — continue from a [`TrainCheckpoint`] captured by an
+    ///   earlier run of the **same model configuration** on the **same
+    ///   corpus**. The remaining sweeps replay bit-identically to the
+    ///   uninterrupted run: chunk boundaries (λ-adaptation, checkpoints)
+    ///   never perturb the chain, because every boundary rebuilds sweep
+    ///   state from values that are themselves pure functions of
+    ///   `(z, counts, priors, RNG states)`.
+    /// * `checkpoint_every` — invoke `on_checkpoint` with a fresh
+    ///   checkpoint after every `n` completed sweeps (sweep indices are
+    ///   absolute, so a resumed run checkpoints at the same boundaries the
+    ///   uninterrupted one would). An error from the callback aborts the
+    ///   fit.
+    ///
+    /// Bit-identity covers the *sampler state* — assignments, counts,
+    /// priors, φ/θ. Recorded traces ([`crate::params::TraceConfig`]) are
+    /// **not** part of
+    /// a checkpoint: a resumed run's `loglik_trace`/`snapshots` cover only
+    /// the sweeps it ran itself (entries before the resume point live in
+    /// the interrupted run's output).
+    ///
+    /// # Errors
+    /// Everything [`Self::fit`] rejects, plus: a checkpoint that is
+    /// structurally corrupt, disagrees with the corpus (dimensions or
+    /// counts-vs-assignments), was taken past `iterations`, or whose shard
+    /// layout disagrees with the configured backend.
+    pub fn fit_resumable<F>(
+        &self,
+        corpus: &Corpus,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_every: Option<usize>,
+        mut on_checkpoint: F,
+    ) -> crate::Result<FittedModel>
+    where
+        F: FnMut(&TrainCheckpoint) -> crate::Result<()>,
+    {
         if corpus.num_tokens() == 0 {
             return Err(CoreError::EmptyCorpus);
         }
@@ -83,6 +131,11 @@ impl GibbsModel {
                 corpus: corpus.vocab_size(),
             });
         }
+        if checkpoint_every == Some(0) {
+            return Err(CoreError::InvalidConfig(
+                "checkpoint interval must be at least 1 sweep".into(),
+            ));
+        }
         let t_count = self.num_topics();
         let tokens: Vec<Vec<u32>> = corpus
             .docs()
@@ -91,53 +144,153 @@ impl GibbsModel {
             .collect();
         let doc_lens: Vec<u32> = tokens.iter().map(|d| d.len() as u32).collect();
         let counts = CountMatrices::new(self.vocab_size, t_count, &doc_lens);
-        let mut rng = rng_from_seed(self.config.seed);
+        let backend = self.config.backend;
+        let total_iters = self.config.iterations;
 
-        // "Initialize C_topics to random topic assignments" (Algorithm 1).
-        let mut z: Vec<Vec<u32>> = tokens
-            .iter()
-            .enumerate()
-            .map(|(d, doc)| {
-                doc.iter()
-                    .map(|&w| {
-                        let t = rng.gen_range(0..t_count);
-                        counts.increment(w as usize, d, t);
-                        t as u32
+        // Sampler state: assignments, counts, priors, RNG streams, and the
+        // completed-sweep index — initialized fresh or from the checkpoint.
+        let mut rng;
+        let mut z: Vec<Vec<u32>>;
+        let mut priors: Vec<TopicPrior>;
+        let mut shard_rngs: Vec<SldaRng>;
+        let mut completed: usize;
+        match resume {
+            None => {
+                rng = rng_from_seed(self.config.seed);
+                // "Initialize C_topics to random topic assignments"
+                // (Algorithm 1).
+                z = tokens
+                    .iter()
+                    .enumerate()
+                    .map(|(d, doc)| {
+                        doc.iter()
+                            .map(|&w| {
+                                let t = rng.gen_range(0..t_count);
+                                counts.increment(w as usize, d, t);
+                                t as u32
+                            })
+                            .collect()
                     })
-                    .collect()
-            })
-            .collect();
+                    .collect();
+                // Priors are cloned so adaptive λ can re-weight quadrature
+                // levels between sweep chunks without mutating the
+                // configured model.
+                priors = self.priors.clone();
+                if self.config.lambda_optimistic_start {
+                    for p in priors.iter_mut() {
+                        p.optimistic_lambda_start();
+                    }
+                }
+                // Sharded backend: split one stream per shard from the run
+                // RNG — shards 1..S are spawned in shard order, then shard
+                // 0 *continues* the run stream, so S = 1 spawns nothing
+                // and walks Backend::Serial's exact chain.
+                shard_rngs = Vec::new();
+                if backend.is_sharded() {
+                    for _ in 1..backend.shards() {
+                        shard_rngs.push(spawn_rng(&mut rng));
+                    }
+                    shard_rngs.insert(0, rng.clone());
+                }
+                completed = 0;
+            }
+            Some(cp) => {
+                cp.validate(&doc_lens, self.vocab_size, t_count)?;
+                let expected_shards = if backend.is_sharded() {
+                    backend.shards() as u64
+                } else {
+                    0
+                };
+                if cp.shards != expected_shards {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "checkpoint was taken with shard layout {} but the backend expects {expected_shards}",
+                        cp.shards
+                    )));
+                }
+                if cp.sweep > total_iters as u64 {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "checkpoint is at sweep {} but the run is configured for {total_iters}",
+                        cp.sweep
+                    )));
+                }
+                if cp.seed != self.config.seed {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "checkpoint was trained with seed {} but the model is configured \
+                         with seed {} — resuming would silently mislabel the run",
+                        cp.seed, self.config.seed
+                    )));
+                }
+                // α feeds every token draw ((n_dt + α) in the weight pass),
+                // so a changed α breaks bit-identity just as silently as a
+                // changed seed; compare bits, not approximate values.
+                if cp.alpha.to_bits() != self.config.alpha.to_bits() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "checkpoint was trained with alpha {} but the model is configured \
+                         with alpha {}",
+                        cp.alpha, self.config.alpha
+                    )));
+                }
+                z = cp.z.clone();
+                for (d, doc) in tokens.iter().enumerate() {
+                    for (j, &w) in doc.iter().enumerate() {
+                        counts.increment(w as usize, d, z[d][j] as usize);
+                    }
+                }
+                // The stored counts must be exactly the counts the corpus
+                // and assignments imply — a mismatch means the checkpoint
+                // belongs to a different corpus (or was corrupted).
+                if counts.snapshot_nw() != cp.nw || counts.snapshot_nt() != cp.nt {
+                    return Err(CoreError::InvalidConfig(
+                        "checkpoint counts disagree with its assignments on this corpus \
+                         (checkpoint from a different corpus?)"
+                            .into(),
+                    ));
+                }
+                priors = cp
+                    .priors
+                    .iter()
+                    .map(|raw| TopicPrior::from_raw(raw.clone(), self.vocab_size))
+                    .collect::<crate::Result<_>>()?;
+                rng = rng_from_state(cp.main_rng);
+                shard_rngs = cp.shard_rngs.iter().map(|&s| rng_from_state(s)).collect();
+                completed = cp.sweep as usize;
+            }
+        }
 
         let mut loglik_trace: Vec<(usize, f64)> = Vec::new();
         let mut snapshots: Vec<(usize, DenseMatrix<f64>)> = Vec::new();
         let trace = self.config.trace.clone();
-        // Priors are cloned so adaptive λ can re-weight quadrature levels
-        // between sweep chunks without mutating the configured model.
-        let mut priors: Vec<TopicPrior> = self.priors.clone();
-        if self.config.lambda_optimistic_start {
-            for p in priors.iter_mut() {
-                p.optimistic_lambda_start();
-            }
-        }
         let adapt_every = self
             .config
             .lambda_update_every
             .filter(|_| priors.iter().any(TopicPrior::is_integrated));
-        let total_iters = self.config.iterations;
         let burn_in = self.config.lambda_burn_in;
-        // The serial kernel's combined prior table survives adaptation
-        // chunks (λ re-weighting never touches its contents).
-        let mut combined_cache = None;
-        let mut completed = 0usize;
+        // The first λ-adaptation boundary strictly after `completed`:
+        // {burn_in + j·m, j ≥ 0} \ {0}. Chunks end at these boundaries (or
+        // at checkpoint boundaries, or at the end of the run); splitting a
+        // chunk never changes the chain, only where bookkeeping happens.
+        let next_adapt_boundary = |completed: usize| -> usize {
+            match adapt_every {
+                None => usize::MAX,
+                Some(_) if completed < burn_in => burn_in,
+                Some(m) => burn_in + ((completed - burn_in) / m + 1) * m,
+            }
+        };
+        let next_checkpoint_boundary = |completed: usize| -> usize {
+            match checkpoint_every {
+                None => usize::MAX,
+                Some(every) => (completed / every + 1) * every,
+            }
+        };
+        // Backend sweep state that survives chunk boundaries (the serial
+        // kernel's combined prior table, the sharded backend's per-shard
+        // workspaces) — λ re-weighting never touches its contents.
+        let mut sweep_cache = SweepCache::default();
         while completed < total_iters {
-            let chunk = match adapt_every {
-                Some(m) if completed < burn_in => {
-                    let _ = m;
-                    (burn_in - completed).min(total_iters - completed)
-                }
-                Some(m) => m.min(total_iters - completed),
-                None => total_iters,
-            };
+            let chunk_end = next_adapt_boundary(completed)
+                .min(next_checkpoint_boundary(completed))
+                .min(total_iters);
+            let chunk = chunk_end - completed;
             let ctx = SweepContext {
                 tokens: &tokens,
                 counts: &counts,
@@ -147,12 +300,15 @@ impl GibbsModel {
             let base = completed;
             let priors_ref: &[TopicPrior] = &priors;
             run_sweeps(
-                self.config.backend,
+                backend,
                 &ctx,
                 &mut z,
-                &mut rng,
+                SamplerRngs {
+                    main: &mut rng,
+                    shards: &mut shard_rngs,
+                },
                 chunk,
-                &mut combined_cache,
+                &mut sweep_cache,
                 |iter_in_chunk| {
                     let iter = base + iter_in_chunk;
                     if let Some(every) = trace.log_likelihood_every {
@@ -168,9 +324,38 @@ impl GibbsModel {
                     }
                 },
             );
-            completed += chunk;
-            if adapt_every.is_some() && completed >= burn_in && completed < total_iters {
+            completed = chunk_end;
+            // λ-adaptation runs exactly at its own boundaries — a
+            // checkpoint boundary that is not an adaptation boundary must
+            // not trigger an extra adaptation (that would make the chain
+            // depend on the checkpoint interval).
+            let at_adapt_boundary = match adapt_every {
+                Some(m) => completed >= burn_in.max(1) && (completed - burn_in).is_multiple_of(m),
+                None => false,
+            };
+            if at_adapt_boundary && completed < total_iters {
                 adapt_integrated_priors(&mut priors, &counts);
+            }
+            if let Some(every) = checkpoint_every {
+                if completed.is_multiple_of(every) {
+                    let cp = TrainCheckpoint {
+                        sweep: completed as u64,
+                        seed: self.config.seed,
+                        alpha: self.config.alpha,
+                        shards: if backend.is_sharded() {
+                            backend.shards() as u64
+                        } else {
+                            0
+                        },
+                        z: z.clone(),
+                        nw: counts.snapshot_nw(),
+                        nt: counts.snapshot_nt(),
+                        main_rng: rng_state(&rng),
+                        shard_rngs: shard_rngs.iter().map(rng_state).collect(),
+                        priors: priors.iter().map(TopicPrior::to_raw).collect(),
+                    };
+                    on_checkpoint(&cp)?;
+                }
             }
         }
 

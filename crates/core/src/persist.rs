@@ -11,6 +11,14 @@
 //! Round-trip guarantee: `from_raw(to_raw(p), v)` reconstructs a prior whose
 //! [`TopicPrior::word_weight`] is bit-identical to the original's for every
 //! `(w, nw, nt)` — the f64 payloads are copied, never recomputed.
+//!
+//! [`TrainCheckpoint`] extends the same philosophy to *whole training
+//! runs*: everything a collapsed Gibbs chain needs to continue from a
+//! sweep boundary — assignments, counts, RNG streams, shard layout, the
+//! (possibly λ-adapted) priors — as plain values. Capture and resume go
+//! through [`crate::GibbsModel::fit_resumable`]; the byte encoding lives
+//! with the artifact codec in `srclda_serve` (the checkpoint section of a
+//! format-v2 `.slda` file).
 
 use crate::error::CoreError;
 use crate::prior::{IntegrationTable, TopicPrior};
@@ -159,6 +167,180 @@ impl TopicPrior {
                 TopicPrior::concept_set(&support, beta, vocab_size)
             }
         }
+    }
+}
+
+/// A full sampler snapshot at a sweep boundary: resuming a run from a
+/// checkpoint replays the remaining sweeps **bit-identically** to the
+/// uninterrupted run of the same backend (pinned by
+/// `tests/shard_equivalence.rs`).
+///
+/// The counts (`nw`/`nt`) are stored even though they are derivable from
+/// `z`: on resume the counts are rebuilt from the assignments and compared
+/// against the stored ones, so a checkpoint whose pieces drifted apart
+/// (truncated, hand-edited, mismatched corpus) is rejected instead of
+/// silently continuing a corrupt chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Completed sweeps (resume continues at `sweep + 1`).
+    pub sweep: u64,
+    /// The run seed. Resume rejects a configured seed that differs —
+    /// the chain would continue from these RNG states regardless, so the
+    /// run would be silently mislabeled.
+    pub seed: u64,
+    /// The document–topic prior α the run was trained with. Like `seed`,
+    /// α feeds the per-token arithmetic directly (`n_dt + α`), so resume
+    /// rejects a configured α whose bits differ. The rest of the
+    /// configuration either rides in the checkpoint itself (the priors,
+    /// including λ-adaptation state) or only shapes *future* boundaries
+    /// (adaptation schedule) that an operator may legitimately change.
+    pub alpha: f64,
+    /// Shard count `S` of [`crate::Backend::ShardedDocs`], or 0 for
+    /// non-sharded backends (whose sampler state is the single run RNG).
+    pub shards: u64,
+    /// Per-token topic assignments, indexed `[doc][position]`.
+    pub z: Vec<Vec<u32>>,
+    /// Word–topic counts `n_wt`, row-major by word (`V·T`).
+    pub nw: Vec<u32>,
+    /// Topic totals `n_t` (`T`).
+    pub nt: Vec<u32>,
+    /// The run RNG state at the boundary.
+    pub main_rng: [u64; 4],
+    /// Per-shard RNG states (`S` entries; empty for non-sharded backends).
+    pub shard_rngs: Vec<[u64; 4]>,
+    /// The current priors — including any λ-adaptation applied so far,
+    /// which is sampler state a resume must not replay from scratch.
+    pub priors: Vec<RawPrior>,
+}
+
+impl TrainCheckpoint {
+    /// Topic count `T` implied by the checkpoint.
+    pub fn num_topics(&self) -> usize {
+        self.nt.len()
+    }
+
+    /// Vocabulary size `V` implied by the checkpoint.
+    pub fn vocab_size(&self) -> usize {
+        if self.nt.is_empty() {
+            0
+        } else {
+            self.nw.len() / self.nt.len()
+        }
+    }
+
+    /// The topic–word matrix φ at the checkpoint's counts (the same
+    /// expression [`crate::FittedModel::phi`] reports at the end of a
+    /// run), so a checkpoint can be persisted as a *servable* snapshot of
+    /// the partially-trained model.
+    ///
+    /// # Errors
+    /// Fails if the checkpoint's own dimensions disagree (priors vs `nt`,
+    /// `nw` not `V·T`-shaped) or a stored prior is inconsistent with the
+    /// checkpoint's vocabulary size.
+    pub fn phi(&self) -> crate::Result<srclda_math::DenseMatrix<f64>> {
+        let v = self.vocab_size();
+        let t_count = self.num_topics();
+        // Guard the indexing below: this method is reachable before
+        // `validate` (e.g. `ModelArtifact::from_checkpoint`), so a
+        // malformed checkpoint must error here, not panic.
+        if self.priors.len() != t_count {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint: {} priors for {t_count} topics",
+                self.priors.len()
+            )));
+        }
+        // vocab_size() floor-divides, so nw.len() != v·T exactly when nw
+        // is not T-aligned (a truncated or mispaired counts vector).
+        if self.nw.len() != v * t_count {
+            return Err(CoreError::InvalidConfig(format!(
+                "checkpoint: nw has {} entries, not a multiple of T={t_count}",
+                self.nw.len()
+            )));
+        }
+        let mut phi = srclda_math::DenseMatrix::zeros(t_count, v);
+        for (t, raw) in self.priors.iter().enumerate() {
+            let prior = TopicPrior::from_raw(raw.clone(), v)?;
+            let nt = self.nt[t] as f64;
+            for (w, cell) in phi.row_mut(t).iter_mut().enumerate() {
+                *cell = prior.word_weight(w, self.nw[w * t_count + t] as f64, nt);
+            }
+        }
+        phi.normalize_rows();
+        Ok(phi)
+    }
+
+    /// Structural validation: dimensions agree with each other and with
+    /// the given corpus shape, topic ids are in range, and the stored
+    /// counts are exactly the counts implied by `z`.
+    ///
+    /// # Errors
+    /// Returns the first inconsistency found (a corrupt or mismatched
+    /// checkpoint).
+    pub fn validate(
+        &self,
+        doc_lens: &[u32],
+        vocab_size: usize,
+        t_count: usize,
+    ) -> crate::Result<()> {
+        let fail = |msg: String| Err(CoreError::InvalidConfig(format!("checkpoint: {msg}")));
+        if self.nt.len() != t_count {
+            return fail(format!(
+                "{} topic totals for {t_count} topics",
+                self.nt.len()
+            ));
+        }
+        if self.priors.len() != t_count {
+            return fail(format!("{} priors for {t_count} topics", self.priors.len()));
+        }
+        if self.nw.len() != vocab_size * t_count {
+            return fail(format!(
+                "nw has {} entries for V={vocab_size}, T={t_count}",
+                self.nw.len()
+            ));
+        }
+        if self.z.len() != doc_lens.len() {
+            return fail(format!(
+                "{} documents in checkpoint, {} in corpus",
+                self.z.len(),
+                doc_lens.len()
+            ));
+        }
+        for (d, (doc, &len)) in self.z.iter().zip(doc_lens).enumerate() {
+            if doc.len() != len as usize {
+                return fail(format!(
+                    "document {d} has {} assignments for {len} tokens",
+                    doc.len()
+                ));
+            }
+            if let Some(&t) = doc.iter().find(|&&t| t as usize >= t_count) {
+                return fail(format!("document {d} assigns topic {t} of {t_count}"));
+            }
+        }
+        if self.shards as usize != self.shard_rngs.len() {
+            return fail(format!(
+                "{} shard RNG states for {} shards",
+                self.shard_rngs.len(),
+                self.shards
+            ));
+        }
+        // The stored topic totals must equal the totals implied by z. The
+        // full nw check needs the token stream and happens at resume time
+        // (GibbsModel::fit_resumable), but the nt cross-check alone already
+        // catches truncation and doc/count mixups cheaply.
+        let mut implied_nt = vec![0u64; t_count];
+        for doc in &self.z {
+            for &t in doc {
+                implied_nt[t as usize] += 1;
+            }
+        }
+        for (t, (&stored, &implied)) in self.nt.iter().zip(&implied_nt).enumerate() {
+            if stored as u64 != implied {
+                return fail(format!(
+                    "topic {t} total is {stored} but assignments imply {implied}"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -320,6 +502,75 @@ mod tests {
             },
         };
         assert!(TopicPrior::from_raw(RawPrior::Integrated(bad), 4).is_err());
+    }
+
+    fn toy_checkpoint() -> TrainCheckpoint {
+        // 2 docs × [2, 1] tokens, V=2, T=2; z = [[0,1],[1]].
+        TrainCheckpoint {
+            sweep: 5,
+            seed: 9,
+            alpha: 0.5,
+            shards: 0,
+            z: vec![vec![0, 1], vec![1]],
+            nw: vec![1, 0, 0, 2],
+            nt: vec![1, 2],
+            main_rng: [1, 2, 3, 4],
+            shard_rngs: vec![],
+            priors: vec![
+                RawPrior::Symmetric { beta: 0.1 },
+                RawPrior::Symmetric { beta: 0.1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_validates_consistent_state() {
+        let cp = toy_checkpoint();
+        assert_eq!(cp.num_topics(), 2);
+        assert_eq!(cp.vocab_size(), 2);
+        cp.validate(&[2, 1], 2, 2).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_phi_errors_on_malformed_state_instead_of_panicking() {
+        let good = toy_checkpoint();
+        assert!(good.phi().is_ok());
+        // More priors than topic totals: must be an error, not an
+        // out-of-bounds panic (phi() is reachable before validate()).
+        let mut bad = good.clone();
+        bad.priors.push(RawPrior::Symmetric { beta: 0.1 });
+        assert!(bad.phi().is_err());
+        // nw not T-aligned: floor-divided vocab_size would mis-index.
+        let mut bad = good;
+        bad.nw.push(0);
+        assert!(bad.phi().is_err());
+    }
+
+    #[test]
+    fn checkpoint_rejects_inconsistencies() {
+        let base = toy_checkpoint();
+        // Wrong doc count.
+        assert!(base.validate(&[2], 2, 2).is_err());
+        // Wrong doc length.
+        assert!(base.validate(&[2, 2], 2, 2).is_err());
+        // Wrong topic count.
+        assert!(base.validate(&[2, 1], 2, 3).is_err());
+        // Out-of-range topic assignment.
+        let mut bad = base.clone();
+        bad.z[0][0] = 7;
+        assert!(bad.validate(&[2, 1], 2, 2).is_err());
+        // Topic totals inconsistent with assignments.
+        let mut bad = base.clone();
+        bad.nt = vec![2, 1];
+        assert!(bad.validate(&[2, 1], 2, 2).is_err());
+        // Shard RNG count disagrees with shard count.
+        let mut bad = base.clone();
+        bad.shards = 2;
+        assert!(bad.validate(&[2, 1], 2, 2).is_err());
+        // nw sized for the wrong vocabulary.
+        let mut bad = base;
+        bad.nw = vec![0; 6];
+        assert!(bad.validate(&[2, 1], 2, 2).is_err());
     }
 
     #[test]

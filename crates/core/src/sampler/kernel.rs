@@ -68,6 +68,7 @@ use rand::Rng;
 use srclda_math::categorical::binary_search_cumulative;
 use srclda_math::SldaRng;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Per-topic prior kind tag (the flat replacement for the `TopicPrior`
 /// enum dispatch). Each carries the topic's ordinal within its channel:
@@ -306,12 +307,14 @@ impl Combined {
     /// values that λ adaptation never touches — δ rows, φ rows, masks,
     /// support membership (adapt re-weights the quadrature only) — so a
     /// prior chunk's table is verbatim-valid for the next chunk and the
-    /// multi-MB copy need not be repaid per chunk.
+    /// multi-MB copy need not be repaid per chunk. The table is shared by
+    /// `Arc` so the sharded backend's S kernels read **one** copy instead
+    /// of multiplying a potentially multi-hundred-MB structure by S.
     fn build_or_reuse(
         tables: &SweepTables<'_>,
         vocab_size: usize,
-        previous: Option<Self>,
-    ) -> Option<Self> {
+        previous: Option<Arc<Self>>,
+    ) -> Option<Arc<Self>> {
         if let Some(prev) = previous {
             let shape_matches = tables.ints.len() == prev.n_int
                 && tables.ints.iter().all(|f| f.levels == prev.a)
@@ -322,10 +325,10 @@ impl Combined {
                 return Some(prev);
             }
         }
-        Self::build(tables, vocab_size)
+        Self::build(tables, vocab_size).map(Arc::new)
     }
 
-    fn build(tables: &SweepTables<'_>, vocab_size: usize) -> Option<Self> {
+    pub(crate) fn build(tables: &SweepTables<'_>, vocab_size: usize) -> Option<Self> {
         let n_int = tables.ints.len();
         let a = tables.ints.first().map_or(0, |f| f.levels);
         if tables.ints.iter().any(|f| f.levels != a) {
@@ -391,9 +394,9 @@ impl Combined {
 /// buffer. Build once per [`run_sweeps`](super::run_sweeps) call.
 pub(crate) struct Kernel<'a> {
     tables: SweepTables<'a>,
-    /// Word-major combined prior channels (`None` on the fallback path —
-    /// see [`Combined`]).
-    combined: Option<Combined>,
+    /// Word-major combined prior channels, shared across kernels of the
+    /// same model (`None` on the fallback path — see [`Combined`]).
+    combined: Option<Arc<Combined>>,
     recip: RecipCache,
     /// `n_dt as f64 + α` for the current document's topics; exactly `α`
     /// everywhere else.
@@ -418,7 +421,7 @@ impl<'a> Kernel<'a> {
     /// the table is taken as-is instead of re-copied (see
     /// [`Combined::build_or_reuse`]); recover it afterwards with
     /// [`Self::into_combined`].
-    pub(crate) fn new(ctx: &SweepContext<'a>, reuse: Option<Combined>) -> Self {
+    pub(crate) fn new(ctx: &SweepContext<'a>, reuse: Option<Arc<Combined>>) -> Self {
         let tables = SweepTables::new(ctx.priors);
         let combined = Combined::build_or_reuse(&tables, ctx.counts.vocab_size(), reuse);
         let recip = RecipCache::new(&tables, ctx.counts);
@@ -436,7 +439,7 @@ impl<'a> Kernel<'a> {
     }
 
     /// Surrender the combined table for reuse by the next sweep chunk.
-    pub(crate) fn into_combined(self) -> Option<Combined> {
+    pub(crate) fn into_combined(self) -> Option<Arc<Combined>> {
         self.combined
     }
 

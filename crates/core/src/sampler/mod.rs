@@ -11,6 +11,7 @@
 pub mod kernel;
 pub mod parallel;
 pub mod serial;
+pub mod shard;
 
 use crate::counts::CountMatrices;
 use crate::error::CoreError;
@@ -41,6 +42,21 @@ pub enum Backend {
         /// Number of worker threads `P`.
         threads: usize,
     },
+    /// Document-sharded approximate collapsed Gibbs (AD-LDA style, see
+    /// [`shard`]): documents are statically partitioned into `shards`
+    /// shards; each shard sweeps against a sweep-start snapshot of the
+    /// word/topic counts with its own RNG stream, and shard deltas merge
+    /// into the global counts at every sweep boundary, in shard order.
+    ///
+    /// The chain is a pure function of `(seed, shards)` — `threads` only
+    /// schedules shard work and never changes a single bit of the result —
+    /// and `shards: 1` walks the exact chain of [`Backend::Serial`].
+    ShardedDocs {
+        /// Fixed shard count `S` (determinism granularity).
+        shards: usize,
+        /// Worker threads executing shard sweeps (clamped to `S`).
+        threads: usize,
+    },
 }
 
 impl Backend {
@@ -48,8 +64,24 @@ impl Backend {
     pub fn threads(&self) -> usize {
         match self {
             Backend::Serial | Backend::SerialDense => 1,
-            Backend::PrefixSums { threads } | Backend::SimpleParallel { threads } => *threads,
+            Backend::PrefixSums { threads }
+            | Backend::SimpleParallel { threads }
+            | Backend::ShardedDocs { threads, .. } => *threads,
         }
+    }
+
+    /// Number of document shards (1 for every non-sharded backend).
+    pub fn shards(&self) -> usize {
+        match self {
+            Backend::ShardedDocs { shards, .. } => *shards,
+            _ => 1,
+        }
+    }
+
+    /// True iff this is the document-sharded backend (the only backend
+    /// whose sampler state includes per-shard RNG streams).
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, Backend::ShardedDocs { .. })
     }
 
     /// Check the configuration is runnable.
@@ -57,6 +89,11 @@ impl Backend {
         if self.threads() == 0 {
             return Err(CoreError::InvalidConfig(
                 "parallel backends need at least one thread".into(),
+            ));
+        }
+        if let Backend::ShardedDocs { shards: 0, .. } = self {
+            return Err(CoreError::InvalidConfig(
+                "sharded backend needs at least one shard".into(),
             ));
         }
         Ok(())
@@ -82,32 +119,56 @@ impl<'a> SweepContext<'a> {
     }
 }
 
+/// The sampler's mutable RNG state: the run stream, plus the per-shard
+/// streams of [`Backend::ShardedDocs`] (empty for every other backend).
+/// Both live in the fitting loop across chunk calls — they are part of
+/// the sampler state and are checkpointed.
+pub(crate) struct SamplerRngs<'a> {
+    /// The run stream (every non-sharded backend draws from it).
+    pub main: &'a mut SldaRng,
+    /// One stream per shard, in shard order.
+    pub shards: &'a mut [SldaRng],
+}
+
+/// Reusable sweep state carried by the fitting loop across chunk calls
+/// (the fit loop invokes [`run_sweeps`] once per λ-adaptation/checkpoint
+/// chunk). Everything here is a pure cache: rebuilding it from the live
+/// model state produces bit-identical values, so reuse never perturbs the
+/// chain — it only avoids repaying multi-MB copies per chunk.
+#[derive(Default)]
+pub(crate) struct SweepCache {
+    /// The serial kernel's word-major combined prior table (λ adaptation
+    /// never touches its contents; `Arc` so shards can share one copy).
+    pub combined: Option<std::sync::Arc<kernel::Combined>>,
+    /// The sharded backend's chunk state (partition, local count
+    /// matrices, the shared combined table).
+    pub shard: Option<shard::ShardState>,
+}
+
 /// Run `iterations` full Gibbs sweeps with the chosen backend, mutating the
 /// assignment vector `z` and the counts. `on_sweep` is invoked after every
 /// sweep with the completed iteration index (1-based) for trace recording.
 ///
-/// `combined_cache` carries the kernel's word-major combined table across
-/// calls: the fitting loop invokes `run_sweeps` once per λ-adaptation chunk,
-/// and the table's contents (δ/φ rows, masks, support membership) are
-/// invariant under adaptation, so rebuilding the multi-MB copy per chunk
-/// would be pure waste. Pass a fresh `&mut None` when no reuse applies.
+/// `cache` carries backend sweep state across calls (see [`SweepCache`]);
+/// pass a fresh `&mut SweepCache::default()` when no reuse applies.
 pub(crate) fn run_sweeps<F: FnMut(usize)>(
     backend: Backend,
     ctx: &SweepContext<'_>,
     z: &mut [Vec<u32>],
-    rng: &mut SldaRng,
+    rngs: SamplerRngs<'_>,
     iterations: usize,
-    combined_cache: &mut Option<kernel::Combined>,
+    cache: &mut SweepCache,
     mut on_sweep: F,
 ) {
+    let rng = rngs.main;
     match backend {
         Backend::Serial => {
-            let mut k = kernel::Kernel::new(ctx, combined_cache.take());
+            let mut k = kernel::Kernel::new(ctx, cache.combined.take());
             for iter in 1..=iterations {
                 k.sweep(ctx, z, rng);
                 on_sweep(iter);
             }
-            *combined_cache = k.into_combined();
+            cache.combined = k.into_combined();
         }
         Backend::SerialDense => {
             let mut buf = vec![0.0; ctx.num_topics()];
@@ -138,6 +199,18 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
                 &mut on_sweep,
             );
         }
+        Backend::ShardedDocs { shards, threads } => {
+            debug_assert_eq!(rngs.shards.len(), shards, "one RNG stream per shard");
+            shard::run(
+                ctx,
+                z,
+                rngs.shards,
+                iterations,
+                threads,
+                &mut cache.shard,
+                &mut on_sweep,
+            );
+        }
     }
 }
 
@@ -151,6 +224,26 @@ mod tests {
         assert_eq!(Backend::SerialDense.threads(), 1);
         assert_eq!(Backend::PrefixSums { threads: 4 }.threads(), 4);
         assert_eq!(Backend::SimpleParallel { threads: 6 }.threads(), 6);
+        assert_eq!(
+            Backend::ShardedDocs {
+                shards: 4,
+                threads: 2
+            }
+            .threads(),
+            2
+        );
+    }
+
+    #[test]
+    fn shard_counts() {
+        assert_eq!(Backend::Serial.shards(), 1);
+        assert!(!Backend::Serial.is_sharded());
+        let sharded = Backend::ShardedDocs {
+            shards: 8,
+            threads: 2,
+        };
+        assert_eq!(sharded.shards(), 8);
+        assert!(sharded.is_sharded());
     }
 
     #[test]
@@ -158,5 +251,23 @@ mod tests {
         assert!(Backend::PrefixSums { threads: 0 }.validate().is_err());
         assert!(Backend::SimpleParallel { threads: 0 }.validate().is_err());
         assert!(Backend::Serial.validate().is_ok());
+        assert!(Backend::ShardedDocs {
+            shards: 0,
+            threads: 1
+        }
+        .validate()
+        .is_err());
+        assert!(Backend::ShardedDocs {
+            shards: 2,
+            threads: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Backend::ShardedDocs {
+            shards: 2,
+            threads: 2
+        }
+        .validate()
+        .is_ok());
     }
 }

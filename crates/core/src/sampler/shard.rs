@@ -1,0 +1,473 @@
+//! Document-sharded approximate collapsed Gibbs
+//! ([`Backend::ShardedDocs`](super::Backend::ShardedDocs)).
+//!
+//! The paper's own parallel algorithms (§III.C.4, [`super::parallel`])
+//! parallelize the *per-token* topic scan, which caps out at the topic
+//! count and cannot scale with corpus size. This module implements the
+//! standard corpus-scale route instead — distributed/approximate collapsed
+//! Gibbs over **document shards** (AD-LDA): within one sweep every shard
+//! samples its documents against a frozen snapshot of the global
+//! word–topic state, and the shards' count deltas are reconciled at the
+//! sweep boundary. The chain is no longer the exact serial chain for
+//! `S > 1` (each shard is blind to the others' intra-sweep moves — the
+//! usual AD-LDA approximation, which vanishes as sweeps converge), but it
+//! is **deterministic in `(seed, S)` alone**:
+//!
+//! * documents are partitioned into `S` contiguous, token-balanced ranges
+//!   — a pure function of the corpus and `S` ([`partition_docs`]);
+//! * each shard owns a private RNG stream: shards `1..S` are spawned from
+//!   the run RNG in shard order, and shard `0` *continues* the run stream
+//!   itself — so with `S = 1` nothing is spawned and the single shard
+//!   draws the exact uniforms [`Backend::Serial`](super::Backend::Serial)
+//!   would, making `S = 1` bit-identical to the serial kernel (pinned by
+//!   `tests/shard_equivalence.rs`);
+//! * each shard sweeps through the **serial kernel** over a shard-local
+//!   [`CountMatrices`]: `n_dt` rows for its own documents (documents are
+//!   disjoint, so these are exact), plus a local copy of `n_wt`/`n_t`
+//!   loaded from the sweep-start snapshot and updated in place as the
+//!   shard moves its own tokens;
+//! * at the sweep boundary the shard deltas are merged into the global
+//!   counts **in shard order** (`global = snapshot + Σ_s (local_s −
+//!   snapshot)`, wrapping arithmetic, so the merged state is exactly the
+//!   counts implied by the post-sweep assignments), and the shard `n_dt`
+//!   rows are copied back.
+//!
+//! Worker threads only *schedule* shard sweeps: each shard's sweep is a
+//! pure function of (snapshot, its documents, its RNG state), so the
+//! result is bit-identical whatever `threads` is — including `threads`
+//! larger or smaller than `S`. λ-adaptation (and every trace callback)
+//! runs on the merged global state between sweeps, exactly as in the
+//! serial backends.
+
+use super::kernel::{Combined, Kernel, SweepTables};
+use super::SweepContext;
+use crate::counts::CountMatrices;
+use srclda_math::SldaRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Partition `doc_lens`-shaped documents into `shards` contiguous ranges
+/// with near-equal token mass: the boundary before shard `i` is the first
+/// document whose cumulative token count reaches `i/S` of the total. A
+/// pure function of the corpus shape and `S` — never of thread count or
+/// machine — so the shard layout (and therefore the chain) is reproducible
+/// anywhere. Some shards may be empty when `S` exceeds the document (or
+/// token) count; integer-division boundaries place those empties wherever
+/// the cumulative token targets collapse (possibly at the *front*), which
+/// is harmless — an empty shard sweeps nothing and draws nothing.
+pub(crate) fn partition_docs(tokens: &[Vec<u32>], shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0, "need at least one shard");
+    let d_count = tokens.len();
+    let total: u64 = tokens.iter().map(|d| d.len() as u64).sum();
+    // cumulative[d] = tokens in documents [0, d).
+    let mut cumulative = Vec::with_capacity(d_count + 1);
+    let mut acc = 0u64;
+    cumulative.push(0u64);
+    for doc in tokens {
+        acc += doc.len() as u64;
+        cumulative.push(acc);
+    }
+    let boundary = |i: usize| -> usize {
+        let target = total * i as u64 / shards as u64;
+        // First document index whose cumulative-before reaches the target.
+        cumulative.partition_point(|&c| c < target)
+    };
+    let mut ranges = Vec::with_capacity(shards);
+    let mut lo = 0usize;
+    for i in 1..=shards {
+        let hi = if i == shards {
+            d_count
+        } else {
+            boundary(i).max(lo).min(d_count)
+        };
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    ranges
+}
+
+/// Per-shard reusable state for one `run` call: the shard's local count
+/// matrices.
+struct ShardWorkspace {
+    /// Global document range this shard owns.
+    range: Range<usize>,
+    /// Local counts: exact `n_dt` rows for the shard's documents, plus the
+    /// snapshot-loaded `n_wt`/`n_t` working copy.
+    local: CountMatrices,
+}
+
+/// One shard's sweep: refresh the local word/topic counts from the global
+/// snapshot, then run one serial-kernel sweep over the shard's documents
+/// with the shard's RNG stream.
+fn shard_sweep(
+    ctx: &SweepContext<'_>,
+    ws: &mut ShardWorkspace,
+    z_shard: &mut [Vec<u32>],
+    rng: &mut SldaRng,
+    combined: Option<Arc<Combined>>,
+    snapshot_nw: &[u32],
+    snapshot_nt: &[u32],
+) {
+    ws.local.load_nw_nt(snapshot_nw, snapshot_nt);
+    let local_ctx = SweepContext {
+        tokens: &ctx.tokens[ws.range.clone()],
+        counts: &ws.local,
+        priors: ctx.priors,
+        alpha: ctx.alpha,
+    };
+    // The kernel's reciprocal cache is seeded from the *current* local
+    // counts, so it must be rebuilt each sweep (the snapshot changed);
+    // the expensive word-major combined table is the one shared copy
+    // built by [`ShardState::build`] (an `Arc` clone, not a data copy).
+    let mut kernel = Kernel::new(&local_ctx, combined);
+    kernel.sweep(&local_ctx, z_shard, rng);
+}
+
+/// One shard's slice of mutable sweep state: its workspace, its documents'
+/// assignments, and its RNG stream.
+type ShardJob<'a> = (&'a mut ShardWorkspace, &'a mut [Vec<u32>], &'a mut SldaRng);
+
+/// The sharded backend's reusable chunk state: the document partition and
+/// the per-shard workspaces. Carried across [`run`] calls by the fitting
+/// loop (via [`super::SweepCache`]) because rebuilding it is pure waste:
+/// the partition is a function of the (fixed) corpus and `S`; the local
+/// `n_dt` rows were the *source* of the global rows at the last merge, so
+/// they are already bit-equal; and the combined tables' contents are
+/// invariant under λ adaptation.
+pub(crate) struct ShardState {
+    ranges: Vec<Range<usize>>,
+    workspaces: Vec<ShardWorkspace>,
+    /// The kernel's word-major combined prior table, built **once** and
+    /// shared by every shard's kernel (`None` on the kernel's fallback
+    /// path — over budget or mixed quadrature depths).
+    combined: Option<Arc<Combined>>,
+}
+
+impl ShardState {
+    fn build(ctx: &SweepContext<'_>, shards: usize) -> Self {
+        let ranges = partition_docs(ctx.tokens, shards);
+        let v = ctx.counts.vocab_size();
+        let t_count = ctx.counts.num_topics();
+        // Local n_dt rows are seeded from the global matrices (which are
+        // consistent with `z` at every boundary).
+        let workspaces: Vec<ShardWorkspace> = ranges
+            .iter()
+            .map(|range| {
+                let doc_lens: Vec<u32> = ctx.tokens[range.clone()]
+                    .iter()
+                    .map(|d| d.len() as u32)
+                    .collect();
+                let local = CountMatrices::new(v, t_count, &doc_lens);
+                for (local_d, global_d) in range.clone().enumerate() {
+                    local.copy_nd_row_from(local_d, ctx.counts, global_d);
+                }
+                ShardWorkspace {
+                    range: range.clone(),
+                    local,
+                }
+            })
+            .collect();
+        let combined = Combined::build(&SweepTables::new(ctx.priors), v).map(Arc::new);
+        Self {
+            ranges,
+            workspaces,
+            combined,
+        }
+    }
+
+    /// Whether this state matches the given run shape (same shard count,
+    /// same corpus extent, same count dimensions) — within one fit these
+    /// never change, so a cached state from the previous chunk is valid.
+    fn matches(&self, ctx: &SweepContext<'_>, shards: usize) -> bool {
+        self.workspaces.len() == shards
+            && self.ranges.last().map_or(0, |r| r.end) == ctx.tokens.len()
+            && self.workspaces.iter().all(|ws| {
+                ws.local.vocab_size() == ctx.counts.vocab_size()
+                    && ws.local.num_topics() == ctx.counts.num_topics()
+            })
+    }
+}
+
+/// Run `iterations` sharded sweeps. `shard_rngs` carries one stream per
+/// shard (sampler state owned by the fitting loop so it can be
+/// checkpointed); `threads` bounds the worker pool and has no effect on
+/// the result; `state_cache` carries the [`ShardState`] across chunk
+/// calls (pass `&mut None` to build fresh).
+pub(crate) fn run<F: FnMut(usize)>(
+    ctx: &SweepContext<'_>,
+    z: &mut [Vec<u32>],
+    shard_rngs: &mut [SldaRng],
+    iterations: usize,
+    threads: usize,
+    state_cache: &mut Option<ShardState>,
+    on_sweep: &mut F,
+) {
+    let shards = shard_rngs.len();
+    assert!(shards > 0, "need at least one shard RNG stream");
+    let mut state = match state_cache.take() {
+        Some(state) if state.matches(ctx, shards) => state,
+        _ => ShardState::build(ctx, shards),
+    };
+    let ShardState {
+        ref ranges,
+        ref mut workspaces,
+        ref combined,
+    } = state;
+
+    let workers = threads.clamp(1, shards);
+    for iter in 1..=iterations {
+        let snapshot_nw = ctx.counts.snapshot_nw();
+        let snapshot_nt = ctx.counts.snapshot_nt();
+
+        // Split `z` into per-shard mutable slices (ranges are contiguous
+        // and ordered, so this is a sequence of split_at_mut cuts).
+        let mut jobs: Vec<ShardJob<'_>> = {
+            let mut rest = &mut *z;
+            let mut cut_at = 0usize;
+            let mut parts = Vec::with_capacity(shards);
+            for range in ranges {
+                let (head, tail) = rest.split_at_mut(range.end - cut_at);
+                cut_at = range.end;
+                parts.push(head);
+                rest = tail;
+            }
+            workspaces
+                .iter_mut()
+                .zip(parts)
+                .zip(shard_rngs.iter_mut())
+                .map(|((ws, part), rng)| (ws, part, rng))
+                .collect()
+        };
+
+        if workers == 1 {
+            for (ws, z_shard, rng) in jobs.iter_mut() {
+                shard_sweep(
+                    ctx,
+                    ws,
+                    z_shard,
+                    rng,
+                    combined.clone(),
+                    &snapshot_nw,
+                    &snapshot_nt,
+                );
+            }
+        } else {
+            // Strided shard→worker assignment. Scheduling is irrelevant to
+            // the result (each shard sweep is self-contained), so any
+            // deterministic split works; strided keeps token-balanced
+            // shards balanced across workers too.
+            let mut groups: Vec<Vec<ShardJob<'_>>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in jobs.into_iter().enumerate() {
+                groups[i % workers].push(job);
+            }
+            let snap_nw = &snapshot_nw;
+            let snap_nt = &snapshot_nt;
+            crossbeam::thread::scope(|scope| {
+                for group in groups.iter_mut() {
+                    let combined = combined.clone();
+                    scope.spawn(move |_| {
+                        for (ws, z_shard, rng) in group.iter_mut() {
+                            shard_sweep(ctx, ws, z_shard, rng, combined.clone(), snap_nw, snap_nt);
+                        }
+                    });
+                }
+            })
+            .expect("shard worker panicked");
+        }
+
+        // Merge shard deltas into the global counts, in shard order.
+        let mut merged_nw = snapshot_nw.clone();
+        let mut merged_nt = snapshot_nt.clone();
+        for ws in workspaces.iter() {
+            ws.local
+                .add_deltas_into(&snapshot_nw, &snapshot_nt, &mut merged_nw, &mut merged_nt);
+        }
+        ctx.counts.load_nw_nt(&merged_nw, &merged_nt);
+        for ws in workspaces.iter() {
+            for (local_d, global_d) in ws.range.clone().enumerate() {
+                ctx.counts.copy_nd_row_from(global_d, &ws.local, local_d);
+            }
+        }
+        on_sweep(iter);
+    }
+    *state_cache = Some(state);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prior::TopicPrior;
+    use rand::Rng;
+    use srclda_math::{rng_from_seed, spawn_rng};
+
+    fn toy_tokens() -> Vec<Vec<u32>> {
+        vec![
+            vec![0, 1, 2, 0],
+            vec![3, 3],
+            vec![1, 2, 3, 0, 1],
+            vec![2],
+            vec![0, 1, 2, 3, 0, 1],
+        ]
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_total() {
+        let tokens = toy_tokens();
+        for shards in 1..=8 {
+            let ranges = partition_docs(&tokens, shards);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, tokens.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "ranges must tile");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_balances_tokens() {
+        // 40 equal-length docs split 4 ways → exactly 10 docs per shard.
+        let tokens: Vec<Vec<u32>> = (0..40).map(|_| vec![0, 1, 2]).collect();
+        let ranges = partition_docs(&tokens, 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 10, "{ranges:?}");
+        }
+    }
+
+    #[test]
+    fn partition_with_more_shards_than_docs_has_empty_shards() {
+        let tokens = vec![vec![0u32, 1], vec![2]];
+        let ranges = partition_docs(&tokens, 5);
+        assert_eq!(ranges.last().unwrap().end, 2);
+        let covered: usize = ranges.iter().map(Range::len).sum();
+        assert_eq!(covered, 2, "every document appears exactly once");
+        // Empty shards can appear anywhere the integer-division targets
+        // collapse — for this shape the *first* shard is empty (3·1/5 = 0
+        // tokens targeted before shard 1).
+        assert!(ranges[0].is_empty());
+        assert!(ranges.iter().filter(|r| r.is_empty()).count() >= 3);
+    }
+
+    /// Shared fixture: a fixed-prior model over 4 words.
+    fn priors() -> Vec<TopicPrior> {
+        let a = srclda_knowledge::SourceTopic::new("A", vec![8.0, 4.0, 0.0, 0.0]);
+        let b = srclda_knowledge::SourceTopic::new("B", vec![0.0, 0.0, 6.0, 6.0]);
+        vec![
+            TopicPrior::fixed_from_source(&a, 0.01),
+            TopicPrior::fixed_from_source(&b, 0.01),
+            TopicPrior::symmetric(0.1, 4).unwrap(),
+        ]
+    }
+
+    fn init(
+        tokens: &[Vec<u32>],
+        counts: &CountMatrices,
+        rng: &mut SldaRng,
+        t_count: usize,
+    ) -> Vec<Vec<u32>> {
+        tokens
+            .iter()
+            .enumerate()
+            .map(|(d, doc)| {
+                doc.iter()
+                    .map(|&w| {
+                        let t = rng.gen_range(0..t_count);
+                        counts.increment(w as usize, d, t);
+                        t as u32
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Run the sharded sweep loop directly; returns (z, nw, nt).
+    fn run_sharded(
+        shards: usize,
+        threads: usize,
+        sweeps: usize,
+    ) -> (Vec<Vec<u32>>, Vec<u32>, Vec<u32>) {
+        let tokens = toy_tokens();
+        let priors = priors();
+        let doc_lens: Vec<u32> = tokens.iter().map(|d| d.len() as u32).collect();
+        let counts = CountMatrices::new(4, priors.len(), &doc_lens);
+        let mut rng = rng_from_seed(404);
+        let mut z = init(&tokens, &counts, &mut rng, priors.len());
+        // Stream split mirroring the fitting loop: shards 1..S spawned in
+        // shard order, shard 0 continues the run stream.
+        let mut shard_rngs: Vec<SldaRng> = Vec::with_capacity(shards);
+        for _ in 1..shards {
+            shard_rngs.push(spawn_rng(&mut rng));
+        }
+        shard_rngs.insert(0, rng);
+        let ctx = SweepContext {
+            tokens: &tokens,
+            counts: &counts,
+            priors: &priors,
+            alpha: 0.5,
+        };
+        let mut seen = Vec::new();
+        run(
+            &ctx,
+            &mut z,
+            &mut shard_rngs,
+            sweeps,
+            threads,
+            &mut None,
+            &mut |i| seen.push(i),
+        );
+        assert_eq!(seen, (1..=sweeps).collect::<Vec<_>>());
+        assert!(
+            counts.check_invariants(),
+            "merged counts inconsistent with assignments"
+        );
+        (z, counts.snapshot_nw(), counts.snapshot_nt())
+    }
+
+    #[test]
+    fn merged_state_is_thread_count_invariant() {
+        for shards in [1, 2, 3, 5, 7] {
+            let reference = run_sharded(shards, 1, 12);
+            for threads in [2, 3, 8] {
+                assert_eq!(
+                    run_sharded(shards, threads, 12),
+                    reference,
+                    "S={shards} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_serial_kernel_chain() {
+        let tokens = toy_tokens();
+        let priors = priors();
+        let doc_lens: Vec<u32> = tokens.iter().map(|d| d.len() as u32).collect();
+        let counts = CountMatrices::new(4, priors.len(), &doc_lens);
+        let mut rng = rng_from_seed(404);
+        let mut z = init(&tokens, &counts, &mut rng, priors.len());
+        let ctx = SweepContext {
+            tokens: &tokens,
+            counts: &counts,
+            priors: &priors,
+            alpha: 0.5,
+        };
+        let mut kernel = Kernel::new(&ctx, None);
+        for _ in 0..12 {
+            kernel.sweep(&ctx, &mut z, &mut rng);
+        }
+        let serial = (z, counts.snapshot_nw(), counts.snapshot_nt());
+        assert_eq!(
+            run_sharded(1, 1, 12),
+            serial,
+            "S=1 must be the serial chain"
+        );
+    }
+
+    #[test]
+    fn different_shard_counts_walk_different_chains() {
+        // Not a correctness requirement, but documents that S really is a
+        // determinism parameter: S=1 and S=2 are different (approximate
+        // vs exact) chains.
+        assert_ne!(run_sharded(1, 1, 12).0, run_sharded(2, 1, 12).0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Typed errors for the evaluation metrics.
+//!
+//! The metrics compare *distributions*; a NaN or infinity in an input row
+//! (a degenerate θ from a failed fit, a φ row divided by a zero count)
+//! used to flow silently into `partial_cmp(..).unwrap_or(Equal)` sorts and
+//! produce an arbitrary, comparator-order-dependent answer. Every such
+//! input is now detected up front and surfaced as an [`EvalError`].
+
+use std::fmt;
+
+/// Errors produced by the evaluation metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An input distribution contains a non-finite entry.
+    NonFiniteInput {
+        /// Which argument the bad row came from (e.g. `"fitted phi"`).
+        what: &'static str,
+        /// Row index within that argument.
+        row: usize,
+        /// Column index of the offending entry.
+        index: usize,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
+    /// A computed divergence came out non-finite even though the inputs
+    /// passed the entry check (numerically degenerate comparison).
+    NonFiniteDistance {
+        /// What was being compared (e.g. `"theta JS divergence"`).
+        what: &'static str,
+        /// Row (document/topic) index of the comparison.
+        row: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NonFiniteInput {
+                what,
+                row,
+                index,
+                value,
+            } => write!(
+                f,
+                "{what} row {row} has non-finite entry {value} at index {index}"
+            ),
+            EvalError::NonFiniteDistance { what, row } => {
+                write!(f, "{what} for row {row} is non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Check every row of a matrix-like argument for non-finite entries.
+pub(crate) fn check_rows_finite<'a>(
+    what: &'static str,
+    rows: impl Iterator<Item = &'a [f64]>,
+) -> Result<(), EvalError> {
+    for (row, values) in rows.enumerate() {
+        if let Some((index, &value)) = values.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(EvalError::NonFiniteInput {
+                what,
+                row,
+                index,
+                value,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_rows_pass() {
+        let rows = [vec![0.5, 0.5], vec![1.0, 0.0]];
+        assert!(check_rows_finite("x", rows.iter().map(Vec::as_slice)).is_ok());
+    }
+
+    #[test]
+    fn non_finite_entry_is_located() {
+        let rows = [vec![0.5, 0.5], vec![f64::NAN, 1.0]];
+        let err = check_rows_finite("theta", rows.iter().map(Vec::as_slice)).unwrap_err();
+        match err {
+            EvalError::NonFiniteInput {
+                what, row, index, ..
+            } => {
+                assert_eq!(what, "theta");
+                assert_eq!(row, 1);
+                assert_eq!(index, 0);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("theta row 1"));
+    }
+
+    #[test]
+    fn infinities_are_caught_too() {
+        let rows = [vec![f64::INFINITY]];
+        assert!(check_rows_finite("phi", rows.iter().map(Vec::as_slice)).is_err());
+    }
+}

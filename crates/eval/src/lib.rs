@@ -8,21 +8,26 @@
 //! * [`theta_js`] — summed Jensen–Shannon divergence between inferred and
 //!   true document–topic distributions (Fig. 8 d/e);
 //! * [`pmi_eval`] — topic coherence by mean pairwise PMI of top words
-//!   (Fig. 8 c);
+//!   (Fig. 8 c), including OOV-tolerant scoring against a reference
+//!   corpus;
 //! * [`report`] — fixed-width tables and TSV series for the experiment
-//!   binaries.
+//!   binaries;
+//! * [`error`] — typed errors (degenerate θ/φ inputs are surfaced, never
+//!   silently folded into arbitrary orderings).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod error;
 pub mod matching;
 pub mod pmi_eval;
 pub mod report;
 pub mod theta_js;
 
 pub use accuracy::{token_accuracy, Accuracy};
+pub use error::EvalError;
 pub use matching::TopicMapping;
-pub use pmi_eval::{mean_topic_pmi, topic_pmi_scores};
+pub use pmi_eval::{mean_topic_pmi, topic_pmi_scores, topic_pmi_scores_for_words, PmiWordScores};
 pub use report::{Series, Table};
-pub use theta_js::theta_js_total;
+pub use theta_js::{theta_js_sorted, theta_js_total};

@@ -6,6 +6,7 @@
 //! model has unknown topics, JS divergence was used to map each LDA topic
 //! to its best matching Wikipedia topic" (§IV.D).
 
+use crate::error::{check_rows_finite, EvalError};
 use srclda_math::{js_divergence, DenseMatrix};
 
 /// A (possibly partial) map from fitted topic index → truth topic index.
@@ -47,22 +48,47 @@ impl TopicMapping {
 
     /// Map each fitted topic to the truth topic with minimal JS divergence
     /// between word distributions (many-to-one allowed, as in the paper).
-    pub fn by_phi_js(fitted_phi: &DenseMatrix<f64>, truth_phi: &DenseMatrix<f64>) -> Self {
-        let map = (0..fitted_phi.rows())
-            .map(|t| {
-                (0..truth_phi.rows()).min_by(|&a, &b| {
-                    let da =
-                        js_divergence(fitted_phi.row(t), truth_phi.row(a)).unwrap_or(f64::INFINITY);
-                    let db =
-                        js_divergence(fitted_phi.row(t), truth_phi.row(b)).unwrap_or(f64::INFINITY);
-                    da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                })
-            })
-            .collect();
-        Self {
+    /// Ties break toward the lower truth-topic index (a pinned total
+    /// order, so the mapping never depends on comparator call order).
+    ///
+    /// # Errors
+    /// Fails if either φ matrix contains a non-finite entry — a degenerate
+    /// row would otherwise make every distance NaN and the resulting
+    /// matching arbitrary.
+    pub fn by_phi_js(
+        fitted_phi: &DenseMatrix<f64>,
+        truth_phi: &DenseMatrix<f64>,
+    ) -> Result<Self, EvalError> {
+        check_rows_finite(
+            "fitted phi",
+            (0..fitted_phi.rows()).map(|t| fitted_phi.row(t)),
+        )?;
+        check_rows_finite("truth phi", (0..truth_phi.rows()).map(|t| truth_phi.row(t)))?;
+        let mut map = Vec::with_capacity(fitted_phi.rows());
+        for t in 0..fitted_phi.rows() {
+            let mut best: Option<(usize, f64)> = None;
+            for truth in 0..truth_phi.rows() {
+                let d =
+                    js_divergence(fitted_phi.row(t), truth_phi.row(truth)).unwrap_or(f64::INFINITY);
+                if d.is_nan() {
+                    return Err(EvalError::NonFiniteDistance {
+                        what: "phi JS divergence",
+                        row: t,
+                    });
+                }
+                // total_cmp: finite inputs produce no NaN distances (the
+                // check above pins that), so this is a plain total order
+                // with first-seen (lowest truth index) winning ties.
+                if best.is_none_or(|(_, best_d)| d.total_cmp(&best_d).is_lt()) {
+                    best = Some((truth, d));
+                }
+            }
+            map.push(best.map(|(truth, _)| truth));
+        }
+        Ok(Self {
             map,
             truth_topics: truth_phi.rows(),
-        }
+        })
     }
 
     /// The truth topic for a fitted topic, if mapped.
@@ -129,9 +155,42 @@ mod tests {
     fn by_phi_js_finds_nearest() {
         let fitted = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
         let truth = DenseMatrix::from_vec(2, 2, vec![0.1, 0.9, 0.95, 0.05]);
-        let m = TopicMapping::by_phi_js(&fitted, &truth);
+        let m = TopicMapping::by_phi_js(&fitted, &truth).unwrap();
         assert_eq!(m.truth_of(0), Some(1));
         assert_eq!(m.truth_of(1), Some(0));
+    }
+
+    #[test]
+    fn by_phi_js_rejects_non_finite_rows() {
+        // A degenerate fitted row (NaN) used to make every distance NaN
+        // and the min_by answer comparator-order-dependent; now it is a
+        // typed error naming the bad entry.
+        let fitted = DenseMatrix::from_vec(2, 2, vec![0.9, 0.1, f64::NAN, 0.8]);
+        let truth = DenseMatrix::from_vec(1, 2, vec![0.5, 0.5]);
+        let err = TopicMapping::by_phi_js(&fitted, &truth).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::EvalError::NonFiniteInput {
+                what: "fitted phi",
+                row: 1,
+                index: 0,
+                ..
+            }
+        ));
+        // Same for the truth side, and for infinities.
+        let fitted_ok = DenseMatrix::from_vec(1, 2, vec![0.5, 0.5]);
+        let bad_truth = DenseMatrix::from_vec(1, 2, vec![f64::INFINITY, 0.5]);
+        assert!(TopicMapping::by_phi_js(&fitted_ok, &bad_truth).is_err());
+    }
+
+    #[test]
+    fn by_phi_js_ties_break_to_lowest_truth_index() {
+        // Two identical truth topics: the mapping must pin the lower index
+        // (a documented total order, not comparator-call-order luck).
+        let fitted = DenseMatrix::from_vec(1, 2, vec![0.7, 0.3]);
+        let truth = DenseMatrix::from_vec(2, 2, vec![0.5, 0.5, 0.5, 0.5]);
+        let m = TopicMapping::by_phi_js(&fitted, &truth).unwrap();
+        assert_eq!(m.truth_of(0), Some(0));
     }
 
     #[test]

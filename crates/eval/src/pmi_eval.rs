@@ -1,5 +1,12 @@
 //! PMI topic coherence (Fig. 8 c): "the top 10 words given for each topic
 //! were used in the PMI assessment".
+//!
+//! Two entry points: the [`WordId`]-based functions score top-word lists
+//! that already index the *scoring corpus's* vocabulary, while the
+//! string-based [`topic_pmi_scores_for_words`] evaluates a model against a
+//! **reference corpus** whose vocabulary need not contain every model
+//! top-word — out-of-vocabulary words are skipped (and counted) instead of
+//! panicking on the lookup.
 
 use srclda_corpus::{CooccurrenceCounts, Corpus, WordId};
 use srclda_math::FxHashSet;
@@ -32,6 +39,62 @@ pub fn mean_topic_pmi(corpus: &Corpus, top_words: &[Vec<WordId>], window: usize)
         None
     } else {
         Some(valid.iter().sum::<f64>() / valid.len() as f64)
+    }
+}
+
+/// Result of a string-based PMI evaluation against a reference corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmiWordScores {
+    /// Per-topic mean pairwise PMI (`None` for topics left with no
+    /// scorable pair after OOV removal).
+    pub scores: Vec<Option<f64>>,
+    /// Top-words not present in the reference corpus's vocabulary, summed
+    /// over all topics. A large value means the reference corpus is a poor
+    /// match for the model — report it rather than hiding it.
+    pub oov_skipped: usize,
+}
+
+impl PmiWordScores {
+    /// Mean over scorable topics; `None` if no topic is scorable.
+    pub fn mean(&self) -> Option<f64> {
+        let valid: Vec<f64> = self.scores.iter().copied().flatten().collect();
+        if valid.is_empty() {
+            None
+        } else {
+            Some(valid.iter().sum::<f64>() / valid.len() as f64)
+        }
+    }
+}
+
+/// [`topic_pmi_scores`] over top-word *strings*, evaluated against a
+/// reference corpus that may lack some of them: OOV words are skipped and
+/// counted ([`PmiWordScores::oov_skipped`]) instead of panicking on the
+/// vocabulary lookup. A topic whose surviving list has fewer than two
+/// words scores `None`, exactly like an unscorable in-vocabulary topic.
+pub fn topic_pmi_scores_for_words<S: AsRef<str>>(
+    reference: &Corpus,
+    top_words: &[Vec<S>],
+    window: usize,
+) -> PmiWordScores {
+    let vocab = reference.vocabulary();
+    let mut oov_skipped = 0usize;
+    let id_lists: Vec<Vec<WordId>> = top_words
+        .iter()
+        .map(|list| {
+            list.iter()
+                .filter_map(|w| {
+                    let id = vocab.get(w.as_ref());
+                    if id.is_none() {
+                        oov_skipped += 1;
+                    }
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    PmiWordScores {
+        scores: topic_pmi_scores(reference, &id_lists, window),
+        oov_skipped,
     }
 }
 
@@ -81,5 +144,42 @@ mod tests {
     fn no_scorable_topics_gives_none() {
         let c = corpus();
         assert!(mean_topic_pmi(&c, &[vec![]], 5).is_none());
+    }
+
+    #[test]
+    fn oov_top_words_are_skipped_and_counted_not_panicked_on() {
+        // A model trained elsewhere can surface top-words the reference
+        // corpus never saw; scoring used to panic on the vocab lookup.
+        let c = corpus();
+        let tops = vec![
+            vec!["gas", "pipeline", "wormhole"], // one OOV word
+            vec!["chrono", "flux"],              // fully OOV
+        ];
+        let result = topic_pmi_scores_for_words(&c, &tops, 5);
+        assert_eq!(result.oov_skipped, 3);
+        // Topic 0 still scores from its two surviving words…
+        let expected = topic_pmi_scores(&c, &[ids(&c, &["gas", "pipeline"])], 5)[0].unwrap();
+        assert_eq!(result.scores[0], Some(expected));
+        // …while the fully-OOV topic is unscorable, not a crash.
+        assert_eq!(result.scores[1], None);
+        assert_eq!(result.mean(), Some(expected));
+    }
+
+    #[test]
+    fn all_in_vocabulary_matches_the_id_based_path() {
+        let c = corpus();
+        let tops = vec![vec!["gas", "pipeline", "energy"]];
+        let by_words = topic_pmi_scores_for_words(&c, &tops, 5);
+        assert_eq!(by_words.oov_skipped, 0);
+        let by_ids = topic_pmi_scores(&c, &[ids(&c, &["gas", "pipeline", "energy"])], 5);
+        assert_eq!(by_words.scores, by_ids);
+    }
+
+    #[test]
+    fn everything_oov_gives_no_mean() {
+        let c = corpus();
+        let result = topic_pmi_scores_for_words(&c, &[vec!["nope", "nada"]], 5);
+        assert_eq!(result.oov_skipped, 2);
+        assert_eq!(result.mean(), None);
     }
 }

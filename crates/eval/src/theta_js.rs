@@ -2,11 +2,56 @@
 //! distributions were analyzed using sorted JS Divergence … sum total of
 //! the JS divergences of θ".
 
+use crate::error::{check_rows_finite, EvalError};
 use crate::matching::TopicMapping;
 use srclda_math::{js_divergence, DenseMatrix};
 
-/// Sum over documents of `JS(project(θ̂_d), θ_d)`, where `project` carries
-/// the fitted distribution into truth-topic space via `mapping`.
+/// Per-document `JS(project(θ̂_d), θ_d)` values, where `project` carries
+/// the fitted distribution into truth-topic space via `mapping`. Shared
+/// core of [`theta_js_total`] / [`theta_js_sorted`]; inputs are validated
+/// up front so a degenerate θ row (NaN/∞) is a typed error instead of a
+/// silent, arbitrary score.
+fn per_doc_divergences(
+    fitted_theta: &DenseMatrix<f64>,
+    truth_theta: &DenseMatrix<f64>,
+    mapping: &TopicMapping,
+) -> Result<Vec<f64>, EvalError> {
+    assert_eq!(
+        fitted_theta.rows(),
+        truth_theta.rows(),
+        "document count mismatch"
+    );
+    check_rows_finite(
+        "fitted theta",
+        (0..fitted_theta.rows()).map(|d| fitted_theta.row(d)),
+    )?;
+    check_rows_finite(
+        "truth theta",
+        (0..truth_theta.rows()).map(|d| truth_theta.row(d)),
+    )?;
+    let mut out = Vec::with_capacity(fitted_theta.rows());
+    for d in 0..fitted_theta.rows() {
+        let projected = mapping.project(fitted_theta.row(d));
+        // Length mismatches (mapping vs truth space) keep the historical
+        // ln 2 worst-case convention; with the finiteness check above a
+        // NaN can no longer reach the sort below, but keep a typed guard
+        // so numeric degeneracy can never regress silently.
+        let js = js_divergence(&projected, truth_theta.row(d)).unwrap_or(std::f64::consts::LN_2);
+        if js.is_nan() {
+            return Err(EvalError::NonFiniteDistance {
+                what: "theta JS divergence",
+                row: d,
+            });
+        }
+        out.push(js);
+    }
+    Ok(out)
+}
+
+/// Sum over documents of `JS(project(θ̂_d), θ_d)`.
+///
+/// # Errors
+/// Fails if either θ matrix contains a non-finite entry.
 ///
 /// # Panics
 /// Panics if document counts disagree.
@@ -14,35 +59,30 @@ pub fn theta_js_total(
     fitted_theta: &DenseMatrix<f64>,
     truth_theta: &DenseMatrix<f64>,
     mapping: &TopicMapping,
-) -> f64 {
-    assert_eq!(
-        fitted_theta.rows(),
-        truth_theta.rows(),
-        "document count mismatch"
-    );
-    let mut total = 0.0;
-    for d in 0..fitted_theta.rows() {
-        let projected = mapping.project(fitted_theta.row(d));
-        total += js_divergence(&projected, truth_theta.row(d)).unwrap_or(std::f64::consts::LN_2);
-    }
-    total
+) -> Result<f64, EvalError> {
+    Ok(per_doc_divergences(fitted_theta, truth_theta, mapping)?
+        .iter()
+        .sum())
 }
 
 /// Per-document JS divergences, sorted ascending (the "sorted JS
-/// divergence" view the paper plots).
+/// divergence" view the paper plots). The sort uses `total_cmp`; with the
+/// up-front input validation no NaN can reach it, so the order is a
+/// genuine total order rather than `unwrap_or(Equal)` luck.
+///
+/// # Errors
+/// Fails if either θ matrix contains a non-finite entry.
+///
+/// # Panics
+/// Panics if document counts disagree.
 pub fn theta_js_sorted(
     fitted_theta: &DenseMatrix<f64>,
     truth_theta: &DenseMatrix<f64>,
     mapping: &TopicMapping,
-) -> Vec<f64> {
-    let mut out: Vec<f64> = (0..fitted_theta.rows())
-        .map(|d| {
-            let projected = mapping.project(fitted_theta.row(d));
-            js_divergence(&projected, truth_theta.row(d)).unwrap_or(std::f64::consts::LN_2)
-        })
-        .collect();
-    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    out
+) -> Result<Vec<f64>, EvalError> {
+    let mut out = per_doc_divergences(fitted_theta, truth_theta, mapping)?;
+    out.sort_by(f64::total_cmp);
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -52,7 +92,7 @@ mod tests {
     #[test]
     fn perfect_recovery_scores_zero() {
         let theta = DenseMatrix::from_vec(2, 2, vec![0.7, 0.3, 0.2, 0.8]);
-        let total = theta_js_total(&theta, &theta, &TopicMapping::identity(2));
+        let total = theta_js_total(&theta, &theta, &TopicMapping::identity(2)).unwrap();
         assert!(total < 1e-12);
     }
 
@@ -62,8 +102,8 @@ mod tests {
         let close = DenseMatrix::from_vec(1, 2, vec![0.9, 0.1]);
         let far = DenseMatrix::from_vec(1, 2, vec![0.2, 0.8]);
         let id = TopicMapping::identity(2);
-        let a = theta_js_total(&close, &truth, &id);
-        let b = theta_js_total(&far, &truth, &id);
+        let a = theta_js_total(&close, &truth, &id).unwrap();
+        let b = theta_js_total(&far, &truth, &id).unwrap();
         assert!(a < b, "{a} vs {b}");
     }
 
@@ -72,7 +112,7 @@ mod tests {
         let truth = DenseMatrix::from_vec(1, 2, vec![1.0, 0.0]);
         let fitted = DenseMatrix::from_vec(1, 2, vec![0.0, 1.0]);
         let swap = TopicMapping::new(vec![Some(1), Some(0)], 2);
-        let total = theta_js_total(&fitted, &truth, &swap);
+        let total = theta_js_total(&fitted, &truth, &swap).unwrap();
         assert!(total < 1e-12, "swapped mapping should align: {total}");
     }
 
@@ -80,7 +120,30 @@ mod tests {
     fn sorted_view_ascending() {
         let truth = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
         let fitted = DenseMatrix::from_vec(2, 2, vec![0.2, 0.8, 0.95, 0.05]);
-        let sorted = theta_js_sorted(&fitted, &truth, &TopicMapping::identity(2));
+        let sorted = theta_js_sorted(&fitted, &truth, &TopicMapping::identity(2)).unwrap();
         assert!(sorted[0] <= sorted[1]);
+    }
+
+    #[test]
+    fn degenerate_theta_rows_are_typed_errors() {
+        // A NaN θ row used to sort arbitrarily (partial_cmp → Equal);
+        // both the total and the sorted view now refuse the input.
+        let truth = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        let bad = DenseMatrix::from_vec(2, 2, vec![0.2, 0.8, f64::NAN, 0.1]);
+        let id = TopicMapping::identity(2);
+        let err = theta_js_sorted(&bad, &truth, &id).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::NonFiniteInput {
+                what: "fitted theta",
+                row: 1,
+                ..
+            }
+        ));
+        assert!(theta_js_total(&bad, &truth, &id).is_err());
+        // Degenerate truth is caught too.
+        let bad_truth = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, f64::INFINITY, 0.0]);
+        let ok = DenseMatrix::from_vec(2, 2, vec![0.5, 0.5, 0.5, 0.5]);
+        assert!(theta_js_total(&ok, &bad_truth, &id).is_err());
     }
 }

@@ -48,7 +48,7 @@ pub use interp::PiecewiseLinear;
 pub use kmeans::{KMeans, KMeansResult};
 pub use matrix::DenseMatrix;
 pub use prefix::{exclusive_scan, inclusive_scan};
-pub use rng::{rng_from_seed, spawn_rng, SldaRng};
+pub use rng::{rng_from_seed, rng_from_state, rng_state, spawn_rng, SldaRng};
 pub use simplex::{entropy, normalize, normalized};
 pub use stats::BoxplotSummary;
 

@@ -8,30 +8,40 @@
 //!
 //! ```text
 //! offset 0   magic            8 bytes  b"SLDAMODL"
-//!        8   format version   u32      currently 1
+//!        8   format version   u32      currently 2 (1 still readable)
 //!       12   section count    u32      N
 //!       16   section table    N × { id: u32, offset: u64, length: u64 }
 //!        …   section payloads (absolute offsets, non-overlapping)
 //!  len − 8   checksum         u64      FNV-1a 64 of bytes [0, len − 8)
 //! ```
 //!
-//! | id | section   | contents                                            |
-//! |----|-----------|-----------------------------------------------------|
-//! | 1  | model     | α (f64), topic count `T` (u64), vocab size `V` (u64)|
-//! | 2  | phi       | `T·V` f64, row-major by topic                       |
-//! | 3  | labels    | `T` × (present: u8, then UTF-8 string)              |
-//! | 4  | priors    | `T` × tagged [`RawPrior`]                           |
-//! | 5  | vocab     | count (u64), then UTF-8 strings in word-id order    |
-//! | 6  | tokenizer | lowercase u8, min_len u64, stopwords u8, numbers u8 |
+//! | id | section    | contents                                            |
+//! |----|------------|-----------------------------------------------------|
+//! | 1  | model      | α (f64), topic count `T` (u64), vocab size `V` (u64)|
+//! | 2  | phi        | `T·V` f64, row-major by topic                       |
+//! | 3  | labels     | `T` × (present: u8, then UTF-8 string)              |
+//! | 4  | priors     | `T` × tagged [`RawPrior`]                           |
+//! | 5  | vocab      | count (u64), then UTF-8 strings in word-id order    |
+//! | 6  | tokenizer  | lowercase u8, min_len u64, stopwords u8, numbers u8 |
+//! | 7  | checkpoint | *(optional, v2)* sampler state ([`TrainCheckpoint`])|
+//!
+//! Version history: **v1** is sections 1–6; **v2** (this build) adds the
+//! *optional* checkpoint section carrying mid-training sampler state
+//! (sweep index, assignments, counts, RNG streams, shard layout, current
+//! priors) so a long Gibbs run can stop and resume bit-identically. A v2
+//! reader still loads v1 artifacts unchanged — the committed
+//! `tests/fixtures/model_v1.slda` golden file pins that forever — and a v2
+//! artifact without a checkpoint differs from v1 only in the version
+//! field.
 //!
 //! Readers ignore unknown section ids (room for additive growth within a
-//! version); any change to an existing section's meaning requires bumping
-//! the format version, which is enforced in CI by a committed golden
-//! artifact that the current code must keep loading.
+//! version); any change to an *existing* section's meaning requires
+//! bumping the format version, which is enforced in CI by the committed
+//! golden artifacts that the current code must keep loading.
 
 use crate::codec::{fnv1a64, Reader, Writer};
 use crate::error::ServeError;
-use srclda_core::persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior};
+use srclda_core::persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior, TrainCheckpoint};
 use srclda_core::prior::TopicPrior;
 use srclda_core::{FittedModel, Inference};
 use srclda_corpus::{Tokenizer, Vocabulary};
@@ -39,8 +49,9 @@ use srclda_math::DenseMatrix;
 
 /// First eight bytes of every artifact.
 pub const MAGIC: [u8; 8] = *b"SLDAMODL";
-/// Format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Format version this build writes. Every version from 1 through this
+/// one is readable.
+pub const FORMAT_VERSION: u32 = 2;
 
 const SEC_MODEL: u32 = 1;
 const SEC_PHI: u32 = 2;
@@ -48,6 +59,7 @@ const SEC_LABELS: u32 = 3;
 const SEC_PRIORS: u32 = 4;
 const SEC_VOCAB: u32 = 5;
 const SEC_TOKENIZER: u32 = 6;
+const SEC_CHECKPOINT: u32 = 7;
 
 /// Section-table caps: a sane artifact has 6 sections; allow headroom for
 /// additive growth but reject tables a corrupt count field could inflate.
@@ -74,12 +86,14 @@ impl SectionInfo {
             SEC_PRIORS => "priors",
             SEC_VOCAB => "vocab",
             SEC_TOKENIZER => "tokenizer",
+            SEC_CHECKPOINT => "checkpoint",
             _ => "unknown",
         }
     }
 }
 
-/// A self-contained, serializable trained model.
+/// A self-contained, serializable trained model — optionally carrying a
+/// mid-training [`TrainCheckpoint`] so the run can be resumed.
 #[derive(Debug, Clone)]
 pub struct ModelArtifact {
     alpha: f64,
@@ -88,6 +102,7 @@ pub struct ModelArtifact {
     priors: Vec<RawPrior>,
     vocab: Vocabulary,
     tokenizer: Tokenizer,
+    checkpoint: Option<TrainCheckpoint>,
 }
 
 impl ModelArtifact {
@@ -111,9 +126,56 @@ impl ModelArtifact {
             priors,
             vocab,
             tokenizer,
+            checkpoint: None,
         };
         artifact.validate()?;
         Ok(artifact)
+    }
+
+    /// Attach a training checkpoint (validated against the model's
+    /// dimensions). The artifact then encodes the optional checkpoint
+    /// section and remains fully servable — φ/labels/priors describe the
+    /// state at the checkpointed sweep.
+    ///
+    /// # Errors
+    /// Fails if the checkpoint's dimensions or internal consistency
+    /// disagree with this model.
+    pub fn with_checkpoint(mut self, checkpoint: TrainCheckpoint) -> Result<Self, ServeError> {
+        self.checkpoint = Some(checkpoint);
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The training checkpoint, if this artifact carries one.
+    pub fn checkpoint(&self) -> Option<&TrainCheckpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Build a *servable* artifact directly from a mid-training
+    /// checkpoint: φ is computed at the checkpoint's counts
+    /// ([`TrainCheckpoint::phi`]), α and the priors are the checkpoint's
+    /// own (possibly λ-adapted) training values, and the checkpoint itself
+    /// rides along so training can resume from the same file.
+    ///
+    /// # Errors
+    /// Fails if the checkpoint is internally inconsistent or disagrees
+    /// with `vocab`/`labels`.
+    pub fn from_checkpoint(
+        checkpoint: &TrainCheckpoint,
+        labels: Vec<Option<String>>,
+        vocab: &Vocabulary,
+        tokenizer: &Tokenizer,
+    ) -> Result<Self, ServeError> {
+        let phi = checkpoint.phi()?;
+        Self::new(
+            checkpoint.alpha,
+            phi,
+            labels,
+            checkpoint.priors.clone(),
+            vocab.clone(),
+            tokenizer.clone(),
+        )?
+        .with_checkpoint(checkpoint.clone())
     }
 
     /// Snapshot a fitted model for persistence. `vocab` and `tokenizer`
@@ -182,6 +244,27 @@ impl ModelArtifact {
             TopicPrior::from_raw(raw.clone(), v).map_err(|e| {
                 ServeError::Corrupt(format!("prior {i} ({}) invalid: {e}", raw.kind()))
             })?;
+        }
+        if let Some(cp) = &self.checkpoint {
+            if cp.num_topics() != t || cp.vocab_size() != v {
+                return Err(ServeError::Corrupt(format!(
+                    "checkpoint is {}×{} for a {t}×{v} model",
+                    cp.num_topics(),
+                    cp.vocab_size()
+                )));
+            }
+            if cp.alpha.to_bits() != self.alpha.to_bits() {
+                return Err(ServeError::Corrupt(format!(
+                    "checkpoint alpha {} disagrees with the model's alpha {}",
+                    cp.alpha, self.alpha
+                )));
+            }
+            // The checkpoint's own document lengths are the reference here
+            // (the artifact carries no corpus); cross-corpus validation
+            // happens again at resume time in `fit_resumable`.
+            let doc_lens: Vec<u32> = cp.z.iter().map(|d| d.len() as u32).collect();
+            cp.validate(&doc_lens, v, t)
+                .map_err(|e| ServeError::Corrupt(format!("checkpoint invalid: {e}")))?;
         }
         Ok(())
     }
@@ -297,7 +380,7 @@ impl ModelArtifact {
         tokenizer.bool(remove_stopwords);
         tokenizer.bool(keep_numbers);
 
-        let sections: Vec<(u32, Vec<u8>)> = vec![
+        let mut sections: Vec<(u32, Vec<u8>)> = vec![
             (SEC_MODEL, model.into_bytes()),
             (SEC_PHI, phi.into_bytes()),
             (SEC_LABELS, labels.into_bytes()),
@@ -305,6 +388,11 @@ impl ModelArtifact {
             (SEC_VOCAB, vocab.into_bytes()),
             (SEC_TOKENIZER, tokenizer.into_bytes()),
         ];
+        if let Some(cp) = &self.checkpoint {
+            let mut w = Writer::new();
+            encode_checkpoint(&mut w, cp);
+            sections.push((SEC_CHECKPOINT, w.into_bytes()));
+        }
 
         let table_len = 16 + sections.len() * 20;
         let mut out = Writer::new();
@@ -415,7 +503,19 @@ impl ModelArtifact {
         );
         tok_reader.expect_empty()?;
 
-        Self::new(alpha, phi, labels, priors, vocab, tokenizer)
+        let artifact = Self::new(alpha, phi, labels, priors, vocab, tokenizer)?;
+        // The checkpoint section is optional (v2); absent in every v1
+        // artifact and in v2 artifacts of finished runs.
+        if let Some(info) = sections.iter().find(|s| s.id == SEC_CHECKPOINT) {
+            let mut cp_reader = Reader::new(
+                &bytes[info.offset as usize..(info.offset + info.length) as usize],
+                "checkpoint section",
+            );
+            let cp = decode_checkpoint(&mut cp_reader)?;
+            cp_reader.expect_empty()?;
+            return artifact.with_checkpoint(cp);
+        }
+        Ok(artifact)
     }
 
     /// Write the artifact to `path`.
@@ -438,7 +538,7 @@ impl ModelArtifact {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "format v{FORMAT_VERSION} · {} topics × {} words · alpha {}\n",
+            "{} topics × {} words · alpha {}\n",
             self.num_topics(),
             self.vocab_size(),
             self.alpha
@@ -462,8 +562,84 @@ impl ModelArtifact {
         }
         let kinds_str: Vec<String> = kinds.iter().map(|(k, n)| format!("{n}×{k}")).collect();
         out.push_str(&format!("priors: {}\n", kinds_str.join(", ")));
+        if let Some(cp) = &self.checkpoint {
+            out.push_str(&format!(
+                "checkpoint: sweep {} · seed {} · {} · resumable\n",
+                cp.sweep,
+                cp.seed,
+                if cp.shards == 0 {
+                    "serial".to_string()
+                } else {
+                    format!("{} shards", cp.shards)
+                }
+            ));
+        }
         out
     }
+}
+
+/// Encode a [`TrainCheckpoint`] (the v2 optional section payload):
+/// scalars, RNG states, assignments, counts, then the current priors.
+fn encode_checkpoint(w: &mut Writer, cp: &TrainCheckpoint) {
+    w.u64(cp.sweep);
+    w.u64(cp.seed);
+    w.f64(cp.alpha);
+    w.u64(cp.shards);
+    for &word in &cp.main_rng {
+        w.u64(word);
+    }
+    w.u64(cp.shard_rngs.len() as u64);
+    for state in &cp.shard_rngs {
+        for &word in state {
+            w.u64(word);
+        }
+    }
+    w.u64(cp.z.len() as u64);
+    for doc in &cp.z {
+        w.u32_slice(doc);
+    }
+    w.u32_slice(&cp.nw);
+    w.u32_slice(&cp.nt);
+    w.u64(cp.priors.len() as u64);
+    for raw in &cp.priors {
+        encode_prior(w, raw);
+    }
+}
+
+fn decode_checkpoint(r: &mut Reader<'_>) -> Result<TrainCheckpoint, ServeError> {
+    let sweep = r.u64()?;
+    let seed = r.u64()?;
+    let alpha = r.f64()?;
+    let shards = r.u64()?;
+    let main_rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let shard_count = r.len(32)?;
+    let mut shard_rngs = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shard_rngs.push([r.u64()?, r.u64()?, r.u64()?, r.u64()?]);
+    }
+    let doc_count = r.len(8)?;
+    let mut z = Vec::with_capacity(doc_count);
+    for _ in 0..doc_count {
+        z.push(r.u32_vec()?);
+    }
+    let nw = r.u32_vec()?;
+    let nt = r.u32_vec()?;
+    let prior_count = r.len(1)?;
+    let priors: Vec<RawPrior> = (0..prior_count)
+        .map(|_| decode_prior(r))
+        .collect::<Result<_, ServeError>>()?;
+    Ok(TrainCheckpoint {
+        sweep,
+        seed,
+        alpha,
+        shards,
+        z,
+        nw,
+        nt,
+        main_rng,
+        shard_rngs,
+        priors,
+    })
 }
 
 fn encode_prior(w: &mut Writer, raw: &RawPrior) {
@@ -566,7 +742,7 @@ pub fn list_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, ServeError> {
     }
     let mut header = Reader::new(&bytes[8..], "header");
     let version = header.u32()?;
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(ServeError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -765,6 +941,104 @@ mod tests {
             tops.contains(&"pencil") || tops.contains(&"ruler"),
             "{tops:?}"
         );
+    }
+
+    fn toy_checkpoint(t: usize, v: usize) -> TrainCheckpoint {
+        // One doc per topic, one token each, token w = d % v, topic = d.
+        let z: Vec<Vec<u32>> = (0..t).map(|d| vec![d as u32]).collect();
+        let mut nw = vec![0u32; v * t];
+        let mut nt = vec![0u32; t];
+        for (d, doc) in z.iter().enumerate() {
+            for &topic in doc {
+                nw[(d % v) * t + topic as usize] += 1;
+                nt[topic as usize] += 1;
+            }
+        }
+        TrainCheckpoint {
+            sweep: 17,
+            seed: 42,
+            alpha: 0.5,
+            shards: 2,
+            z,
+            nw,
+            nt,
+            main_rng: [9, 8, 7, 6],
+            shard_rngs: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            priors: (0..t).map(|_| RawPrior::Symmetric { beta: 0.25 }).collect(),
+        }
+    }
+
+    #[test]
+    fn checkpoint_section_round_trips() {
+        let (artifact, _) = trained();
+        let t = artifact.num_topics();
+        let v = artifact.vocab_size();
+        let with_cp = artifact
+            .clone()
+            .with_checkpoint(toy_checkpoint(t, v))
+            .unwrap();
+        let bytes = with_cp.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.checkpoint(), with_cp.checkpoint());
+        assert_eq!(back.to_bytes(), bytes, "re-encoding is stable");
+        let names: Vec<&str> = list_sections(&bytes)
+            .unwrap()
+            .iter()
+            .map(SectionInfo::name)
+            .collect();
+        assert!(names.contains(&"checkpoint"), "{names:?}");
+        assert!(with_cp.summary().contains("checkpoint: sweep 17"));
+        // The plain artifact still encodes without the section.
+        assert!(artifact.checkpoint().is_none());
+        assert!(!artifact.summary().contains("checkpoint:"));
+    }
+
+    #[test]
+    fn inconsistent_checkpoint_is_rejected() {
+        let (artifact, _) = trained();
+        let t = artifact.num_topics();
+        let v = artifact.vocab_size();
+        // Wrong dimensions.
+        assert!(artifact
+            .clone()
+            .with_checkpoint(toy_checkpoint(t + 1, v))
+            .is_err());
+        // Shard/RNG disagreement.
+        let mut cp = toy_checkpoint(t, v);
+        cp.shards = 5;
+        assert!(artifact.clone().with_checkpoint(cp).is_err());
+        // Counts inconsistent with assignments.
+        let mut cp = toy_checkpoint(t, v);
+        cp.nt[0] += 1;
+        assert!(artifact.clone().with_checkpoint(cp).is_err());
+    }
+
+    #[test]
+    fn artifact_from_checkpoint_is_servable_and_resumable() {
+        let (artifact, _) = trained();
+        let cp = toy_checkpoint(artifact.num_topics(), artifact.vocab_size());
+        let snapshot = ModelArtifact::from_checkpoint(
+            &cp,
+            artifact.labels().to_vec(),
+            artifact.vocabulary(),
+            artifact.tokenizer(),
+        )
+        .unwrap();
+        assert_eq!(
+            snapshot.alpha(),
+            cp.alpha,
+            "alpha comes from the checkpoint"
+        );
+        assert_eq!(snapshot.checkpoint(), Some(&cp));
+        // φ rows are normalized distributions (servable).
+        for t in 0..snapshot.num_topics() {
+            let sum: f64 = snapshot.phi().row(t).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {t} sums to {sum}");
+        }
+        // And it round-trips through bytes.
+        let back = ModelArtifact::from_bytes(&snapshot.to_bytes()).unwrap();
+        assert_eq!(back.checkpoint(), Some(&cp));
+        assert!(back.inference().is_ok());
     }
 
     #[test]

@@ -287,7 +287,12 @@ fn cmd_inspect(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let top: usize = parsed(args, "--top", 5)?;
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let sections = list_sections(&bytes)?;
-    println!("{path}: {} bytes, checksum ok", bytes.len());
+    // list_sections validated magic + version, so the field is readable.
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    println!(
+        "{path}: {} bytes, format v{version}, checksum ok",
+        bytes.len()
+    );
     println!("sections:");
     for s in &sections {
         println!(

@@ -58,7 +58,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "artifact format version {found} is not supported (this build reads version {supported})"
+                "artifact format version {found} is not supported (this build reads versions 1 through {supported})"
             ),
             ServeError::ChecksumMismatch { computed, stored } => write!(
                 f,

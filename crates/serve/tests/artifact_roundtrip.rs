@@ -1,9 +1,11 @@
-//! Property-based tests for the artifact codec: arbitrary models must
-//! round-trip bit-exactly, and malformed bytes must fail cleanly (never
-//! panic, never silently succeed).
+//! Property-based tests for the artifact codec: arbitrary models — with
+//! and without the v2 training-checkpoint section — must round-trip
+//! bit-exactly, and malformed bytes must fail cleanly (never panic, never
+//! silently succeed). Version-1 byte streams (no checkpoint section) must
+//! keep loading.
 
 use proptest::prelude::*;
-use srclda_core::persist::RawPrior;
+use srclda_core::persist::{RawPrior, TrainCheckpoint};
 use srclda_corpus::{Tokenizer, Vocabulary};
 use srclda_math::DenseMatrix;
 use srclda_serve::{ModelArtifact, ServeError, FORMAT_VERSION};
@@ -69,6 +71,66 @@ fn build_artifact(t: usize, v: usize, seed: u64) -> ModelArtifact {
     }
 }
 
+/// An arbitrary *consistent* training checkpoint for a `t × v` model:
+/// random document lengths and assignments, with `nw`/`nt` derived from
+/// them (the validator rejects anything else).
+fn build_checkpoint(t: usize, v: usize, seed: u64, alpha: f64) -> TrainCheckpoint {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let docs = (next() % 6 + 1) as usize;
+    let mut nw = vec![0u32; v * t];
+    let mut nt = vec![0u32; t];
+    let z: Vec<Vec<u32>> = (0..docs)
+        .map(|_| {
+            (0..(next() % 9) as usize)
+                .map(|_| {
+                    let w = (next() % v as u64) as usize;
+                    let topic = (next() % t as u64) as u32;
+                    nw[w * t + topic as usize] += 1;
+                    nt[topic as usize] += 1;
+                    topic
+                })
+                .collect()
+        })
+        .collect();
+    let shards = next() % 4; // 0 = serial checkpoint
+    TrainCheckpoint {
+        sweep: next() % 1000,
+        seed: next(),
+        alpha,
+        shards,
+        z,
+        nw,
+        nt,
+        main_rng: [next(), next(), next(), next()],
+        shard_rngs: (0..shards)
+            .map(|_| [next(), next(), next(), next()])
+            .collect(),
+        priors: (0..t)
+            .map(|_| RawPrior::Symmetric {
+                beta: (next() % 100 + 1) as f64 / 100.0,
+            })
+            .collect(),
+    }
+}
+
+/// Patch a (checkpoint-free) v2 byte stream down to version 1 and restamp
+/// the checksum — byte-identical to what a v1 writer produced, since the
+/// sections and layout did not change in v2.
+fn downgrade_to_v1(mut bytes: Vec<u8>) -> Vec<u8> {
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    let body = bytes.len() - 8;
+    let checksum = srclda_serve::codec::fnv1a64(&bytes[..body]);
+    let len = bytes.len();
+    bytes[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -91,13 +153,48 @@ proptest! {
     }
 
     #[test]
+    fn checkpoint_section_round_trips_bit_exactly(
+        t in 2usize..6,
+        v in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let artifact = build_artifact(t, v, seed);
+        let cp = build_checkpoint(t, v, seed ^ 0xc4ec, artifact.alpha());
+        let artifact = artifact.with_checkpoint(cp.clone()).unwrap();
+        let bytes = artifact.to_bytes();
+        let back = ModelArtifact::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.checkpoint(), Some(&cp));
+        prop_assert_eq!(back.priors(), artifact.priors());
+        prop_assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn v1_byte_streams_still_load_without_the_checkpoint_section(
+        t in 2usize..6,
+        v in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let artifact = build_artifact(t, v, seed);
+        let v1_bytes = downgrade_to_v1(artifact.to_bytes());
+        let back = ModelArtifact::from_bytes(&v1_bytes).unwrap();
+        prop_assert!(back.checkpoint().is_none());
+        prop_assert_eq!(back.labels(), artifact.labels());
+        prop_assert_eq!(back.priors(), artifact.priors());
+    }
+
+    #[test]
     fn every_truncation_fails_cleanly(
         t in 2usize..6,
         v in 2usize..24,
         seed in any::<u64>(),
         frac in 0.0f64..1.0,
+        with_checkpoint in any::<bool>(),
     ) {
-        let artifact = build_artifact(t, v, seed);
+        let mut artifact = build_artifact(t, v, seed);
+        if with_checkpoint {
+            let cp = build_checkpoint(t, v, seed ^ 0x71c, artifact.alpha());
+            artifact = artifact.with_checkpoint(cp).unwrap();
+        }
         let bytes = artifact.to_bytes();
         let cut = ((bytes.len() - 1) as f64 * frac) as usize;
         prop_assert!(ModelArtifact::from_bytes(&bytes[..cut]).is_err());
@@ -110,10 +207,15 @@ proptest! {
         seed in any::<u64>(),
         frac in 0.0f64..1.0,
         bit in 0u8..8,
+        with_checkpoint in any::<bool>(),
     ) {
         // The checksum trailer covers the full payload, so flipping any one
         // bit anywhere must be caught (by checksum, magic, or version).
-        let artifact = build_artifact(t, v, seed);
+        let mut artifact = build_artifact(t, v, seed);
+        if with_checkpoint {
+            let cp = build_checkpoint(t, v, seed ^ 0xf11b, artifact.alpha());
+            artifact = artifact.with_checkpoint(cp).unwrap();
+        }
         let mut bytes = artifact.to_bytes();
         let idx = ((bytes.len() - 1) as f64 * frac) as usize;
         bytes[idx] ^= 1 << bit;

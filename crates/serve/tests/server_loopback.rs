@@ -347,6 +347,25 @@ fn metrics_count_requests_and_tokens() {
     let (handle, join, _) = boot(&path, 2);
     let addr = handle.addr();
 
+    // Before any document has been served, the latency histogram is empty:
+    // /metrics must report null quantiles, not a fabricated p50/p99 of 0.
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let infer = v.get("infer").unwrap();
+    for field in ["latency_p50_ms", "latency_p99_ms"] {
+        let value = infer.get(field).unwrap();
+        assert!(
+            value.as_f64().is_none(),
+            "{field} must be null before the first sample, got {body}"
+        );
+        assert!(
+            body.contains(&format!("\"{field}\":null")),
+            "{field} must render as a JSON null: {body}"
+        );
+    }
+    assert_eq!(infer.get("docs").unwrap().as_usize(), Some(0));
+
     for _ in 0..3 {
         let (status, _) = http(
             addr,
@@ -360,9 +379,11 @@ fn metrics_count_requests_and_tokens() {
     let (status, body) = http(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
     let v = json::parse(&body).unwrap();
-    assert_eq!(v.get("requests").unwrap().as_usize(), Some(5));
+    // 1 empty-histogram /metrics probe + 3 infers + 1 bad infer.
+    assert_eq!(v.get("requests").unwrap().as_usize(), Some(5 + 1));
     let responses = v.get("responses").unwrap();
-    assert_eq!(responses.get("ok").unwrap().as_usize(), Some(3));
+    // 3 infer 200s + the empty-histogram /metrics probe's 200.
+    assert_eq!(responses.get("ok").unwrap().as_usize(), Some(3 + 1));
     assert_eq!(responses.get("client_error").unwrap().as_usize(), Some(1));
     let infer = v.get("infer").unwrap();
     assert_eq!(infer.get("docs").unwrap().as_usize(), Some(3));

@@ -1,11 +1,15 @@
-//! Format-compatibility guard: the committed golden artifact under
-//! `tests/fixtures/` was written by an earlier build at format version 1,
-//! and the current code must keep loading it byte-for-byte.
+//! Format-compatibility guard: the committed golden artifacts under
+//! `tests/fixtures/` pin the on-disk format across versions.
 //!
-//! If a change to the codec breaks `golden_artifact_still_loads`, that
-//! change is a **format break**: bump `srclda_serve::FORMAT_VERSION`, keep
-//! a decode path for the old version (or consciously drop it), and only
-//! then regenerate the fixture with
+//! * `model_v1.slda` was written by a **format-v1** build (sections 1–6,
+//!   version field 1). The current build must keep loading it forever —
+//!   v1 is read-compat only now (the encoder writes v2), so this file can
+//!   no longer be regenerated; treat it as an immutable archive of the v1
+//!   layout.
+//! * `model_v2.slda` is the same pinned model written by the current
+//!   **format-v2** encoder (identical sections; only the version field
+//!   differs for a checkpoint-free model). It guards encoder drift the
+//!   way the v1 fixture did before the bump, and is regenerable with
 //!
 //! ```sh
 //! cargo test --test artifact_compat -- --ignored regenerate_golden_fixture
@@ -15,22 +19,33 @@
 //! regenerated fixture diffs empty unless the format — or the pinned
 //! model's *values* — really changed.
 //!
-//! Distinguish two failure modes: if `golden_artifact_still_loads` fails,
-//! the **byte layout** broke and the version-bump procedure above applies.
-//! If only `golden_fixture_is_reproducible_from_the_pinned_model` fails
-//! while the fixture still loads, the encoded **values** drifted — e.g. an
+//! Distinguish two failure modes: if `golden_v1_artifact_still_loads`
+//! fails, **backward read compatibility** broke — that is a regression to
+//! fix, not a fixture to regenerate. If only
+//! `golden_fixture_is_reproducible_from_the_pinned_model` fails while both
+//! fixtures still load, the encoded **values** drifted — e.g. an
 //! intentional change to the sampler's canonical floating-point arithmetic
-//! shifted φ by ulps. That needs no version bump: regenerate the fixture
-//! and call the change out in the PR.
+//! shifted φ by ulps. That needs no version bump: regenerate the v2
+//! fixture and call the change out in the PR. A change to the **byte
+//! layout** of existing sections needs a version bump to v3 plus decode
+//! paths for v1 and v2.
 
 use source_lda::prelude::*;
 use std::path::PathBuf;
 
-fn fixture_path() -> PathBuf {
+fn fixture_path_for(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("model_v1.slda")
+        .join(name)
+}
+
+fn fixture_path() -> PathBuf {
+    fixture_path_for("model_v1.slda")
+}
+
+fn fixture_v2_path() -> PathBuf {
+    fixture_path_for("model_v2.slda")
 }
 
 /// The exact model the fixture was generated from (quickstart's §I case
@@ -67,9 +82,11 @@ fn golden_model() -> (Corpus, source_lda::core::FittedModel, Tokenizer) {
 #[test]
 fn golden_artifact_still_loads() {
     let artifact = ModelArtifact::load(fixture_path()).expect(
-        "the committed v1 fixture failed to load — this is a format break; \
-         see the module docs for the required version-bump procedure",
+        "the committed v1 fixture failed to load — backward read \
+         compatibility broke; see the module docs",
     );
+    // A v1 artifact predates the checkpoint section.
+    assert!(artifact.checkpoint().is_none());
     assert_eq!(artifact.num_topics(), 2);
     assert_eq!(artifact.vocab_size(), 4);
     assert_eq!(artifact.alpha(), 0.5);
@@ -92,30 +109,56 @@ fn golden_artifact_still_loads() {
 
 #[test]
 fn golden_fixture_is_reproducible_from_the_pinned_model() {
-    // The committed bytes must equal a fresh encode of the pinned model —
-    // i.e. the encoder has not silently drifted within format version 1.
+    // The committed v2 bytes must equal a fresh encode of the pinned
+    // model — i.e. the encoder has not silently drifted within format
+    // version 2.
     let (corpus, fitted, tokenizer) = golden_model();
     let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
-    let committed = std::fs::read(fixture_path()).expect("fixture file present");
+    let committed = std::fs::read(fixture_v2_path()).expect("v2 fixture file present");
     assert_eq!(
         artifact.to_bytes(),
         committed,
-        "encoder output drifted from the committed v1 fixture — if this is \
-         intentional, bump FORMAT_VERSION and regenerate (see module docs)"
+        "encoder output drifted from the committed v2 fixture — if this is \
+         intentional, regenerate it and call the drift out (see module docs)"
     );
 }
 
-/// Regenerates the fixture. Run explicitly (`--ignored`); see module docs.
+#[test]
+fn v1_and_v2_fixtures_decode_to_the_same_model() {
+    // Same pinned model, two format versions: decoded contents must agree
+    // bit for bit, and only the version field (plus checksum) may differ.
+    let v1 = ModelArtifact::load(fixture_path()).unwrap();
+    let v2 = ModelArtifact::load(fixture_v2_path()).unwrap();
+    assert_eq!(v1.phi().as_slice(), v2.phi().as_slice());
+    assert_eq!(v1.alpha(), v2.alpha());
+    assert_eq!(v1.labels(), v2.labels());
+    assert_eq!(v1.priors(), v2.priors());
+    assert_eq!(v1.vocabulary().words(), v2.vocabulary().words());
+    assert_eq!(v1.tokenizer().to_parts(), v2.tokenizer().to_parts());
+    let v1_bytes = std::fs::read(fixture_path()).unwrap();
+    let v2_bytes = std::fs::read(fixture_v2_path()).unwrap();
+    assert_eq!(v1_bytes.len(), v2_bytes.len());
+    // Bytes 8..12 hold the version; the final 8 hold the checksum.
+    assert_eq!(v1_bytes[8..12], 1u32.to_le_bytes());
+    assert_eq!(v2_bytes[8..12], 2u32.to_le_bytes());
+    assert_eq!(
+        v1_bytes[12..v1_bytes.len() - 8],
+        v2_bytes[12..v2_bytes.len() - 8]
+    );
+}
+
+/// Regenerates the **v2** fixture (the v1 fixture is an immutable archive
+/// of the old layout). Run explicitly (`--ignored`); see module docs.
 #[test]
 #[ignore]
 fn regenerate_golden_fixture() {
     let (corpus, fitted, tokenizer) = golden_model();
     let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
-    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
-    artifact.save(fixture_path()).unwrap();
+    std::fs::create_dir_all(fixture_v2_path().parent().unwrap()).unwrap();
+    artifact.save(fixture_v2_path()).unwrap();
     println!(
         "wrote {} ({} bytes)",
-        fixture_path().display(),
-        std::fs::metadata(fixture_path()).unwrap().len()
+        fixture_v2_path().display(),
+        std::fs::metadata(fixture_v2_path()).unwrap().len()
     );
 }

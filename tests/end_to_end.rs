@@ -44,6 +44,7 @@ fn world() -> World {
 fn accuracy_of(fitted: &FittedModel, w: &World, by_phi: bool) -> f64 {
     let mapping = if by_phi {
         TopicMapping::by_phi_js(fitted.phi(), &w.generated.truth.phi)
+            .expect("generated phi matrices are finite")
     } else {
         TopicMapping::by_label(fitted.labels(), &w.generated.truth.labels)
     };

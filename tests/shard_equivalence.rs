@@ -1,0 +1,308 @@
+//! Contracts of the document-sharded training backend
+//! (`Backend::ShardedDocs`) and of training checkpoint/resume:
+//!
+//! * `S = 1` is **bit-identical** to `Backend::Serial` — one shard's local
+//!   view (snapshot + its own in-place updates) *is* the true state, and
+//!   shard 0 continues the run RNG stream, so the sharded machinery
+//!   degenerates to the serial kernel exactly;
+//! * for any `S`, the chain is a pure function of `(seed, S)` — thread
+//!   count only schedules work and never moves a bit;
+//! * resume-from-checkpoint replays the remaining sweeps bit-identically
+//!   to the uninterrupted run of the same backend, and the checkpoint
+//!   interval itself never perturbs the chain (chunk-boundary invariance);
+//! * `S > 1` is the standard AD-LDA approximation: a *different* chain,
+//!   but statistically equivalent — pinned here as perplexity parity with
+//!   the serial sampler on the golden fixture corpus.
+//!
+//! **Tolerance: exact (zero)** for everything except the perplexity-parity
+//! test, which compares two legitimately different chains and uses a
+//! relative band instead.
+
+use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use source_lda::core::{GibbsModel, TrainCheckpoint};
+use source_lda::prelude::*;
+
+/// A substantive synthetic world: 6 source topics + 3 unlabeled over a
+/// 250-word vocabulary, 30 documents.
+fn model_and_corpus(backend: Backend, iterations: usize) -> (GibbsModel, Corpus) {
+    let (vocab, knowledge) = source_lda::synth::random_source_topics(250, 16, 10, 120, 11);
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: 30,
+        doc_len: DocLength::Fixed(25),
+        lambda_mode: LambdaMode::None,
+        seed: 13,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&(0..6).collect::<Vec<_>>()), &vocab)
+    .unwrap();
+    let vocab_size = generated.corpus.vocab_size();
+    let model = SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(Variant::Full)
+        .unlabeled_topics(3)
+        .approximation_steps(3)
+        .smoothing(SmoothingMode::Identity)
+        .adaptive_lambda(6)
+        .lambda_burn_in(4)
+        .alpha(0.5)
+        .iterations(iterations)
+        .backend(backend)
+        .seed(29)
+        .build()
+        .unwrap()
+        .assemble(vocab_size)
+        .unwrap();
+    (model, generated.corpus)
+}
+
+fn fit(backend: Backend, iterations: usize) -> FittedModel {
+    let (model, corpus) = model_and_corpus(backend, iterations);
+    model.fit(&corpus).unwrap()
+}
+
+fn assert_identical(a: &FittedModel, b: &FittedModel, what: &str) {
+    assert_eq!(a.assignments(), b.assignments(), "{what}: chains diverged");
+    assert_eq!(a.phi().as_slice(), b.phi().as_slice(), "{what}: φ diverged");
+    assert_eq!(
+        a.theta().as_slice(),
+        b.theta().as_slice(),
+        "{what}: θ diverged"
+    );
+}
+
+#[test]
+fn one_shard_is_bit_identical_to_the_serial_kernel() {
+    let serial = fit(Backend::Serial, 18);
+    for threads in [1, 3] {
+        let sharded = fit(Backend::ShardedDocs { shards: 1, threads }, 18);
+        assert_identical(
+            &sharded,
+            &serial,
+            &format!("S=1, {threads} threads vs Backend::Serial"),
+        );
+    }
+}
+
+#[test]
+fn sharded_chain_is_thread_count_invariant() {
+    for shards in [2, 4] {
+        let reference = fit(Backend::ShardedDocs { shards, threads: 1 }, 15);
+        for threads in [2, 3, 8] {
+            let other = fit(Backend::ShardedDocs { shards, threads }, 15);
+            assert_identical(
+                &other,
+                &reference,
+                &format!("S={shards}: {threads} threads vs 1 thread"),
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_interval_never_perturbs_the_chain() {
+    // The same fit with aggressive checkpointing (chunk boundaries at
+    // every 5th sweep, interleaving awkwardly with the λ-adaptation
+    // boundaries at 4, 10, 16, …) must walk the identical chain.
+    for backend in [
+        Backend::Serial,
+        Backend::ShardedDocs {
+            shards: 3,
+            threads: 2,
+        },
+    ] {
+        let plain = fit(backend, 18);
+        let (model, corpus) = model_and_corpus(backend, 18);
+        let mut seen = Vec::new();
+        let checkpointed = model
+            .fit_resumable(&corpus, None, Some(5), |cp| {
+                seen.push(cp.sweep);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, vec![5, 10, 15], "checkpoint boundaries ({backend:?})");
+        assert_identical(&checkpointed, &plain, &format!("{backend:?} checkpointed"));
+    }
+}
+
+#[test]
+fn resume_replays_bit_identically() {
+    for backend in [
+        Backend::Serial,
+        Backend::ShardedDocs {
+            shards: 4,
+            threads: 2,
+        },
+    ] {
+        let uninterrupted = fit(backend, 18);
+
+        // "Kill" the run at sweep 12 by erroring out of the checkpoint
+        // callback after capturing it.
+        let (model, corpus) = model_and_corpus(backend, 18);
+        let mut captured: Option<TrainCheckpoint> = None;
+        let killed = model.fit_resumable(&corpus, None, Some(6), |cp| {
+            if cp.sweep == 12 {
+                captured = Some(cp.clone());
+                Err(source_lda::core::CoreError::InvalidConfig(
+                    "simulated kill".into(),
+                ))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(killed.is_err(), "simulated kill must abort the fit");
+        let checkpoint = captured.expect("checkpoint at sweep 12 captured");
+        assert_eq!(checkpoint.sweep, 12);
+        if let Backend::ShardedDocs { shards, .. } = backend {
+            assert_eq!(checkpoint.shard_rngs.len(), shards);
+        } else {
+            assert!(checkpoint.shard_rngs.is_empty());
+        }
+
+        // Resume in a fresh process-equivalent: a newly assembled model.
+        let (resumed_model, corpus2) = model_and_corpus(backend, 18);
+        let resumed = resumed_model
+            .fit_resumable(&corpus2, Some(&checkpoint), None, |_| Ok(()))
+            .unwrap();
+        assert_identical(
+            &resumed,
+            &uninterrupted,
+            &format!("{backend:?} resumed at sweep 12"),
+        );
+
+        // A resumed run with checkpointing still enabled emits the same
+        // later checkpoints the uninterrupted run would.
+        let (again, corpus3) = model_and_corpus(backend, 18);
+        let mut later: Vec<u64> = Vec::new();
+        again
+            .fit_resumable(&corpus3, Some(&checkpoint), Some(6), |cp| {
+                later.push(cp.sweep);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(later, vec![18], "absolute checkpoint boundaries");
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_state() {
+    let backend = Backend::ShardedDocs {
+        shards: 2,
+        threads: 1,
+    };
+    let (model, corpus) = model_and_corpus(backend, 18);
+    let mut captured: Option<TrainCheckpoint> = None;
+    model
+        .fit_resumable(&corpus, None, Some(6), |cp| {
+            if captured.is_none() {
+                captured = Some(cp.clone());
+            }
+            Ok(())
+        })
+        .unwrap();
+    let checkpoint = captured.unwrap();
+
+    // Wrong shard layout for the configured backend.
+    let (serial_model, corpus2) = model_and_corpus(Backend::Serial, 18);
+    assert!(serial_model
+        .fit_resumable(&corpus2, Some(&checkpoint), None, |_| Ok(()))
+        .is_err());
+
+    // Checkpoint taken past the configured iteration count.
+    let (short_model, corpus3) = model_and_corpus(backend, 3);
+    assert!(short_model
+        .fit_resumable(&corpus3, Some(&checkpoint), None, |_| Ok(()))
+        .is_err());
+
+    // A different corpus: dimensions match nothing, so validation fails.
+    let (model4, _) = model_and_corpus(backend, 18);
+    let mut tiny = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+    tiny.add_tokens("d", &["a", "b"]);
+    assert!(model4
+        .fit_resumable(&tiny.build(), Some(&checkpoint), None, |_| Ok(()))
+        .is_err());
+
+    // Tampered counts: caught by the counts-vs-assignments cross-check.
+    let mut tampered = checkpoint.clone();
+    tampered.nw[0] = tampered.nw[0].wrapping_add(1);
+    let (model5, corpus5) = model_and_corpus(backend, 18);
+    assert!(model5
+        .fit_resumable(&corpus5, Some(&tampered), None, |_| Ok(()))
+        .is_err());
+
+    // A different configured seed: resuming would silently mislabel the
+    // run (the chain continues from the checkpoint's streams regardless
+    // of what the new config claims), so it must be rejected.
+    let mut wrong_seed = checkpoint.clone();
+    wrong_seed.seed ^= 1;
+    let (model6, corpus6) = model_and_corpus(backend, 18);
+    assert!(model6
+        .fit_resumable(&corpus6, Some(&wrong_seed), None, |_| Ok(()))
+        .is_err());
+}
+
+/// The golden fixture corpus (the pinned §I case-study world of
+/// `tests/artifact_compat.rs`, repeated to give the shards real work).
+fn golden_corpus() -> (Corpus, KnowledgeSource) {
+    let mut builder = CorpusBuilder::new().tokenizer(Tokenizer::permissive());
+    for i in 0..12 {
+        builder.add_tokens(
+            format!("school-{i}"),
+            &["pencil", "pencil", "ruler", "eraser"],
+        );
+        builder.add_tokens(
+            format!("sports-{i}"),
+            &["baseball", "umpire", "baseball", "glove"],
+        );
+    }
+    let corpus = builder.build();
+    let mut ks = KnowledgeSourceBuilder::new();
+    ks.add_article(
+        "School Supplies",
+        "pencil ruler eraser notebook pencil ruler pencil ".repeat(40),
+    );
+    ks.add_article(
+        "Baseball",
+        "baseball umpire pitcher inning baseball umpire baseball glove ".repeat(40),
+    );
+    let knowledge = ks.build(corpus.vocabulary());
+    (corpus, knowledge)
+}
+
+#[test]
+fn sharded_perplexity_parity_with_serial_on_golden_corpus() {
+    let fit_golden = |backend: Backend| -> FittedModel {
+        let (corpus, knowledge) = golden_corpus();
+        SourceLda::builder()
+            .knowledge_source(knowledge)
+            .variant(Variant::Bijective)
+            .alpha(0.5)
+            .iterations(120)
+            .backend(backend)
+            .seed(7)
+            .build()
+            .unwrap()
+            .fit(&corpus)
+            .unwrap()
+    };
+    let (corpus, _) = golden_corpus();
+    let serial = fit_golden(Backend::Serial);
+    let serial_ppx = gibbs_perplexity(&serial, &corpus, 30, 99).unwrap();
+    for shards in [2, 4] {
+        let sharded = fit_golden(Backend::ShardedDocs { shards, threads: 2 });
+        let ppx = gibbs_perplexity(&sharded, &corpus, 30, 99).unwrap();
+        let rel = (ppx - serial_ppx).abs() / serial_ppx;
+        assert!(
+            rel < 0.15,
+            "S={shards} perplexity {ppx} vs serial {serial_ppx} (rel {rel:.3})"
+        );
+        // Both should solve the case study: pencil tokens land in the
+        // School Supplies topic.
+        let school = sharded
+            .labels()
+            .iter()
+            .position(|l| l.as_deref() == Some("School Supplies"))
+            .unwrap() as u32;
+        assert_eq!(sharded.assignments()[0][0], school, "S={shards}");
+    }
+}
