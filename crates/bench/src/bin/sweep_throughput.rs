@@ -1,6 +1,8 @@
 //! Training-sweep throughput benchmark: tokens/sec through the serial
 //! Gibbs sampler, dense reference sweep vs. optimized kernel, per model
-//! family × T × V. Writes `BENCH_sweep.json` into the working directory.
+//! family × T × V — plus a high-T λ-integrated family (T ∈ {500, 2000})
+//! that also times the sub-linear `Backend::SparseKernel` bucket kernel.
+//! Writes `BENCH_sweep.json` into the working directory.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -8,7 +10,8 @@ fn main() {
         &args,
         "sweep_throughput",
         "Training-sweep throughput (tokens/sec): dense reference sweep vs. \
-         optimized kernel per model family; emits BENCH_sweep.json.",
+         optimized kernel per model family, plus the sub-linear sparse \
+         bucket kernel on the high-T family; emits BENCH_sweep.json.",
         &[],
     );
     let scale = srclda_bench::Scale::from_args(&args);

@@ -13,6 +13,17 @@
 //! seed (asserted here on every cell), so the comparison times identical
 //! statistical work.
 //!
+//! On top of the per-family grid, a **high-T family** (`T ∈ {500, 2000}`,
+//! λ-integrated priors) also times `Backend::SparseKernel`, the SparseLDA
+//! bucket kernel whose per-token cost is O(k_d + k_w) instead of O(T).
+//! The sparse kernel consumes the per-token uniform through bucket
+//! thresholds, so it walks a *different* (equally valid) chain — no
+//! bit-assert is possible; its distribution-level equivalence contract
+//! lives in `tests/kernel_equivalence.rs` and the `sampler::sparse`
+//! property tests. Here it is timed on the same corpus and sweep counts
+//! as the dense kernels, and the JSON gains `sparse_tokens_per_sec` /
+//! `sparse_speedup` columns for those cells.
+//!
 //! Besides the printed report, the experiment writes `BENCH_sweep.json`
 //! into the working directory so CI and future PRs have a machine-readable
 //! perf baseline to beat.
@@ -35,6 +46,10 @@ struct Cell {
     sweeps: usize,
     dense_tokens_per_sec: f64,
     kernel_tokens_per_sec: f64,
+    /// Sub-linear bucket-kernel throughput (`Backend::SparseKernel`), only
+    /// measured on the high-T λ-integrated family where the O(T) kernels
+    /// crawl; `None` for the ordinary per-family cells.
+    sparse_tokens_per_sec: Option<f64>,
     /// True when either backend's differential timing never produced a
     /// positive delta (see [`differential_rate`]): the reported rates are
     /// whole-run fallbacks, not sweep-only throughput.
@@ -44,6 +59,14 @@ struct Cell {
 impl Cell {
     fn speedup(&self) -> f64 {
         self.kernel_tokens_per_sec / self.dense_tokens_per_sec.max(1e-9)
+    }
+
+    /// Sparse-kernel speedup over the O(T) optimized kernel (not over the
+    /// dense reference — the interesting ratio is against the best dense
+    /// competitor).
+    fn sparse_speedup(&self) -> Option<f64> {
+        self.sparse_tokens_per_sec
+            .map(|s| s / self.kernel_tokens_per_sec.max(1e-9))
     }
 }
 
@@ -153,6 +176,44 @@ fn time_pair<F: Fn(Backend, usize) -> FittedModel>(
     (dense, kernel, dense_unreliable || kernel_unreliable)
 }
 
+/// Time the dense reference, the optimized kernel, *and* the sub-linear
+/// bucket kernel on one model ([`differential_rate`] each). No chain
+/// assert between the dense pair and `SparseKernel`: the bucket kernel
+/// legitimately walks a different chain (see the module docs); its
+/// equivalence contract is distribution-level and lives in the test
+/// suites, not here. Returns
+/// `(dense tok/s, kernel tok/s, sparse tok/s, unreliable)`.
+fn time_triple<F: Fn(Backend, usize) -> FittedModel>(
+    fit: F,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+) -> (f64, f64, f64, bool) {
+    let fit = &fit;
+    let time_of = |backend: Backend| {
+        move |iters: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let _ = fit(backend, iters);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+    };
+    let (dense, dense_unreliable) =
+        differential_rate(time_of(Backend::SerialDense), tokens_per_sweep, sweeps);
+    let (kernel, kernel_unreliable) =
+        differential_rate(time_of(Backend::Serial), tokens_per_sweep, sweeps);
+    let (sparse, sparse_unreliable) =
+        differential_rate(time_of(Backend::SparseKernel), tokens_per_sweep, sweeps);
+    (
+        dense,
+        kernel,
+        sparse,
+        dense_unreliable || kernel_unreliable || sparse_unreliable,
+    )
+}
+
 /// Run every family cell for a scale.
 fn run_cells(scale: Scale) -> Vec<Cell> {
     let topics = scale.pick(48, 128, 512);
@@ -181,6 +242,7 @@ fn run_cells(scale: Scale) -> Vec<Cell> {
             sweeps,
             dense_tokens_per_sec: rates.0,
             kernel_tokens_per_sec: rates.1,
+            sparse_tokens_per_sec: None,
             unreliable: rates.2,
         });
     };
@@ -338,6 +400,57 @@ fn run_cells(scale: Scale) -> Vec<Cell> {
         push("ctm", topics, v, &corpus, sweeps, rates);
     }
 
+    // High-T λ-integrated family: T ∈ {500, 2000} at every scale, where the
+    // O(T)-per-token kernels crawl and the sub-linear bucket kernel is the
+    // point of the cell. Vocabulary stays above the dense-integration cutoff
+    // so the tables take the memory-light sparse layout (a 2000-topic dense
+    // table at these shapes would be hundreds of MB); token counts and
+    // sweep counts shrink relative to the per-family grid because every
+    // sweep costs O(T) per token on the dense side.
+    {
+        let v_t = scale.pick(6000, 9000, 12000);
+        let docs_t = scale.pick(30, 80, 150);
+        let doc_len_t = scale.pick(40, 60, 80);
+        let sweeps_t = scale.pick(4, 12, 16);
+        for (family, t_big, seed) in [
+            ("srclda_integrated_t500", 500usize, 26u64),
+            ("srclda_integrated_t2000", 2000, 27),
+        ] {
+            let (knowledge, corpus) = world(v_t, t_big, support, docs_t, doc_len_t, seed);
+            let (dense, kernel, sparse, unreliable) = time_triple(
+                |backend, iters| {
+                    SourceLda::builder()
+                        .knowledge_source(knowledge.clone())
+                        .variant(Variant::Full)
+                        .approximation_steps(steps)
+                        .smoothing(SmoothingMode::Identity)
+                        .alpha(0.5)
+                        .iterations(iters)
+                        .backend(backend)
+                        .seed(7)
+                        .build()
+                        .expect("valid model")
+                        .fit(&corpus)
+                        .expect("fit succeeds")
+                },
+                corpus.num_tokens(),
+                sweeps_t,
+            );
+            cells.push(Cell {
+                family,
+                topics: t_big,
+                vocab: v_t,
+                docs: corpus.num_docs(),
+                tokens_per_sweep: corpus.num_tokens(),
+                sweeps: sweeps_t,
+                dense_tokens_per_sec: dense,
+                kernel_tokens_per_sec: kernel,
+                sparse_tokens_per_sec: Some(sparse),
+                unreliable,
+            });
+        }
+    }
+
     cells
 }
 
@@ -352,11 +465,17 @@ fn render_json(scale: Scale, cells: &[Cell]) -> String {
     out.push_str(&format!("  \"machine_cores\": {cores},\n"));
     out.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
+        let sparse_cols = match (c.sparse_tokens_per_sec, c.sparse_speedup()) {
+            (Some(rate), Some(speedup)) => {
+                format!(", \"sparse_tokens_per_sec\": {rate:.1}, \"sparse_speedup\": {speedup:.3}")
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"topics\": {}, \"vocab\": {}, \"docs\": {}, \
              \"tokens_per_sweep\": {}, \"sweeps\": {}, \
              \"dense_tokens_per_sec\": {:.1}, \"kernel_tokens_per_sec\": {:.1}, \
-             \"speedup\": {:.3}, \"unreliable\": {}}}{}\n",
+             \"speedup\": {:.3}{}, \"unreliable\": {}}}{}\n",
             c.family,
             c.topics,
             c.vocab,
@@ -366,6 +485,7 @@ fn render_json(scale: Scale, cells: &[Cell]) -> String {
             c.dense_tokens_per_sec,
             c.kernel_tokens_per_sec,
             c.speedup(),
+            sparse_cols,
             c.unreliable,
             if i + 1 < cells.len() { "," } else { "" },
         ));
@@ -383,24 +503,32 @@ pub fn run(scale: Scale) -> String {
     );
     let cells = run_cells(scale);
     out.push_str(&format!(
-        "{:<26} {:>6} {:>6} {:>14} {:>14} {:>9}\n",
-        "family", "T", "V", "dense tok/s", "kernel tok/s", "speedup"
+        "{:<26} {:>6} {:>6} {:>14} {:>14} {:>9} {:>14} {:>9}\n",
+        "family", "T", "V", "dense tok/s", "kernel tok/s", "speedup", "sparse tok/s", "sparse/k"
     ));
     for c in &cells {
+        let (sparse_rate, sparse_speedup) = match (c.sparse_tokens_per_sec, c.sparse_speedup()) {
+            (Some(rate), Some(speedup)) => (format!("{rate:.0}"), format!("{speedup:.2}x")),
+            _ => ("-".to_string(), "-".to_string()),
+        };
         out.push_str(&format!(
-            "{:<26} {:>6} {:>6} {:>14.0} {:>14.0} {:>8.2}x{}\n",
+            "{:<26} {:>6} {:>6} {:>14.0} {:>14.0} {:>8.2}x {:>14} {:>9}{}\n",
             c.family,
             c.topics,
             c.vocab,
             c.dense_tokens_per_sec,
             c.kernel_tokens_per_sec,
             c.speedup(),
+            sparse_rate,
+            sparse_speedup,
             if c.unreliable { "  UNRELIABLE" } else { "" },
         ));
     }
     out.push_str(
-        "(both backends walk bit-identical chains; tokens/sec counts one \
-         token-draw per corpus token per sweep)\n",
+        "(dense and kernel walk bit-identical chains; the sparse bucket \
+         kernel walks its own chain over the same conditionals — see \
+         tests/kernel_equivalence.rs; tokens/sec counts one token-draw per \
+         corpus token per sweep)\n",
     );
     let json = render_json(scale, &cells);
     match std::fs::write("BENCH_sweep.json", &json) {
@@ -485,15 +613,26 @@ mod tests {
             "srclda_integrated_sparse",
             "eda",
             "ctm",
+            "srclda_integrated_t500",
+            "srclda_integrated_t2000",
         ] {
             assert!(families.contains(&f), "missing family {f}");
         }
         for c in &cells {
             assert!(c.dense_tokens_per_sec > 0.0 && c.kernel_tokens_per_sec > 0.0);
+            // The sparse column exists exactly on the high-T family, and is
+            // a real (positive) measurement there.
+            let high_t = c.family.starts_with("srclda_integrated_t");
+            assert_eq!(c.sparse_tokens_per_sec.is_some(), high_t, "{}", c.family);
+            if let Some(rate) = c.sparse_tokens_per_sec {
+                assert!(rate > 0.0, "{}: sparse rate {rate}", c.family);
+            }
         }
         let json = render_json(Scale::Smoke, &cells);
         assert!(json.contains("\"experiment\": \"sweep_throughput\""));
         assert!(json.contains("\"kernel_tokens_per_sec\""));
+        assert!(json.contains("\"sparse_tokens_per_sec\""));
+        assert!(json.contains("\"sparse_speedup\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"unreliable\": "));
     }

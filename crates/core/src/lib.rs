@@ -15,9 +15,12 @@
 //!
 //! The engine ([`model::GibbsModel`]) owns count matrices ([`counts`]),
 //! per-topic word priors ([`prior::TopicPrior`]) and a sampler backend
-//! ([`sampler::Backend`]): the serial sampler, the paper's Algorithm 2
-//! (prefix-sums parallel sampling) and Algorithm 3 (simple parallel
-//! sampling). Supporting modules provide the joint log-likelihood
+//! ([`sampler::Backend`]): the serial sampler (dense reference and
+//! optimized-kernel forms), the paper's Algorithm 2 (prefix-sums parallel
+//! sampling) and Algorithm 3 (simple parallel sampling),
+//! document-sharded AD-LDA training, and the sub-linear SparseLDA bucket
+//! kernel (O(k_d + k_w) per token instead of O(T)). Supporting modules
+//! provide the joint log-likelihood
 //! ([`loglik`]), held-out perplexity ([`perplexity`]), online fold-in
 //! inference for serving trained models ([`inference`]), serializable
 //! mirrors of model internals ([`persist`]), superset topic reduction

@@ -18,17 +18,56 @@ use crate::counts::CountMatrices;
 use crate::prior::TopicPrior;
 use srclda_math::special::ln_gamma;
 
+/// Frozen-topic probabilities below this are clamped before `ln()` so the
+/// total stays finite; every token hit by the clamp is **counted** (see
+/// [`WordLogLikelihood::clamped_tokens`]) rather than silently absorbed.
+const CLAMP_FLOOR: f64 = 1e-300;
+
+/// The joint log-likelihood plus its numeric-health report: how many
+/// tokens sat on (near-)zero-probability words and had their contribution
+/// clamped to `ln(1e-300)`. A non-zero count means `value` is a *floor* on
+/// the true `ln P(w|z) = −∞` degeneracy — callers that treat the trace as
+/// exact (convergence detection, model comparison) should surface it, the
+/// same way the eval pipeline reports NaN inputs instead of scoring them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordLogLikelihood {
+    /// `ln P(w | z)` with clamped frozen-topic terms.
+    pub value: f64,
+    /// Number of tokens (counted with multiplicity) whose word probability
+    /// was below [`CLAMP_FLOOR`] under their assigned frozen topic.
+    pub clamped_tokens: u64,
+}
+
 /// Compute `ln P(w | z)` from the current counts.
+///
+/// Thin wrapper over [`joint_word_log_likelihood_counted`] that discards
+/// the clamp report — for callers that only plot the trace.
 pub fn joint_word_log_likelihood(counts: &CountMatrices, priors: &[TopicPrior]) -> f64 {
+    joint_word_log_likelihood_counted(counts, priors).value
+}
+
+/// Compute `ln P(w | z)` and report how many tokens were clamped (see
+/// [`WordLogLikelihood`]).
+pub fn joint_word_log_likelihood_counted(
+    counts: &CountMatrices,
+    priors: &[TopicPrior],
+) -> WordLogLikelihood {
     let v = counts.vocab_size();
     let mut total = 0.0;
+    let mut clamped = 0u64;
     for (t, prior) in priors.iter().enumerate() {
         match prior {
             TopicPrior::Frozen { phi } => {
                 for (w, &p_w) in phi.iter().enumerate().take(v) {
                     let n = counts.nw(w, t);
                     if n > 0 {
-                        total += n as f64 * p_w.max(1e-300).ln();
+                        if p_w < CLAMP_FLOOR {
+                            // A token assigned to a frozen topic that puts
+                            // (numerically) no mass on its word: the true
+                            // term is −∞ (or near it); clamp but count.
+                            clamped += n as u64;
+                        }
+                        total += n as f64 * p_w.max(CLAMP_FLOOR).ln();
                     }
                 }
             }
@@ -55,7 +94,10 @@ pub fn joint_word_log_likelihood(counts: &CountMatrices, priors: &[TopicPrior]) 
             }
         }
     }
-    total
+    WordLogLikelihood {
+        value: total,
+        clamped_tokens: clamped,
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +171,29 @@ mod tests {
         let lg = joint_word_log_likelihood(&good, &priors);
         let lb = joint_word_log_likelihood(&bad, &priors);
         assert!(lg > lb);
+    }
+
+    #[test]
+    fn clamped_frozen_tokens_are_counted_not_silently_floored() {
+        // A frozen topic with literally zero mass on word 1 (no smoothing:
+        // frozen φ is the normalized raw counts), plus three tokens of
+        // word 1 assigned to it anyway — the degenerate state the old code
+        // hid behind a silent `max(1e-300)`.
+        let topic = srclda_knowledge::SourceTopic::new("T", vec![5.0, 0.0]);
+        let priors = vec![TopicPrior::frozen_from_source(&topic, 0.0)];
+        let counts = make_counts(&[(0, 0, 0), (1, 0, 0), (1, 0, 0), (1, 0, 0)], 2, 1, &[4]);
+        let report = joint_word_log_likelihood_counted(&counts, &priors);
+        assert!(report.value.is_finite(), "clamp must keep the value finite");
+        assert_eq!(
+            report.clamped_tokens, 3,
+            "each zero-probability token counted with multiplicity"
+        );
+        // The wrapper still returns the clamped value.
+        assert_eq!(report.value, joint_word_log_likelihood(&counts, &priors));
+
+        // A healthy state reports zero clamped tokens.
+        let healthy = make_counts(&[(0, 0, 0), (0, 0, 0)], 2, 1, &[2]);
+        let clean = joint_word_log_likelihood_counted(&healthy, &priors);
+        assert_eq!(clean.clamped_tokens, 0);
     }
 }

@@ -258,6 +258,7 @@ impl GibbsModel {
         }
 
         let mut loglik_trace: Vec<(usize, f64)> = Vec::new();
+        let mut loglik_clamped_tokens = 0u64;
         let mut snapshots: Vec<(usize, DenseMatrix<f64>)> = Vec::new();
         let trace = self.config.trace.clone();
         let adapt_every = self
@@ -313,10 +314,9 @@ impl GibbsModel {
                     let iter = base + iter_in_chunk;
                     if let Some(every) = trace.log_likelihood_every {
                         if every > 0 && iter.is_multiple_of(every) {
-                            loglik_trace.push((
-                                iter,
-                                loglik::joint_word_log_likelihood(&counts, priors_ref),
-                            ));
+                            let ll = loglik::joint_word_log_likelihood_counted(&counts, priors_ref);
+                            loglik_clamped_tokens += ll.clamped_tokens;
+                            loglik_trace.push((iter, ll.value));
                         }
                     }
                     if trace.phi_snapshots.contains(&iter) {
@@ -334,7 +334,13 @@ impl GibbsModel {
                 None => false,
             };
             if at_adapt_boundary && completed < total_iters {
-                adapt_integrated_priors(&mut priors, &counts);
+                // Topic-sharded (bit-identical for any thread count, so
+                // hardware parallelism never perturbs the chain — see
+                // `sampler::adapt`).
+                let threads = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                crate::sampler::adapt::adapt_integrated_priors(&mut priors, &counts, threads);
             }
             if let Some(every) = checkpoint_every {
                 if completed.is_multiple_of(every) {
@@ -370,25 +376,9 @@ impl GibbsModel {
             counts,
             alpha: self.config.alpha,
             loglik_trace,
+            loglik_clamped_tokens,
             snapshots,
         })
-    }
-}
-
-/// Re-weight every λ-integrated prior's quadrature levels with its topic's
-/// current counts (the adaptive-λ step; see `IntegrationTable::adapt`).
-fn adapt_integrated_priors(priors: &mut [TopicPrior], counts: &CountMatrices) {
-    let v = counts.vocab_size();
-    for (t, prior) in priors.iter_mut().enumerate() {
-        if !prior.is_integrated() {
-            continue;
-        }
-        let nt = counts.nt(t);
-        let nonzero = (0..v).filter_map(|w| {
-            let n = counts.nw(w, t);
-            (n > 0).then_some((w, n))
-        });
-        prior.adapt_lambda(nonzero, nt);
     }
 }
 
@@ -439,6 +429,7 @@ pub struct FittedModel {
     counts: CountMatrices,
     alpha: f64,
     loglik_trace: Vec<(usize, f64)>,
+    loglik_clamped_tokens: u64,
     snapshots: Vec<(usize, DenseMatrix<f64>)>,
 }
 
@@ -511,6 +502,15 @@ impl FittedModel {
     /// Recorded `(iteration, log-likelihood)` pairs.
     pub fn loglik_trace(&self) -> &[(usize, f64)] {
         &self.loglik_trace
+    }
+
+    /// Total tokens whose frozen-topic word probability had to be clamped
+    /// across every recorded [`Self::loglik_trace`] evaluation (see
+    /// [`crate::loglik::WordLogLikelihood`]). Non-zero means the trace
+    /// values floor a numerically degenerate likelihood rather than
+    /// measure it exactly; always 0 when no trace was recorded.
+    pub fn loglik_clamped_tokens(&self) -> u64 {
+        self.loglik_clamped_tokens
     }
 
     /// Recorded `(iteration, φ)` snapshots.

@@ -82,22 +82,13 @@ pub fn gibbs_perplexity(
                 test_nw[w * t_count + old] -= 1;
                 test_nt[old] -= 1;
                 test_nd[d][old] -= 1;
-                let mut acc = 0.0;
-                for t in 0..t_count {
+                let new = draw_topic_rescued(&mut buf, &mut rng, |t, scale| {
                     let nw_eff =
                         frozen_nw[w * t_count + t] as f64 + test_nw[w * t_count + t] as f64;
                     let nt_eff = frozen_nt[t] as f64 + test_nt[t] as f64;
-                    let weight =
-                        priors[t].word_weight(w, nw_eff, nt_eff) * (test_nd[d][t] as f64 + alpha);
-                    acc += weight;
-                    buf[t] = acc;
-                }
-                let new = if acc > 0.0 && acc.is_finite() {
-                    let u = rng.gen::<f64>() * acc;
-                    binary_search_cumulative(&buf, u)
-                } else {
-                    rng.gen_range(0..t_count)
-                };
+                    (priors[t].word_weight(w, nw_eff, nt_eff) * scale)
+                        * ((test_nd[d][t] as f64 + alpha) * scale)
+                });
                 z[d][j] = new as u32;
                 test_nw[w * t_count + new] += 1;
                 test_nt[new] += 1;
@@ -120,6 +111,59 @@ pub fn gibbs_perplexity(
         n_tokens += doc.len();
     }
     Ok((-log_prob / n_tokens as f64).exp())
+}
+
+/// One conditional topic draw for the held-out sampler, with an underflow
+/// rescue pass.
+///
+/// `weight(t, scale)` must return the unnormalized topic weight with
+/// *each* of its two factors (word weight and document factor) multiplied
+/// by `scale` — so a product that underflowed to zero at `scale = 1` is
+/// recovered at `scale = 2^512` as `weight · 2^1024`, which cannot
+/// overflow (both original factors were below `f64::MIN_POSITIVE`'s square
+/// root regime for the product to vanish) and lifts any representable
+/// product mass back into the normal range.
+///
+/// The old guard (`acc > 0.0 && acc.is_finite()`) routed a *fully
+/// underflowed* accumulator — `acc == 0.0` even though the true
+/// conditional is far from uniform — into the uniform fallback, silently
+/// destroying the inferred θ for long, well-explained documents. The
+/// healthy fast path now also requires `acc >= f64::MIN_POSITIVE`:
+/// a subnormal accumulator means every weight is subnormal (the
+/// accumulation is non-negative and monotone) and has lost most of its
+/// mantissa, so it takes the rescue pass too. Only a state with *no*
+/// representable mass at all (structural zeros everywhere, or NaN/∞
+/// weights) falls back to uniform, matching the training kernels.
+fn draw_topic_rescued<R: Rng, F: FnMut(usize, f64) -> f64>(
+    buf: &mut [f64],
+    rng: &mut R,
+    mut weight: F,
+) -> usize {
+    let t_count = buf.len();
+    let mut acc = 0.0;
+    for (t, slot) in buf.iter_mut().enumerate() {
+        acc += weight(t, 1.0);
+        *slot = acc;
+    }
+    if acc >= f64::MIN_POSITIVE && acc.is_finite() {
+        let u = rng.gen::<f64>() * acc;
+        return binary_search_cumulative(buf, u);
+    }
+    if acc.is_finite() {
+        // Underflow (acc zero or subnormal): rescale both factors of every
+        // weight by 2^512 and retry.
+        let scale = 2.0f64.powi(512);
+        let mut acc = 0.0;
+        for (t, slot) in buf.iter_mut().enumerate() {
+            acc += weight(t, scale);
+            *slot = acc;
+        }
+        if acc >= f64::MIN_POSITIVE && acc.is_finite() {
+            let u = rng.gen::<f64>() * acc;
+            return binary_search_cumulative(buf, u);
+        }
+    }
+    rng.gen_range(0..t_count)
 }
 
 /// Importance-sampling perplexity with `samples` θ draws from the `Dir(α)`
@@ -254,6 +298,70 @@ mod tests {
         let empty = Corpus::from_parts(train.vocabulary().clone(), vec![]);
         assert!(gibbs_perplexity(&fitted, &empty, 10, 1).is_err());
         assert!(importance_sampling_perplexity(&fitted, &empty, 10, 1).is_err());
+    }
+
+    #[test]
+    fn underflowing_document_is_rescued_not_uniformized() {
+        // Regression for the old `acc > 0.0` guard: a document whose every
+        // per-topic weight product underflows to exactly 0.0 (word weight
+        // ~1e-180, document factor ~1e-180 → true mass ~1e-360, below the
+        // smallest subnormal) used to be routed to the *uniform* fallback,
+        // erasing a 3:1 conditional. The rescue pass must recover the
+        // ratio.
+        let word_weights = [1e-180, 3e-180];
+        let doc_factor = 1e-180;
+        // The unrescued products really do vanish — the precondition of
+        // the regression.
+        assert_eq!(word_weights[0] * doc_factor, 0.0);
+        assert_eq!(word_weights[1] * doc_factor, 0.0);
+        let mut rng = rng_from_seed(11);
+        let mut buf = vec![0.0; 2];
+        let mut hits = [0u32; 2];
+        for _ in 0..4000 {
+            let t = draw_topic_rescued(&mut buf, &mut rng, |t, scale| {
+                (word_weights[t] * scale) * (doc_factor * scale)
+            });
+            hits[t] += 1;
+        }
+        let frac = hits[1] as f64 / 4000.0;
+        assert!(
+            (frac - 0.75).abs() < 0.05,
+            "rescued draw must preserve the 3:1 ratio, got {frac}"
+        );
+
+        // A subnormal (but non-zero) accumulator takes the rescue pass
+        // too: precision is already gone at that magnitude.
+        let tiny = [2e-320, 6e-320]; // subnormal weights, exact 3:1
+        let mut hits = [0u32; 2];
+        for _ in 0..4000 {
+            let t = draw_topic_rescued(&mut buf, &mut rng, |t, scale| (tiny[t] * scale) * scale);
+            hits[t] += 1;
+        }
+        let frac = hits[1] as f64 / 4000.0;
+        assert!((frac - 0.75).abs() < 0.05, "subnormal rescue, got {frac}");
+    }
+
+    #[test]
+    fn structurally_zero_or_non_finite_mass_still_falls_back_to_uniform() {
+        let mut rng = rng_from_seed(3);
+        let mut buf = vec![0.0; 3];
+        let mut hits = [0u32; 3];
+        for _ in 0..3000 {
+            let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| 0.0);
+            hits[t] += 1;
+        }
+        for (t, &h) in hits.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&h),
+                "structural zeros must draw uniformly, topic {t} got {h}"
+            );
+        }
+        // NaN weights: no panic, uniform fallback.
+        let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| f64::NAN);
+        assert!(t < 3);
+        // Infinite mass: likewise.
+        let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| f64::INFINITY);
+        assert!(t < 3);
     }
 
     #[test]

@@ -76,7 +76,7 @@ use std::sync::Arc;
 /// channel, `Integrated` the [`SweepTables::ints`] views (and the λ-row
 /// channel of the combined table).
 #[derive(Debug, Clone, Copy)]
-enum Kind {
+pub(super) enum Kind {
     Symmetric,
     Fixed(u32),
     Integrated(u32),
@@ -93,10 +93,10 @@ const MAX_COMBINED_BYTES: usize = 512 << 20;
 
 /// Flat view of one λ-integration table plus the offset of its cached
 /// `qr` row inside [`RecipCache::qr`].
-struct IntFlat<'a> {
-    table: &'a IntegrationTable,
-    qr_base: usize,
-    levels: usize,
+pub(super) struct IntFlat<'a> {
+    pub(super) table: &'a IntegrationTable,
+    pub(super) qr_base: usize,
+    pub(super) levels: usize,
 }
 
 /// Struct-of-arrays sweep tables: everything about the priors that is
@@ -104,18 +104,18 @@ struct IntFlat<'a> {
 /// Built once per [`run_sweeps`](super::run_sweeps) call (priors only
 /// change *between* calls, via λ adaptation).
 pub(crate) struct SweepTables<'a> {
-    kinds: Vec<Kind>,
+    pub(super) kinds: Vec<Kind>,
     /// Numerator addend: β for `Symmetric`/`ConceptSet`, 0 otherwise.
-    add: Vec<f64>,
+    pub(super) add: Vec<f64>,
     /// Denominator addend: `Vβ` / `Σδ` / `|W_c|β`; 0 for `Frozen` and
     /// λ-integrated topics (whose denominators live per level).
-    denom_add: Vec<f64>,
+    pub(super) denom_add: Vec<f64>,
     /// Word-indexed row: δ for `Fixed`, φ for `Frozen`, empty otherwise.
-    rows: Vec<&'a [f64]>,
+    pub(super) rows: Vec<&'a [f64]>,
     /// Concept membership masks (`ConceptSet` only, empty otherwise).
-    masks: Vec<&'a [bool]>,
+    pub(super) masks: Vec<&'a [bool]>,
     /// Flat λ-integration views, one per integrated topic.
-    ints: Vec<IntFlat<'a>>,
+    pub(super) ints: Vec<IntFlat<'a>>,
 }
 
 impl<'a> SweepTables<'a> {
@@ -208,26 +208,28 @@ impl<'a> SweepTables<'a> {
 }
 
 /// The incrementally-maintained reciprocal cache (see the module docs for
-/// the invariant).
-struct RecipCache {
+/// the invariant). Shared with the sparse bucket kernel
+/// ([`super::sparse`]), which derives its per-topic baseline masses from
+/// the same cached values.
+pub(super) struct RecipCache {
     /// `1.0 / (n_t + denom_add[t])` per topic (1.0 for kinds without a
     /// count-dependent denominator).
-    recip: Vec<f64>,
+    pub(super) recip: Vec<f64>,
     /// Per λ-integrated topic × level: `w_a * (1.0 / (n_t + Σδ_a))`,
     /// concatenated in `SweepTables::ints` order.
-    qr: Vec<f64>,
+    pub(super) qr: Vec<f64>,
     /// Per λ-integrated topic: `S1 = Σ_a w_a * (1.0 / (n_t + Σδ_a))` (the
     /// `nw` coefficient of the factored Eq. 3 evaluation).
-    int_s1: Vec<f64>,
+    pub(super) int_s1: Vec<f64>,
     /// Per λ-integrated topic: `S2` evaluated against the topic's shared
     /// off-support δ row (`dot_mod4(zero_row, qr)`), so off-support words
     /// — the vast majority at realistic V — cost O(1) instead of O(A).
     /// 0.0 (unused) when the topic's support is unknown.
-    int_s2_zero: Vec<f64>,
+    pub(super) int_s2_zero: Vec<f64>,
 }
 
 impl RecipCache {
-    fn new(tables: &SweepTables<'_>, counts: &CountMatrices) -> Self {
+    pub(super) fn new(tables: &SweepTables<'_>, counts: &CountMatrices) -> Self {
         let qr_len = tables.ints.iter().map(|f| f.levels).sum();
         let mut cache = Self {
             recip: vec![1.0; tables.num_topics()],
@@ -245,7 +247,7 @@ impl RecipCache {
     /// `nt`. Always a from-scratch `1.0 / (nt + c)` — never incremental
     /// algebra — so cached values stay bit-equal to fresh ones.
     #[inline]
-    fn refresh(&mut self, tables: &SweepTables<'_>, t: usize, nt: u32) {
+    pub(super) fn refresh(&mut self, tables: &SweepTables<'_>, t: usize, nt: u32) {
         let ntf = nt as f64;
         match tables.kinds[t] {
             Kind::Symmetric | Kind::Fixed(_) | Kind::ConceptSet(_) => {
@@ -344,9 +346,21 @@ impl Combined {
             .iter()
             .filter(|k| matches!(k, Kind::ConceptSet(_)))
             .count();
-        let bytes = vocab_size * (n_f64 * 8 + n_mask + n_int * (a * 8 + 1));
-        if bytes > MAX_COMBINED_BYTES {
-            return None;
+        // Checked arithmetic throughout: at extreme V·T·A the naive product
+        // wraps around and a table far past the budget would be "estimated"
+        // small — overflow means the real size is astronomically over
+        // budget, so it takes the same fallback as a too-big table.
+        let bytes = n_f64
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(n_mask))
+            .and_then(|b| {
+                let int_bytes = a.checked_mul(8)?.checked_add(1)?.checked_mul(n_int)?;
+                b.checked_add(int_bytes)
+            })
+            .and_then(|per_word| per_word.checked_mul(vocab_size));
+        match bytes {
+            Some(b) if b <= MAX_COMBINED_BYTES => {}
+            _ => return None,
         }
         let mut combined = Self {
             f64s: vec![0.0; vocab_size * n_f64],
@@ -801,6 +815,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The combined-table byte estimate must fall back (`None`) both just
+    /// past the budget and — the regression this pins — when `V ·
+    /// bytes_per_word` overflows `usize` entirely. Before the checked
+    /// arithmetic, `(1 << 61) + 1` words × 8 bytes wrapped around to 8,
+    /// sailed under the 512MB budget, and the build attempted an
+    /// exbibyte-scale allocation.
+    #[test]
+    fn combined_budget_check_survives_byte_overflow() {
+        let topic = SourceTopic::new("T", vec![4.0, 2.0, 1.0, 0.0]);
+        let priors = vec![TopicPrior::fixed_from_source(&topic, 0.01)];
+        let tables = SweepTables::new(&priors);
+        // One Fixed topic → 8 bytes per word. In-budget builds are covered
+        // by the proptests above at small V; building a 512MB table here
+        // just to probe the boundary from below isn't worth the allocation.
+        assert!(Combined::build(&tables, MAX_COMBINED_BYTES / 8 + 1).is_none());
+        // 8 * ((1 << 61) + 1) ≡ 8 (mod 2^64): the unchecked estimate wraps
+        // below the budget.
+        assert!(Combined::build(&tables, (1usize << 61) + 1).is_none());
+        assert!(Combined::build(&tables, usize::MAX).is_none());
     }
 
     /// Mixed-prior fixture shared with the chain-equivalence test.

@@ -8,10 +8,12 @@
 //! reference ([`serial`]) are bit-identical by construction (flat tables
 //! and cached reciprocals reproduce `TopicPrior::word_weight` exactly).
 
+pub mod adapt;
 pub mod kernel;
 pub mod parallel;
 pub mod serial;
 pub mod shard;
+pub mod sparse;
 
 use crate::counts::CountMatrices;
 use crate::error::CoreError;
@@ -42,6 +44,18 @@ pub enum Backend {
         /// Number of worker threads `P`.
         threads: usize,
     },
+    /// Single-threaded **sub-linear** sampling through the SparseLDA-style
+    /// bucket decomposition (see [`sparse`]): the per-token weight splits
+    /// into a cached smoothing bucket, a cached doc bucket, and a
+    /// word-sparse bucket, so each token costs O(k_d + k_w) instead of
+    /// O(T). Wins when T is large and documents/words touch few topics.
+    ///
+    /// The chain is fully deterministic in the seed and chunk-boundary
+    /// invariant, but **not** bit-equal to [`Backend::Serial`] — bucket
+    /// routing consumes the per-token uniform differently. Equivalence is
+    /// distribution-level: exact bucket-mass ≡ dense-mass (property-tested)
+    /// and held-out perplexity parity (`tests/kernel_equivalence.rs`).
+    SparseKernel,
     /// Document-sharded approximate collapsed Gibbs (AD-LDA style, see
     /// [`shard`]): documents are statically partitioned into `shards`
     /// shards; each shard sweeps against a sweep-start snapshot of the
@@ -63,7 +77,7 @@ impl Backend {
     /// Number of worker threads this backend uses.
     pub fn threads(&self) -> usize {
         match self {
-            Backend::Serial | Backend::SerialDense => 1,
+            Backend::Serial | Backend::SerialDense | Backend::SparseKernel => 1,
             Backend::PrefixSums { threads }
             | Backend::SimpleParallel { threads }
             | Backend::ShardedDocs { threads, .. } => *threads,
@@ -143,6 +157,9 @@ pub(crate) struct SweepCache {
     /// The sharded backend's chunk state (partition, local count
     /// matrices, the shared combined table).
     pub shard: Option<shard::ShardState>,
+    /// The sparse bucket kernel's per-word deviation and non-zero lists
+    /// (maintained in lock-step with the counts across chunks).
+    pub sparse: Option<sparse::SparseState>,
 }
 
 /// Run `iterations` full Gibbs sweeps with the chosen backend, mutating the
@@ -169,6 +186,14 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
                 on_sweep(iter);
             }
             cache.combined = k.into_combined();
+        }
+        Backend::SparseKernel => {
+            let mut k = sparse::SparseKernel::new(ctx, cache.sparse.take());
+            for iter in 1..=iterations {
+                k.sweep(ctx, z, rng);
+                on_sweep(iter);
+            }
+            cache.sparse = Some(k.into_state());
         }
         Backend::SerialDense => {
             let mut buf = vec![0.0; ctx.num_topics()];
@@ -222,6 +247,7 @@ mod tests {
     fn thread_counts() {
         assert_eq!(Backend::Serial.threads(), 1);
         assert_eq!(Backend::SerialDense.threads(), 1);
+        assert_eq!(Backend::SparseKernel.threads(), 1);
         assert_eq!(Backend::PrefixSums { threads: 4 }.threads(), 4);
         assert_eq!(Backend::SimpleParallel { threads: 6 }.threads(), 6);
         assert_eq!(
@@ -238,6 +264,8 @@ mod tests {
     fn shard_counts() {
         assert_eq!(Backend::Serial.shards(), 1);
         assert!(!Backend::Serial.is_sharded());
+        assert_eq!(Backend::SparseKernel.shards(), 1);
+        assert!(!Backend::SparseKernel.is_sharded());
         let sharded = Backend::ShardedDocs {
             shards: 8,
             threads: 2,

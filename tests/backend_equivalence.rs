@@ -28,6 +28,14 @@
 //! loosen these equalities into approximate ones, which would discard the
 //! exactness property the paper proves (§III.C.4) and this reproduction
 //! advertises.
+//!
+//! One backend is deliberately absent here: `Backend::SparseKernel`
+//! resolves the same per-token uniform through bucket thresholds
+//! (constant/doc/word masses) rather than a full prefix sum, so it walks
+//! a *different* chain by construction and an exact assert is impossible
+//! in principle, not merely fragile. Its contract is distribution-level
+//! and lives in `tests/kernel_equivalence.rs` and the `sampler::sparse`
+//! property tests.
 
 use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
 use source_lda::prelude::*;

@@ -104,8 +104,12 @@ fn checkpoint_interval_never_perturbs_the_chain() {
     // The same fit with aggressive checkpointing (chunk boundaries at
     // every 5th sweep, interleaving awkwardly with the λ-adaptation
     // boundaries at 4, 10, 16, …) must walk the identical chain.
+    // `SparseKernel` rides along: its bucket caches (sorted non-zero
+    // lists, per-sweep smoothing rebuild) are chunk-boundary invariant by
+    // construction, and this pins it end to end.
     for backend in [
         Backend::Serial,
+        Backend::SparseKernel,
         Backend::ShardedDocs {
             shards: 3,
             threads: 2,
@@ -129,6 +133,7 @@ fn checkpoint_interval_never_perturbs_the_chain() {
 fn resume_replays_bit_identically() {
     for backend in [
         Backend::Serial,
+        Backend::SparseKernel,
         Backend::ShardedDocs {
             shards: 4,
             threads: 2,
@@ -267,6 +272,88 @@ fn golden_corpus() -> (Corpus, KnowledgeSource) {
     );
     let knowledge = ks.build(corpus.vocabulary());
     (corpus, knowledge)
+}
+
+/// λ-adaptation is now topic-sharded (`sampler::adapt`); its determinism
+/// contract is stronger than the document shards': **bit-identical for any
+/// shard/thread count**, because each topic's adaptation is a pure function
+/// of its own prior and counts column with no cross-topic reads and no RNG.
+#[test]
+fn lambda_adaptation_is_bit_identical_for_one_vs_n_shards() {
+    use source_lda::core::sampler::adapt::adapt_integrated_priors;
+    use source_lda::core::CountMatrices;
+
+    // Real integrated priors from the synthetic knowledge source (6
+    // integrated + the mixture machinery's plain topics).
+    let (vocab, knowledge) = source_lda::synth::random_source_topics(250, 16, 10, 120, 11);
+    let model = SourceLda::builder()
+        .knowledge_source(knowledge.select(&(0..6).collect::<Vec<_>>()))
+        .variant(Variant::Full)
+        .unlabeled_topics(3)
+        .approximation_steps(3)
+        .smoothing(SmoothingMode::Identity)
+        .adaptive_lambda(6)
+        .alpha(0.5)
+        .iterations(4)
+        .seed(29)
+        .build()
+        .unwrap()
+        .assemble(vocab.len())
+        .unwrap();
+
+    let filled_counts = || {
+        let counts = CountMatrices::new(vocab.len(), model.num_topics(), &[512]);
+        for w in 0..vocab.len() {
+            for t in 0..model.num_topics() {
+                for _ in 0..((w * 13 + t * 5) % 3) {
+                    counts.increment(w, 0, t);
+                }
+            }
+        }
+        counts
+    };
+
+    // Reference: one adaptation shard (the old serial loop).
+    let reference = {
+        let mut priors = model.priors().to_vec();
+        adapt_integrated_priors(&mut priors, &filled_counts(), 1);
+        priors
+    };
+    assert!(
+        reference
+            .iter()
+            .zip(model.priors())
+            .any(|(a, b)| a.to_raw() != b.to_raw()),
+        "fixture must actually adapt something"
+    );
+
+    // N shards / N threads: bit-identical adapted priors, for thread
+    // counts below, at, and far above the integrated-topic count.
+    for threads in [2, 3, 6, 32] {
+        let mut priors = model.priors().to_vec();
+        adapt_integrated_priors(&mut priors, &filled_counts(), threads);
+        for (t, (a, b)) in priors.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                a.to_raw(),
+                b.to_raw(),
+                "topic {t}: {threads}-thread adaptation diverged from serial"
+            );
+        }
+    }
+}
+
+/// End-to-end closure of the adaptation-determinism contract: a full
+/// adaptive-λ fit (whose boundaries invoke the sharded adaptation with the
+/// machine's parallelism) replays bit-identically — if scheduling could
+/// move a bit, this and `checkpoint_interval_never_perturbs_the_chain`
+/// would flake.
+#[test]
+fn adaptive_fit_replays_bit_identically_with_sharded_adaptation() {
+    for backend in [Backend::Serial, Backend::SparseKernel] {
+        let a = fit(backend, 18);
+        let b = fit(backend, 18);
+        assert_identical(&a, &b, &format!("{backend:?} adaptive-λ replay"));
+    }
 }
 
 #[test]
