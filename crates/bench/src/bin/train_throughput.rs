@@ -21,10 +21,13 @@
 //! ```
 
 use srclda_bench::cli::{flag_present, flag_value, handle_help};
+use srclda_core::prelude::gibbs_perplexity_counted;
 use srclda_core::{Backend, GibbsModel, SourceLda, TrainCheckpoint, Variant};
 use srclda_corpus::{Corpus, CorpusBuilder, Tokenizer};
 use srclda_knowledge::KnowledgeSourceBuilder;
+use srclda_obs::{JsonlSink, ProgressSink, TrainEvent, TrainObserver};
 use srclda_serve::codec::fnv1a64;
+use srclda_serve::server::json;
 use srclda_serve::ModelArtifact;
 
 const EXTRA_FLAGS: &[(&str, &str)] = &[
@@ -54,11 +57,40 @@ const EXTRA_FLAGS: &[(&str, &str)] = &[
         "--stop-after <K>",
         "exit right after the sweep-K checkpoint (simulated kill)",
     ),
+    (
+        "--telemetry <P>",
+        "stream JSONL telemetry events to P during --train",
+    ),
+    (
+        "--progress",
+        "print per-sweep progress lines to stderr during --train",
+    ),
+    (
+        "--validate-telemetry <P>",
+        "validate a telemetry JSONL file against the event schema and exit",
+    ),
 ];
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// Fans events out to the requested sinks by mutable reference (unlike
+/// `srclda_obs::Fanout`, which takes ownership), so the JSONL sink can
+/// still be `finish()`ed for its deferred I/O error after the fit.
+struct Tee<'a>(Vec<&'a mut dyn TrainObserver>);
+
+impl TrainObserver for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.0.iter().any(|o| o.enabled())
+    }
+
+    fn on_event(&mut self, event: &TrainEvent) {
+        for sink in &mut self.0 {
+            sink.on_event(event);
+        }
+    }
 }
 
 fn parse_usize(args: &[String], flag: &str) -> Option<usize> {
@@ -184,25 +216,76 @@ fn train(args: &[String]) {
         cp
     });
 
+    let telemetry_path = flag_value(args, "--telemetry").map(str::to_string);
+    if flag_present(args, "--telemetry") && telemetry_path.is_none() {
+        die("--telemetry requires a path");
+    }
+    let mut jsonl = telemetry_path.as_ref().map(|path| {
+        JsonlSink::create(path).unwrap_or_else(|e| die(&format!("creating {path:?}: {e}")))
+    });
+    let mut progress = flag_present(args, "--progress").then(ProgressSink::stderr);
+    let mut sinks: Vec<&mut dyn TrainObserver> = Vec::new();
+    if let Some(sink) = jsonl.as_mut() {
+        sinks.push(sink);
+    }
+    if let Some(sink) = progress.as_mut() {
+        sinks.push(sink);
+    }
+    // With no sinks the tee reports `enabled() == false` and the fit
+    // takes the exact no-telemetry fast path; either way the chain is
+    // bit-identical (observers are read-only value-snapshot consumers).
+    let mut tee = Tee(sinks);
+
     let labels = model.labels().to_vec();
     let fitted = model
-        .fit_resumable(&corpus, resume.as_ref(), checkpoint_every, |cp| {
-            let artifact =
-                ModelArtifact::from_checkpoint(cp, labels.clone(), corpus.vocabulary(), &tokenizer)
-                    .map_err(|e| {
-                        srclda_core::CoreError::InvalidConfig(format!("checkpoint artifact: {e}"))
-                    })?;
-            artifact.save(&checkpoint_path).map_err(|e| {
-                srclda_core::CoreError::InvalidConfig(format!("writing {checkpoint_path:?}: {e}"))
-            })?;
-            println!("checkpoint at sweep {} -> {checkpoint_path}", cp.sweep);
-            if stop_after == Some(cp.sweep as usize) {
-                println!("stopping after sweep {} (simulated kill)", cp.sweep);
-                std::process::exit(0);
-            }
-            Ok(())
-        })
+        .fit_observed(
+            &corpus,
+            resume.as_ref(),
+            checkpoint_every,
+            |cp| {
+                let artifact = ModelArtifact::from_checkpoint(
+                    cp,
+                    labels.clone(),
+                    corpus.vocabulary(),
+                    &tokenizer,
+                )
+                .map_err(|e| {
+                    srclda_core::CoreError::InvalidConfig(format!("checkpoint artifact: {e}"))
+                })?;
+                artifact.save(&checkpoint_path).map_err(|e| {
+                    srclda_core::CoreError::InvalidConfig(format!(
+                        "writing {checkpoint_path:?}: {e}"
+                    ))
+                })?;
+                println!("checkpoint at sweep {} -> {checkpoint_path}", cp.sweep);
+                if stop_after == Some(cp.sweep as usize) {
+                    println!("stopping after sweep {} (simulated kill)", cp.sweep);
+                    std::process::exit(0);
+                }
+                Ok(())
+            },
+            &mut tee,
+        )
         .unwrap_or_else(|e| die(&e.to_string()));
+
+    if tee.enabled() {
+        // Telemetry runs close the loop with a held-out-style perplexity
+        // pass over the training corpus, so the JSONL stream carries the
+        // underflow-rescue tallies alongside the sweep records.
+        let est = gibbs_perplexity_counted(&fitted, &corpus, 20, seed.wrapping_add(1))
+            .unwrap_or_else(|e| die(&format!("perplexity evaluation: {e}")));
+        tee.on_event(&TrainEvent::Perplexity {
+            perplexity: est.perplexity,
+            rescued_draws: est.rescued_draws,
+            zero_mass_draws: est.zero_mass_draws,
+        });
+    }
+    drop(tee);
+    if let (Some(sink), Some(path)) = (jsonl, telemetry_path.as_ref()) {
+        sink.finish()
+            .unwrap_or_else(|e| die(&format!("writing {path:?}: {e}")));
+        println!("telemetry -> {path}");
+    }
 
     println!(
         "trained {} docs x {} sweeps, shards={shards}, seed={seed}",
@@ -212,6 +295,126 @@ fn train(args: &[String]) {
     println!(
         "final digest: {:016x}",
         digest(fitted.assignments(), fitted.phi().as_slice())
+    );
+}
+
+/// Field schemas per event kind: `(name, nullable)`; the `"event"`
+/// discriminator itself is implicit. `shard_secs` is additionally
+/// required to be an array of numbers.
+const SWEEP_FIELDS: &[(&str, bool)] = &[
+    ("sweep", false),
+    ("duration_secs", false),
+    ("tokens", false),
+    ("tokens_per_sec", false),
+    ("loglik", true),
+    ("loglik_clamped_tokens", false),
+];
+const SPARSE_FIELDS: &[(&str, bool)] = &[
+    ("sweep", false),
+    ("q_hits", false),
+    ("r_hits", false),
+    ("s_hits", false),
+    ("dense_fallbacks", false),
+];
+const SHARD_FIELDS: &[(&str, bool)] = &[
+    ("sweep", false),
+    ("merge_secs", false),
+    ("shard_secs", false),
+];
+const ADAPT_FIELDS: &[(&str, bool)] = &[
+    ("sweep", false),
+    ("duration_secs", false),
+    ("threads", false),
+];
+const CHECKPOINT_FIELDS: &[(&str, bool)] =
+    &[("sweep", false), ("bytes", false), ("duration_secs", false)];
+const FIT_COMPLETE_FIELDS: &[(&str, bool)] = &[
+    ("sweeps", false),
+    ("duration_secs", false),
+    ("tokens_per_sec", false),
+    ("loglik_clamped_tokens", false),
+];
+const PERPLEXITY_FIELDS: &[(&str, bool)] = &[
+    ("perplexity", false),
+    ("rescued_draws", false),
+    ("zero_mass_draws", false),
+];
+
+/// Strict schema validation for a telemetry JSONL file: every line must
+/// parse (through the same vendored JSON codec the daemon serves with)
+/// as an object whose `"event"` kind is known and whose fields exactly
+/// match that kind's schema. Unknown kinds, missing fields, wrong types,
+/// and *extra* fields all exit 2 — schema drift must fail CI loudly, not
+/// scroll past it.
+fn validate_telemetry(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path:?}: {e}")));
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).unwrap_or_else(|e| die(&format!("{path}:{lineno}: {e}")));
+        let json::Value::Obj(members) = &value else {
+            die(&format!("{path}:{lineno}: line is not a json object"));
+        };
+        let Some(kind) = value.get("event").and_then(|v| v.as_str()) else {
+            die(&format!(
+                "{path}:{lineno}: missing the \"event\" discriminator"
+            ));
+        };
+        let (kind, fields): (&'static str, &[(&str, bool)]) = match kind {
+            "sweep" => ("sweep", SWEEP_FIELDS),
+            "sparse_buckets" => ("sparse_buckets", SPARSE_FIELDS),
+            "shard_sweep" => ("shard_sweep", SHARD_FIELDS),
+            "adapt" => ("adapt", ADAPT_FIELDS),
+            "checkpoint" => ("checkpoint", CHECKPOINT_FIELDS),
+            "fit_complete" => ("fit_complete", FIT_COMPLETE_FIELDS),
+            "perplexity" => ("perplexity", PERPLEXITY_FIELDS),
+            other => die(&format!("{path}:{lineno}: unknown event kind {other:?}")),
+        };
+        for (field, nullable) in fields {
+            let Some(v) = value.get(field) else {
+                die(&format!(
+                    "{path}:{lineno}: {kind} event is missing {field:?}"
+                ));
+            };
+            let ok = match v {
+                json::Value::Null => *nullable,
+                json::Value::Num(_) => *field != "shard_secs",
+                json::Value::Arr(items) => {
+                    *field == "shard_secs" && items.iter().all(|x| matches!(x, json::Value::Num(_)))
+                }
+                _ => false,
+            };
+            if !ok {
+                die(&format!(
+                    "{path}:{lineno}: {kind} field {field:?} has the wrong type"
+                ));
+            }
+        }
+        if let Some((name, _)) = members
+            .iter()
+            .find(|(name, _)| name != "event" && !fields.iter().any(|(f, _)| f == name))
+        {
+            die(&format!(
+                "{path}:{lineno}: {kind} event has unknown field {name:?}"
+            ));
+        }
+        match counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((kind, 1)),
+        }
+    }
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        die(&format!("{path}: no telemetry events"));
+    }
+    let by_kind: Vec<String> = counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!(
+        "validated {total} telemetry events in {path} ({})",
+        by_kind.join(", ")
     );
 }
 
@@ -236,8 +439,10 @@ fn main() {
         "--checkpoint-path",
         "--resume",
         "--stop-after",
+        "--telemetry",
+        "--validate-telemetry",
     ];
-    let known_bare = ["--train", "--smoke", "--full"];
+    let known_bare = ["--train", "--smoke", "--full", "--progress"];
     let mut skip_next = false;
     for (i, arg) in args.iter().enumerate() {
         if skip_next {
@@ -258,6 +463,13 @@ fn main() {
         die(&format!("unknown argument {arg:?} (see --help)"));
     }
 
+    if flag_present(&args, "--validate-telemetry") {
+        let Some(path) = flag_value(&args, "--validate-telemetry") else {
+            die("--validate-telemetry requires a file path");
+        };
+        validate_telemetry(path);
+        return;
+    }
     if flag_present(&args, "--train") {
         train(&args);
         return;

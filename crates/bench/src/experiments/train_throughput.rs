@@ -21,7 +21,7 @@
 
 use super::sweep_throughput::{differential_rate, world};
 use crate::cli::{banner, Scale};
-use srclda_core::{Backend, FittedModel, SmoothingMode, SourceLda, Variant};
+use srclda_core::{Backend, FittedModel, GibbsModel, SmoothingMode, SourceLda, Variant};
 use std::time::Instant;
 
 /// Shard counts every cell is measured at.
@@ -96,6 +96,90 @@ fn time_family<F: Fn(Backend, usize) -> FittedModel>(
         });
     }
     (serial, sharded, unreliable)
+}
+
+/// The observer-overhead measurement: the same fit timed with the
+/// telemetry observer detached (the `NoopObserver` fast path — one
+/// branch per sweep) and attached (a `JsonlSink` streaming every event).
+/// The obs subsystem's perf contract is that the detached path costs
+/// nothing and the attached path stays within noise of it.
+struct ObserverCell {
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    off_tokens_per_sec: f64,
+    on_tokens_per_sec: f64,
+    unreliable: bool,
+}
+
+impl ObserverCell {
+    /// `on / off` — 1.0 means attaching the observer was free.
+    fn relative(&self) -> f64 {
+        self.on_tokens_per_sec / self.off_tokens_per_sec.max(1e-9)
+    }
+}
+
+/// Time one family observer-off vs observer-on (serial backend, so the
+/// per-sweep event emission is the only thing that differs).
+fn measure_observer(shapes: &Shapes) -> ObserverCell {
+    let Shapes {
+        topics,
+        v,
+        docs,
+        doc_len,
+        sweeps,
+        support,
+    } = *shapes;
+    let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 33);
+    let assemble = |iters: usize| -> GibbsModel {
+        SourceLda::builder()
+            .knowledge_source(knowledge.clone())
+            .variant(Variant::Mixture)
+            .alpha(0.5)
+            .iterations(iters)
+            .backend(Backend::Serial)
+            .seed(7)
+            .build()
+            .expect("valid model")
+            .assemble(corpus.vocab_size())
+            .expect("assemble succeeds")
+    };
+    let time_of = |observed: bool| {
+        let assemble = &assemble;
+        let corpus = &corpus;
+        move |iters: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let model = assemble(iters);
+                let start = Instant::now();
+                let fitted = if observed {
+                    let mut sink = srclda_obs::JsonlSink::new(std::io::sink());
+                    model.fit_observed(
+                        corpus,
+                        None,
+                        None,
+                        |_: &srclda_core::TrainCheckpoint| Ok(()),
+                        &mut sink,
+                    )
+                } else {
+                    model.fit_resumable(corpus, None, None, |_: &srclda_core::TrainCheckpoint| {
+                        Ok(())
+                    })
+                };
+                let _ = fitted.expect("fit succeeds");
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+    };
+    let (off, off_bad) = differential_rate(time_of(false), corpus.num_tokens(), sweeps);
+    let (on, on_bad) = differential_rate(time_of(true), corpus.num_tokens(), sweeps);
+    ObserverCell {
+        tokens_per_sweep: corpus.num_tokens(),
+        sweeps,
+        off_tokens_per_sec: off,
+        on_tokens_per_sec: on,
+        unreliable: off_bad || on_bad,
+    }
 }
 
 /// Cell dimensions, decoupled from [`Scale`] so the unit test can
@@ -233,13 +317,24 @@ fn run_cells(shapes: &Shapes) -> Vec<Cell> {
 
 /// Render `BENCH_train.json` (hand-rolled: the workspace is offline and
 /// vendors no JSON crate; every value is numeric or a static identifier).
-fn render_json(scale: Scale, cells: &[Cell]) -> String {
+fn render_json(scale: Scale, cells: &[Cell], observer: &ObserverCell) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"train_throughput\",\n");
     out.push_str("  \"unit\": \"tokens_per_sec\",\n");
     out.push_str(&format!("  \"scale\": \"{scale:?}\",\n").to_lowercase());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     out.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"observer\": {{\"tokens_per_sweep\": {}, \"sweeps\": {}, \
+         \"off_tokens_per_sec\": {:.1}, \"on_tokens_per_sec\": {:.1}, \
+         \"relative\": {:.4}, \"unreliable\": {}}},\n",
+        observer.tokens_per_sweep,
+        observer.sweeps,
+        observer.off_tokens_per_sec,
+        observer.on_tokens_per_sec,
+        observer.relative(),
+        observer.unreliable,
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
@@ -316,7 +411,19 @@ pub fn run(scale: Scale) -> String {
          S>1 is the AD-LDA approximate chain, deterministic in (seed, S) \
          whatever the thread count)\n",
     );
-    let json = render_json(scale, &cells);
+    let observer = measure_observer(&Shapes::for_scale(scale));
+    out.push_str(&format!(
+        "observer overhead: off {:.0} tok/s, on {:.0} tok/s ({:.2}x){}\n",
+        observer.off_tokens_per_sec,
+        observer.on_tokens_per_sec,
+        observer.relative(),
+        if observer.unreliable {
+            "  UNRELIABLE"
+        } else {
+            ""
+        },
+    ));
+    let json = render_json(scale, &cells, &observer);
     match std::fs::write("BENCH_train.json", &json) {
         Ok(()) => out.push_str("wrote BENCH_train.json\n"),
         Err(e) => out.push_str(&format!("warning: could not write BENCH_train.json: {e}\n")),
@@ -344,10 +451,15 @@ mod tests {
                 assert!(s.tokens_per_sec > 0.0);
             }
         }
-        let json = render_json(Scale::Smoke, &cells);
+        let observer = measure_observer(&Shapes::micro());
+        assert!(observer.off_tokens_per_sec > 0.0);
+        assert!(observer.on_tokens_per_sec > 0.0);
+        let json = render_json(Scale::Smoke, &cells, &observer);
         assert!(json.contains("\"experiment\": \"train_throughput\""));
         assert!(json.contains("\"serial_tokens_per_sec\""));
         assert!(json.contains("\"relative_to_serial\""));
         assert!(json.contains("\"scale\": \"smoke\""));
+        assert!(json.contains("\"observer\": {\"tokens_per_sweep\""));
+        assert!(json.contains("\"on_tokens_per_sec\""));
     }
 }

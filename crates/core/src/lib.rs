@@ -72,7 +72,10 @@ pub mod prelude {
     pub use crate::lda::Lda;
     pub use crate::model::{FittedModel, GibbsModel};
     pub use crate::params::{ModelConfig, SmoothingMode, TraceConfig};
-    pub use crate::perplexity::{gibbs_perplexity, importance_sampling_perplexity};
+    pub use crate::perplexity::{
+        gibbs_perplexity, gibbs_perplexity_counted, importance_sampling_perplexity,
+        PerplexityEstimate,
+    };
     pub use crate::reduction::{ReducedModel, ReductionPolicy};
     pub use crate::sampler::Backend;
     pub use crate::source_lda::{SourceLda, Variant};

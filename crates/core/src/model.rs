@@ -11,6 +11,7 @@ use crate::sampler::{run_sweeps, SamplerRngs, SweepCache, SweepContext};
 use rand::Rng;
 use srclda_corpus::Corpus;
 use srclda_math::{rng_from_seed, rng_from_state, rng_state, spawn_rng, DenseMatrix, SldaRng};
+use srclda_obs::{NoopObserver, SpanTimer, TrainEvent, TrainObserver};
 
 /// A fully-specified topic model: one prior per topic, optional labels, and
 /// the run configuration. Construct via the model builders ([`crate::Lda`],
@@ -117,7 +118,43 @@ impl GibbsModel {
         corpus: &Corpus,
         resume: Option<&TrainCheckpoint>,
         checkpoint_every: Option<usize>,
+        on_checkpoint: F,
+    ) -> crate::Result<FittedModel>
+    where
+        F: FnMut(&TrainCheckpoint) -> crate::Result<()>,
+    {
+        self.fit_observed(
+            corpus,
+            resume,
+            checkpoint_every,
+            on_checkpoint,
+            &mut NoopObserver,
+        )
+    }
+
+    /// [`Self::fit_resumable`] with a telemetry observer attached.
+    ///
+    /// The observer receives a [`TrainEvent`] value snapshot after every
+    /// sweep (duration, throughput, traced log-likelihood, backend detail
+    /// like sparse bucket routing and per-shard timings), every
+    /// λ-adaptation, every checkpoint, and at completion. Observation is
+    /// strictly read-only: the observer never draws from the RNG and never
+    /// touches sampler state, so **attaching any observer leaves the
+    /// trained model bit-identical** to running without one (pinned by
+    /// `tests/telemetry.rs`). With the default [`NoopObserver`]
+    /// (`enabled() == false`), the loop skips even the per-sweep clock
+    /// reads — disabled telemetry costs one branch per sweep.
+    ///
+    /// # Errors
+    /// Exactly those of [`Self::fit_resumable`]; observers cannot fail the
+    /// fit.
+    pub fn fit_observed<F>(
+        &self,
+        corpus: &Corpus,
+        resume: Option<&TrainCheckpoint>,
+        checkpoint_every: Option<usize>,
         mut on_checkpoint: F,
+        observer: &mut dyn TrainObserver,
     ) -> crate::Result<FittedModel>
     where
         F: FnMut(&TrainCheckpoint) -> crate::Result<()>,
@@ -287,6 +324,13 @@ impl GibbsModel {
         // kernel's combined prior table, the sharded backend's per-shard
         // workspaces) — λ re-weighting never touches its contents.
         let mut sweep_cache = SweepCache::default();
+        // Telemetry spans exist only when an enabled observer is attached;
+        // the disabled path never reads the clock.
+        let observing = observer.enabled();
+        let tokens_per_sweep: u64 = doc_lens.iter().map(|&l| u64::from(l)).sum();
+        let run_start_sweep = completed;
+        let run_span = observing.then(SpanTimer::start);
+        let mut sweep_mark = observing.then(SpanTimer::start);
         while completed < total_iters {
             let chunk_end = next_adapt_boundary(completed)
                 .min(next_checkpoint_boundary(completed))
@@ -310,17 +354,53 @@ impl GibbsModel {
                 },
                 chunk,
                 &mut sweep_cache,
-                |iter_in_chunk| {
+                |iter_in_chunk, stats| {
                     let iter = base + iter_in_chunk;
+                    // Measure the sweep before the trace work below, so a
+                    // traced log-likelihood evaluation is not billed to the
+                    // sweep that happened to trigger it.
+                    let sweep_secs = sweep_mark.as_ref().map(SpanTimer::elapsed_secs);
+                    let mut sweep_loglik = None;
+                    let mut sweep_clamped = 0u64;
                     if let Some(every) = trace.log_likelihood_every {
                         if every > 0 && iter.is_multiple_of(every) {
                             let ll = loglik::joint_word_log_likelihood_counted(&counts, priors_ref);
                             loglik_clamped_tokens += ll.clamped_tokens;
+                            sweep_clamped = ll.clamped_tokens;
+                            sweep_loglik = Some(ll.value);
                             loglik_trace.push((iter, ll.value));
                         }
                     }
                     if trace.phi_snapshots.contains(&iter) {
                         snapshots.push((iter, compute_phi(&counts, priors_ref)));
+                    }
+                    if let Some(secs) = sweep_secs {
+                        let tokens_per_sec = if secs > 0.0 {
+                            tokens_per_sweep as f64 / secs
+                        } else {
+                            0.0
+                        };
+                        observer.on_event(&TrainEvent::Sweep {
+                            sweep: iter as u64,
+                            duration_secs: secs,
+                            tokens: tokens_per_sweep,
+                            tokens_per_sec,
+                            loglik: sweep_loglik,
+                            loglik_clamped_tokens: sweep_clamped,
+                        });
+                        if let Some(counts) = stats.buckets {
+                            observer.on_event(&TrainEvent::SparseBuckets {
+                                sweep: iter as u64,
+                                counts,
+                            });
+                        }
+                        if let Some(timings) = &stats.shards {
+                            observer.on_event(&TrainEvent::ShardSweep {
+                                sweep: iter as u64,
+                                timings: timings.clone(),
+                            });
+                        }
+                        sweep_mark = Some(SpanTimer::start());
                     }
                 },
             );
@@ -340,7 +420,15 @@ impl GibbsModel {
                 let threads = std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1);
+                let span = observing.then(SpanTimer::start);
                 crate::sampler::adapt::adapt_integrated_priors(&mut priors, &counts, threads);
+                if let Some(span) = span {
+                    observer.on_event(&TrainEvent::Adapt {
+                        sweep: completed as u64,
+                        duration_secs: span.elapsed_secs(),
+                        threads: threads as u64,
+                    });
+                }
             }
             if let Some(every) = checkpoint_every {
                 if completed.is_multiple_of(every) {
@@ -360,9 +448,39 @@ impl GibbsModel {
                         shard_rngs: shard_rngs.iter().map(rng_state).collect(),
                         priors: priors.iter().map(TopicPrior::to_raw).collect(),
                     };
+                    let span = observing.then(SpanTimer::start);
                     on_checkpoint(&cp)?;
+                    if let Some(span) = span {
+                        observer.on_event(&TrainEvent::Checkpoint {
+                            sweep: completed as u64,
+                            bytes: cp.payload_bytes(),
+                            duration_secs: span.elapsed_secs(),
+                        });
+                    }
                 }
             }
+            // Boundary work (adaptation, checkpointing) has its own spans;
+            // don't bill it to the next sweep's duration.
+            if observing {
+                sweep_mark = Some(SpanTimer::start());
+            }
+        }
+
+        if let Some(run_span) = run_span {
+            let duration_secs = run_span.elapsed_secs();
+            let sweeps = (total_iters - run_start_sweep) as u64;
+            let sampled = sweeps * tokens_per_sweep;
+            let tokens_per_sec = if duration_secs > 0.0 {
+                sampled as f64 / duration_secs
+            } else {
+                0.0
+            };
+            observer.on_event(&TrainEvent::FitComplete {
+                sweeps,
+                duration_secs,
+                tokens_per_sec,
+                loglik_clamped_tokens,
+            });
         }
 
         let phi = compute_phi(&counts, &priors);

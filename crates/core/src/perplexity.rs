@@ -21,6 +21,31 @@ use srclda_math::categorical::binary_search_cumulative;
 use srclda_math::special::log_sum_exp;
 use srclda_math::{rng_from_seed, Dirichlet};
 
+/// A Gibbs perplexity estimate plus the numeric-guard tallies accumulated
+/// while inferring it (see [`gibbs_perplexity_counted`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerplexityEstimate {
+    /// `exp(−Σ ln p(w̃) / Ñ)`; lower is better.
+    pub perplexity: f64,
+    /// Held-out draws whose weight accumulator underflowed (zero or
+    /// subnormal) and were recovered by the `2^512` rescale pass. Non-zero
+    /// is normal for long, well-explained documents; a *large* fraction
+    /// means the estimate leans heavily on the rescue arithmetic.
+    pub rescued_draws: u64,
+    /// Held-out draws with no representable mass even after rescaling
+    /// (structural zeros or non-finite weights) that fell back to a
+    /// uniform draw. These weaken the estimate — the inferred θ for the
+    /// affected tokens is noise.
+    pub zero_mass_draws: u64,
+}
+
+/// Counters threaded through [`draw_topic_rescued`].
+#[derive(Debug, Default)]
+struct DrawTallies {
+    rescued: u64,
+    zero_mass: u64,
+}
+
 /// Gibbs-estimator perplexity.
 ///
 /// # Errors
@@ -31,6 +56,21 @@ pub fn gibbs_perplexity(
     iterations: usize,
     seed: u64,
 ) -> crate::Result<f64> {
+    gibbs_perplexity_counted(fitted, test, iterations, seed).map(|e| e.perplexity)
+}
+
+/// [`gibbs_perplexity`] returning the estimate together with the
+/// underflow-rescue and zero-mass fallback tallies, so telemetry can
+/// surface how much of the held-out inference ran on guarded arithmetic.
+///
+/// # Errors
+/// Exactly those of [`gibbs_perplexity`].
+pub fn gibbs_perplexity_counted(
+    fitted: &FittedModel,
+    test: &Corpus,
+    iterations: usize,
+    seed: u64,
+) -> crate::Result<PerplexityEstimate> {
     if test.num_tokens() == 0 {
         return Err(CoreError::EmptyCorpus);
     }
@@ -74,6 +114,7 @@ pub fn gibbs_perplexity(
         .collect();
 
     let mut buf = vec![0.0; t_count];
+    let mut tallies = DrawTallies::default();
     for _ in 0..iterations.max(1) {
         for (d, doc) in tokens.iter().enumerate() {
             for (j, &word) in doc.iter().enumerate() {
@@ -82,7 +123,7 @@ pub fn gibbs_perplexity(
                 test_nw[w * t_count + old] -= 1;
                 test_nt[old] -= 1;
                 test_nd[d][old] -= 1;
-                let new = draw_topic_rescued(&mut buf, &mut rng, |t, scale| {
+                let new = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |t, scale| {
                     let nw_eff =
                         frozen_nw[w * t_count + t] as f64 + test_nw[w * t_count + t] as f64;
                     let nt_eff = frozen_nt[t] as f64 + test_nt[t] as f64;
@@ -110,7 +151,11 @@ pub fn gibbs_perplexity(
         log_prob += crate::inference::token_log_likelihood(phi, &theta, doc);
         n_tokens += doc.len();
     }
-    Ok((-log_prob / n_tokens as f64).exp())
+    Ok(PerplexityEstimate {
+        perplexity: (-log_prob / n_tokens as f64).exp(),
+        rescued_draws: tallies.rescued,
+        zero_mass_draws: tallies.zero_mass,
+    })
 }
 
 /// One conditional topic draw for the held-out sampler, with an underflow
@@ -137,6 +182,7 @@ pub fn gibbs_perplexity(
 fn draw_topic_rescued<R: Rng, F: FnMut(usize, f64) -> f64>(
     buf: &mut [f64],
     rng: &mut R,
+    tallies: &mut DrawTallies,
     mut weight: F,
 ) -> usize {
     let t_count = buf.len();
@@ -159,10 +205,12 @@ fn draw_topic_rescued<R: Rng, F: FnMut(usize, f64) -> f64>(
             *slot = acc;
         }
         if acc >= f64::MIN_POSITIVE && acc.is_finite() {
+            tallies.rescued += 1;
             let u = rng.gen::<f64>() * acc;
             return binary_search_cumulative(buf, u);
         }
     }
+    tallies.zero_mass += 1;
     rng.gen_range(0..t_count)
 }
 
@@ -316,9 +364,10 @@ mod tests {
         assert_eq!(word_weights[1] * doc_factor, 0.0);
         let mut rng = rng_from_seed(11);
         let mut buf = vec![0.0; 2];
+        let mut tallies = DrawTallies::default();
         let mut hits = [0u32; 2];
         for _ in 0..4000 {
-            let t = draw_topic_rescued(&mut buf, &mut rng, |t, scale| {
+            let t = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |t, scale| {
                 (word_weights[t] * scale) * (doc_factor * scale)
             });
             hits[t] += 1;
@@ -328,26 +377,32 @@ mod tests {
             (frac - 0.75).abs() < 0.05,
             "rescued draw must preserve the 3:1 ratio, got {frac}"
         );
+        assert_eq!(tallies.rescued, 4000, "every draw took the rescue pass");
+        assert_eq!(tallies.zero_mass, 0);
 
         // A subnormal (but non-zero) accumulator takes the rescue pass
         // too: precision is already gone at that magnitude.
         let tiny = [2e-320, 6e-320]; // subnormal weights, exact 3:1
         let mut hits = [0u32; 2];
         for _ in 0..4000 {
-            let t = draw_topic_rescued(&mut buf, &mut rng, |t, scale| (tiny[t] * scale) * scale);
+            let t = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |t, scale| {
+                (tiny[t] * scale) * scale
+            });
             hits[t] += 1;
         }
         let frac = hits[1] as f64 / 4000.0;
         assert!((frac - 0.75).abs() < 0.05, "subnormal rescue, got {frac}");
+        assert_eq!(tallies.rescued, 8000);
     }
 
     #[test]
     fn structurally_zero_or_non_finite_mass_still_falls_back_to_uniform() {
         let mut rng = rng_from_seed(3);
         let mut buf = vec![0.0; 3];
+        let mut tallies = DrawTallies::default();
         let mut hits = [0u32; 3];
         for _ in 0..3000 {
-            let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| 0.0);
+            let t = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |_, _| 0.0);
             hits[t] += 1;
         }
         for (t, &h) in hits.iter().enumerate() {
@@ -356,12 +411,15 @@ mod tests {
                 "structural zeros must draw uniformly, topic {t} got {h}"
             );
         }
+        assert_eq!(tallies.zero_mass, 3000, "every draw was a uniform fallback");
+        assert_eq!(tallies.rescued, 0);
         // NaN weights: no panic, uniform fallback.
-        let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| f64::NAN);
+        let t = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |_, _| f64::NAN);
         assert!(t < 3);
         // Infinite mass: likewise.
-        let t = draw_topic_rescued(&mut buf, &mut rng, |_, _| f64::INFINITY);
+        let t = draw_topic_rescued(&mut buf, &mut rng, &mut tallies, |_, _| f64::INFINITY);
         assert!(t < 3);
+        assert_eq!(tallies.zero_mass, 3002);
     }
 
     #[test]

@@ -228,6 +228,43 @@ impl TrainCheckpoint {
         }
     }
 
+    /// The checkpoint's raw value payload in bytes: every numeric field
+    /// at its in-memory width, excluding container overhead and encoding
+    /// framing. This is the quantity telemetry reports per checkpoint —
+    /// a stable measure of checkpoint *size* independent of which codec
+    /// eventually writes it.
+    pub fn payload_bytes(&self) -> u64 {
+        let fixed = 8u64 * 4 // sweep, seed, alpha, shards
+            + 8 * 4 // main_rng
+            + 8 * 4 * self.shard_rngs.len() as u64;
+        let z: u64 = self.z.iter().map(|doc| 4 * doc.len() as u64).sum();
+        let counts = 4 * (self.nw.len() + self.nt.len()) as u64;
+        let priors: u64 = self
+            .priors
+            .iter()
+            .map(|p| match p {
+                RawPrior::Symmetric { .. } => 8,
+                RawPrior::Fixed { delta } => 8 * delta.len() as u64,
+                RawPrior::Integrated(t) => {
+                    let layout = match &t.layout {
+                        RawIntegrationLayout::Dense { values } => 8 * values.len() as u64,
+                        RawIntegrationLayout::Sparse {
+                            support,
+                            values,
+                            zero_values,
+                        } => {
+                            4 * support.len() as u64 + 8 * (values.len() + zero_values.len()) as u64
+                        }
+                    };
+                    8 * (t.weights.len() + t.prior_log_weights.len() + t.sums.len()) as u64 + layout
+                }
+                RawPrior::Frozen { phi } => 8 * phi.len() as u64,
+                RawPrior::ConceptSet { support, .. } => 8 + 4 * support.len() as u64,
+            })
+            .sum();
+        fixed + z + counts + priors
+    }
+
     /// The topic–word matrix φ at the checkpoint's counts (the same
     /// expression [`crate::FittedModel::phi`] reports at the end of a
     /// run), so a checkpoint can be persisted as a *servable* snapshot of

@@ -162,13 +162,27 @@ pub(crate) struct SweepCache {
     pub sparse: Option<sparse::SparseState>,
 }
 
+/// Per-sweep telemetry the backend hands to `on_sweep` alongside the
+/// iteration index. Pure bookkeeping — tallies and wall-clock spans the
+/// sweep produced as a side effect; reading (or ignoring) them never
+/// touches the chain. Backends without the corresponding machinery leave
+/// the fields `None`.
+#[derive(Default)]
+pub(crate) struct SweepStats {
+    /// Bucket routing tallies from [`Backend::SparseKernel`].
+    pub buckets: Option<srclda_obs::SparseBucketCounts>,
+    /// Per-shard sweep and merge timings from [`Backend::ShardedDocs`].
+    pub shards: Option<srclda_obs::ShardTimings>,
+}
+
 /// Run `iterations` full Gibbs sweeps with the chosen backend, mutating the
 /// assignment vector `z` and the counts. `on_sweep` is invoked after every
-/// sweep with the completed iteration index (1-based) for trace recording.
+/// sweep with the completed iteration index (1-based) for trace recording,
+/// plus that sweep's [`SweepStats`].
 ///
 /// `cache` carries backend sweep state across calls (see [`SweepCache`]);
 /// pass a fresh `&mut SweepCache::default()` when no reuse applies.
-pub(crate) fn run_sweeps<F: FnMut(usize)>(
+pub(crate) fn run_sweeps<F: FnMut(usize, &SweepStats)>(
     backend: Backend,
     ctx: &SweepContext<'_>,
     z: &mut [Vec<u32>],
@@ -178,12 +192,13 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
     mut on_sweep: F,
 ) {
     let rng = rngs.main;
+    let no_stats = SweepStats::default();
     match backend {
         Backend::Serial => {
             let mut k = kernel::Kernel::new(ctx, cache.combined.take());
             for iter in 1..=iterations {
                 k.sweep(ctx, z, rng);
-                on_sweep(iter);
+                on_sweep(iter, &no_stats);
             }
             cache.combined = k.into_combined();
         }
@@ -191,7 +206,13 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
             let mut k = sparse::SparseKernel::new(ctx, cache.sparse.take());
             for iter in 1..=iterations {
                 k.sweep(ctx, z, rng);
-                on_sweep(iter);
+                on_sweep(
+                    iter,
+                    &SweepStats {
+                        buckets: Some(k.take_bucket_counts()),
+                        shards: None,
+                    },
+                );
             }
             cache.sparse = Some(k.into_state());
         }
@@ -199,7 +220,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
             let mut buf = vec![0.0; ctx.num_topics()];
             for iter in 1..=iterations {
                 serial::sweep(ctx, z, rng, &mut buf);
-                on_sweep(iter);
+                on_sweep(iter, &no_stats);
             }
         }
         Backend::SimpleParallel { threads } => {
@@ -210,7 +231,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
                 iterations,
                 threads,
                 parallel::Algo::Simple,
-                &mut on_sweep,
+                &mut |iter| on_sweep(iter, &no_stats),
             );
         }
         Backend::PrefixSums { threads } => {
@@ -221,7 +242,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
                 iterations,
                 threads,
                 parallel::Algo::PrefixSums,
-                &mut on_sweep,
+                &mut |iter| on_sweep(iter, &no_stats),
             );
         }
         Backend::ShardedDocs { shards, threads } => {
@@ -233,7 +254,15 @@ pub(crate) fn run_sweeps<F: FnMut(usize)>(
                 iterations,
                 threads,
                 &mut cache.shard,
-                &mut on_sweep,
+                &mut |iter, timings| {
+                    on_sweep(
+                        iter,
+                        &SweepStats {
+                            buckets: None,
+                            shards: Some(timings),
+                        },
+                    )
+                },
             );
         }
     }

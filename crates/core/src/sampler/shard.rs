@@ -124,8 +124,14 @@ fn shard_sweep(
 }
 
 /// One shard's slice of mutable sweep state: its workspace, its documents'
-/// assignments, and its RNG stream.
-type ShardJob<'a> = (&'a mut ShardWorkspace, &'a mut [Vec<u32>], &'a mut SldaRng);
+/// assignments, its RNG stream, and its telemetry slot (wall-clock seconds
+/// the shard's sweep took — written by whichever worker runs the shard).
+type ShardJob<'a> = (
+    &'a mut ShardWorkspace,
+    &'a mut [Vec<u32>],
+    &'a mut SldaRng,
+    &'a mut f64,
+);
 
 /// The sharded backend's reusable chunk state: the document partition and
 /// the per-shard workspaces. Carried across [`run`] calls by the fitting
@@ -192,8 +198,10 @@ impl ShardState {
 /// shard (sampler state owned by the fitting loop so it can be
 /// checkpointed); `threads` bounds the worker pool and has no effect on
 /// the result; `state_cache` carries the [`ShardState`] across chunk
-/// calls (pass `&mut None` to build fresh).
-pub(crate) fn run<F: FnMut(usize)>(
+/// calls (pass `&mut None` to build fresh). `on_sweep` receives per-shard
+/// sweep and merge wall-clock timings — pure observation; the timing reads
+/// touch no sampler state.
+pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
     ctx: &SweepContext<'_>,
     z: &mut [Vec<u32>],
     shard_rngs: &mut [SldaRng],
@@ -218,6 +226,7 @@ pub(crate) fn run<F: FnMut(usize)>(
     for iter in 1..=iterations {
         let snapshot_nw = ctx.counts.snapshot_nw();
         let snapshot_nt = ctx.counts.snapshot_nt();
+        let mut shard_secs = vec![0.0f64; shards];
 
         // Split `z` into per-shard mutable slices (ranges are contiguous
         // and ordered, so this is a sequence of split_at_mut cuts).
@@ -235,12 +244,14 @@ pub(crate) fn run<F: FnMut(usize)>(
                 .iter_mut()
                 .zip(parts)
                 .zip(shard_rngs.iter_mut())
-                .map(|((ws, part), rng)| (ws, part, rng))
+                .zip(shard_secs.iter_mut())
+                .map(|(((ws, part), rng), secs)| (ws, part, rng, secs))
                 .collect()
         };
 
         if workers == 1 {
-            for (ws, z_shard, rng) in jobs.iter_mut() {
+            for (ws, z_shard, rng, secs) in jobs.iter_mut() {
+                let span = srclda_obs::SpanTimer::start();
                 shard_sweep(
                     ctx,
                     ws,
@@ -250,6 +261,7 @@ pub(crate) fn run<F: FnMut(usize)>(
                     &snapshot_nw,
                     &snapshot_nt,
                 );
+                **secs = span.elapsed_secs();
             }
         } else {
             // Strided shard→worker assignment. Scheduling is irrelevant to
@@ -266,8 +278,10 @@ pub(crate) fn run<F: FnMut(usize)>(
                 for group in groups.iter_mut() {
                     let combined = combined.clone();
                     scope.spawn(move |_| {
-                        for (ws, z_shard, rng) in group.iter_mut() {
+                        for (ws, z_shard, rng, secs) in group.iter_mut() {
+                            let span = srclda_obs::SpanTimer::start();
                             shard_sweep(ctx, ws, z_shard, rng, combined.clone(), snap_nw, snap_nt);
+                            **secs = span.elapsed_secs();
                         }
                     });
                 }
@@ -276,6 +290,7 @@ pub(crate) fn run<F: FnMut(usize)>(
         }
 
         // Merge shard deltas into the global counts, in shard order.
+        let merge_span = srclda_obs::SpanTimer::start();
         let mut merged_nw = snapshot_nw.clone();
         let mut merged_nt = snapshot_nt.clone();
         for ws in workspaces.iter() {
@@ -288,7 +303,14 @@ pub(crate) fn run<F: FnMut(usize)>(
                 ctx.counts.copy_nd_row_from(global_d, &ws.local, local_d);
             }
         }
-        on_sweep(iter);
+        let merge_secs = merge_span.elapsed_secs();
+        on_sweep(
+            iter,
+            srclda_obs::ShardTimings {
+                shard_secs,
+                merge_secs,
+            },
+        );
     }
     *state_cache = Some(state);
 }
@@ -413,7 +435,10 @@ mod tests {
             sweeps,
             threads,
             &mut None,
-            &mut |i| seen.push(i),
+            &mut |i, timings| {
+                assert_eq!(timings.shard_secs.len(), shards, "one timing per shard");
+                seen.push(i)
+            },
         );
         assert_eq!(seen, (1..=sweeps).collect::<Vec<_>>());
         assert!(

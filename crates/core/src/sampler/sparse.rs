@@ -82,6 +82,7 @@ use crate::prior::dot_mod4;
 use rand::Rng;
 use srclda_math::categorical::binary_search_cumulative;
 use srclda_math::SldaRng;
+use std::cell::Cell;
 use std::sync::atomic::Ordering;
 
 /// Reusable sparse-kernel state carried across sweep chunks (the analogue
@@ -291,6 +292,13 @@ pub(crate) struct SparseKernel<'a> {
     term_topic: Vec<u32>,
     term_cum: Vec<f64>,
     alpha: f64,
+    /// Bucket-routing tallies for the sweep in progress — telemetry only,
+    /// snapshotted by [`Self::take_bucket_counts`]. `Cell` because
+    /// [`Self::select`] routes draws through `&self`.
+    tally_q: Cell<u64>,
+    tally_r: Cell<u64>,
+    tally_s: Cell<u64>,
+    tally_fallback: Cell<u64>,
 }
 
 impl<'a> SparseKernel<'a> {
@@ -330,6 +338,10 @@ impl<'a> SparseKernel<'a> {
             term_topic: Vec::new(),
             term_cum: Vec::new(),
             alpha: ctx.alpha,
+            tally_q: Cell::new(0),
+            tally_r: Cell::new(0),
+            tally_s: Cell::new(0),
+            tally_fallback: Cell::new(0),
         };
         for t in 0..t_count {
             kernel.base0[t] = kernel.compute_base0(t);
@@ -340,6 +352,17 @@ impl<'a> SparseKernel<'a> {
     /// Surrender the reusable state for the next sweep chunk.
     pub(crate) fn into_state(self) -> SparseState {
         self.state
+    }
+
+    /// Snapshot and reset the bucket-routing tallies accumulated since the
+    /// last call (one sweep's worth under [`run_sweeps`](super::run_sweeps)).
+    pub(crate) fn take_bucket_counts(&mut self) -> srclda_obs::SparseBucketCounts {
+        srclda_obs::SparseBucketCounts {
+            q_hits: self.tally_q.take(),
+            r_hits: self.tally_r.take(),
+            s_hits: self.tally_s.take(),
+            dense_fallbacks: self.tally_fallback.take(),
+        }
     }
 
     /// `base0(t)` from the current reciprocal cache (see the kind table in
@@ -541,6 +564,7 @@ impl<'a> SparseKernel<'a> {
                     // All-zero mass (e.g. CTM with the word outside every
                     // concept bag and no assignments anywhere): uniform,
                     // like the dense kernels.
+                    self.tally_fallback.set(self.tally_fallback.get() + 1);
                     rng.gen_range(0..t_count)
                 };
                 z[d][j] = new as u32;
@@ -572,10 +596,12 @@ impl<'a> SparseKernel<'a> {
     fn select(&self, u: f64, q: f64, r: f64) -> usize {
         if u < q {
             let idx = binary_search_cumulative(&self.term_cum, u);
+            self.tally_q.set(self.tally_q.get() + 1);
             return self.term_topic[idx] as usize;
         }
         let mut fallback = None;
-        if u < q + r {
+        let routed_to_doc = u < q + r;
+        if routed_to_doc {
             // Doc bucket: walk the document's unique topics.
             let target = u - q;
             let mut acc = 0.0;
@@ -586,6 +612,7 @@ impl<'a> SparseKernel<'a> {
                     acc += mass;
                     fallback = Some(t);
                     if acc > target {
+                        self.tally_r.set(self.tally_r.get() + 1);
                         return t;
                     }
                 }
@@ -602,6 +629,14 @@ impl<'a> SparseKernel<'a> {
                 acc += mass;
                 fallback = Some(t);
                 if acc > target {
+                    // A draw that *entered* the doc bucket and overran into
+                    // this walk resolved off its routed bucket — count it as
+                    // a fallback, not a smoothing hit.
+                    if routed_to_doc {
+                        self.tally_fallback.set(self.tally_fallback.get() + 1);
+                    } else {
+                        self.tally_s.set(self.tally_s.get() + 1);
+                    }
                     return t;
                 }
             }
@@ -609,6 +644,7 @@ impl<'a> SparseKernel<'a> {
         // Total drift overrun: return the last positive-mass topic seen.
         // Reachable only when the cached s/r exceed their exact sums by
         // ulps; a branch must still produce a valid topic.
+        self.tally_fallback.set(self.tally_fallback.get() + 1);
         fallback.unwrap_or(0)
     }
 

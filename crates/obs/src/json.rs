@@ -1,0 +1,84 @@
+//! Minimal JSON *writing* helpers for the JSONL sink.
+//!
+//! This crate is dependency-free, so it cannot use the serving layer's
+//! vendored codec; it only needs to *emit* JSON, never parse it. The
+//! escaping and number forms here are the strict subset the vendored
+//! parser accepts — `tests/telemetry.rs` round-trips every event line
+//! through `srclda_serve::server::json::parse` to pin that.
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float as a JSON number. Rust's `Display` for `f64` is
+/// shortest-round-trip, so the reader reconstructs the exact bits.
+/// Non-finite values have no JSON number form and are emitted as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append an optional float (`None` → `null`).
+pub fn push_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => push_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(input: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, input);
+        out
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(s("plain"), "\"plain\"");
+        assert_eq!(s("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(s("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(s("\u{1}"), "\"\\u0001\"");
+        assert_eq!(s("unicode: λ"), "\"unicode: λ\"");
+    }
+
+    #[test]
+    fn floats_render_finite_or_null() {
+        let mut out = String::new();
+        push_f64(&mut out, 0.5);
+        assert_eq!(out, "0.5");
+        let mut out = String::new();
+        push_f64(&mut out, -1234.25);
+        assert_eq!(out, "-1234.25");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_opt_f64(&mut out, None);
+        assert_eq!(out, "null");
+    }
+}

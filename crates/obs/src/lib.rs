@@ -1,0 +1,42 @@
+//! Structured telemetry for the Source-LDA reproduction: training
+//! observers, JSONL/progress sinks, and a Prometheus text encoder.
+//!
+//! The training stack ([`srclda_core`]'s fitting loop and sampler
+//! backends) emits [`TrainEvent`]s through the [`TrainObserver`] trait;
+//! the serving daemon renders its lock-free counters through the
+//! [`prom`] encoder. This crate deliberately depends on **nothing** —
+//! not even the other workspace crates — so both `srclda_core` and
+//! `srclda_serve` can depend on it without a cycle, and so the observer
+//! machinery can make a hard promise: *attaching an observer never
+//! perturbs the chain*. Observers are read-only callbacks — they receive
+//! value snapshots, never draw RNG, and never touch sampler state — and
+//! the default [`NoopObserver`] reports `enabled() == false`, so the
+//! fitting loop skips even the clock reads (pinned bit-identical by
+//! `tests/telemetry.rs` in the workspace root).
+//!
+//! Three consumers are provided:
+//!
+//! * [`JsonlSink`] — one JSON object per line, schema documented on
+//!   [`TrainEvent::to_json`]; the output round-trips through the
+//!   workspace's vendored JSON codec (`srclda_serve::server::json`).
+//! * [`ProgressSink`] — human-readable one-line-per-sweep progress.
+//! * [`RegistryObserver`] — aggregates events into a [`Registry`] of
+//!   relaxed-atomic counters/gauges, renderable as Prometheus text
+//!   exposition (`text/plain; version=0.0.4`) and mountable into the
+//!   daemon's `GET /metrics` alongside the serving families.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod observer;
+pub mod prom;
+pub mod registry;
+pub mod sink;
+
+pub use event::{ShardTimings, SparseBucketCounts, TrainEvent};
+pub use observer::{Fanout, NoopObserver, RegistryObserver, TrainObserver};
+pub use prom::{validate_exposition, PromText};
+pub use registry::{Counter, Gauge, Registry, SpanTimer};
+pub use sink::{JsonlSink, ProgressSink};

@@ -29,6 +29,9 @@ pub struct Request {
     /// True when the peer asked for the connection to close after this
     /// exchange (`Connection: close` or an HTTP/1.0 request).
     pub wants_close: bool,
+    /// Raw `Accept` header value, if the peer sent one. Routing uses it
+    /// to pick between the JSON and Prometheus shapes of `/metrics`.
+    pub accept: Option<String>,
 }
 
 /// Why reading a request failed.
@@ -106,6 +109,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, deadline: Instant) -> Result<Req
 
     let mut content_length = 0usize;
     let mut wants_close = version == "HTTP/1.0";
+    let mut accept = None;
     loop {
         let Some(line) = read_line(reader, &mut head, deadline)? else {
             return Err(ReadError::Malformed(
@@ -144,6 +148,9 @@ pub fn read_request<R: BufRead>(reader: &mut R, deadline: Instant) -> Result<Req
                     wants_close = false;
                 }
             }
+            "accept" => {
+                accept = Some(value.to_string());
+            }
             _ => {}
         }
     }
@@ -161,6 +168,7 @@ pub fn read_request<R: BufRead>(reader: &mut R, deadline: Instant) -> Result<Req
         path,
         body,
         wants_close,
+        accept,
     })
 }
 
@@ -254,12 +262,29 @@ pub fn write_response<W: Write>(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_typed(writer, status, "application/json", body, close)
+}
+
+/// Write a response with an explicit `Content-Type` — the general form
+/// behind [`write_response`], used by `/metrics` to serve Prometheus
+/// text exposition next to the default JSON shape.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response_typed<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         status,
         reason(status),
+        content_type,
         body.len(),
         connection,
         body
@@ -356,6 +381,30 @@ mod tests {
                 .unwrap()
                 .wants_close
         );
+    }
+
+    #[test]
+    fn accept_header_is_captured_verbatim() {
+        let r =
+            parse("GET /metrics HTTP/1.1\r\nAccept: text/plain; version=0.0.4\r\n\r\n").unwrap();
+        assert_eq!(r.accept.as_deref(), Some("text/plain; version=0.0.4"));
+        assert_eq!(parse("GET /metrics HTTP/1.1\r\n\r\n").unwrap().accept, None);
+    }
+
+    #[test]
+    fn typed_response_carries_its_content_type() {
+        let mut out = Vec::new();
+        write_response_typed(
+            &mut out,
+            200,
+            "text/plain; version=0.0.4",
+            "x_total 1\n",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("\r\n\r\nx_total 1\n"));
     }
 
     #[test]

@@ -6,9 +6,18 @@
 //! buckets (~7% relative width), so quantiles are read as the upper edge
 //! of the bucket holding the target rank: a bounded-error estimate with a
 //! fixed 256-counter footprint, no sampling, and no locks.
+//!
+//! The same structs back both `/metrics` shapes: the JSON body renders
+//! from the counters directly, and [`Metrics::render_prometheus`] encodes
+//! them as `text/plain; version=0.0.4` families through the shared
+//! [`srclda_obs::PromText`] writer, so the two expositions can never
+//! drift apart.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime};
+
+use srclda_obs::PromText;
 
 /// Number of histogram buckets; bucket `i` holds durations up to
 /// `BASE_MICROS * GROWTH^i` microseconds (the last bucket is unbounded).
@@ -16,16 +25,27 @@ const BUCKETS: usize = 256;
 const BASE_MICROS: f64 = 1.0;
 const GROWTH: f64 = 1.07;
 
+/// Every how many buckets a cumulative edge is exported to Prometheus.
+/// 256 fine buckets would mean 256 lines per scrape; exporting every
+/// 16th edge keeps the family at 16 `le` lines (~2.9× spacing) while the
+/// fine buckets still back the JSON p50/p99.
+const PROM_BUCKET_STRIDE: usize = 16;
+
 /// A fixed-footprint log-bucketed latency histogram.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     counts: Vec<AtomicU64>,
+    /// Exact total of recorded durations in nanoseconds, kept alongside
+    /// the bucketed counts so the Prometheus `_sum` is not a bucket-edge
+    /// estimate. Saturates rather than wraps.
+    sum_nanos: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self {
             counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -36,23 +56,67 @@ impl LatencyHistogram {
         if micros <= BASE_MICROS {
             return 0;
         }
-        let i = (micros / BASE_MICROS).ln() / GROWTH.ln();
-        (i.ceil() as usize).min(BUCKETS - 1)
+        let guess = (micros / BASE_MICROS).ln() / GROWTH.ln();
+        let mut i = (guess.ceil() as usize).min(BUCKETS - 1);
+        // The ln-based guess can land one bucket off at exact edges
+        // (GROWTH^k computed via powi and via ln/exp disagree in the last
+        // ulp). Fix up against the powi edges so the invariant
+        // `upper_edge(i-1) < micros <= upper_edge(i)` holds exactly,
+        // matching what quantile() reports back.
+        while i < BUCKETS - 1 && Self::upper_edge_micros(i) < micros {
+            i += 1;
+        }
+        while i > 0 && Self::upper_edge_micros(i - 1) >= micros {
+            i -= 1;
+        }
+        i
+    }
+
+    /// Upper edge of bucket `i` in microseconds.
+    fn upper_edge_micros(i: usize) -> f64 {
+        BASE_MICROS * GROWTH.powi(i as i32)
     }
 
     /// Upper edge of bucket `i` in seconds.
     fn upper_edge_secs(i: usize) -> f64 {
-        BASE_MICROS * GROWTH.powi(i as i32) / 1e6
+        Self::upper_edge_micros(i) / 1e6
     }
 
     /// Record one observation.
     pub fn record(&self, duration: Duration) {
         self.counts[Self::bucket_for(duration)].fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        // Saturate the exact sum instead of wrapping: a wrapped _sum
+        // would read as the counter going backwards to a scraper.
+        let _ = self
+            .sum_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(nanos))
+            });
+    }
+
+    /// Fold another histogram into this one (bucket-wise count addition
+    /// plus the exact sums). Buckets share one fixed layout, so merging
+    /// loses nothing beyond what bucketing already lost.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let nanos = other.sum_nanos.load(Ordering::Relaxed);
+        let _ = self
+            .sum_nanos
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(nanos))
+            });
     }
 
     /// Approximate quantile `q ∈ [0, 1]` in seconds (`None` when empty).
     /// The estimate is the upper edge of the bucket containing the rank,
-    /// so it over-reports by at most one bucket width (~7%).
+    /// so it over-reports by at most one bucket width (~7%) and never
+    /// under-reports below the bucket holding the true value.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let snapshot: Vec<u64> = self
             .counts
@@ -78,6 +142,87 @@ impl LatencyHistogram {
     pub fn count(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
+
+    /// Exact sum of recorded durations in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Cumulative `(upper_edge_secs, count_le_edge)` pairs for Prometheus
+    /// exposition, coarsened to every [`PROM_BUCKET_STRIDE`]th fine
+    /// bucket. The caller appends the implicit `+Inf` bucket from
+    /// [`LatencyHistogram::count`].
+    pub fn prometheus_buckets(&self) -> Vec<(f64, u64)> {
+        let snapshot: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let mut out = Vec::with_capacity(BUCKETS / PROM_BUCKET_STRIDE);
+        let mut cumulative = 0u64;
+        for (i, &count) in snapshot.iter().enumerate() {
+            cumulative += count;
+            if (i + 1) % PROM_BUCKET_STRIDE == 0 {
+                out.push((Self::upper_edge_secs(i), cumulative));
+            }
+        }
+        out
+    }
+}
+
+/// Per-model serving counters, created lazily on first request that
+/// names the model (or on reload). Shared across workers via `Arc`.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    /// `/infer` requests naming this model.
+    pub requests: AtomicU64,
+    /// Requests currently inside the handler for this model.
+    pub active: AtomicU64,
+    /// Nanoseconds of inference compute spent on this model.
+    pub infer_nanos: AtomicU64,
+}
+
+/// RAII guard for a request being handled against one model: counts the
+/// request on entry, holds the model's `active` gauge up for its
+/// lifetime. Dropping (on any exit path, including errors) releases it.
+#[derive(Debug)]
+pub struct ModelActiveGuard {
+    stats: Arc<ModelStats>,
+}
+
+impl ModelActiveGuard {
+    /// Enter: count one request and raise the active gauge.
+    pub fn enter(stats: Arc<ModelStats>) -> Self {
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats.active.fetch_add(1, Ordering::Relaxed);
+        Self { stats }
+    }
+}
+
+impl Drop for ModelActiveGuard {
+    fn drop(&mut self) {
+        self.stats.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard holding a connection-level gauge up while a connection is
+/// being serviced.
+#[derive(Debug)]
+pub struct ConnectionGuard<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl<'a> ConnectionGuard<'a> {
+    fn enter(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self { gauge }
+    }
+}
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Aggregate serving counters, shared by all workers.
@@ -101,6 +246,18 @@ pub struct Metrics {
     pub infer_nanos: AtomicU64,
     /// End-to-end `/infer` handler latency.
     pub infer_latency: LatencyHistogram,
+    /// Connections currently being serviced by a worker.
+    pub active_connections: AtomicU64,
+    /// Completed `/reload` operations (full or single-model).
+    pub reloads: AtomicU64,
+    /// Unix timestamp (whole seconds) of the last completed reload;
+    /// zero until the first reload.
+    pub last_reload_unix: AtomicU64,
+    /// Per-model stats, keyed by model name. A `Vec` rather than a map:
+    /// a daemon serves a handful of models, and scans stay trivially
+    /// cheap at that size. The lock is taken only to look up or insert
+    /// the `Arc` — never while counting.
+    models: Mutex<Vec<(String, Arc<ModelStats>)>>,
 }
 
 impl Metrics {
@@ -132,17 +289,198 @@ impl Metrics {
         }
         self.infer_tokens.load(Ordering::Relaxed) as f64 / (nanos as f64 / 1e9)
     }
+
+    /// Raise the active-connection gauge for the guard's lifetime.
+    pub fn connection_guard(&self) -> ConnectionGuard<'_> {
+        ConnectionGuard::enter(&self.active_connections)
+    }
+
+    /// Fetch (or lazily create) the stats slot for `model`.
+    pub fn model_stats(&self, model: &str) -> Arc<ModelStats> {
+        let mut models = self.models.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, stats)) = models.iter().find(|(name, _)| name == model) {
+            return stats.clone();
+        }
+        let stats = Arc::new(ModelStats::default());
+        models.push((model.to_string(), stats.clone()));
+        stats
+    }
+
+    /// Count a request against `model` and hold its active gauge up
+    /// until the returned guard drops.
+    pub fn begin_model_request(&self, model: &str) -> ModelActiveGuard {
+        ModelActiveGuard::enter(self.model_stats(model))
+    }
+
+    /// Add `elapsed` to `model`'s inference-compute accumulator.
+    pub fn record_model_infer(&self, model: &str, elapsed: Duration) {
+        self.model_stats(model).infer_nanos.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Snapshot of per-model stats in first-seen order.
+    pub fn model_snapshot(&self) -> Vec<(String, Arc<ModelStats>)> {
+        self.models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats.clone()))
+            .collect()
+    }
+
+    /// Count one completed reload and stamp its wall-clock time.
+    pub fn record_reload(&self) {
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        let unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        self.last_reload_unix.store(unix, Ordering::Relaxed);
+    }
+
+    /// Append the serving families as Prometheus text exposition. The
+    /// daemon's `/metrics` handler appends model-registry families and
+    /// any mounted trainer registry after this.
+    pub fn render_prometheus(&self, out: &mut String) {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed) as f64;
+        let mut text = PromText::wrap(out);
+        text.header(
+            "srclda_serve_requests_total",
+            "HTTP requests received, including unroutable ones.",
+            "counter",
+        );
+        text.sample("srclda_serve_requests_total", &[], load(&self.requests));
+        text.header(
+            "srclda_serve_responses_total",
+            "HTTP responses by status class.",
+            "counter",
+        );
+        for (class, counter) in [
+            ("ok", &self.responses_ok),
+            ("client_error", &self.responses_client_error),
+            ("server_error", &self.responses_server_error),
+        ] {
+            text.sample(
+                "srclda_serve_responses_total",
+                &[("class", class)],
+                load(counter),
+            );
+        }
+        text.header(
+            "srclda_serve_active_connections",
+            "Connections currently being serviced.",
+            "gauge",
+        );
+        text.sample(
+            "srclda_serve_active_connections",
+            &[],
+            load(&self.active_connections),
+        );
+        text.header(
+            "srclda_serve_reloads_total",
+            "Completed /reload operations.",
+            "counter",
+        );
+        text.sample("srclda_serve_reloads_total", &[], load(&self.reloads));
+        text.header(
+            "srclda_serve_last_reload_timestamp_seconds",
+            "Unix time of the last completed reload (0 before the first).",
+            "gauge",
+        );
+        text.sample(
+            "srclda_serve_last_reload_timestamp_seconds",
+            &[],
+            load(&self.last_reload_unix),
+        );
+        text.header(
+            "srclda_serve_infer_docs_total",
+            "Documents scored through /infer.",
+            "counter",
+        );
+        text.sample("srclda_serve_infer_docs_total", &[], load(&self.infer_docs));
+        text.header(
+            "srclda_serve_infer_tokens_total",
+            "In-vocabulary tokens folded in through /infer.",
+            "counter",
+        );
+        text.sample(
+            "srclda_serve_infer_tokens_total",
+            &[],
+            load(&self.infer_tokens),
+        );
+        text.header(
+            "srclda_serve_infer_compute_seconds_total",
+            "Seconds spent inside inference, excluding socket I/O.",
+            "counter",
+        );
+        text.sample(
+            "srclda_serve_infer_compute_seconds_total",
+            &[],
+            load(&self.infer_nanos) / 1e9,
+        );
+        text.histogram(
+            "srclda_serve_infer_latency_seconds",
+            "End-to-end /infer handler latency.",
+            &[],
+            &self.infer_latency.prometheus_buckets(),
+            self.infer_latency.sum_secs(),
+            self.infer_latency.count(),
+        );
+        let models = self.model_snapshot();
+        if !models.is_empty() {
+            text.header(
+                "srclda_serve_model_requests_total",
+                "/infer requests by model.",
+                "counter",
+            );
+            for (name, stats) in &models {
+                text.sample(
+                    "srclda_serve_model_requests_total",
+                    &[("model", name)],
+                    load(&stats.requests),
+                );
+            }
+            text.header(
+                "srclda_serve_model_active_requests",
+                "Requests currently in the handler, by model.",
+                "gauge",
+            );
+            for (name, stats) in &models {
+                text.sample(
+                    "srclda_serve_model_active_requests",
+                    &[("model", name)],
+                    load(&stats.active),
+                );
+            }
+            text.header(
+                "srclda_serve_model_infer_compute_seconds_total",
+                "Inference-compute seconds by model.",
+                "counter",
+            );
+            for (name, stats) in &models {
+                text.sample(
+                    "srclda_serve_model_infer_compute_seconds_total",
+                    &[("model", name)],
+                    load(&stats.infer_nanos) / 1e9,
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn empty_histogram_has_no_quantiles() {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_secs(), 0.0);
     }
 
     #[test]
@@ -158,6 +496,8 @@ mod tests {
         assert!((0.050..0.056).contains(&p50), "p50 = {p50}");
         assert!((0.099..0.111).contains(&p99), "p99 = {p99}");
         assert!(p50 <= p99);
+        // Exact sum: 1+2+…+100 ms = 5.05 s.
+        assert!((h.sum_secs() - 5.05).abs() < 1e-9, "sum = {}", h.sum_secs());
     }
 
     #[test]
@@ -165,9 +505,117 @@ mod tests {
         let h = LatencyHistogram::default();
         h.record(Duration::from_nanos(1));
         h.record(Duration::from_secs(3600));
-        assert_eq!(h.count(), 2);
+        h.record(Duration::ZERO);
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 4);
         assert!(h.quantile(0.0).unwrap() > 0.0);
         assert!(h.quantile(1.0).unwrap().is_finite());
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_first_bucket() {
+        assert_eq!(LatencyHistogram::bucket_for(Duration::ZERO), 0);
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_nanos(1)), 0);
+        // Exactly the base edge is still bucket 0 (edges are inclusive
+        // above).
+        assert_eq!(LatencyHistogram::bucket_for(Duration::from_micros(1)), 0);
+    }
+
+    #[test]
+    fn duration_max_saturates_in_the_last_bucket() {
+        assert_eq!(LatencyHistogram::bucket_for(Duration::MAX), BUCKETS - 1);
+        let h = LatencyHistogram::default();
+        h.record(Duration::MAX);
+        h.record(Duration::MAX);
+        // The exact-sum accumulator saturates instead of wrapping.
+        assert_eq!(h.sum_nanos.load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn exact_edge_durations_respect_the_bucket_invariant() {
+        // Durations sitting exactly on (or within an ulp of) a bucket
+        // edge must satisfy upper_edge(i-1) < d ≤ upper_edge(i); the
+        // naive ln/ceil computation violates this for some edges, which
+        // is what the fix-up loops repair.
+        for i in 1..BUCKETS - 1 {
+            let edge_micros = LatencyHistogram::upper_edge_micros(i);
+            let d = Duration::from_secs_f64(edge_micros / 1e6);
+            let bucket = LatencyHistogram::bucket_for(d);
+            let micros = d.as_secs_f64() * 1e6;
+            assert!(
+                micros <= LatencyHistogram::upper_edge_micros(bucket),
+                "edge {i}: micros {micros} above bucket {bucket} edge"
+            );
+            assert!(
+                bucket == 0 || LatencyHistogram::upper_edge_micros(bucket - 1) < micros,
+                "edge {i}: micros {micros} not above bucket {} edge",
+                bucket - 1
+            );
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum_secs() - 0.102).abs() < 1e-9);
+        // Both 1 ms observations share a bucket after the merge.
+        let p50 = a.quantile(0.5).unwrap();
+        assert!((0.001..0.00108).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_increasing() {
+        let h = LatencyHistogram::default();
+        for ms in [1u64, 5, 20, 100, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let buckets = h.prometheus_buckets();
+        assert_eq!(buckets.len(), BUCKETS / PROM_BUCKET_STRIDE);
+        let mut last_edge = 0.0;
+        let mut last_count = 0u64;
+        for &(edge, count) in &buckets {
+            assert!(edge > last_edge, "edges must increase");
+            assert!(count >= last_count, "counts must be cumulative");
+            last_edge = edge;
+            last_count = count;
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn render_prometheus_is_valid_exposition() {
+        let m = Metrics::default();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.record_status(200);
+        m.record_infer(2, 100, Duration::from_millis(10));
+        m.record_reload();
+        {
+            let _conn = m.connection_guard();
+            let _guard = m.begin_model_request("wiki");
+            m.record_model_infer("wiki", Duration::from_millis(4));
+            let mut out = String::new();
+            m.render_prometheus(&mut out);
+            srclda_obs::validate_exposition(&out).expect("valid exposition");
+            assert!(out.contains("srclda_serve_requests_total 3\n"));
+            assert!(out.contains("srclda_serve_active_connections 1\n"));
+            assert!(out.contains("srclda_serve_reloads_total 1\n"));
+            assert!(out.contains("srclda_serve_model_requests_total{model=\"wiki\"} 1\n"));
+            assert!(out.contains("srclda_serve_model_active_requests{model=\"wiki\"} 1\n"));
+            assert!(out.contains("srclda_serve_infer_latency_seconds_count 1\n"));
+            assert!(out.contains("srclda_serve_infer_latency_seconds_bucket"));
+        }
+        // Guards released both gauges on drop.
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        assert!(out.contains("srclda_serve_active_connections 0\n"));
+        assert!(out.contains("srclda_serve_model_active_requests{model=\"wiki\"} 0\n"));
+        assert!(out.contains("srclda_serve_last_reload_timestamp_seconds"));
     }
 
     #[test]
@@ -193,5 +641,56 @@ mod tests {
         assert_eq!(m.responses_client_error.load(Ordering::Relaxed), 1);
         assert_eq!(m.responses_server_error.load(Ordering::Relaxed), 1);
         assert_eq!(m.tokens_per_sec(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// `quantile` must be monotone in `q` and must never under-report
+        /// a recorded duration by more than one bucket width: the maximum
+        /// recorded value is at most one GROWTH factor above `quantile(1.0)`.
+        #[test]
+        fn quantile_is_monotone_and_bounds_the_max(
+            // Stay below the ~31 s saturation edge of the last bucket;
+            // beyond it the estimate is deliberately clamped.
+            micros in proptest::collection::vec(1u64..20_000_000, 1..200),
+        ) {
+            let h = LatencyHistogram::default();
+            for &us in &micros {
+                h.record(Duration::from_micros(us));
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0.0f64;
+            for &q in &qs {
+                let v = h.quantile(q).unwrap();
+                prop_assert!(v >= prev, "quantile({q}) = {v} < quantile(prev) = {prev}");
+                prev = v;
+            }
+            let max_secs = *micros.iter().max().unwrap() as f64 / 1e6;
+            let top = h.quantile(1.0).unwrap();
+            // Upper-edge estimates sit within one bucket (GROWTH factor)
+            // of the true maximum, on either side.
+            prop_assert!(top >= max_secs / GROWTH, "top {top} under-reports max {max_secs}");
+            prop_assert!(
+                top <= max_secs * GROWTH + 1e-6 / GROWTH,
+                "top {top} over-reports max {max_secs}"
+            );
+        }
+
+        /// The fix-up loops in `bucket_for` guarantee the invariant
+        /// `upper_edge(i-1) < d ≤ upper_edge(i)` for every duration, not
+        /// just bucket edges.
+        #[test]
+        fn bucket_for_invariant_holds_everywhere(us in 1u64..40_000_000) {
+            let d = Duration::from_micros(us);
+            let i = LatencyHistogram::bucket_for(d);
+            let micros = d.as_secs_f64() * 1e6;
+            if i < BUCKETS - 1 {
+                prop_assert!(micros <= LatencyHistogram::upper_edge_micros(i));
+            }
+            if i > 0 {
+                prop_assert!(micros > LatencyHistogram::upper_edge_micros(i - 1));
+            }
+        }
     }
 }

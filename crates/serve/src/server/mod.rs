@@ -29,10 +29,11 @@ pub mod registry;
 
 use crate::engine::DocumentScore;
 use crate::error::ServeError;
-use http::{read_request, write_response, ReadError, Request};
+use http::{read_request, write_response, write_response_typed, ReadError, Request};
 use json::{obj, Value};
 use metrics::Metrics;
 use registry::{ModelEntry, ModelRegistry};
+use srclda_obs::PromText;
 use std::io::{self, BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,6 +55,11 @@ pub struct ServerConfig {
     /// Poll granularity for accept and idle-read loops; bounds how long
     /// shutdown can lag behind the handle flip.
     pub poll_interval: Duration,
+    /// Additional metric families appended to the Prometheus shape of
+    /// `GET /metrics` after the serving families — the mount point for a
+    /// trainer's [`srclda_obs::RegistryObserver`] registry, so one scrape
+    /// covers training and serving. Empty (and skipped) by default.
+    pub extra_metrics: Arc<srclda_obs::Registry>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             batch_workers: 1,
             idle_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
+            extra_metrics: Arc::new(srclda_obs::Registry::new()),
         }
     }
 }
@@ -239,6 +246,7 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut idle_since = Instant::now();
+    let _active = ctx.metrics.connection_guard();
     loop {
         match reader.fill_buf() {
             Ok([]) => return Ok(()), // peer closed
@@ -260,10 +268,10 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
         match read_request(&mut reader, deadline) {
             Ok(request) => {
                 ctx.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                let (status, body) = route(&request, ctx);
+                let (status, content_type, body) = route(&request, ctx);
                 ctx.metrics.record_status(status);
                 let close = request.wants_close || ctx.shutdown.load(Ordering::SeqCst);
-                write_response(&mut writer, status, &body, close)?;
+                write_response_typed(&mut writer, status, content_type, &body, close)?;
                 if close {
                     return Ok(());
                 }
@@ -294,17 +302,36 @@ fn error_body(message: &str) -> String {
     obj(vec![("error", Value::from(message))]).render()
 }
 
-/// Dispatch one request to its endpoint handler.
-fn route(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
+/// Content type of every endpoint except the Prometheus `/metrics` shape.
+const JSON_TYPE: &str = "application/json";
+
+/// Dispatch one request to its endpoint handler; returns status, content
+/// type, and body.
+fn route(request: &Request, ctx: &WorkerCtx) -> (u16, &'static str, String) {
+    let json = |(status, body): (u16, String)| (status, JSON_TYPE, body);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(ctx),
-        ("GET", "/metrics") => handle_metrics(ctx),
-        ("POST", "/infer") => handle_infer(request, ctx),
-        ("POST", "/reload") => handle_reload(request, ctx),
-        (_, "/healthz" | "/metrics") => (405, error_body("use GET for this endpoint")),
-        (_, "/infer" | "/reload") => (405, error_body("use POST for this endpoint")),
-        _ => (404, error_body("no such endpoint")),
+        ("GET", "/healthz") => json(handle_healthz(ctx)),
+        ("GET", "/metrics") => handle_metrics(request, ctx),
+        ("POST", "/infer") => json(handle_infer(request, ctx)),
+        ("POST", "/reload") => json(handle_reload(request, ctx)),
+        (_, "/healthz" | "/metrics") => json((405, error_body("use GET for this endpoint"))),
+        (_, "/infer" | "/reload") => json((405, error_body("use POST for this endpoint"))),
+        _ => json((404, error_body("no such endpoint"))),
     }
+}
+
+/// True when the `Accept` header asks for the Prometheus text shape.
+///
+/// The default stays JSON for compatibility with existing consumers: no
+/// header, `*/*` (curl's default), and `application/json` all keep the
+/// JSON body. Any listed `text/plain` — with or without the `version`
+/// parameter Prometheus sends — selects the exposition format.
+fn wants_prometheus(accept: Option<&str>) -> bool {
+    let Some(accept) = accept else { return false };
+    accept.split(',').any(|part| {
+        let mime = part.split(';').next().unwrap_or("").trim();
+        mime.eq_ignore_ascii_case("text/plain")
+    })
 }
 
 fn handle_healthz(ctx: &WorkerCtx) -> (u16, String) {
@@ -324,13 +351,106 @@ fn handle_healthz(ctx: &WorkerCtx) -> (u16, String) {
     )
 }
 
-fn handle_metrics(ctx: &WorkerCtx) -> (u16, String) {
+fn handle_metrics(request: &Request, ctx: &WorkerCtx) -> (u16, &'static str, String) {
+    if wants_prometheus(request.accept.as_deref()) {
+        return (
+            200,
+            srclda_obs::prom::CONTENT_TYPE,
+            render_prometheus_metrics(ctx),
+        );
+    }
+    (200, JSON_TYPE, render_json_metrics(ctx))
+}
+
+/// The Prometheus shape of `/metrics`: serving counter families, the
+/// model-registry families, then any mounted trainer registry — one
+/// scrape covering the whole process.
+fn render_prometheus_metrics(ctx: &WorkerCtx) -> String {
+    let mut out = String::new();
+    ctx.metrics.render_prometheus(&mut out);
+    let entries: Vec<Arc<ModelEntry>> = ctx
+        .registry
+        .names()
+        .iter()
+        .filter_map(|name| ctx.registry.get(name))
+        .collect();
+    if !entries.is_empty() {
+        let mut text = PromText::wrap(&mut out);
+        text.header(
+            "srclda_serve_model_generation",
+            "Reload generation of the live artifact, by model.",
+            "gauge",
+        );
+        for entry in &entries {
+            text.sample(
+                "srclda_serve_model_generation",
+                &[("model", &entry.name)],
+                entry.generation as f64,
+            );
+        }
+        text.header(
+            "srclda_serve_model_topics",
+            "Topic count of the live artifact, by model.",
+            "gauge",
+        );
+        for entry in &entries {
+            text.sample(
+                "srclda_serve_model_topics",
+                &[("model", &entry.name)],
+                entry.engine.num_topics() as f64,
+            );
+        }
+        text.header(
+            "srclda_serve_model_cache_hits_total",
+            "Fold-in cache hits, by model.",
+            "counter",
+        );
+        for entry in &entries {
+            text.sample(
+                "srclda_serve_model_cache_hits_total",
+                &[("model", &entry.name)],
+                entry.engine.cache_stats().hits as f64,
+            );
+        }
+        text.header(
+            "srclda_serve_model_cache_misses_total",
+            "Fold-in cache misses, by model.",
+            "counter",
+        );
+        for entry in &entries {
+            text.sample(
+                "srclda_serve_model_cache_misses_total",
+                &[("model", &entry.name)],
+                entry.engine.cache_stats().misses as f64,
+            );
+        }
+        text.header(
+            "srclda_serve_model_cache_entries",
+            "Resident fold-in cache entries, by model.",
+            "gauge",
+        );
+        for entry in &entries {
+            text.sample(
+                "srclda_serve_model_cache_entries",
+                &[("model", &entry.name)],
+                entry.engine.cache_stats().entries as f64,
+            );
+        }
+    }
+    ctx.config.extra_metrics.render_into(&mut out);
+    out
+}
+
+/// The JSON shape of `/metrics` (the daemon's original format, kept as
+/// the default for existing consumers).
+fn render_json_metrics(ctx: &WorkerCtx) -> String {
     let m = &ctx.metrics;
     let quantile_ms = |q: f64| {
         m.infer_latency
             .quantile(q)
             .map_or(Value::Null, |secs| Value::Num(secs * 1e3))
     };
+    let per_model = m.model_snapshot();
     let models: Vec<Value> = ctx
         .registry
         .names()
@@ -338,10 +458,22 @@ fn handle_metrics(ctx: &WorkerCtx) -> (u16, String) {
         .filter_map(|name| ctx.registry.get(name))
         .map(|entry| {
             let cache = entry.engine.cache_stats();
+            let stats = per_model
+                .iter()
+                .find(|(name, _)| *name == entry.name)
+                .map(|(_, stats)| stats.clone());
+            let stat = |f: fn(&metrics::ModelStats) -> u64| {
+                Value::from(stats.as_ref().map_or(0, |s| f(s)))
+            };
             obj(vec![
                 ("name", Value::from(entry.name.clone())),
                 ("generation", Value::from(entry.generation)),
                 ("topics", Value::from(entry.engine.num_topics())),
+                ("requests", stat(|s| s.requests.load(Ordering::Relaxed))),
+                (
+                    "active_requests",
+                    stat(|s| s.active.load(Ordering::Relaxed)),
+                ),
                 (
                     "cache",
                     obj(vec![
@@ -356,6 +488,10 @@ fn handle_metrics(ctx: &WorkerCtx) -> (u16, String) {
     let body = obj(vec![
         ("requests", Value::from(m.requests.load(Ordering::Relaxed))),
         (
+            "active_connections",
+            Value::from(m.active_connections.load(Ordering::Relaxed)),
+        ),
+        (
             "responses",
             obj(vec![
                 ("ok", Value::from(m.responses_ok.load(Ordering::Relaxed))),
@@ -366,6 +502,16 @@ fn handle_metrics(ctx: &WorkerCtx) -> (u16, String) {
                 (
                     "server_error",
                     Value::from(m.responses_server_error.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "reload",
+            obj(vec![
+                ("count", Value::from(m.reloads.load(Ordering::Relaxed))),
+                (
+                    "last_unix",
+                    Value::from(m.last_reload_unix.load(Ordering::Relaxed)),
                 ),
             ]),
         ),
@@ -384,7 +530,7 @@ fn handle_metrics(ctx: &WorkerCtx) -> (u16, String) {
         ),
         ("models", Value::Arr(models)),
     ]);
-    (200, body.render())
+    body.render()
 }
 
 /// Fields `/infer` accepts; anything else is a client error (silent
@@ -424,6 +570,9 @@ fn handle_infer(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
         };
         return (404, error_body(&message));
     };
+    // Counts the request and holds the model's active gauge up for the
+    // rest of the handler, including every error return below.
+    let _active = ctx.metrics.begin_model_request(&entry.name);
 
     let top = match body.get("top") {
         None => 3,
@@ -468,8 +617,10 @@ fn handle_infer(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
         Err(e) => return (500, error_body(&e.to_string())),
     };
     let tokens: u64 = scores.iter().map(|s| s.num_tokens() as u64).sum();
+    let elapsed = started.elapsed();
     ctx.metrics
-        .record_infer(scores.len() as u64, tokens, started.elapsed());
+        .record_infer(scores.len() as u64, tokens, elapsed);
+    ctx.metrics.record_model_infer(&entry.name, elapsed);
 
     let mut members: Vec<(String, Value)> = vec![
         ("model".to_string(), Value::from(entry.name.clone())),
@@ -573,5 +724,6 @@ fn handle_reload(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
             }
         }
     }
+    ctx.metrics.record_reload();
     (200, obj(vec![("reloaded", Value::Arr(reloaded))]).render())
 }

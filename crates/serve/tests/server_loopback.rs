@@ -400,6 +400,108 @@ fn metrics_count_requests_and_tokens() {
 }
 
 #[test]
+fn metrics_prometheus_shape_unifies_serving_and_trainer_families() {
+    use std::io::Read as _;
+
+    let path = temp_path("prom");
+    artifact(11).save(&path).unwrap();
+    // Boot with a trainer registry mounted into /metrics, as a daemon
+    // colocated with training would.
+    let registry = Arc::new(ModelRegistry::new(EngineOptions::default()));
+    registry.load("m", &path).unwrap();
+    let trainer = Arc::new(srclda_obs::Registry::new());
+    trainer
+        .counter("srclda_train_sweeps_total", "Completed sweeps.", &[])
+        .add(42);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        batch_workers: 2,
+        extra_metrics: trainer,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, registry).unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    let addr = handle.addr();
+
+    let (status, body) = http(addr, "POST", "/infer", "{\"text\": \"pencil ruler\"}");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = http(addr, "POST", "/reload", "");
+    assert_eq!(status, 200, "{body}");
+
+    // Accept: text/plain selects the Prometheus exposition.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain; version=0.0.4\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    assert!(
+        raw.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+        "missing exposition content type: {raw}"
+    );
+    let text = raw.split("\r\n\r\n").nth(1).unwrap();
+    let samples = srclda_obs::validate_exposition(text).expect("valid exposition");
+    assert!(
+        samples > 20,
+        "expected a full exposition, got {samples} samples"
+    );
+    // Serving families, per-model families, registry families, and the
+    // mounted trainer family all appear in one scrape.
+    assert!(
+        text.contains("srclda_serve_responses_total{class=\"ok\"}"),
+        "{text}"
+    );
+    assert!(text.contains("srclda_serve_reloads_total 1\n"), "{text}");
+    assert!(
+        text.contains("srclda_serve_last_reload_timestamp_seconds"),
+        "{text}"
+    );
+    assert!(
+        text.contains("srclda_serve_model_requests_total{model=\"m\"} 1\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("srclda_serve_model_active_requests{model=\"m\"} 0\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("srclda_serve_model_generation{model=\"m\"} 1\n"),
+        "{text}"
+    );
+    assert!(
+        text.contains("srclda_serve_infer_latency_seconds_bucket"),
+        "{text}"
+    );
+    assert!(
+        text.contains("srclda_serve_infer_latency_seconds_count 1\n"),
+        "{text}"
+    );
+    assert!(text.contains("srclda_train_sweeps_total 42\n"), "{text}");
+
+    // Without an Accept header the JSON shape (with the new reload and
+    // connection fields) is unchanged as the default.
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let v = json::parse(&body).unwrap();
+    let reload = v.get("reload").unwrap();
+    assert_eq!(reload.get("count").unwrap().as_usize(), Some(1));
+    assert!(reload.get("last_unix").unwrap().as_f64().unwrap() > 0.0);
+    assert!(v.get("active_connections").is_some());
+    let model = &v.get("models").unwrap().as_arr().unwrap()[0];
+    assert_eq!(model.get("requests").unwrap().as_usize(), Some(1));
+    assert_eq!(model.get("active_requests").unwrap().as_usize(), Some(0));
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
 fn reload_hot_swaps_the_artifact_atomically() {
     let path = temp_path("reload");
     artifact(11).save(&path).unwrap();

@@ -58,6 +58,7 @@ pub use srclda_eval as eval;
 pub use srclda_knowledge as knowledge;
 pub use srclda_labeling as labeling;
 pub use srclda_math as math;
+pub use srclda_obs as obs;
 pub use srclda_serve as serve;
 pub use srclda_synth as synth;
 

@@ -1,0 +1,231 @@
+//! Contracts of the `srclda_obs` telemetry subsystem at the training
+//! boundary:
+//!
+//! * **Observation is free of side effects on the chain.** Fitting with a
+//!   JSONL observer attached (plus a registry observer fanned out behind
+//!   it) produces φ/θ/z **bit-identical** to the same fit with no
+//!   observer, and the checkpoints passed to the callback are identical
+//!   too — across the serial, sparse-kernel, and document-sharded
+//!   backends. Observers are value-snapshot consumers; they never draw
+//!   RNG and never touch sampler state.
+//! * **The JSONL stream is well-formed.** Every line round-trips through
+//!   the same vendored JSON codec the serving daemon uses, carries a
+//!   known `"event"` discriminator, and the per-backend event mix is what
+//!   the backend promises (shard timings only from `ShardedDocs`, bucket
+//!   counts only from `SparseKernel`, adaptation events exactly at the
+//!   configured λ boundaries).
+//! * **The registry renders valid Prometheus exposition** covering the
+//!   `srclda_train_*` families.
+//!
+//! **Tolerance: exact (zero)** — bit-identity, not approximate parity.
+
+use std::sync::Arc;
+
+use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
+use source_lda::core::{GibbsModel, TrainCheckpoint};
+use source_lda::obs::{Fanout, JsonlSink, Registry, RegistryObserver};
+use source_lda::prelude::*;
+use source_lda::serve::server::json::{self, Value};
+
+/// The `tests/shard_equivalence.rs` world: 6 source topics + 3 unlabeled
+/// over a 250-word vocabulary, 30 documents, adaptive λ.
+fn model_and_corpus(backend: Backend) -> (GibbsModel, Corpus) {
+    let (vocab, knowledge) = source_lda::synth::random_source_topics(250, 16, 10, 120, 11);
+    let generated = SourceLdaGenerator {
+        alpha: 0.5,
+        num_docs: 30,
+        doc_len: DocLength::Fixed(25),
+        lambda_mode: LambdaMode::None,
+        seed: 13,
+        ..SourceLdaGenerator::default()
+    }
+    .generate(&knowledge.select(&(0..6).collect::<Vec<_>>()), &vocab)
+    .unwrap();
+    let vocab_size = generated.corpus.vocab_size();
+    let model = SourceLda::builder()
+        .knowledge_source(knowledge)
+        .variant(Variant::Full)
+        .unlabeled_topics(3)
+        .approximation_steps(3)
+        .smoothing(SmoothingMode::Identity)
+        .adaptive_lambda(6)
+        .lambda_burn_in(4)
+        .alpha(0.5)
+        .iterations(18)
+        .backend(backend)
+        .seed(29)
+        .build()
+        .unwrap()
+        .assemble(vocab_size)
+        .unwrap();
+    (model, generated.corpus)
+}
+
+const BACKENDS: [Backend; 3] = [
+    Backend::Serial,
+    Backend::SparseKernel,
+    Backend::ShardedDocs {
+        shards: 3,
+        threads: 2,
+    },
+];
+
+/// Fit with an optional observer, capturing every checkpoint the run
+/// emits; returns the fitted model, the checkpoints, and (when observed)
+/// the raw JSONL bytes.
+fn fit_capturing(
+    backend: Backend,
+    observed: bool,
+) -> (FittedModel, Vec<TrainCheckpoint>, Option<String>) {
+    let (model, corpus) = model_and_corpus(backend);
+    let mut checkpoints = Vec::new();
+    let on_checkpoint = |cp: &TrainCheckpoint| {
+        checkpoints.push(cp.clone());
+        Ok(())
+    };
+    if observed {
+        let mut fanout = Fanout::new()
+            .with(Box::new(JsonlSink::new(Vec::<u8>::new())))
+            .with(Box::new(RegistryObserver::new(Arc::new(Registry::new()))));
+        let fitted = model
+            .fit_observed(&corpus, None, Some(5), on_checkpoint, &mut fanout)
+            .unwrap();
+        // Fanout owns its children; re-run with a bare sink to recover the
+        // bytes (the chain is deterministic, pinned below, so the streams
+        // are interchangeable).
+        let (model2, corpus2) = model_and_corpus(backend);
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        model2
+            .fit_observed(&corpus2, None, Some(5), |_| Ok(()), &mut sink)
+            .unwrap();
+        let bytes = sink.finish().unwrap();
+        (fitted, checkpoints, Some(String::from_utf8(bytes).unwrap()))
+    } else {
+        let fitted = model
+            .fit_resumable(&corpus, None, Some(5), on_checkpoint)
+            .unwrap();
+        (fitted, checkpoints, None)
+    }
+}
+
+#[test]
+fn attaching_observers_never_perturbs_the_chain() {
+    for backend in BACKENDS {
+        let (plain, plain_cps, _) = fit_capturing(backend, false);
+        let (observed, observed_cps, _) = fit_capturing(backend, true);
+        assert_eq!(
+            plain.assignments(),
+            observed.assignments(),
+            "{backend:?}: z diverged under observation"
+        );
+        assert_eq!(
+            plain.phi().as_slice(),
+            observed.phi().as_slice(),
+            "{backend:?}: φ diverged under observation"
+        );
+        assert_eq!(
+            plain.theta().as_slice(),
+            observed.theta().as_slice(),
+            "{backend:?}: θ diverged under observation"
+        );
+        assert_eq!(
+            plain_cps, observed_cps,
+            "{backend:?}: checkpoints diverged under observation"
+        );
+        assert_eq!(plain_cps.len(), 3, "{backend:?}: sweeps 5, 10, 15");
+    }
+}
+
+/// Parse a JSONL stream, asserting each line is an object with a string
+/// `"event"` field and survives a render → re-parse round trip.
+fn parse_events(jsonl: &str) -> Vec<(String, Value)> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| {
+            let value = json::parse(line).expect("telemetry line parses");
+            let reparsed = json::parse(&value.render()).expect("rendered line re-parses");
+            assert_eq!(value, reparsed, "render/parse round trip");
+            let kind = value
+                .get("event")
+                .and_then(|v| v.as_str())
+                .expect("event discriminator")
+                .to_string();
+            (kind, value)
+        })
+        .collect()
+}
+
+#[test]
+fn jsonl_streams_are_well_formed_and_backend_shaped() {
+    for backend in BACKENDS {
+        let (_, _, jsonl) = fit_capturing(backend, true);
+        let events = parse_events(&jsonl.unwrap());
+        let count = |kind: &str| events.iter().filter(|(k, _)| k == kind).count();
+
+        assert_eq!(count("sweep"), 18, "{backend:?}: one sweep event per sweep");
+        assert_eq!(count("fit_complete"), 1, "{backend:?}");
+        assert_eq!(count("checkpoint"), 3, "{backend:?}: sweeps 5, 10, 15");
+        // adaptive_lambda(6) with lambda_burn_in(4): boundaries at sweeps
+        // 4, 10, 16.
+        assert_eq!(count("adapt"), 3, "{backend:?}: λ boundaries at 4/10/16");
+
+        let sharded = matches!(backend, Backend::ShardedDocs { .. });
+        let sparse = matches!(backend, Backend::SparseKernel);
+        assert_eq!(
+            count("shard_sweep"),
+            if sharded { 18 } else { 0 },
+            "{backend:?}: shard timings iff sharded"
+        );
+        assert_eq!(
+            count("sparse_buckets"),
+            if sparse { 18 } else { 0 },
+            "{backend:?}: bucket counts iff sparse kernel"
+        );
+
+        // Spot-check value-level coherence on the sweep events.
+        let (_, corpus) = model_and_corpus(backend);
+        let tokens = corpus.num_tokens() as f64;
+        for (_, e) in events.iter().filter(|(k, _)| k == "sweep") {
+            assert_eq!(e.get("tokens").and_then(Value::as_f64), Some(tokens));
+            let rate = e.get("tokens_per_sec").and_then(Value::as_f64).unwrap();
+            assert!(rate > 0.0, "{backend:?}: tokens/sec must be positive");
+        }
+        if sharded {
+            for (_, e) in events.iter().filter(|(k, _)| k == "shard_sweep") {
+                let Some(Value::Arr(secs)) = e.get("shard_secs") else {
+                    panic!("{backend:?}: shard_secs must be an array");
+                };
+                assert_eq!(secs.len(), 3, "{backend:?}: one timing per shard");
+            }
+        }
+        for (_, e) in events.iter().filter(|(k, _)| k == "checkpoint") {
+            let bytes = e.get("bytes").and_then(Value::as_f64).unwrap();
+            assert!(bytes > 0.0, "{backend:?}: checkpoint payload is nonempty");
+        }
+    }
+}
+
+#[test]
+fn registry_observer_renders_valid_prometheus_exposition() {
+    let (model, corpus) = model_and_corpus(Backend::SparseKernel);
+    let registry = Arc::new(Registry::new());
+    let mut observer = RegistryObserver::new(Arc::clone(&registry));
+    model
+        .fit_observed(&corpus, None, Some(5), |_| Ok(()), &mut observer)
+        .unwrap();
+
+    let text = registry.render();
+    let samples = source_lda::obs::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    assert!(samples >= 8, "expected a full train family set:\n{text}");
+    for family in [
+        "srclda_train_sweeps_total 18",
+        "srclda_train_checkpoints_total 3",
+        "srclda_train_adaptations_total 3",
+        "srclda_train_tokens_total",
+        "srclda_train_sparse_bucket_hits_total{bucket=\"word\"}",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+}
