@@ -10,14 +10,21 @@
 //! checkpoint lifecycle end to end:
 //!
 //! ```sh
-//! # train, writing a resumable v2 .slda snapshot every 6 sweeps, and
-//! # simulate a kill right after the sweep-12 checkpoint:
+//! # train, writing rotating resumable v2 .slda generations
+//! # (ck.g000006.slda, ck.g000012.slda, …) every 6 sweeps, and simulate
+//! # a kill right after the sweep-12 checkpoint:
 //! train_throughput --train --sweeps 24 --shards 2 \
 //!     --checkpoint-every 6 --checkpoint-path ck.slda --stop-after 12
-//! # resume from the snapshot and finish:
-//! train_throughput --train --sweeps 24 --shards 2 --resume ck.slda
+//! # scan, checksum-validate, and resume from the newest good generation:
+//! train_throughput --train --sweeps 24 --shards 2 \
+//!     --checkpoint-every 6 --checkpoint-path ck.slda --resume auto
 //! # the printed "final digest" is bit-identical to an uninterrupted run:
 //! train_throughput --train --sweeps 24 --shards 2
+//! # crash *during* the sweep-12 checkpoint write instead (exit 9); the
+//! # torn file fails its checksum and --resume auto falls back to the
+//! # sweep-6 generation:
+//! train_throughput --train --sweeps 24 --shards 2 --checkpoint-every 6 \
+//!     --checkpoint-path ck.slda --fault torn@12 --fault-seed 42
 //! ```
 
 use srclda_bench::cli::{flag_present, flag_value, handle_help};
@@ -28,7 +35,7 @@ use srclda_knowledge::KnowledgeSourceBuilder;
 use srclda_obs::{JsonlSink, ProgressSink, TrainEvent, TrainObserver};
 use srclda_serve::codec::fnv1a64;
 use srclda_serve::server::json;
-use srclda_serve::ModelArtifact;
+use srclda_serve::{CheckpointStore, FaultKind, FaultPlan, ModelArtifact};
 
 const EXTRA_FLAGS: &[(&str, &str)] = &[
     (
@@ -43,19 +50,31 @@ const EXTRA_FLAGS: &[(&str, &str)] = &[
     ("--seed <N>", "run seed for --train (default 7)"),
     (
         "--checkpoint-every <N>",
-        "write a resumable .slda snapshot every N sweeps",
+        "write a resumable .slda generation every N sweeps",
     ),
     (
         "--checkpoint-path <P>",
-        "where --checkpoint-every writes (default train_checkpoint.slda)",
+        "base path for checkpoint generations; sweep-N lands at \
+         <stem>.g<N>.slda beside it (default train_checkpoint.slda)",
     ),
+    ("--keep <K>", "checkpoint generations to retain (default 3)"),
     (
-        "--resume <P>",
-        "resume training from a checkpoint-bearing .slda file",
+        "--resume <P|auto>",
+        "resume from a checkpoint-bearing .slda file, or scan the \
+         --checkpoint-path generations for the newest valid one",
     ),
     (
         "--stop-after <K>",
         "exit right after the sweep-K checkpoint (simulated kill)",
+    ),
+    (
+        "--fault <kind>@<sweep>",
+        "inject a fault into the sweep-<sweep> checkpoint write and exit 9; \
+         kinds: torn, fail, enospc, crash",
+    ),
+    (
+        "--fault-seed <N>",
+        "seed deriving the injected fault's byte offset (default 42)",
     ),
     (
         "--telemetry <P>",
@@ -161,21 +180,53 @@ fn digest(assignments: &[Vec<u32>], phi: &[f64]) -> u64 {
     fnv1a64(&bytes)
 }
 
+/// Parse a `--fault` spec like `torn@12` into the fault kind and the
+/// checkpoint sweep it strikes at.
+fn parse_fault_spec(spec: &str) -> (FaultKind, usize) {
+    let Some((kind_str, sweep_str)) = spec.split_once('@') else {
+        die(&format!("--fault wants <kind>@<sweep>, got {spec:?}"));
+    };
+    let kind = match kind_str {
+        "torn" => FaultKind::TornWrite,
+        "fail" => FaultKind::FailWrite,
+        "enospc" => FaultKind::DiskFull,
+        "crash" => FaultKind::CrashAfterRename,
+        other => die(&format!(
+            "unknown fault kind {other:?} (expected torn, fail, enospc, or crash)"
+        )),
+    };
+    let sweep = sweep_str.parse().unwrap_or_else(|_| {
+        die(&format!(
+            "--fault sweep must be an integer, got {sweep_str:?}"
+        ))
+    });
+    (kind, sweep)
+}
+
 fn train(args: &[String]) {
     let shards = parse_usize(args, "--shards").unwrap_or(2);
     let sweeps = parse_usize(args, "--sweeps").unwrap_or(24);
     let seed = parse_usize(args, "--seed").unwrap_or(7) as u64;
     let checkpoint_every = parse_usize(args, "--checkpoint-every");
     let stop_after = parse_usize(args, "--stop-after");
+    let keep = parse_usize(args, "--keep").unwrap_or(3);
+    let fault_seed = parse_usize(args, "--fault-seed").unwrap_or(42) as u64;
     let checkpoint_path = flag_value(args, "--checkpoint-path")
         .unwrap_or("train_checkpoint.slda")
         .to_string();
     let resume_path = flag_value(args, "--resume").map(str::to_string);
     if flag_present(args, "--resume") && resume_path.is_none() {
-        die("--resume requires a path");
+        die("--resume requires a path or \"auto\"");
     }
     if flag_present(args, "--checkpoint-path") && flag_value(args, "--checkpoint-path").is_none() {
         die("--checkpoint-path requires a path");
+    }
+    let fault = flag_value(args, "--fault").map(parse_fault_spec);
+    if flag_present(args, "--fault") && fault.is_none() {
+        die("--fault requires a <kind>@<sweep> value");
+    }
+    if fault.is_some() && checkpoint_every.is_none() {
+        die("--fault only makes sense with --checkpoint-every");
     }
     match (stop_after, checkpoint_every) {
         (Some(_), None) => die("--stop-after only makes sense with --checkpoint-every"),
@@ -191,6 +242,7 @@ fn train(args: &[String]) {
         }
         (None, _) => {}
     }
+    let store = CheckpointStore::new(&checkpoint_path, keep);
 
     let (corpus, tokenizer, knowledge) = golden_world();
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -205,7 +257,39 @@ fn train(args: &[String]) {
         .and_then(|m| m.assemble(corpus.vocab_size()))
         .unwrap_or_else(|e| die(&e.to_string()));
 
-    let resume: Option<TrainCheckpoint> = resume_path.map(|path| {
+    let resume: Option<TrainCheckpoint> = resume_path.and_then(|path| {
+        if path == "auto" {
+            // Scan the generation family for the newest valid snapshot,
+            // skipping (and reporting) torn or bit-flipped files.
+            let recovery = store
+                .resume_auto()
+                .unwrap_or_else(|e| die(&format!("scanning {checkpoint_path:?} generations: {e}")));
+            println!(
+                "resume auto: scanned {} generation(s), {} corrupt skipped, {} stale tmp cleaned",
+                recovery.scanned, recovery.corrupt, recovery.cleaned_tmp
+            );
+            let Some(recovered) = recovery.recovered else {
+                println!("resume auto: no valid generation found, starting fresh");
+                return None;
+            };
+            let cp = recovered
+                .artifact
+                .checkpoint()
+                .unwrap_or_else(|| {
+                    die(&format!(
+                        "{:?} carries no checkpoint section",
+                        recovered.path
+                    ))
+                })
+                .clone();
+            println!(
+                "resuming from {:?} at sweep {} (checkpoint digest {:016x})",
+                recovered.path,
+                cp.sweep,
+                cp.digest()
+            );
+            return Some(cp);
+        }
         let artifact =
             ModelArtifact::load(&path).unwrap_or_else(|e| die(&format!("loading {path:?}: {e}")));
         let cp = artifact
@@ -213,7 +297,7 @@ fn train(args: &[String]) {
             .unwrap_or_else(|| die(&format!("{path:?} carries no checkpoint section")))
             .clone();
         println!("resuming from {path:?} at sweep {}", cp.sweep);
-        cp
+        Some(cp)
     });
 
     let telemetry_path = flag_value(args, "--telemetry").map(str::to_string);
@@ -252,12 +336,33 @@ fn train(args: &[String]) {
                 .map_err(|e| {
                     srclda_core::CoreError::InvalidConfig(format!("checkpoint artifact: {e}"))
                 })?;
-                artifact.save(&checkpoint_path).map_err(|e| {
-                    srclda_core::CoreError::InvalidConfig(format!(
-                        "writing {checkpoint_path:?}: {e}"
-                    ))
-                })?;
-                println!("checkpoint at sweep {} -> {checkpoint_path}", cp.sweep);
+                let plan = match fault {
+                    Some((kind, at)) if at == cp.sweep as usize => {
+                        FaultPlan::seeded(kind, fault_seed)
+                    }
+                    _ => FaultPlan::none(),
+                };
+                match store.save_generation_with_plan(cp.sweep, &artifact, &plan) {
+                    Ok(path) => {
+                        println!("checkpoint at sweep {} -> {}", cp.sweep, path.display());
+                    }
+                    Err(e) if plan.triggered() > 0 => {
+                        // The injected fault fired: this process is "the
+                        // trainer that died mid-checkpoint". Exit 9 so CI
+                        // can tell a simulated crash from a real failure.
+                        println!(
+                            "simulated crash during checkpoint at sweep {}: {e}",
+                            cp.sweep
+                        );
+                        std::process::exit(9);
+                    }
+                    Err(e) => {
+                        return Err(srclda_core::CoreError::InvalidConfig(format!(
+                            "writing generation {} of {checkpoint_path:?}: {e}",
+                            cp.sweep
+                        )));
+                    }
+                }
                 if stop_after == Some(cp.sweep as usize) {
                     println!("stopping after sweep {} (simulated kill)", cp.sweep);
                     std::process::exit(0);
@@ -437,8 +542,11 @@ fn main() {
         "--seed",
         "--checkpoint-every",
         "--checkpoint-path",
+        "--keep",
         "--resume",
         "--stop-after",
+        "--fault",
+        "--fault-seed",
         "--telemetry",
         "--validate-telemetry",
     ];

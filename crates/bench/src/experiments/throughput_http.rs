@@ -23,7 +23,9 @@
 
 use crate::cli::{banner, Scale};
 use srclda_serve::server::json;
-use srclda_serve::{EngineOptions, ModelRegistry, Server, ServerConfig, ServerHandle};
+use srclda_serve::{
+    EngineOptions, ModelRegistry, RetryClient, RetryPolicy, Server, ServerConfig, ServerHandle,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,6 +99,17 @@ fn generate_load(addr: SocketAddr, requests: &[String], clients: usize) -> (f64,
                 stream.set_nodelay(true).expect("nodelay");
                 let mut writer = stream.try_clone().expect("stream clones");
                 let mut reader = BufReader::new(stream);
+                // Shed recovery: the fast path stays a persistent
+                // keep-alive connection, but a 503 falls back to the
+                // shared backoff client instead of aborting the run —
+                // exactly what a production caller of a shedding daemon
+                // does. Seeded per client thread, so delays stay
+                // deterministic.
+                let retry = RetryClient::new(RetryPolicy {
+                    jitter_seed: shard_start as u64,
+                    ..RetryPolicy::default()
+                });
+                let retry_addr = addr.to_string();
                 for (i, doc) in shard.iter().enumerate() {
                     let body = json::obj(vec![("text", json::Value::from(doc.as_str()))]).render();
                     let request = format!(
@@ -107,6 +120,13 @@ fn generate_load(addr: SocketAddr, requests: &[String], clients: usize) -> (f64,
                         .write_all(request.as_bytes())
                         .expect("request writes");
                     let (status, response) = read_response(&mut reader);
+                    let (status, response) = if status == 503 {
+                        retry
+                            .request(&retry_addr, "POST", "/infer", &body)
+                            .expect("retry client reaches the daemon")
+                    } else {
+                        (status, response)
+                    };
                     assert_eq!(status, 200, "daemon refused a request: {response}");
                     let parsed = json::parse(&response).expect("response is json");
                     let doc_tokens = parsed

@@ -518,12 +518,37 @@ impl ModelArtifact {
         Ok(artifact)
     }
 
-    /// Write the artifact to `path`.
+    /// Write the artifact to `path` **atomically and durably**: the
+    /// bytes are staged in a sibling `<name>.tmp` file, fsynced, renamed
+    /// over `path`, and the parent directory is fsynced — so a crash at
+    /// any byte offset of the write leaves either the complete old file
+    /// or the complete new file, never a torn mixture. Callers that
+    /// previously assumed in-place-overwrite semantics (and e.g. relied
+    /// on a partially written file being observable) get the strictly
+    /// stronger guarantee instead; the only visible difference is the
+    /// transient `.tmp` sibling, which
+    /// [`crate::durable::DurableFile::cleanup_stale_tmp`] reclaims after
+    /// a crash.
     ///
     /// # Errors
     /// Propagates filesystem failures.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
-        std::fs::write(path, self.to_bytes()).map_err(Into::into)
+        crate::durable::DurableFile::write_atomic(path, &self.to_bytes()).map_err(Into::into)
+    }
+
+    /// [`ModelArtifact::save`] with an injected
+    /// [`crate::durable::FaultPlan`] — the fault-injection seam the
+    /// durability tests drive.
+    ///
+    /// # Errors
+    /// Filesystem failures plus whatever the plan injects.
+    pub fn save_with_plan(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        plan: &crate::durable::FaultPlan,
+    ) -> Result<(), ServeError> {
+        crate::durable::DurableFile::write_atomic_with_plan(path.as_ref(), &self.to_bytes(), plan)
+            .map_err(Into::into)
     }
 
     /// Read and validate an artifact from `path`.

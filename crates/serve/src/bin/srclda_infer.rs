@@ -25,7 +25,9 @@ save options:
                        (\"name<TAB>text\" or bare text)
   --source <file>      knowledge source, one \"Label<TAB>article text\" line
                        per labeled topic
-  --out <file>         artifact path to write (conventionally .slda)
+  --out <file>         artifact path to write (conventionally .slda);
+                       written atomically (staged + fsync + rename), so
+                       a crash never leaves a torn file at this path
   --variant <v>        bijective | mixture | full   (default: bijective)
   --unlabeled <k>      extra unlabeled topics for the mixture variant
                        (default: 10)

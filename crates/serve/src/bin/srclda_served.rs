@@ -29,6 +29,12 @@ options:
   --cache <n>            LRU entries per model      (default: 1024; 0 off)
   --iterations <n>       fold-in sweeps             (default: 30)
   --seed <n>             base fold-in seed          (default: 0)
+  --max-inflight <n>     shed /infer beyond n concurrent handlers with
+                         503 + Retry-After          (default: unlimited;
+                         0 sheds every /infer)
+  --shed-p99-ms <n>      shed /infer while the served p99 latency
+                         exceeds n milliseconds     (default: off)
+  --retry-after <secs>   Retry-After value on shed responses (default: 1)
   --help, -h             print this message and exit
 
 endpoints:
@@ -49,6 +55,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--cache",
     "--iterations",
     "--seed",
+    "--max-inflight",
+    "--shed-p99-ms",
+    "--retry-after",
 ];
 
 /// Set by the signal handler; polled by the monitor thread. A signal
@@ -189,6 +198,22 @@ fn main() {
         },
         cache_capacity: parsed("--cache", 1024),
     };
+    let max_inflight: Option<usize> = single("--max-inflight").map(|raw| {
+        raw.parse()
+            .unwrap_or_else(|_| exit_usage(&format!("invalid value {raw:?} for --max-inflight")))
+    });
+    let shed_p99: Option<Duration> = single("--shed-p99-ms").map(|raw| {
+        let ms: u64 = raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(&format!("invalid value {raw:?} for --shed-p99-ms")));
+        Duration::from_millis(ms)
+    });
+    let retry_after_secs: u64 = match single("--retry-after") {
+        None => 1,
+        Some(raw) => raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(&format!("invalid value {raw:?} for --retry-after"))),
+    };
     let config = ServerConfig {
         addr: single("--addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: parsed(
@@ -197,6 +222,9 @@ fn main() {
         )
         .max(1),
         batch_workers: parsed("--batch-workers", 1).max(1),
+        max_inflight,
+        shed_p99,
+        retry_after_secs,
         ..ServerConfig::default()
     };
 

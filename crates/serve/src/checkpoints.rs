@@ -1,0 +1,379 @@
+//! Rotating checkpoint generations with crash recovery.
+//!
+//! One checkpoint file is one crash away from zero checkpoint files: a
+//! kill during the overwrite (or a bit flip afterwards) used to destroy
+//! the only copy. [`CheckpointStore`] keeps the last K *generations* —
+//! `base.g000012.slda`, `base.g000018.slda`, … — each written through
+//! [`DurableFile::write_atomic`], and recovery
+//! ([`CheckpointStore::resume_auto`]) scans newest-first, validating
+//! each candidate through the artifact codec's full checksum + decode
+//! path, skipping (and counting) torn or bit-flipped files. Combined
+//! with the atomic writes, killing the trainer at *any* byte offset of
+//! a checkpoint write loses at most one checkpoint interval.
+
+use crate::artifact::ModelArtifact;
+use crate::durable::{DurableFile, FaultPlan};
+use crate::error::ServeError;
+use std::path::{Path, PathBuf};
+
+/// Manages rotating checkpoint generations derived from a base path.
+///
+/// The base path (`dir/ck.slda`) names the *family*; each generation is
+/// written as `dir/ck.g<number>.slda` where the number is the sweep the
+/// checkpoint captured (zero-padded so lexical and numeric order
+/// agree). Pruning after each save keeps the newest `keep` generations.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    base: PathBuf,
+    keep: usize,
+}
+
+/// The newest valid generation found by a recovery scan.
+#[derive(Debug)]
+pub struct RecoveredGeneration {
+    /// The generation number (the sweep it was saved at).
+    pub generation: u64,
+    /// The file it was loaded from.
+    pub path: PathBuf,
+    /// The decoded, checksum-validated artifact.
+    pub artifact: ModelArtifact,
+}
+
+/// Outcome of [`CheckpointStore::resume_auto`].
+#[derive(Debug)]
+pub struct Recovery {
+    /// The newest valid generation, if any generation survived.
+    pub recovered: Option<RecoveredGeneration>,
+    /// Generation files examined.
+    pub scanned: usize,
+    /// Files skipped as corrupt (torn, bit-flipped, truncated, or
+    /// otherwise failing the artifact codec's validation).
+    pub corrupt: usize,
+    /// Stale `*.tmp` staging files removed before the scan.
+    pub cleaned_tmp: usize,
+}
+
+impl Recovery {
+    /// Record the recovery outcome into an observability registry:
+    /// `srclda_persist_recovered_generation` (gauge; −1 when nothing was
+    /// recovered), `srclda_persist_corrupt_generations_total`, and
+    /// `srclda_persist_stale_tmp_cleaned_total`.
+    pub fn record_metrics(&self, registry: &srclda_obs::Registry) {
+        registry
+            .gauge(
+                "srclda_persist_recovered_generation",
+                "Generation number recovered by the last resume-auto scan (-1 when none).",
+                &[],
+            )
+            .set(
+                self.recovered
+                    .as_ref()
+                    .map_or(-1.0, |r| r.generation as f64),
+            );
+        registry
+            .counter(
+                "srclda_persist_corrupt_generations_total",
+                "Checkpoint generation files skipped as corrupt during recovery scans.",
+                &[],
+            )
+            .add(self.corrupt as u64);
+        registry
+            .counter(
+                "srclda_persist_stale_tmp_cleaned_total",
+                "Stale staging (.tmp) files removed at startup.",
+                &[],
+            )
+            .add(self.cleaned_tmp as u64);
+    }
+}
+
+impl CheckpointStore {
+    /// A store rooted at `base` keeping the newest `keep` generations
+    /// (clamped to at least 1 — keeping zero checkpoints is a
+    /// configuration error, not a feature).
+    pub fn new(base: impl AsRef<Path>, keep: usize) -> Self {
+        Self {
+            base: base.as_ref().to_path_buf(),
+            keep: keep.max(1),
+        }
+    }
+
+    /// The directory generation files live in.
+    fn dir(&self) -> PathBuf {
+        match self.base.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        }
+    }
+
+    /// `<stem>` and `<extension>` of the base path, as strings.
+    fn stem_ext(&self) -> (String, String) {
+        let stem = self
+            .base
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "checkpoint".to_string());
+        let ext = self
+            .base
+            .extension()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "slda".to_string());
+        (stem, ext)
+    }
+
+    /// The file path of generation `generation`.
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        let (stem, ext) = self.stem_ext();
+        self.dir().join(format!("{stem}.g{generation:06}.{ext}"))
+    }
+
+    /// All existing generations, sorted ascending by number.
+    ///
+    /// # Errors
+    /// Propagates the directory read failure (a missing directory reads
+    /// as empty, so a first run needs no setup).
+    pub fn list_generations(&self) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let (stem, ext) = self.stem_ext();
+        let prefix = format!("{stem}.g");
+        let suffix = format!(".{ext}");
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(self.dir()) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(middle) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(&suffix))
+            else {
+                continue;
+            };
+            if let Ok(generation) = middle.parse::<u64>() {
+                out.push((generation, entry.path()));
+            }
+        }
+        out.sort_by_key(|(generation, _)| *generation);
+        Ok(out)
+    }
+
+    /// Durably write `artifact` as generation `generation`, then prune
+    /// generations beyond the newest `keep`. Returns the written path.
+    ///
+    /// # Errors
+    /// Propagates encode and filesystem failures. Pruning failures are
+    /// ignored — an unpruned old generation is clutter, not corruption.
+    pub fn save_generation(
+        &self,
+        generation: u64,
+        artifact: &ModelArtifact,
+    ) -> Result<PathBuf, ServeError> {
+        self.save_generation_with_plan(generation, artifact, &FaultPlan::none())
+    }
+
+    /// [`CheckpointStore::save_generation`] with an injected
+    /// [`FaultPlan`] — the fault-injection seam for the checkpoint path.
+    ///
+    /// # Errors
+    /// Filesystem failures plus whatever the plan injects.
+    pub fn save_generation_with_plan(
+        &self,
+        generation: u64,
+        artifact: &ModelArtifact,
+        plan: &FaultPlan,
+    ) -> Result<PathBuf, ServeError> {
+        let path = self.generation_path(generation);
+        DurableFile::write_atomic_with_plan(&path, &artifact.to_bytes(), plan)?;
+        if let Ok(generations) = self.list_generations() {
+            if generations.len() > self.keep {
+                for (old_gen, old_path) in &generations[..generations.len() - self.keep] {
+                    // Never delete the generation just written, even if a
+                    // caller numbered it below existing ones.
+                    if *old_gen != generation {
+                        let _ = std::fs::remove_file(old_path);
+                    }
+                }
+            }
+        }
+        Ok(path)
+    }
+
+    /// Clean stale staging files and scan for the newest valid
+    /// generation: the `--resume auto` implementation. Candidates are
+    /// tried newest-first; each must pass the artifact codec's full
+    /// checksum + structural validation, so torn writes, truncations,
+    /// and bit flips are skipped (and counted), not resumed from.
+    ///
+    /// # Errors
+    /// Propagates directory-level I/O failures only; per-file decode
+    /// failures are the corrupt count, not errors.
+    pub fn resume_auto(&self) -> Result<Recovery, ServeError> {
+        let cleaned_tmp = match DurableFile::cleanup_stale_tmp(&self.dir()) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e.into()),
+        };
+        let mut generations = self.list_generations()?;
+        generations.reverse(); // newest first
+        let scanned = generations.len();
+        let mut corrupt = 0usize;
+        for (generation, path) in generations {
+            match ModelArtifact::load(&path) {
+                Ok(artifact) => {
+                    return Ok(Recovery {
+                        recovered: Some(RecoveredGeneration {
+                            generation,
+                            path,
+                            artifact,
+                        }),
+                        scanned,
+                        corrupt,
+                        cleaned_tmp,
+                    });
+                }
+                Err(_) => corrupt += 1,
+            }
+        }
+        Ok(Recovery {
+            recovered: None,
+            scanned,
+            corrupt,
+            cleaned_tmp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srclda_core::prelude::*;
+    use srclda_corpus::{CorpusBuilder, Tokenizer};
+    use srclda_knowledge::KnowledgeSourceBuilder;
+
+    fn tiny_artifact() -> ModelArtifact {
+        let tokenizer = Tokenizer::default().min_len(2);
+        let mut b = CorpusBuilder::new().tokenizer(tokenizer.clone());
+        b.add_text("school", "pencil pencil ruler eraser");
+        b.add_text("sports", "baseball umpire glove");
+        let corpus = b.build();
+        let mut ks = KnowledgeSourceBuilder::new();
+        ks.add_article("School Supplies", "pencil ruler eraser");
+        ks.add_article("Baseball", "baseball umpire glove");
+        let source = ks.build(corpus.vocabulary());
+        let fitted = SourceLda::builder()
+            .knowledge_source(source)
+            .variant(Variant::Bijective)
+            .iterations(10)
+            .seed(3)
+            .build()
+            .unwrap()
+            .fit(&corpus)
+            .unwrap();
+        ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap()
+    }
+
+    fn temp_store(tag: &str, keep: usize) -> (PathBuf, CheckpointStore) {
+        let dir = std::env::temp_dir().join(format!("srclda-ckstore-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("ck.slda"), keep);
+        (dir, store)
+    }
+
+    #[test]
+    fn generations_rotate_keeping_the_newest_k() {
+        let (dir, store) = temp_store("rotate", 2);
+        let artifact = tiny_artifact();
+        for generation in [6u64, 12, 18, 24] {
+            store.save_generation(generation, &artifact).unwrap();
+        }
+        let generations: Vec<u64> = store
+            .list_generations()
+            .unwrap()
+            .into_iter()
+            .map(|(generation, _)| generation)
+            .collect();
+        assert_eq!(generations, [18, 24]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_auto_skips_corrupt_and_lands_on_newest_valid() {
+        let (dir, store) = temp_store("recover", 4);
+        let artifact = tiny_artifact();
+        store.save_generation(6, &artifact).unwrap();
+        store.save_generation(12, &artifact).unwrap();
+        store.save_generation(18, &artifact).unwrap();
+        // Bit-flip generation 18 and truncate a fake generation 24.
+        let newest = store.generation_path(18);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+        std::fs::write(store.generation_path(24), &bytes[..50]).unwrap();
+        // A stale staging file from a "crash".
+        std::fs::write(dir.join("ck.g000030.slda.tmp"), b"torn").unwrap();
+
+        let recovery = store.resume_auto().unwrap();
+        assert_eq!(recovery.cleaned_tmp, 1);
+        assert_eq!(recovery.scanned, 4);
+        assert_eq!(recovery.corrupt, 2);
+        let recovered = recovery.recovered.expect("generation 12 is intact");
+        assert_eq!(recovered.generation, 12);
+        assert_eq!(
+            recovered.artifact.to_bytes(),
+            artifact.to_bytes(),
+            "recovered artifact must be bit-identical to what was saved"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_auto_on_empty_or_missing_directory_recovers_nothing() {
+        let (dir, store) = temp_store("empty", 3);
+        let recovery = store.resume_auto().unwrap();
+        assert!(recovery.recovered.is_none());
+        assert_eq!((recovery.scanned, recovery.corrupt), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Missing directory entirely: still a clean "nothing to resume".
+        let recovery = store.resume_auto().unwrap();
+        assert!(recovery.recovered.is_none());
+    }
+
+    #[test]
+    fn recovery_metrics_render_as_valid_exposition() {
+        let (dir, store) = temp_store("metrics", 3);
+        let artifact = tiny_artifact();
+        store.save_generation(6, &artifact).unwrap();
+        let path = store.generation_path(6);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // corrupt the checksum trailer
+        std::fs::write(&path, &bytes).unwrap();
+
+        let registry = srclda_obs::Registry::new();
+        store.resume_auto().unwrap().record_metrics(&registry);
+        let text = registry.render();
+        srclda_obs::validate_exposition(&text).expect("valid exposition");
+        assert!(
+            text.contains("srclda_persist_recovered_generation -1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("srclda_persist_corrupt_generations_total 1\n"),
+            "{text}"
+        );
+
+        // A later successful recovery overwrites the gauge.
+        store.save_generation(12, &artifact).unwrap();
+        store.resume_auto().unwrap().record_metrics(&registry);
+        let text = registry.render();
+        assert!(
+            text.contains("srclda_persist_recovered_generation 12\n"),
+            "{text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

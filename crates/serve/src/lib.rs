@@ -22,6 +22,13 @@
 //!   reload, JSON request/response bodies whose floats round-trip θ
 //!   bit-exactly, `/healthz` + `/metrics` endpoints, and graceful
 //!   shutdown;
+//! * [`durable`] / [`checkpoints`] / [`retry`] — the resilience layer:
+//!   atomic durable saves ([`DurableFile`]) with a deterministic
+//!   fault-injection shim ([`FaultPlan`]), rotating checksummed
+//!   checkpoint generations with newest-good-generation recovery
+//!   ([`CheckpointStore::resume_auto`]), and a shared
+//!   backoff-with-jitter client ([`RetryClient`]) that honors the
+//!   daemon's 503 + `Retry-After` shed responses;
 //! * `srclda-infer` — a CLI binary with `save` / `inspect` / `infer`
 //!   subcommands over the same API (and `srclda-served` to run the
 //!   daemon).
@@ -35,16 +42,22 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod checkpoints;
 pub mod codec;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod lru;
+pub mod retry;
 pub mod server;
 
 pub use artifact::{list_sections, ModelArtifact, SectionInfo, FORMAT_VERSION, MAGIC};
+pub use checkpoints::{CheckpointStore, RecoveredGeneration, Recovery};
+pub use durable::{DurableFile, FaultKind, FaultPlan, FaultStream};
 pub use engine::{CacheStats, DocumentScore, EngineOptions, InferenceEngine};
 pub use error::ServeError;
 pub use lru::LruCache;
+pub use retry::{RetryClient, RetryPolicy};
 pub use server::registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle};
 

@@ -278,17 +278,39 @@ pub fn write_response_typed<W: Write>(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
+    write_response_with(writer, status, content_type, body, close, &[])
+}
+
+/// The fully general response writer: [`write_response_typed`] plus
+/// caller-supplied extra headers (`(name, value)` pairs emitted verbatim
+/// after the fixed ones). The load-shedding path uses it to attach
+/// `Retry-After` to a 503 so well-behaved clients back off instead of
+/// hammering an overloaded daemon.
+///
+/// # Errors
+/// Propagates socket write failures.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
         body.len(),
         connection,
-        body
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
     writer.flush()
 }
 
@@ -302,6 +324,21 @@ pub fn write_response_typed<W: Write>(
 /// `InvalidData` on an unparseable status line or length; socket errors
 /// otherwise.
 pub fn read_simple_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String)> {
+    read_response_with_headers(reader).map(|(status, _, body)| (status, body))
+}
+
+/// A fully parsed response: status code, lowercase-name `(name, value)`
+/// header pairs, and body.
+pub type ParsedResponse = (u16, Vec<(String, String)>, String);
+
+/// [`read_simple_response`] that also returns the response headers as
+/// lowercase-name `(name, value)` pairs, so callers (the retry client,
+/// the overload tests) can inspect `Retry-After` and friends.
+///
+/// # Errors
+/// `InvalidData` on an unparseable status line or length; socket errors
+/// otherwise.
+pub fn read_response_with_headers<R: BufRead>(reader: &mut R) -> io::Result<ParsedResponse> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -310,6 +347,7 @@ pub fn read_simple_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, Stri
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("unparseable status line"))?;
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
@@ -320,14 +358,19 @@ pub fn read_simple_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, Stri
         if header.is_empty() {
             break;
         }
-        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().map_err(|_| bad("unparseable length"))?;
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("unparseable length"))?;
+            }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     io::Read::read_exact(reader, &mut body)?;
     String::from_utf8(body)
-        .map(|body| (status, body))
+        .map(|body| (status, headers, body))
         .map_err(|_| bad("response body is not utf-8"))
 }
 
@@ -441,6 +484,31 @@ mod tests {
         assert_eq!(status, 404);
         assert_eq!(body, "{\"error\":\"x\"}");
         assert!(read_simple_response(&mut Cursor::new(b"garbage\r\n\r\n")).is_err());
+    }
+
+    #[test]
+    fn extra_headers_round_trip_through_the_header_reader() {
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            503,
+            "application/json",
+            "{\"error\":\"overloaded\"}",
+            false,
+            &[("Retry-After", "2")],
+        )
+        .unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        let (status, headers, body) = read_response_with_headers(&mut Cursor::new(&wire)).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(body, "{\"error\":\"overloaded\"}");
+        let retry_after = headers
+            .iter()
+            .find(|(name, _)| name == "retry-after")
+            .map(|(_, value)| value.as_str());
+        assert_eq!(retry_after, Some("2"));
     }
 
     #[test]

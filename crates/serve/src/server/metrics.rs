@@ -225,6 +225,21 @@ impl Drop for ConnectionGuard<'_> {
     }
 }
 
+/// RAII guard for one admitted `/infer` request: holds the in-flight
+/// gauge up for the handler's lifetime. Obtained through
+/// [`Metrics::try_begin_infer`], which refuses to hand one out beyond
+/// the configured cap — the admission-control half of load shedding.
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Aggregate serving counters, shared by all workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -248,8 +263,16 @@ pub struct Metrics {
     pub infer_latency: LatencyHistogram,
     /// Connections currently being serviced by a worker.
     pub active_connections: AtomicU64,
+    /// `/infer` requests currently inside the handler (all models) —
+    /// the gauge the admission cap is enforced against.
+    pub infer_inflight: AtomicU64,
+    /// `/infer` requests shed with 503 + `Retry-After` by admission
+    /// control (in-flight cap or p99 threshold).
+    pub shed_total: AtomicU64,
     /// Completed `/reload` operations (full or single-model).
     pub reloads: AtomicU64,
+    /// Failed `/reload` operations — the old model kept serving.
+    pub reload_failures: AtomicU64,
     /// Unix timestamp (whole seconds) of the last completed reload;
     /// zero until the first reload.
     pub last_reload_unix: AtomicU64,
@@ -330,6 +353,38 @@ impl Metrics {
             .collect()
     }
 
+    /// Try to admit one `/infer` request under `cap`: `None` is
+    /// unlimited (the gauge is still tracked), `Some(n)` admits at most
+    /// `n` concurrent handlers — `Some(0)` sheds everything, which is
+    /// how CI pins the shed path deterministically with one request.
+    /// Admission is a single CAS loop, so the cap holds exactly even
+    /// with every worker racing; `None` means the caller must shed.
+    pub fn try_begin_infer(&self, cap: Option<usize>) -> Option<InflightGuard<'_>> {
+        let admitted = self
+            .infer_inflight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |inflight| match cap {
+                Some(cap) if inflight >= cap as u64 => None,
+                _ => Some(inflight + 1),
+            })
+            .is_ok();
+        // `then` (not `then_some`): the guard must only be constructed
+        // when admitted — a refused temporary would run Drop and
+        // decrement a gauge it never incremented.
+        admitted.then(|| InflightGuard {
+            gauge: &self.infer_inflight,
+        })
+    }
+
+    /// Count one shed request.
+    pub fn record_shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failed reload (the old model keeps serving).
+    pub fn record_reload_failure(&self) {
+        self.reload_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one completed reload and stamp its wall-clock time.
     pub fn record_reload(&self) {
         self.reloads.fetch_add(1, Ordering::Relaxed);
@@ -379,11 +434,37 @@ impl Metrics {
             load(&self.active_connections),
         );
         text.header(
+            "srclda_serve_infer_inflight",
+            "/infer requests currently inside the handler.",
+            "gauge",
+        );
+        text.sample(
+            "srclda_serve_infer_inflight",
+            &[],
+            load(&self.infer_inflight),
+        );
+        text.header(
+            "srclda_serve_shed_total",
+            "/infer requests shed with 503 + Retry-After by admission control.",
+            "counter",
+        );
+        text.sample("srclda_serve_shed_total", &[], load(&self.shed_total));
+        text.header(
             "srclda_serve_reloads_total",
             "Completed /reload operations.",
             "counter",
         );
         text.sample("srclda_serve_reloads_total", &[], load(&self.reloads));
+        text.header(
+            "srclda_serve_reload_failures_total",
+            "Failed /reload operations (the old model kept serving).",
+            "counter",
+        );
+        text.sample(
+            "srclda_serve_reload_failures_total",
+            &[],
+            load(&self.reload_failures),
+        );
         text.header(
             "srclda_serve_last_reload_timestamp_seconds",
             "Unix time of the last completed reload (0 before the first).",
@@ -616,6 +697,36 @@ mod tests {
         assert!(out.contains("srclda_serve_active_connections 0\n"));
         assert!(out.contains("srclda_serve_model_active_requests{model=\"wiki\"} 0\n"));
         assert!(out.contains("srclda_serve_last_reload_timestamp_seconds"));
+    }
+
+    #[test]
+    fn inflight_cap_admits_exactly_n_and_guards_release() {
+        let m = Metrics::default();
+        // Unlimited: always admitted, gauge tracked.
+        {
+            let a = m.try_begin_infer(None).expect("unlimited admits");
+            let _b = m.try_begin_infer(None).expect("unlimited admits");
+            assert_eq!(m.infer_inflight.load(Ordering::Relaxed), 2);
+            drop(a);
+            assert_eq!(m.infer_inflight.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(m.infer_inflight.load(Ordering::Relaxed), 0);
+        // Cap 1: second concurrent request is refused until the first
+        // guard drops.
+        let first = m.try_begin_infer(Some(1)).expect("under cap");
+        assert!(m.try_begin_infer(Some(1)).is_none());
+        drop(first);
+        assert!(m.try_begin_infer(Some(1)).is_some());
+        // Cap 0 sheds everything — the deterministic CI configuration.
+        assert!(m.try_begin_infer(Some(0)).is_none());
+        m.record_shed();
+        m.record_reload_failure();
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        srclda_obs::validate_exposition(&out).expect("valid exposition");
+        assert!(out.contains("srclda_serve_shed_total 1\n"));
+        assert!(out.contains("srclda_serve_reload_failures_total 1\n"));
+        assert!(out.contains("srclda_serve_infer_inflight 0\n"));
     }
 
     #[test]

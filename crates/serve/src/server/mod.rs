@@ -29,7 +29,7 @@ pub mod registry;
 
 use crate::engine::DocumentScore;
 use crate::error::ServeError;
-use http::{read_request, write_response, write_response_typed, ReadError, Request};
+use http::{read_request, write_response, ReadError, Request};
 use json::{obj, Value};
 use metrics::Metrics;
 use registry::{ModelEntry, ModelRegistry};
@@ -60,6 +60,21 @@ pub struct ServerConfig {
     /// trainer's [`srclda_obs::RegistryObserver`] registry, so one scrape
     /// covers training and serving. Empty (and skipped) by default.
     pub extra_metrics: Arc<srclda_obs::Registry>,
+    /// Admission cap on concurrent `/infer` handlers: `None` is
+    /// unlimited, `Some(n)` sheds request n+1 with 503 + `Retry-After`
+    /// (`Some(0)` sheds every `/infer` — useful to pin the shed path in
+    /// tests). The connection pool itself bounds *connections* at
+    /// `workers`; this bounds the expensive inference work inside them.
+    pub max_inflight: Option<usize>,
+    /// Shed `/infer` when the p99 of the latency histogram exceeds this.
+    /// The histogram is cumulative over the process lifetime, so after a
+    /// genuine overload ends the p99 decays only as fast as new fast
+    /// requests dilute the slow ones — a deliberate bias toward shedding
+    /// too long rather than flapping. `None` disables the check.
+    pub shed_p99: Option<Duration>,
+    /// The `Retry-After` value (whole seconds) attached to shed
+    /// responses.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +86,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(10),
             poll_interval: Duration::from_millis(25),
             extra_metrics: Arc::new(srclda_obs::Registry::new()),
+            max_inflight: None,
+            shed_p99: None,
+            retry_after_secs: 1,
         }
     }
 }
@@ -268,10 +286,23 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) -> io::Result<()> {
         match read_request(&mut reader, deadline) {
             Ok(request) => {
                 ctx.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                let (status, content_type, body) = route(&request, ctx);
-                ctx.metrics.record_status(status);
+                let response = route(&request, ctx);
+                ctx.metrics.record_status(response.status);
                 let close = request.wants_close || ctx.shutdown.load(Ordering::SeqCst);
-                write_response_typed(&mut writer, status, content_type, &body, close)?;
+                let retry_after = response.retry_after.map(|secs| secs.to_string());
+                let extra: Vec<(&str, &str)> = retry_after
+                    .as_deref()
+                    .map(|v| ("Retry-After", v))
+                    .into_iter()
+                    .collect();
+                http::write_response_with(
+                    &mut writer,
+                    response.status,
+                    response.content_type,
+                    &response.body,
+                    close,
+                    &extra,
+                )?;
                 if close {
                     return Ok(());
                 }
@@ -305,19 +336,78 @@ fn error_body(message: &str) -> String {
 /// Content type of every endpoint except the Prometheus `/metrics` shape.
 const JSON_TYPE: &str = "application/json";
 
-/// Dispatch one request to its endpoint handler; returns status, content
-/// type, and body.
-fn route(request: &Request, ctx: &WorkerCtx) -> (u16, &'static str, String) {
-    let json = |(status, body): (u16, String)| (status, JSON_TYPE, body);
+/// A routed response: status, content type, body, and an optional
+/// `Retry-After` value (whole seconds) for shed requests.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: Option<u64>,
+}
+
+impl Response {
+    fn json((status, body): (u16, String)) -> Self {
+        Self {
+            status,
+            content_type: JSON_TYPE,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Dispatch one request to its endpoint handler.
+fn route(request: &Request, ctx: &WorkerCtx) -> Response {
+    let json = Response::json;
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => json(handle_healthz(ctx)),
-        ("GET", "/metrics") => handle_metrics(request, ctx),
-        ("POST", "/infer") => json(handle_infer(request, ctx)),
+        ("GET", "/metrics") => {
+            let (status, content_type, body) = handle_metrics(request, ctx);
+            Response {
+                status,
+                content_type,
+                body,
+                retry_after: None,
+            }
+        }
+        // Admission control happens here, before the request body is even
+        // parsed: a shed must cost the daemon as close to nothing as
+        // possible, or shedding itself becomes the overload.
+        ("POST", "/infer") => match admit_infer(ctx) {
+            Ok(_guard) => json(handle_infer(request, ctx)),
+            Err(retry_after) => {
+                ctx.metrics.record_shed();
+                Response {
+                    status: 503,
+                    content_type: JSON_TYPE,
+                    body: error_body(&format!("overloaded, retry after {retry_after}s")),
+                    retry_after: Some(retry_after),
+                }
+            }
+        },
         ("POST", "/reload") => json(handle_reload(request, ctx)),
         (_, "/healthz" | "/metrics") => json((405, error_body("use GET for this endpoint"))),
         (_, "/infer" | "/reload") => json((405, error_body("use POST for this endpoint"))),
         _ => json((404, error_body("no such endpoint"))),
     }
+}
+
+/// Decide whether an `/infer` request is admitted. `Ok` carries the RAII
+/// guard holding the in-flight gauge up for the handler's duration; `Err`
+/// carries the `Retry-After` seconds for the shed response. Two checks,
+/// cheapest last-resort first: the configured p99 threshold against the
+/// served latency histogram, then the CAS-bounded in-flight cap.
+fn admit_infer(ctx: &WorkerCtx) -> Result<metrics::InflightGuard<'_>, u64> {
+    if let Some(threshold) = ctx.config.shed_p99 {
+        if let Some(p99_secs) = ctx.metrics.infer_latency.quantile(0.99) {
+            if p99_secs > threshold.as_secs_f64() {
+                return Err(ctx.config.retry_after_secs);
+            }
+        }
+    }
+    ctx.metrics
+        .try_begin_infer(ctx.config.max_inflight)
+        .ok_or(ctx.config.retry_after_secs)
 }
 
 /// True when the `Accept` header asks for the Prometheus text shape.
@@ -506,9 +596,17 @@ fn render_json_metrics(ctx: &WorkerCtx) -> String {
             ]),
         ),
         (
+            "shed_total",
+            Value::from(m.shed_total.load(Ordering::Relaxed)),
+        ),
+        (
             "reload",
             obj(vec![
                 ("count", Value::from(m.reloads.load(Ordering::Relaxed))),
+                (
+                    "failures",
+                    Value::from(m.reload_failures.load(Ordering::Relaxed)),
+                ),
                 (
                     "last_unix",
                     Value::from(m.last_reload_unix.load(Ordering::Relaxed)),
@@ -522,6 +620,10 @@ fn render_json_metrics(ctx: &WorkerCtx) -> String {
                 (
                     "tokens",
                     Value::from(m.infer_tokens.load(Ordering::Relaxed)),
+                ),
+                (
+                    "inflight",
+                    Value::from(m.infer_inflight.load(Ordering::Relaxed)),
                 ),
                 ("tokens_per_sec", Value::Num(m.tokens_per_sec())),
                 ("latency_p50_ms", quantile_ms(0.50)),
@@ -719,7 +821,9 @@ fn handle_reload(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
             }
             Err(e) => {
                 // Old entry is still live (swap is all-or-nothing), so the
-                // daemon stays healthy; the operator sees what failed.
+                // daemon stays healthy; the operator sees what failed —
+                // both in the response and in the reload_failures counter.
+                ctx.metrics.record_reload_failure();
                 return (500, error_body(&format!("reload of {name:?} failed: {e}")));
             }
         }

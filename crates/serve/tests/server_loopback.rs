@@ -10,8 +10,8 @@ use srclda_corpus::{CorpusBuilder, Tokenizer};
 use srclda_knowledge::KnowledgeSourceBuilder;
 use srclda_serve::server::json;
 use srclda_serve::{
-    EngineOptions, InferenceEngine, ModelArtifact, ModelRegistry, Server, ServerConfig,
-    ServerHandle,
+    EngineOptions, InferenceEngine, ModelArtifact, ModelRegistry, RetryClient, RetryPolicy, Server,
+    ServerConfig, ServerHandle,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -551,6 +551,241 @@ fn reload_hot_swaps_the_artifact_atomically() {
         engine_theta_bits(&engine, "pencil ruler baseball umpire glove")
     );
     assert_eq!(registry.get("m").unwrap().generation, 1);
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+/// Boot a server with one model ("m") and an explicit config (the shed
+/// knobs default off in [`boot`]).
+fn boot_with(
+    path: &PathBuf,
+    config: ServerConfig,
+) -> (ServerHandle, JoinHandle<()>, Arc<ModelRegistry>) {
+    let registry = Arc::new(ModelRegistry::new(EngineOptions::default()));
+    registry.load("m", path).unwrap();
+    let server = Server::bind(config, registry.clone()).unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (handle, join, registry)
+}
+
+#[test]
+fn overloaded_daemon_sheds_with_503_retry_after_and_counts_it() {
+    let path = temp_path("shed");
+    artifact(11).save(&path).unwrap();
+    // `--max-inflight 0`: every /infer sheds — the deterministic way to
+    // observe the overload path without racing real concurrency.
+    let (handle, join, _) = boot_with(
+        &path,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch_workers: 2,
+            max_inflight: Some(0),
+            retry_after_secs: 7,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let body = "{\"text\": \"pencil ruler\"}";
+    write!(
+        writer,
+        "POST /infer HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let (status, headers, response) =
+        srclda_serve::server::http::read_response_with_headers(&mut BufReader::new(stream))
+            .unwrap();
+    assert_eq!(status, 503, "{response}");
+    let retry_after = headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .map(|(_, value)| value.as_str());
+    assert_eq!(retry_after, Some("7"), "headers: {headers:?}");
+    let v = json::parse(&response).unwrap();
+    assert!(
+        v.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("overloaded"),
+        "{response}"
+    );
+
+    // Sheds are visible in both metric shapes; /healthz stays unshedded.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let v = json::parse(&body).unwrap();
+    assert_eq!(v.get("shed_total").unwrap().as_usize(), Some(1));
+    assert_eq!(
+        v.get("infer").unwrap().get("inflight").unwrap().as_usize(),
+        Some(0)
+    );
+    use std::io::Read as _;
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).unwrap();
+    let text = raw.split("\r\n\r\n").nth(1).unwrap();
+    srclda_obs::validate_exposition(text).expect("valid exposition");
+    assert!(text.contains("srclda_serve_shed_total 1\n"), "{text}");
+    assert!(text.contains("srclda_serve_infer_inflight 0\n"), "{text}");
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn retry_client_backs_off_through_sheds_and_succeeds_under_a_tight_cap() {
+    let path = temp_path("retryclient");
+    let reference = artifact(11);
+    reference.save(&path).unwrap();
+    let engine = InferenceEngine::from_artifact(&reference, EngineOptions::default()).unwrap();
+    // One admitted /infer at a time: concurrent clients *will* be shed,
+    // and each must recover through backoff rather than erroring out.
+    let (handle, join, _) = boot_with(
+        &path,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            batch_workers: 2,
+            max_inflight: Some(1),
+            retry_after_secs: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    let expected = engine_theta_bits(&engine, "pencil ruler baseball");
+    std::thread::scope(|s| {
+        for client in 0..6u64 {
+            let addr = &addr;
+            let expected = &expected;
+            s.spawn(move || {
+                let client = RetryClient::new(RetryPolicy {
+                    max_attempts: 60,
+                    base_delay: Duration::from_millis(2),
+                    max_delay: Duration::from_millis(40),
+                    jitter_seed: client,
+                });
+                for _ in 0..3 {
+                    let (status, body) = client
+                        .request(
+                            addr,
+                            "POST",
+                            "/infer",
+                            "{\"text\": \"pencil ruler baseball\"}",
+                        )
+                        .expect("the daemon is reachable");
+                    assert_eq!(status, 200, "retry budget exhausted while shed: {body}");
+                    assert_eq!(&theta_bits(&body), expected);
+                }
+            });
+        }
+    });
+
+    // Against a shed-everything daemon the client gives up *politely*:
+    // the final 503 is returned, not a socket error.
+    let registry = srclda_obs::Registry::new();
+    let give_up = RetryClient::with_registry(
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter_seed: 9,
+        },
+        &registry,
+    );
+    handle.shutdown();
+    join.join().unwrap();
+    let (handle, join, _) = boot_with(
+        &path,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            batch_workers: 2,
+            max_inflight: Some(0),
+            retry_after_secs: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let (status, body) = give_up
+        .request(
+            &handle.addr().to_string(),
+            "POST",
+            "/infer",
+            "{\"text\": \"pencil\"}",
+        )
+        .expect("a shed is a response, not an error");
+    assert_eq!(status, 503, "{body}");
+    let text = registry.render();
+    assert!(text.contains("srclda_client_attempts_total 3\n"), "{text}");
+    assert!(
+        text.contains("srclda_client_retries_total{reason=\"shed\"} 2\n"),
+        "{text}"
+    );
+    assert!(text.contains("srclda_client_giveups_total 1\n"), "{text}");
+    handle.shutdown();
+    join.join().unwrap();
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn failed_reload_keeps_the_old_model_serving_and_counts_the_failure() {
+    let path = temp_path("reloadfail");
+    artifact(11).save(&path).unwrap();
+    let (handle, join, registry) = boot(&path, 2);
+    let addr = handle.addr();
+    let request = "{\"text\": \"pencil ruler baseball\"}";
+
+    let (status, before) = http(addr, "POST", "/infer", request);
+    assert_eq!(status, 200, "{before}");
+    let before_bits = theta_bits(&before);
+
+    // The artifact on disk is replaced by garbage — a crashed writer, a
+    // partial copy. /reload must fail loudly and keep serving the old
+    // model (no half-swapped registry entry, generation unchanged).
+    std::fs::write(&path, b"not an artifact").unwrap();
+    let (status, body) = http(addr, "POST", "/reload", "");
+    assert_eq!(status, 500, "{body}");
+    assert!(json::parse(&body).unwrap().get("error").is_some());
+
+    let (status, after) = http(addr, "POST", "/infer", request);
+    assert_eq!(status, 200, "old model must keep serving: {after}");
+    assert_eq!(theta_bits(&after), before_bits);
+    assert_eq!(registry.get("m").unwrap().generation, 0);
+
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let v = json::parse(&body).unwrap();
+    let reload = v.get("reload").unwrap();
+    assert_eq!(reload.get("count").unwrap().as_usize(), Some(0));
+    assert_eq!(reload.get("failures").unwrap().as_usize(), Some(1));
+    use std::io::Read as _;
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    write!(
+        writer,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nAccept: text/plain\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).unwrap();
+    let text = raw.split("\r\n\r\n").nth(1).unwrap();
+    assert!(
+        text.contains("srclda_serve_reload_failures_total 1\n"),
+        "{text}"
+    );
     handle.shutdown();
     join.join().unwrap();
     let _ = std::fs::remove_file(path);

@@ -155,6 +155,9 @@ fn regenerate_golden_fixture() {
     let (corpus, fitted, tokenizer) = golden_model();
     let artifact = ModelArtifact::from_fitted(&fitted, corpus.vocabulary(), &tokenizer).unwrap();
     std::fs::create_dir_all(fixture_v2_path().parent().unwrap()).unwrap();
+    // `save` is atomic (staged sibling + rename), so an interrupted
+    // regeneration can never leave a torn fixture for `git diff` to
+    // mistake for format drift.
     artifact.save(fixture_v2_path()).unwrap();
     println!(
         "wrote {} ({} bytes)",
