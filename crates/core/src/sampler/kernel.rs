@@ -61,7 +61,7 @@
 //!
 //! [`decrement_serial`]: CountMatrices::decrement_serial
 
-use super::SweepContext;
+use super::{idx_u32, SweepContext};
 use crate::counts::CountMatrices;
 use crate::prior::{dot_mod4, IntegrationTable, TopicPrior};
 use rand::Rng;
@@ -147,7 +147,7 @@ impl<'a> SweepTables<'a> {
                     Kind::Fixed(n_f64 - 1)
                 }
                 TopicPrior::Integrated(table) => {
-                    let idx = tables.ints.len() as u32;
+                    let idx = idx_u32(tables.ints.len());
                     tables.ints.push(IntFlat {
                         table,
                         qr_base,
@@ -505,10 +505,10 @@ impl<'a> Kernel<'a> {
                     // uniform topic so the chain stays well defined.
                     rng.gen_range(0..t_count)
                 };
-                z[d][j] = new as u32;
+                z[d][j] = idx_u32(new);
                 counts.increment_serial(w, d, new);
                 if self.nd_doc[new] == 0 {
-                    self.active.push(new as u32);
+                    self.active.push(idx_u32(new));
                 }
                 self.nd_doc[new] += 1;
                 self.fact[new] = self.nd_doc[new] as f64 + self.alpha;
@@ -522,10 +522,10 @@ impl<'a> Kernel<'a> {
     /// Initialize `fact`/`nd_doc`/`active` for a document from its current
     /// assignments (`O(n_d)`, not `O(T)`).
     fn enter_doc(&mut self, z_doc: &[u32]) {
-        for &t in z_doc {
-            let t = t as usize;
+        for &t32 in z_doc {
+            let t = t32 as usize;
             if self.nd_doc[t] == 0 {
-                self.active.push(t as u32);
+                self.active.push(t32);
             }
             self.nd_doc[t] += 1;
         }

@@ -114,6 +114,60 @@ impl Backend {
     }
 }
 
+/// Narrow an in-memory index (topic, word, doc position) to its `u32`
+/// wire/storage width. Topic counts, vocabulary sizes, and document
+/// lengths are all `u32`-sized by construction, so the cast cannot
+/// truncate; debug builds verify that.
+#[inline]
+pub(crate) fn idx_u32(x: usize) -> u32 {
+    debug_assert!(u32::try_from(x).is_ok(), "index {x} exceeds u32::MAX");
+    x as u32 // lint:allow(narrowing-cast): debug-asserted above; callers pass indices bounded by u32-sized T/V/doc-len
+}
+
+/// Debug-build cross-check of the sampler's core bookkeeping invariant:
+/// the count matrices `nd`/`nw`/`nt` must be exactly the histograms of
+/// the current assignment vector `z`. Every backend calls this at sweep
+/// boundaries; a drifted counter here means a broken
+/// increment/decrement pairing or a bad shard-delta merge, which would
+/// otherwise surface only as silently wrong posteriors.
+#[inline]
+pub(crate) fn debug_assert_counts(ctx: &SweepContext<'_>, z: &[Vec<u32>], backend: &str) {
+    debug_assert!(
+        counts_match_assignments(ctx, z),
+        "{backend}: count matrices diverged from the z histogram at a sweep boundary"
+    );
+}
+
+/// Recompute `nd`/`nw`/`nt` from `(tokens, z)` and compare against the
+/// live matrices. O(N + (D+V+1)·T); only debug builds evaluate it.
+fn counts_match_assignments(ctx: &SweepContext<'_>, z: &[Vec<u32>]) -> bool {
+    let counts = ctx.counts;
+    let (v, t_count, d_count) = (counts.vocab_size(), counts.num_topics(), counts.num_docs());
+    if z.len() != d_count {
+        return false;
+    }
+    let mut nw = vec![0u32; v * t_count];
+    let mut nd = vec![0u32; d_count * t_count];
+    let mut nt = vec![0u32; t_count];
+    for (d, (doc, zs)) in ctx.tokens.iter().zip(z).enumerate() {
+        if doc.len() != zs.len() {
+            return false;
+        }
+        for (&w, &t) in doc.iter().zip(zs) {
+            let (w, t) = (w as usize, t as usize);
+            if w >= v || t >= t_count {
+                return false;
+            }
+            nw[w * t_count + t] += 1;
+            nd[d * t_count + t] += 1;
+            nt[t] += 1;
+        }
+    }
+    (0..t_count).all(|t| nt[t] == counts.nt(t))
+        && (0..v).all(|w| (0..t_count).all(|t| nw[w * t_count + t] == counts.nw(w, t)))
+        && (0..d_count).all(|d| (0..t_count).all(|t| nd[d * t_count + t] == counts.nd(d, t)))
+}
+
 /// Everything a sweep needs, borrowed from the fitting engine.
 pub(crate) struct SweepContext<'a> {
     /// Per-document word ids.
@@ -198,6 +252,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize, &SweepStats)>(
             let mut k = kernel::Kernel::new(ctx, cache.combined.take());
             for iter in 1..=iterations {
                 k.sweep(ctx, z, rng);
+                debug_assert_counts(ctx, z, "serial kernel");
                 on_sweep(iter, &no_stats);
             }
             cache.combined = k.into_combined();
@@ -206,6 +261,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize, &SweepStats)>(
             let mut k = sparse::SparseKernel::new(ctx, cache.sparse.take());
             for iter in 1..=iterations {
                 k.sweep(ctx, z, rng);
+                debug_assert_counts(ctx, z, "sparse kernel");
                 on_sweep(
                     iter,
                     &SweepStats {
@@ -220,6 +276,7 @@ pub(crate) fn run_sweeps<F: FnMut(usize, &SweepStats)>(
             let mut buf = vec![0.0; ctx.num_topics()];
             for iter in 1..=iterations {
                 serial::sweep(ctx, z, rng, &mut buf);
+                debug_assert_counts(ctx, z, "dense reference");
                 on_sweep(iter, &no_stats);
             }
         }

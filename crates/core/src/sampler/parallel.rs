@@ -23,7 +23,7 @@
 //! comes from the [`SpinBarrier`].
 
 use super::kernel::SweepTables;
-use super::SweepContext;
+use super::{debug_assert_counts, idx_u32, SweepContext};
 use crate::sync::{SharedF64Buffer, SharedF64Cell, SharedUsizeCell, SpinBarrier};
 use rand::Rng;
 use srclda_math::SldaRng;
@@ -130,6 +130,7 @@ pub(crate) fn run<F: FnMut(usize)>(
         let mut k = super::kernel::Kernel::new(ctx, None);
         for iter in 1..=iterations {
             k.sweep(ctx, z, rng);
+            debug_assert_counts(ctx, z, "parallel (degenerate pool)");
             on_sweep(iter);
         }
         return;
@@ -170,10 +171,11 @@ fn leader_loop<F: FnMut(usize)>(
                 let old = z[d][j] as usize;
                 sh.ctx.counts.decrement(w, d, old);
                 let new = token_leader_phases(sh, d, w, rng);
-                z[d][j] = new as u32;
+                z[d][j] = idx_u32(new);
                 sh.ctx.counts.increment(w, d, new);
             }
         }
+        debug_assert_counts(sh.ctx, z, "parallel scan");
         on_sweep(iter);
     }
 }
@@ -291,6 +293,7 @@ fn phase_weights(p: usize, sh: &Shared<'_, '_>, d: usize, w: usize) {
 /// remaining necessary items").
 fn phase_apply_offsets(p: usize, sh: &Shared<'_, '_>) {
     let off = sh.chunk_offsets.get(p);
+    // lint:allow(float-eq): exact-zero test — adding 0.0 is the identity, so this only skips no-op chunks
     if off != 0.0 {
         for t in sh.ranges[p].clone() {
             sh.prob.set(t, sh.prob.get(t) + off);

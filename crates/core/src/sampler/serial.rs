@@ -16,7 +16,7 @@
 //! sampling routes through the kernel instead. Keep the two in lock-step
 //! when touching either.
 
-use super::SweepContext;
+use super::{idx_u32, SweepContext};
 use rand::Rng;
 use srclda_math::categorical::binary_search_cumulative;
 use srclda_math::SldaRng;
@@ -59,7 +59,7 @@ pub(crate) fn sweep(
                 // topic so the chain stays well defined.
                 rng.gen_range(0..t_count)
             };
-            z[d][j] = new as u32;
+            z[d][j] = idx_u32(new);
             ctx.counts.increment(w, d, new);
         }
     }

@@ -40,7 +40,7 @@
 //! serial backends.
 
 use super::kernel::{Combined, Kernel, SweepTables};
-use super::SweepContext;
+use super::{debug_assert_counts, idx_u32, SweepContext};
 use crate::counts::CountMatrices;
 use srclda_math::SldaRng;
 use std::ops::Range;
@@ -161,7 +161,7 @@ impl ShardState {
             .map(|range| {
                 let doc_lens: Vec<u32> = ctx.tokens[range.clone()]
                     .iter()
-                    .map(|d| d.len() as u32)
+                    .map(|d| idx_u32(d.len()))
                     .collect();
                 let local = CountMatrices::new(v, t_count, &doc_lens);
                 for (local_d, global_d) in range.clone().enumerate() {
@@ -304,6 +304,9 @@ pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
             }
         }
         let merge_secs = merge_span.elapsed_secs();
+        // The merge is the sharded backend's sweep boundary: globals must
+        // again be the exact histogram of z.
+        debug_assert_counts(ctx, z, "sharded merge");
         on_sweep(
             iter,
             srclda_obs::ShardTimings {

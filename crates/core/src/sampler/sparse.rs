@@ -76,7 +76,7 @@
 //!   rebuilt from the counts.
 
 use super::kernel::{Kind, RecipCache, SweepTables};
-use super::SweepContext;
+use super::{idx_u32, SweepContext};
 use crate::counts::CountMatrices;
 use crate::prior::dot_mod4;
 use rand::Rng;
@@ -140,14 +140,14 @@ impl SparseState {
                     state.base_param[t] = if min.is_finite() { min } else { 0.0 };
                     for (w, &x) in row.iter().enumerate() {
                         if x != state.base_param[t] {
-                            state.exc[w].push(t as u32);
+                            state.exc[w].push(idx_u32(t));
                         }
                     }
                 }
                 Kind::ConceptSet(_) => {
                     for (w, &in_set) in tables.masks[t].iter().enumerate().take(v) {
                         if in_set {
-                            state.exc[w].push(t as u32);
+                            state.exc[w].push(idx_u32(t));
                         }
                     }
                 }
@@ -179,7 +179,7 @@ impl SparseState {
                     // most words deviate (pathological δ structure), the
                     // exc walk would cost O(V) per token — demote the
                     // topic to per-token dense evaluation instead.
-                    let deviating: Vec<u32> = (0..v as u32)
+                    let deviating: Vec<u32> = (0..idx_u32(v))
                         .filter(|&w| {
                             table
                                 .delta_row(w as usize)
@@ -189,11 +189,11 @@ impl SparseState {
                         })
                         .collect();
                     if deviating.len() * 2 > v {
-                        state.dense_topics.push(t as u32);
+                        state.dense_topics.push(idx_u32(t));
                         state.dense_flag[t] = true;
                     } else {
                         for &w in &deviating {
-                            state.exc[w as usize].push(t as u32);
+                            state.exc[w as usize].push(idx_u32(t));
                         }
                         state.int_floor[i as usize] = floor;
                     }
@@ -216,7 +216,7 @@ impl SparseState {
         for w in 0..v {
             for t in 0..t_count {
                 if counts.nw(w, t) > 0 {
-                    state.nz[w].push(t as u32);
+                    state.nz[w].push(idx_u32(t));
                 }
             }
         }
@@ -252,7 +252,7 @@ impl SparseState {
     fn nz_insert(&mut self, w: usize, t: usize) {
         let list = &mut self.nz[w];
         let pos = list.partition_point(|&x| (x as usize) < t);
-        list.insert(pos, t as u32);
+        list.insert(pos, idx_u32(t));
     }
 
     #[inline]
@@ -444,8 +444,8 @@ impl<'a> SparseKernel<'a> {
         self.term_topic.clear();
         self.term_cum.clear();
         let mut q = 0.0;
-        for &t in &self.state.exc[w] {
-            let t = t as usize;
+        for &t32 in &self.state.exc[w] {
+            let t = t32 as usize;
             let nw = counts.nw(w, t) as f64;
             let mass = (self.dev_at(t, w)
                 + if nw > 0.0 {
@@ -458,12 +458,12 @@ impl<'a> SparseKernel<'a> {
                 * self.fact[t];
             if mass > 0.0 {
                 q += mass;
-                self.term_topic.push(t as u32);
+                self.term_topic.push(t32);
                 self.term_cum.push(q);
             }
         }
-        for &t in &self.state.dense_topics {
-            let t = t as usize;
+        for &t32 in &self.state.dense_topics {
+            let t = t32 as usize;
             let Kind::Integrated(i) = self.tables.kinds[t] else {
                 continue;
             };
@@ -474,7 +474,7 @@ impl<'a> SparseKernel<'a> {
                 * self.fact[t];
             if mass > 0.0 {
                 q += mass;
-                self.term_topic.push(t as u32);
+                self.term_topic.push(t32);
                 self.term_cum.push(q);
             }
         }
@@ -482,14 +482,14 @@ impl<'a> SparseKernel<'a> {
         // scan: both lists are sorted ascending.
         let exc = &self.state.exc[w];
         let mut e = 0usize;
-        for &t in &self.state.nz[w] {
-            while e < exc.len() && exc[e] < t {
+        for &t32 in &self.state.nz[w] {
+            while e < exc.len() && exc[e] < t32 {
                 e += 1;
             }
-            if e < exc.len() && exc[e] == t {
+            if e < exc.len() && exc[e] == t32 {
                 continue; // already counted in the deviation walk
             }
-            let t = t as usize;
+            let t = t32 as usize;
             if self.state.dense_flag[t] {
                 continue; // full weight already in the dense walk
             }
@@ -500,7 +500,7 @@ impl<'a> SparseKernel<'a> {
             let mass = counts.nw(w, t) as f64 * coef * self.fact[t];
             if mass > 0.0 {
                 q += mass;
-                self.term_topic.push(t as u32);
+                self.term_topic.push(t32);
                 self.term_cum.push(q);
             }
         }
@@ -567,7 +567,7 @@ impl<'a> SparseKernel<'a> {
                     self.tally_fallback.set(self.tally_fallback.get() + 1);
                     rng.gen_range(0..t_count)
                 };
-                z[d][j] = new as u32;
+                z[d][j] = idx_u32(new);
 
                 self.unplug(new);
                 counts.increment_serial(w, d, new);
@@ -576,7 +576,7 @@ impl<'a> SparseKernel<'a> {
                 }
                 if !self.in_active[new] {
                     self.in_active[new] = true;
-                    self.active.push(new as u32);
+                    self.active.push(idx_u32(new));
                 }
                 self.nd_doc[new] += 1;
                 self.fact[new] = self.nd_doc[new] as f64 + self.alpha;
@@ -652,11 +652,11 @@ impl<'a> SparseKernel<'a> {
     /// assignments (O(n_d)); `r` is rebuilt exactly here, killing any
     /// drift accumulated in the previous document.
     fn enter_doc(&mut self, z_doc: &[u32]) {
-        for &t in z_doc {
-            let t = t as usize;
+        for &t32 in z_doc {
+            let t = t32 as usize;
             if !self.in_active[t] {
                 self.in_active[t] = true;
-                self.active.push(t as u32);
+                self.active.push(t32);
             }
             self.nd_doc[t] += 1;
         }

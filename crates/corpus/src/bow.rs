@@ -1,9 +1,10 @@
 //! Sparse bag-of-words count vectors, per document and corpus-wide.
 
+use std::collections::BTreeMap;
+
 use crate::corpus::Corpus;
 use crate::document::Document;
 use crate::token::WordId;
-use srclda_math::FxHashMap;
 
 /// Sparse per-document counts, sorted by [`WordId`].
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -20,12 +21,14 @@ impl BagOfWords {
 
     /// Count an arbitrary token slice.
     pub fn from_tokens(tokens: &[WordId]) -> Self {
-        let mut map: FxHashMap<WordId, u32> = FxHashMap::default();
+        // BTreeMap, not FxHashMap: its iteration order is the sort order,
+        // so the entries come out WordId-sorted with no post-pass and no
+        // dependence on hash-bucket layout.
+        let mut map: BTreeMap<WordId, u32> = BTreeMap::new();
         for &w in tokens {
             *map.entry(w).or_insert(0) += 1;
         }
-        let mut entries: Vec<(WordId, u32)> = map.into_iter().collect();
-        entries.sort_unstable_by_key(|&(w, _)| w);
+        let entries: Vec<(WordId, u32)> = map.into_iter().collect();
         let total = entries.iter().map(|&(_, c)| c).sum();
         Self { entries, total }
     }

@@ -1,0 +1,249 @@
+//! `lint.toml` loading: which files to scan and where each rule applies.
+//!
+//! The parser understands the small TOML subset the config actually uses —
+//! `[section]` headers and `key = "string"` / `key = ["a", "b"]` pairs —
+//! so the linter stays zero-dependency. Anything outside that subset is a
+//! hard error: a config typo must fail the build, not silently widen or
+//! narrow a rule's scope.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Path scoping for one rule: `include` / `exclude` are `/`-separated
+/// relative-path prefixes. An empty `include` means "everywhere".
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    pub include: Vec<String>,
+    pub exclude: Vec<String>,
+}
+
+impl RuleScope {
+    /// Whether `rel_path` (normalized, `/`-separated) falls in scope.
+    pub fn applies(&self, rel_path: &str) -> bool {
+        let included =
+            self.include.is_empty() || self.include.iter().any(|p| prefix_match(rel_path, p));
+        included && !self.exclude.iter().any(|p| prefix_match(rel_path, p))
+    }
+}
+
+/// Prefix match on path components: `crates/core` matches
+/// `crates/core/src/lib.rs` but not `crates/corefoo/x.rs`. A pattern may
+/// also name a file exactly.
+fn prefix_match(rel_path: &str, pattern: &str) -> bool {
+    let pattern = pattern.trim_end_matches('/');
+    rel_path == pattern
+        || (rel_path.len() > pattern.len()
+            && rel_path.starts_with(pattern)
+            && rel_path.as_bytes()[pattern.len()] == b'/')
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (relative to the repo root) to walk for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the walk entirely.
+    pub exclude: Vec<String>,
+    /// Per-rule scoping, keyed by rule id. Rules without an entry run
+    /// everywhere the walk reaches.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    pub fn scope_for(&self, rule: &str) -> RuleScope {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Whether the walk should descend into / pick up `rel_path`.
+    pub fn walk_includes(&self, rel_path: &str) -> bool {
+        !self.exclude.iter().any(|p| prefix_match(rel_path, p))
+    }
+}
+
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse the TOML subset described in the module docs.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    enum Section {
+        None,
+        Files,
+        Rule(String),
+    }
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let lineno = idx + 1;
+        let mut line = strip_comment(lines[idx]).trim().to_string();
+        // A `[` array may span lines; keep consuming until its `]`.
+        while line.contains('[') && !line.starts_with('[') && !line.contains(']') {
+            idx += 1;
+            if idx >= lines.len() {
+                return Err(err(lineno, "unterminated array"));
+            }
+            line.push(' ');
+            line.push_str(strip_comment(lines[idx]).trim());
+        }
+        idx += 1;
+        let line = line.as_str();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?
+                .trim();
+            section = match header {
+                "files" => Section::Files,
+                _ => match header.strip_prefix("rule.") {
+                    Some(rule) if !rule.is_empty() => {
+                        let rule = rule.trim().to_string();
+                        cfg.rules.entry(rule.clone()).or_default();
+                        Section::Rule(rule)
+                    }
+                    _ => return Err(err(lineno, format!("unknown section [{header}]"))),
+                },
+            };
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim();
+        let items = parse_string_list(value.trim()).map_err(|m| err(lineno, m))?;
+        match (&mut section, key) {
+            (Section::Files, "roots") => cfg.roots = items,
+            (Section::Files, "exclude") => cfg.exclude = items,
+            (Section::Rule(rule), "include") => {
+                cfg.rules.get_mut(rule.as_str()).unwrap().include = items
+            }
+            (Section::Rule(rule), "exclude") => {
+                cfg.rules.get_mut(rule.as_str()).unwrap().exclude = items
+            }
+            (Section::None, _) => return Err(err(lineno, "key outside any section")),
+            (_, other) => return Err(err(lineno, format!("unknown key `{other}`"))),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strip a `#` comment, respecting `"` string delimiters.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"a"` or `["a", "b"]` into a list of strings.
+fn parse_string_list(value: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or("unterminated array")?;
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_files_and_rule_sections() {
+        let cfg = parse(
+            r#"
+            # scan scope
+            [files]
+            roots = ["crates", "src"]
+            exclude = ["crates/lint/tests"]
+
+            [rule.hash-iteration]
+            include = ["crates/core", "crates/corpus"]
+            exclude = ["crates/core/src/bench_helpers.rs"] # one file
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["crates/lint/tests"]);
+        let scope = cfg.scope_for("hash-iteration");
+        assert!(scope.applies("crates/core/src/counts.rs"));
+        assert!(!scope.applies("crates/core/src/bench_helpers.rs"));
+        assert!(!scope.applies("crates/serve/src/lib.rs"));
+        // No entry => applies everywhere.
+        assert!(cfg.scope_for("panic").applies("anything/at/all.rs"));
+    }
+
+    #[test]
+    fn prefix_match_respects_component_boundaries() {
+        assert!(prefix_match("crates/core/src/lib.rs", "crates/core"));
+        assert!(prefix_match("crates/core", "crates/core"));
+        assert!(!prefix_match("crates/corefoo/lib.rs", "crates/core"));
+        assert!(prefix_match("crates/core/src/lib.rs", "crates/core/"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("[files\nroots = []").is_err());
+        assert!(parse("roots = [\"x\"]").is_err()); // key outside section
+        assert!(parse("[files]\nroots = [unquoted]").is_err());
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[files]\nvolume = \"11\"").is_err());
+    }
+
+    #[test]
+    fn multiline_arrays() {
+        let cfg =
+            parse("[files]\nroots = [\n  \"crates\", # comment\n  \"src\",\n]\nexclude = [\"x\"]")
+                .unwrap();
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["x"]);
+        assert!(parse("[files]\nroots = [\n  \"crates\",").is_err());
+    }
+
+    #[test]
+    fn comments_and_strings_interact() {
+        let cfg = parse("[files]\nroots = [\"has#hash\"] # trailing").unwrap();
+        assert_eq!(cfg.roots, vec!["has#hash"]);
+    }
+}

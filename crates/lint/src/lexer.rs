@@ -1,0 +1,506 @@
+//! A small Rust lexer: just enough tokenization for line-oriented static
+//! analysis.
+//!
+//! The scanner's one hard requirement is to never confuse *code* with
+//! *text about code*: a rule that flags `unwrap()` must not fire on a
+//! string literal or a comment that merely mentions it (this crate's own
+//! rule table would otherwise light up like a scoreboard). So the lexer
+//! fully understands comments (line, nested block), string literals
+//! (plain, raw with `#` fences, byte), char literals vs. lifetimes, and
+//! numeric literals — and throws away everything it doesn't need.
+//!
+//! Comments are kept (with line numbers) rather than skipped, because the
+//! waiver syntax lives in them; see [`crate::rules`].
+
+/// What a token is; the analysis only ever needs these five classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `let`, `as`).
+    Ident,
+    /// Numeric literal, verbatim (`0.5`, `1e-9`, `0xff`, `3f32`).
+    Num,
+    /// Punctuation; multi-char operators that matter to rules (`==`, `!=`,
+    /// `::`, `->`, `=>`, `..`) are fused into one token.
+    Punct,
+    /// String literal of any flavor (contents discarded).
+    Str,
+    /// Char literal (contents discarded).
+    Char,
+    /// Lifetime (`'a`), kept distinct so it is never mistaken for a char.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Verbatim text for `Ident`, `Num`, and `Punct`; empty for literals.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True when this token is any identifier.
+    pub fn is_ident_token(&self) -> bool {
+        self.kind == TokenKind::Ident
+    }
+}
+
+/// One comment with its source line (1-based). `text` is the comment body
+/// without the `//` / `/*` delimiters, trimmed.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Trimmed comment body.
+    pub text: String,
+}
+
+/// The lexer's output: code tokens and comments, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments, for waiver scanning.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize Rust source. Invalid input never panics — the scanner just
+/// produces a best-effort token stream (a linter must survive any file the
+/// compiler would reject).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+/// Two-char operators fused into single punct tokens (longest match
+/// first at the call site; everything else is emitted one char at a time).
+const TWO_CHAR_OPS: &[&str] = &["==", "!=", "::", "->", "=>", "..", "<=", ">="];
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'b' | b'r' if self.is_literal_prefix() => self.prefixed_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: &str, line: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    }
+
+    /// Advance one byte, tracking newlines (used inside multi-line
+    /// literals and comments).
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(self.pos)..self.pos])
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.pos += 2;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                    end = self.pos;
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(end)..end])
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// True when the `b`/`r` at the cursor starts a literal (`b"`, `r"`,
+    /// `br"`, `rb"`, `r#"`, `b'`) rather than an identifier.
+    fn is_literal_prefix(&self) -> bool {
+        let mut i = 1usize;
+        // At most two prefix letters (b, r in either order).
+        if matches!(self.peek(i), Some(b'b' | b'r')) {
+            i += 1;
+        }
+        let mut j = i;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        match self.peek(j) {
+            Some(b'"') => true,
+            // b'x' byte char (raw chars don't exist; require no #).
+            Some(b'\'') => j == i && self.peek(0) == Some(b'b'),
+            _ => false,
+        }
+    }
+
+    /// Lex `b"…"`, `r"…"`, `br#"…"#`, `b'x'` and friends.
+    fn prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut raw = false;
+        while matches!(self.peek(0), Some(b'b' | b'r')) {
+            raw |= self.peek(0) == Some(b'r');
+            self.pos += 1;
+        }
+        let mut fence = 0usize;
+        while self.peek(0) == Some(b'#') {
+            fence += 1;
+            self.pos += 1;
+        }
+        match self.peek(0) {
+            Some(b'"') if raw => {
+                self.pos += 1;
+                self.raw_string_body(fence);
+                self.push(TokenKind::Str, "", line);
+            }
+            Some(b'"') => {
+                self.pos += 1;
+                self.escaped_string_body();
+                self.push(TokenKind::Str, "", line);
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                self.char_body();
+                self.push(TokenKind::Char, "", line);
+            }
+            _ => self.punct(), // stray prefix; treat as punctuation
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.pos += 1;
+        self.escaped_string_body();
+        self.push(TokenKind::Str, "", line);
+    }
+
+    fn escaped_string_body(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Body of a raw string, consuming through `"` followed by `fence`
+    /// `#` characters.
+    fn raw_string_body(&mut self, fence: usize) {
+        while let Some(b) = self.bump() {
+            if b == b'"' {
+                let mut matched = 0usize;
+                while matched < fence && self.peek(0) == Some(b'#') {
+                    self.pos += 1;
+                    matched += 1;
+                }
+                if matched == fence {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// `'a` (lifetime) vs `'a'` (char literal) vs `'\n'`.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Lifetime: quote, ident-start, ident-continue*, not followed by a
+        // closing quote.
+        if let Some(first) = self.peek(1) {
+            if (first.is_ascii_alphabetic() || first == b'_') && first != b'\'' {
+                let mut j = 2usize;
+                while matches!(self.peek(j), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                    j += 1;
+                }
+                if self.peek(j) != Some(b'\'') {
+                    let text =
+                        String::from_utf8_lossy(&self.bytes[self.pos..self.pos + j]).to_string();
+                    self.pos += j;
+                    self.push(TokenKind::Lifetime, &text, line);
+                    return;
+                }
+            }
+        }
+        self.pos += 1;
+        self.char_body();
+        self.push(TokenKind::Char, "", line);
+    }
+
+    fn char_body(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => return,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.pos += 2;
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+        } else {
+            self.digits();
+            // Fraction only when `.` is followed by a digit — `1..3` and
+            // `1.max(2)` keep their dots.
+            if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                self.digits();
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+                if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1 + sign;
+                    self.digits();
+                }
+            }
+            // Type suffix (`f64`, `u32`, …).
+            while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string();
+        self.push(TokenKind::Num, &text, line);
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while matches!(self.peek(0), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80)
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string();
+        self.push(TokenKind::Ident, &text, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        if let (Some(a), Some(b)) = (self.peek(0), self.peek(1)) {
+            let pair = [a, b];
+            if let Ok(pair) = std::str::from_utf8(&pair) {
+                if TWO_CHAR_OPS.contains(&pair) {
+                    self.pos += 2;
+                    self.push(TokenKind::Punct, pair, line);
+                    return;
+                }
+            }
+        }
+        let b = self.bytes[self.pos.min(self.bytes.len() - 1)];
+        self.pos += 1;
+        let text = (b as char).to_string();
+        self.push(TokenKind::Punct, &text, line);
+    }
+}
+
+/// True when a numeric literal token is a *float* literal (`0.5`, `1e-9`,
+/// `3f64`) — the shapes the float-equality rule cares about.
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains('e')
+        || text.contains('E')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unwrap() in a comment
+            /* HashMap::iter() in a block /* nested */ comment */
+            let s = "call .unwrap() here";
+            let r = r#"raw unwrap()"#;
+            let ok = true;
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_string()), "{names:?}");
+        assert!(!names.contains(&"HashMap".to_string()));
+        assert!(names.contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// lint:allow(panic): fine\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[0].text, "lint:allow(panic): fine");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&Token> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn escaped_quote_char_does_not_derail() {
+        let names = idents(r"let q = '\''; let after = 1;");
+        assert!(names.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn two_char_operators_fuse() {
+        let lexed = lex("a == b != c :: d");
+        let puncts: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::"]);
+    }
+
+    #[test]
+    fn numbers_keep_their_shape() {
+        let lexed = lex("0.5 1e-9 0xff 3f64 1..3");
+        let nums: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0.5", "1e-9", "0xff", "3f64", "1", "3"]);
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1e-9"));
+        assert!(is_float_literal("3f64"));
+        assert!(!is_float_literal("0xff"));
+        assert!(!is_float_literal("1"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_fences() {
+        let names = idents(r##"let a = b"unwrap()"; let b = br#"iter()"#; let tail = 0;"##);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"iter".to_string()));
+        assert!(names.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_literals() {
+        let src = "let s = \"line\none\";\nlet after = 1;";
+        let lexed = lex(src);
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

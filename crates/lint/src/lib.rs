@@ -1,0 +1,111 @@
+//! `srclda-lint`: workspace static analysis for the contracts the compiler
+//! cannot see.
+//!
+//! The workspace's scale directions (sharded training, online ingest, C10K
+//! serving) all lean on invariants that live outside the type system:
+//! *(seed, shards) fixes output bits*, *the daemon request path never
+//! panics a pooled worker*, *numeric guards never silently clamp*. This
+//! crate machine-checks those contracts on every build instead of
+//! re-arguing them in review.
+//!
+//! Architecture, in the repo's hand-rolled style (zero dependencies):
+//!
+//! - [`lexer`] — a small Rust tokenizer that hides string/comment contents
+//!   from the rules and surfaces comments for waiver parsing;
+//! - [`rules`] — token-stream matchers for the determinism, panic-freedom,
+//!   numeric-safety, and hygiene rule families, plus waiver handling;
+//! - [`config`] — `lint.toml` loading (scan roots, per-rule path scoping).
+//!
+//! The binary walks the configured roots in sorted order, lints every
+//! `.rs` file, prints `path:line: [rule] message` findings, and exits 2
+//! when any exist — so CI can gate on it like a test.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{parse as parse_config, Config, ConfigError};
+pub use rules::{analyze, Finding, RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Lint a single source file against `cfg`. `rel_path` must be
+/// workspace-relative with `/` separators — scoping and file-kind
+/// classification key off it.
+pub fn lint_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    rules::analyze(rel_path, source, cfg)
+}
+
+/// Walk `cfg.roots` under `root` (deterministically: directory entries
+/// sorted by name), lint every `.rs` file, and return all findings sorted
+/// by (path, line, rule).
+pub fn lint_tree(root: &Path, cfg: &Config) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if dir.is_dir() {
+            walk(root, &dir, cfg, &mut report)?;
+        } else if dir.is_file() {
+            lint_file(root, &dir, cfg, &mut report)?;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// What a tree lint produced: the findings plus how much was scanned
+/// (reported so "clean" is distinguishable from "scanned nothing").
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, report: &mut LintReport) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(rel) = relative(root, &path) else {
+            continue;
+        };
+        if !cfg.walk_includes(&rel) || rel.split('/').any(|c| c == "target") {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, cfg, report)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            lint_file(root, &path, cfg, report)?;
+        }
+    }
+    Ok(())
+}
+
+fn lint_file(root: &Path, path: &Path, cfg: &Config, report: &mut LintReport) -> io::Result<()> {
+    let Some(rel) = relative(root, path) else {
+        return Ok(());
+    };
+    if !cfg.walk_includes(&rel) {
+        return Ok(());
+    }
+    let source = std::fs::read_to_string(path)?;
+    report.files_scanned += 1;
+    report.findings.extend(rules::analyze(&rel, &source, cfg));
+    Ok(())
+}
+
+/// Workspace-relative `/`-separated path, or `None` when `path` is not
+/// under `root`.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let parts: Vec<&str> = rel.iter().map(|c| c.to_str().unwrap_or("?")).collect();
+    Some(parts.join("/"))
+}

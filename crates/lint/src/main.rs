@@ -1,0 +1,119 @@
+//! CLI for `srclda-lint`.
+//!
+//! Usage: `srclda-lint [--root DIR] [--config FILE] [--report FILE]
+//! [--list-rules]`
+//!
+//! Exit codes: 0 clean, 1 usage/IO/config error, 2 findings.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use srclda_lint::{lint_tree, parse_config, Config, RULES};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    report: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        report: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "srclda-lint: static analysis for the workspace's determinism, \
+                     panic-freedom, and numeric-safety contracts\n\n\
+                     USAGE: srclda-lint [--root DIR] [--config FILE] [--report FILE] [--list-rules]\n\n\
+                     --root DIR      workspace root to scan (default: .)\n\
+                     --config FILE   lint.toml path (default: <root>/lint.toml)\n\
+                     --report FILE   also write the findings report to FILE\n\
+                     --list-rules    print the rule table and exit\n\n\
+                     Exit codes: 0 clean, 1 error, 2 findings."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("srclda-lint: {e} (try --help)");
+            return ExitCode::from(1);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RULES {
+            println!("{:<16} {:<14} {}", rule.id, rule.family, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg: Config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match parse_config(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("srclda-lint: {}: {e}", config_path.display());
+                return ExitCode::from(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("srclda-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(1);
+        }
+    };
+
+    let report = match lint_tree(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("srclda-lint: scan failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut lines: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    let summary = format!(
+        "srclda-lint: {} finding(s) in {} file(s) scanned",
+        report.findings.len(),
+        report.files_scanned
+    );
+    lines.push(summary.clone());
+    let body = lines.join("\n") + "\n";
+
+    // stdout for humans/CI logs; --report for the CI artifact.
+    print!("{body}");
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("srclda-lint: cannot write report {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,969 @@
+//! The rule engine: token-stream matchers for every lint rule, test-region
+//! detection, and waiver handling.
+//!
+//! Rules fire on the token stream produced by [`crate::lexer`], never on raw
+//! text, so patterns inside string literals and comments are invisible to
+//! them. Code under `#[cfg(test)]` / `#[test]` (and whole files under
+//! `tests/`, `benches/`, `examples/`) is exempt from every rule: the
+//! contracts being enforced are about shipped library/binary code.
+//!
+//! A finding can be suppressed with an inline waiver comment on the same
+//! line or the line directly above. The syntax is the marker `lint:`
+//! immediately followed by `allow(<rule>): <justification>`; a waiver
+//! without a justification is itself a `waiver-syntax` finding and
+//! suppresses nothing, and a justified waiver that suppresses nothing is
+//! reported as `stale-waiver` so dead suppressions cannot accumulate.
+
+use crate::config::Config;
+use crate::lexer::{self, is_float_literal, Comment, Token};
+
+/// One lint violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub family: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order. The two meta rules at the
+/// end are always on and cannot be waived.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-iteration",
+        family: "determinism",
+        summary: "no HashMap/HashSet (or Fx variant) iteration; order is nondeterministic",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        family: "determinism",
+        summary: "no Instant::now/SystemTime::now outside observability/bench/server scope",
+    },
+    RuleInfo {
+        id: "entropy-rng",
+        family: "determinism",
+        summary: "no entropy-seeded RNG construction (thread_rng/from_entropy/OsRng)",
+    },
+    RuleInfo {
+        id: "panic",
+        family: "panic-freedom",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in the request and decode paths",
+    },
+    RuleInfo {
+        id: "index",
+        family: "panic-freedom",
+        summary: "no unchecked slice/array indexing in the request and decode paths",
+    },
+    RuleInfo {
+        id: "float-eq",
+        family: "numeric-safety",
+        summary: "no bare ==/!= against float literals",
+    },
+    RuleInfo {
+        id: "narrowing-cast",
+        family: "numeric-safety",
+        summary: "no unchecked `as` casts to narrower integer/float types in sampler/codec code",
+    },
+    RuleInfo {
+        id: "unsafe-forbid",
+        family: "hygiene",
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "debug-print",
+        family: "hygiene",
+        summary: "no dbg!/println!/print! in library code",
+    },
+    RuleInfo {
+        id: "waiver-syntax",
+        family: "meta",
+        summary: "waivers must name a known rule and carry a justification",
+    },
+    RuleInfo {
+        id: "stale-waiver",
+        family: "meta",
+        summary: "a waiver that suppresses nothing must be removed",
+    },
+];
+
+fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+fn is_meta_rule(id: &str) -> bool {
+    id == "waiver-syntax" || id == "stale-waiver"
+}
+
+/// How the file as a whole is classified, from its path alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FileKind {
+    /// Library source: every rule applies (subject to `lint.toml` scoping).
+    Library,
+    /// Binary entry points (`src/bin/`, `main.rs`, `build.rs`): printing to
+    /// stdout is their job, so `debug-print` is off; everything else applies.
+    Binary,
+    /// Test-only code: exempt from all rules.
+    Test,
+}
+
+fn file_kind(rel_path: &str) -> FileKind {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let has = |name: &str| parts.contains(&name);
+    if has("tests") || has("benches") || has("examples") || has("fixtures") {
+        return FileKind::Test;
+    }
+    let file = parts.last().copied().unwrap_or_default();
+    if has("bin") || file == "main.rs" || file == "build.rs" {
+        return FileKind::Binary;
+    }
+    FileKind::Library
+}
+
+/// Analyze one source file and return its findings, waivers applied,
+/// sorted by line then rule id.
+pub fn analyze(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    if file_kind(rel_path) == FileKind::Test {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(source);
+    let test_ranges = test_token_ranges(&lexed.tokens);
+    let mut in_test = vec![false; lexed.tokens.len()];
+    for &(start, end) in &test_ranges {
+        for flag in &mut in_test[start..=end] {
+            *flag = true;
+        }
+    }
+    let test_lines: Vec<(u32, u32)> = test_ranges
+        .iter()
+        .map(|&(s, e)| (lexed.tokens[s].line, lexed.tokens[e].line))
+        .collect();
+
+    let mut cx = Cx {
+        path: rel_path,
+        kind: file_kind(rel_path),
+        toks: &lexed.tokens,
+        in_test: &in_test,
+        findings: Vec::new(),
+    };
+    let on = |rule: &str| cfg.scope_for(rule).applies(rel_path);
+    if on("hash-iteration") {
+        cx.rule_hash_iteration();
+    }
+    if on("wall-clock") {
+        cx.rule_wall_clock();
+    }
+    if on("entropy-rng") {
+        cx.rule_entropy_rng();
+    }
+    if on("panic") {
+        cx.rule_panic();
+    }
+    if on("index") {
+        cx.rule_index();
+    }
+    if on("float-eq") {
+        cx.rule_float_eq();
+    }
+    if on("narrowing-cast") {
+        cx.rule_narrowing_cast();
+    }
+    if on("unsafe-forbid") {
+        cx.rule_unsafe_forbid();
+    }
+    if on("debug-print") {
+        cx.rule_debug_print();
+    }
+    let mut findings = cx.findings;
+    apply_waivers(rel_path, &lexed.comments, &test_lines, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Token-index ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+/// items. Found by locating the attribute, skipping any further attributes,
+/// and brace-matching the body that follows.
+fn test_token_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !(toks[i].is_punct("#") && toks[i + 1].is_punct("[")) {
+            i += 1;
+            continue;
+        }
+        let close = match matching(toks, i + 1, "[", "]") {
+            Some(c) => c,
+            None => break,
+        };
+        if attr_is_test(&toks[i + 2..close]) {
+            // Skip over any attributes stacked after this one.
+            let mut j = close + 1;
+            while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+                match matching(toks, j + 1, "[", "]") {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+            }
+            // The guarded item's body is the first brace block before any
+            // `;` (a `;` means a body-less item such as `mod tests;`).
+            let mut k = j;
+            while k < toks.len() && !toks[k].is_punct("{") && !toks[k].is_punct(";") {
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct("{") {
+                let end = matching(toks, k, "{", "}").unwrap_or(toks.len() - 1);
+                ranges.push((i, end));
+            }
+        }
+        i = close + 1;
+    }
+    ranges
+}
+
+/// Whether an attribute token span marks test-only code. `test` anywhere in
+/// the span counts, unless negated (`cfg(not(test))`).
+fn attr_is_test(span: &[Token]) -> bool {
+    span.iter().any(|t| t.is_ident("test")) && !span.iter().any(|t| t.is_ident("not"))
+}
+
+/// Index of the token closing the delimiter opened at `open_idx`.
+fn matching(toks: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Rule matchers
+// ---------------------------------------------------------------------------
+
+struct Cx<'a> {
+    path: &'a str,
+    kind: FileKind,
+    toks: &'a [Token],
+    in_test: &'a [bool],
+    findings: Vec<Finding>,
+}
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+impl<'a> Cx<'a> {
+    fn emit(&mut self, rule: &'static str, line: u32, message: String) {
+        self.findings.push(Finding {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn ident(&self, i: usize) -> Option<&'a str> {
+        let t = self.toks.get(i)?;
+        t.is_ident_token().then_some(t.text.as_str())
+    }
+
+    fn p(&self, i: usize, s: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(s))
+    }
+
+    fn id(&self, i: usize, s: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_ident(s))
+    }
+
+    /// Positions of live (non-test) tokens.
+    fn live(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.toks.len()).filter(|&i| !self.in_test[i])
+    }
+
+    /// Identifiers bound to hash-map/set values in this file, found via
+    /// `name: HashMap<..>` (fields, params, typed lets) and
+    /// `name = FxHashMap::default()`-shaped initialisers.
+    fn hash_bound_names(&self) -> Vec<&'a str> {
+        let mut names = Vec::new();
+        for i in 0..self.toks.len() {
+            let Some(ident) = self.ident(i) else { continue };
+            if !HASH_TYPES.contains(&ident) {
+                continue;
+            }
+            // Walk left over a `path::to::Type` prefix…
+            let mut j = i;
+            while j >= 2 && self.p(j - 1, "::") && self.ident(j - 2).is_some() {
+                j -= 2;
+            }
+            // …and over reference/mutability adornments.
+            while j >= 1
+                && (self.p(j - 1, "&")
+                    || self.id(j - 1, "mut")
+                    || self
+                        .toks
+                        .get(j - 1)
+                        .is_some_and(|t| t.kind == lexer::TokenKind::Lifetime))
+            {
+                j -= 1;
+            }
+            if j >= 2 && (self.p(j - 1, ":") || self.p(j - 1, "=")) {
+                if let Some(name) = self.ident(j - 2) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    fn rule_hash_iteration(&mut self) {
+        let names = self.hash_bound_names();
+        let mut hits: Vec<(u32, String)> = Vec::new();
+        for i in self.live() {
+            let Some(ident) = self.ident(i) else { continue };
+            // `map.iter()` / `.keys()` / … on a hash-bound name.
+            if names.contains(&ident)
+                && self.p(i + 1, ".")
+                && self.ident(i + 2).is_some_and(|m| ITER_METHODS.contains(&m))
+                && self.p(i + 3, "(")
+            {
+                hits.push((
+                    self.toks[i].line,
+                    format!(
+                        "`{}.{}()` iterates a hash container in nondeterministic order; \
+                         use BTreeMap/BTreeSet or collect and sort",
+                        ident,
+                        self.toks[i + 2].text
+                    ),
+                ));
+            }
+            // `for x in <expr ending in a hash-bound name> {` (implicit
+            // IntoIterator). Method-call forms are caught above.
+            if self.id(i, "in") {
+                let mut depth = 0i32;
+                let mut last_ident: Option<usize> = None;
+                for k in i + 1..self.toks.len() {
+                    let t = &self.toks[k];
+                    if t.is_punct("(") || t.is_punct("[") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct("{") {
+                        break;
+                    } else if depth == 0 && t.is_ident_token() {
+                        last_ident = Some(k);
+                    }
+                    if t.is_punct(";") {
+                        break; // not a for loop after all
+                    }
+                }
+                if let Some(k) = last_ident {
+                    let name = self.toks[k].text.as_str();
+                    if names.contains(&name) && !self.p(k + 1, "(") {
+                        hits.push((
+                            self.toks[k].line,
+                            format!(
+                                "`for … in {name}` iterates a hash container in \
+                                 nondeterministic order; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("hash-iteration", line, msg);
+        }
+    }
+
+    fn rule_wall_clock(&mut self) {
+        let mut hits = Vec::new();
+        for i in self.live() {
+            if (self.id(i, "Instant") || self.id(i, "SystemTime"))
+                && self.p(i + 1, "::")
+                && self.id(i + 2, "now")
+            {
+                hits.push((
+                    self.toks[i].line,
+                    format!(
+                        "`{}::now()` reads the wall clock in deterministic code; \
+                         route timing through srclda_obs or an allowed scope",
+                        self.toks[i].text
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("wall-clock", line, msg);
+        }
+    }
+
+    fn rule_entropy_rng(&mut self) {
+        const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+        let mut hits = Vec::new();
+        for i in self.live() {
+            let Some(ident) = self.ident(i) else { continue };
+            if ENTROPY.contains(&ident) {
+                hits.push((
+                    self.toks[i].line,
+                    format!(
+                        "`{ident}` seeds randomness from OS entropy, breaking the \
+                         (seed, shards) reproducibility contract; derive from an explicit seed"
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("entropy-rng", line, msg);
+        }
+    }
+
+    fn rule_panic(&mut self) {
+        const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+        let mut hits = Vec::new();
+        for i in self.live() {
+            if self.p(i, ".")
+                && (self.id(i + 1, "unwrap") || self.id(i + 1, "expect"))
+                && self.p(i + 2, "(")
+            {
+                hits.push((
+                    self.toks[i + 1].line,
+                    format!(
+                        "`.{}()` can panic and poison a pooled worker; \
+                         return a typed error instead",
+                        self.toks[i + 1].text
+                    ),
+                ));
+            }
+            if let Some(ident) = self.ident(i) {
+                if PANIC_MACROS.contains(&ident) && self.p(i + 1, "!") {
+                    hits.push((
+                        self.toks[i].line,
+                        format!(
+                            "`{ident}!` panics in the request/decode path; \
+                             return a typed error instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("panic", line, msg);
+        }
+    }
+
+    fn rule_index(&mut self) {
+        let mut hits = Vec::new();
+        for i in self.live() {
+            if i == 0 || !self.p(i, "[") {
+                continue;
+            }
+            // `expr[` is indexing when the `[` directly follows a value
+            // expression; `[` after `# ! : ; = , ( { < &` etc. is an
+            // attribute, array type, or array literal. Keywords lex as
+            // idents but cannot end a value expression — `&mut [u8]` and
+            // `for x in [..]` introduce slices/array literals, not indexing.
+            const NON_EXPR_KEYWORDS: &[&str] = &[
+                "mut", "in", "return", "break", "dyn", "as", "else", "match", "const", "ref",
+                "move", "static", "impl", "where", "do", "yield", "let", "if", "while", "for",
+                "loop",
+            ];
+            let prev = &self.toks[i - 1];
+            let prev_is_keyword = NON_EXPR_KEYWORDS.iter().any(|k| prev.is_ident(k));
+            let is_index = (prev.is_ident_token() && !prev_is_keyword)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if is_index {
+                hits.push((
+                    self.toks[i].line,
+                    "unchecked indexing can panic; use .get()/.first()/.split_at() \
+                     or waive with a bounds argument"
+                        .to_string(),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("index", line, msg);
+        }
+    }
+
+    fn rule_float_eq(&mut self) {
+        let mut hits = Vec::new();
+        for i in self.live() {
+            if !(self.p(i, "==") || self.p(i, "!=")) {
+                continue;
+            }
+            let float_at = |j: &Option<&Token>| {
+                j.is_some_and(|t| t.kind == lexer::TokenKind::Num && is_float_literal(&t.text))
+            };
+            let before = i.checked_sub(1).and_then(|j| self.toks.get(j));
+            let after = self.toks.get(i + 1);
+            if float_at(&before) || float_at(&after) {
+                hits.push((
+                    self.toks[i].line,
+                    format!(
+                        "bare `{}` against a float literal; compare with a tolerance, \
+                         or waive if exact-representation equality is intended",
+                        self.toks[i].text
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("float-eq", line, msg);
+        }
+    }
+
+    fn rule_narrowing_cast(&mut self) {
+        const NARROW: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+        let mut hits = Vec::new();
+        for i in self.live() {
+            if !self.id(i, "as") {
+                continue;
+            }
+            if let Some(ty) = self.ident(i + 1) {
+                if NARROW.contains(&ty) {
+                    hits.push((
+                        self.toks[i].line,
+                        format!(
+                            "`as {ty}` silently truncates out-of-range values; \
+                             use a checked conversion or waive with a range argument"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("narrowing-cast", line, msg);
+        }
+    }
+
+    fn rule_unsafe_forbid(&mut self) {
+        if !(self.path.ends_with("src/lib.rs") || self.path == "lib.rs") {
+            return;
+        }
+        let present = (0..self.toks.len())
+            .any(|i| self.id(i, "forbid") && self.p(i + 1, "(") && self.id(i + 2, "unsafe_code"));
+        if !present {
+            self.emit(
+                "unsafe-forbid",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+    }
+
+    fn rule_debug_print(&mut self) {
+        if self.kind == FileKind::Binary {
+            return;
+        }
+        const PRINTS: [&str; 3] = ["dbg", "println", "print"];
+        let mut hits = Vec::new();
+        for i in self.live() {
+            let Some(ident) = self.ident(i) else { continue };
+            if PRINTS.contains(&ident) && self.p(i + 1, "!") {
+                hits.push((
+                    self.toks[i].line,
+                    format!(
+                        "`{ident}!` in library code writes to stdout; move output to a \
+                         binary or the obs crate (stderr logging via eprintln is allowed)"
+                    ),
+                ));
+            }
+        }
+        for (line, msg) in hits {
+            self.emit("debug-print", line, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+struct Waiver {
+    rule: String,
+    line: u32,
+    used: bool,
+}
+
+/// Parse waivers out of `comments`, suppress matching findings, and append
+/// the meta findings (`waiver-syntax`, `stale-waiver`).
+fn apply_waivers(
+    rel_path: &str,
+    comments: &[Comment],
+    test_lines: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    let in_test = |line: u32| test_lines.iter().any(|&(s, e)| line >= s && line <= e);
+    let mut waivers: Vec<Waiver> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+    let mut bad = |line: u32, message: String| {
+        meta.push(Finding {
+            path: rel_path.to_string(),
+            line,
+            rule: "waiver-syntax",
+            message,
+        });
+    };
+    const MARKER: &str = "lint:allow";
+    for c in comments {
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        if in_test(c.line) {
+            continue;
+        }
+        let rest = &c.text[pos + MARKER.len()..];
+        let Some(inner) = rest.strip_prefix('(') else {
+            bad(c.line, "waiver is missing the parenthesised rule id".into());
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            bad(c.line, "waiver rule id is missing its closing `)`".into());
+            continue;
+        };
+        let rule = inner[..close].trim();
+        let tail = &inner[close + 1..];
+        if !is_known_rule(rule) {
+            bad(c.line, format!("waiver names unknown rule `{rule}`"));
+            continue;
+        }
+        if is_meta_rule(rule) {
+            bad(c.line, format!("meta rule `{rule}` cannot be waived"));
+            continue;
+        }
+        let justification = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            bad(
+                c.line,
+                format!("waiver for `{rule}` has no justification; explain why it is safe"),
+            );
+            continue;
+        }
+        waivers.push(Waiver {
+            rule: rule.to_string(),
+            line: c.line,
+            used: false,
+        });
+    }
+
+    // A waiver covers its own line (trailing comment) and the next line
+    // (comment on its own line above the code).
+    findings.retain(|f| {
+        let mut suppressed = false;
+        for w in &mut waivers {
+            if w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line) {
+                w.used = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    for w in &waivers {
+        if !w.used {
+            meta.push(Finding {
+                path: rel_path.to_string(),
+                line: w.line,
+                rule: "stale-waiver",
+                message: format!("waiver for `{}` suppresses nothing here; remove it", w.rule),
+            });
+        }
+    }
+    findings.extend(meta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        analyze(path, src, &Config::default())
+    }
+
+    fn rules_of(fs: &[Finding]) -> Vec<&str> {
+        fs.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_iteration_on_fields_lets_and_for_loops() {
+        let src = r#"
+            struct S { map: FxHashMap<u32, u32> }
+            impl S {
+                fn a(&self) -> Vec<u32> { self.map.keys().copied().collect() }
+                fn b(&self) {
+                    for (k, v) in &self.map {}
+                }
+            }
+            fn c() {
+                let m = std::collections::HashMap::new();
+                for x in m.iter() {}
+            }
+            fn fine() {
+                let v: Vec<u32> = Vec::new();
+                for x in &v {}
+                let b: BTreeMap<u32, u32> = BTreeMap::new();
+                for x in &b {}
+            }
+        "#;
+        let fs = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["hash-iteration"; 3], "{fs:?}");
+        assert_eq!(fs[0].line, 4);
+        assert_eq!(fs[1].line, 6);
+        assert_eq!(fs[2].line, 11);
+    }
+
+    #[test]
+    fn hash_lookup_without_iteration_is_fine() {
+        let src = r#"
+            struct S { map: FxHashMap<u32, u32> }
+            impl S {
+                fn get(&self, k: u32) -> Option<&u32> { self.map.get(&k) }
+                fn has(&self, k: u32) -> bool { self.map.contains_key(&k) }
+            }
+        "#;
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }";
+        let fs = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["entropy-rng", "wall-clock"]);
+    }
+
+    #[test]
+    fn panic_family() {
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("msg");
+                if a > b { panic!("boom") }
+                a.checked_add(b).unwrap_or(0)
+            }
+        "#;
+        let fs = run("crates/serve/src/server/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["panic"; 3], "{fs:?}");
+        assert_eq!(
+            fs.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "unwrap_or must not be flagged"
+        );
+    }
+
+    #[test]
+    fn indexing_detection() {
+        let src = r#"
+            fn f(bytes: &[u8], i: usize) -> u8 {
+                let a = bytes[i];
+                let b = &bytes[..4];
+                let c: [u8; 2] = [0, 1];
+                let d = c.get(0);
+                a
+            }
+            #[derive(Clone)]
+            struct S;
+        "#;
+        let fs = run("crates/serve/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["index", "index"], "{fs:?}");
+        assert_eq!(
+            fs.iter().map(|f| f.line).collect::<Vec<_>>(),
+            vec![3, 4],
+            "array type/literal and attributes must not be flagged"
+        );
+    }
+
+    #[test]
+    fn keyword_brackets_are_not_indexing() {
+        // Keywords lex as idents but introduce slice types, array literals,
+        // or array patterns — none of these can panic.
+        let src = r#"
+            fn f(buf: &mut [u8]) -> u8 {
+                let [first] = [buf.first().copied().unwrap_or(0)];
+                for x in [1u8, 2, 3] {
+                    let _ = x;
+                }
+                first
+            }
+        "#;
+        let fs = run("crates/serve/src/x.rs", src);
+        assert_eq!(rules_of(&fs), Vec::<&str>::new(), "{fs:?}");
+    }
+
+    #[test]
+    fn float_eq_and_narrowing() {
+        let src = r#"
+            fn f(x: f64, n: usize) -> bool {
+                let t = n as u32;
+                let w = n as u64;
+                x == 0.0 && t > 0 && w > 0 && n != 3
+            }
+        "#;
+        let fs = run("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["narrowing-cast", "float-eq"], "{fs:?}");
+        assert_eq!(fs[0].line, 3);
+        assert_eq!(fs[1].line, 5);
+    }
+
+    #[test]
+    fn unsafe_forbid_only_on_crate_roots() {
+        let missing = "pub fn f() {}";
+        let present = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert_eq!(
+            rules_of(&run("crates/core/src/lib.rs", missing)),
+            vec!["unsafe-forbid"]
+        );
+        assert!(run("crates/core/src/lib.rs", present).is_empty());
+        assert!(run("crates/core/src/other.rs", missing).is_empty());
+    }
+
+    #[test]
+    fn debug_print_in_lib_not_bin() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"err ok\"); }";
+        assert_eq!(
+            rules_of(&run("crates/core/src/x.rs", src)),
+            vec!["debug-print"]
+        );
+        assert!(run("crates/bench/src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = r#"
+            fn lib_code(x: Option<u32>) -> Option<u32> { x }
+
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let v = Some(1).unwrap();
+                    let m: FxHashMap<u32, u32> = FxHashMap::default();
+                    for x in m.iter() {}
+                    println!("{v}");
+                }
+            }
+        "#;
+        assert!(run("crates/serve/src/server/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+        "#;
+        assert_eq!(
+            rules_of(&run("crates/serve/src/server/x.rs", src)),
+            vec!["panic"]
+        );
+    }
+
+    #[test]
+    fn test_directory_files_are_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(run("crates/serve/tests/integration.rs", src).is_empty());
+        assert!(run("crates/bench/benches/b.rs", src).is_empty());
+        assert!(run("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn patterns_inside_strings_and_comments_do_not_fire() {
+        let src = r#"
+            fn f() -> &'static str {
+                // describing x.unwrap() and Instant::now() here is fine
+                "also fine: map.iter() and panic!"
+            }
+        "#;
+        assert!(run("crates/serve/src/server/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn justified_waiver_suppresses_same_line_and_line_above() {
+        let trailing = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic): caller checked is_some\n";
+        assert!(run("crates/serve/src/server/x.rs", trailing).is_empty());
+        let above = "// lint:allow(panic): caller checked is_some\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(run("crates/serve/src/server/x.rs", above).is_empty());
+    }
+
+    #[test]
+    fn unjustified_waiver_errors_and_does_not_suppress() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic)\n";
+        let fs = run("crates/serve/src/server/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["panic", "waiver-syntax"], "{fs:?}");
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "// lint:allow(panic): nothing panics below\nfn f() -> u32 { 1 }\n";
+        let fs = run("crates/serve/src/server/x.rs", src);
+        assert_eq!(rules_of(&fs), vec!["stale-waiver"]);
+    }
+
+    #[test]
+    fn waiver_for_unknown_or_meta_rule_errors() {
+        let unknown = "fn f() {} // lint:allow(no-such-rule): because\n";
+        let fs = run("crates/core/src/x.rs", unknown);
+        assert_eq!(rules_of(&fs), vec!["waiver-syntax"]);
+        let meta = "fn f() {} // lint:allow(stale-waiver): because\n";
+        let fs = run("crates/core/src/x.rs", meta);
+        assert_eq!(rules_of(&fs), vec!["waiver-syntax"]);
+    }
+
+    #[test]
+    fn waiver_only_suppresses_its_own_rule() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(index): wrong rule\n";
+        let fs = run("crates/serve/src/server/x.rs", src);
+        // The panic finding survives and the index waiver is stale.
+        assert_eq!(rules_of(&fs), vec!["panic", "stale-waiver"], "{fs:?}");
+    }
+
+    #[test]
+    fn config_scoping_limits_rules() {
+        let cfg = crate::config::parse("[rule.panic]\ninclude = [\"crates/serve/src/server\"]\n")
+            .unwrap();
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(
+            rules_of(&analyze("crates/serve/src/server/x.rs", src, &cfg)),
+            vec!["panic"]
+        );
+        assert!(analyze("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded-violation fixture for the srclda-lint integration tests.
+//!
+//! This file is never compiled — it is `include_str!`-ed as lint input.
+//! `fixture_lint.rs` pins the exact (line, rule) pairs below, so keep the
+//! line numbers stable when editing.
+
+use std::collections::HashMap;
+
+pub fn hash_iter(m: &HashMap<u32, u32>) -> u32 {
+    m.values().sum() // line 10: hash-iteration
+}
+
+pub fn panics(x: Option<u32>) -> u32 {
+    x.unwrap() // line 14: panic
+}
+
+pub fn index(v: &[u32]) -> u32 {
+    v[0] // line 18: index
+}
+
+pub fn float_eq(a: f64) -> bool {
+    a == 0.25 // line 22: float-eq
+}
+
+pub fn narrow(n: usize) -> u32 {
+    n as u32 // line 26: narrowing-cast
+}
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now() // line 30: wall-clock
+}
+
+pub fn noisy() {
+    println!("debug spew"); // line 34: debug-print
+}

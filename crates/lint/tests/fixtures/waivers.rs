@@ -1,0 +1,25 @@
+//! Waiver-behavior fixture: one justified waiver, one unjustified one,
+//! one stale one, and one naming an unknown rule.
+//!
+//! Never compiled — `include_str!`-ed as lint input by `fixture_lint.rs`,
+//! which pins the line numbers below.
+
+pub fn justified(x: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture — the caller constructs `x` as Some
+    x.unwrap() // line 9: suppressed by the waiver above
+}
+
+pub fn unjustified(x: Option<u32>) -> u32 {
+    // lint:allow(panic):
+    x.unwrap() // line 14: NOT suppressed; line 13 is a waiver-syntax error
+}
+
+pub fn stale() -> u32 {
+    // lint:allow(index): nothing on the next line actually indexes
+    42 // line 18's waiver suppresses nothing -> stale-waiver
+}
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(no-such-rule): bogus
+    7 // line 23 names an unknown rule -> waiver-syntax
+}

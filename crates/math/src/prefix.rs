@@ -124,6 +124,7 @@ pub fn blockwise_inclusive_scan(v: &mut [f64], blocks: usize) {
     }
     // Phase 3: apply offsets.
     for (c, off) in v.chunks_mut(chunk).zip(offsets) {
+        // lint:allow(float-eq): exact-zero test — adding 0.0 is the identity, so this only skips no-op chunks
         if off != 0.0 {
             for x in c.iter_mut() {
                 *x += off;

@@ -262,7 +262,16 @@ impl ModelArtifact {
             // The checkpoint's own document lengths are the reference here
             // (the artifact carries no corpus); cross-corpus validation
             // happens again at resume time in `fit_resumable`.
-            let doc_lens: Vec<u32> = cp.z.iter().map(|d| d.len() as u32).collect();
+            let doc_lens: Vec<u32> =
+                cp.z.iter()
+                    .map(|d| {
+                        u32::try_from(d.len()).map_err(|_| {
+                            ServeError::Corrupt(
+                                "checkpoint document longer than u32::MAX tokens".into(),
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
             cp.validate(&doc_lens, v, t)
                 .map_err(|e| ServeError::Corrupt(format!("checkpoint invalid: {e}")))?;
         }
@@ -398,7 +407,8 @@ impl ModelArtifact {
         let mut out = Writer::new();
         out.bytes(&MAGIC);
         out.u32(FORMAT_VERSION);
-        out.u32(sections.len() as u32);
+        debug_assert!(sections.len() <= MAX_SECTIONS as usize);
+        out.u32(sections.len() as u32); // lint:allow(narrowing-cast): at most MAX_SECTIONS entries, built right above
         let mut offset = table_len as u64;
         for (id, payload) in &sections {
             out.u32(*id);
@@ -428,7 +438,7 @@ impl ModelArtifact {
                 .iter()
                 .find(|s| s.id == id)
                 .ok_or(ServeError::MissingSection { name })?;
-            Ok(&bytes[info.offset as usize..(info.offset + info.length) as usize])
+            section_bytes(bytes, info)
         };
 
         let mut model = Reader::new(payload(SEC_MODEL, "model")?, "model section");
@@ -507,10 +517,7 @@ impl ModelArtifact {
         // The checkpoint section is optional (v2); absent in every v1
         // artifact and in v2 artifacts of finished runs.
         if let Some(info) = sections.iter().find(|s| s.id == SEC_CHECKPOINT) {
-            let mut cp_reader = Reader::new(
-                &bytes[info.offset as usize..(info.offset + info.length) as usize],
-                "checkpoint section",
-            );
+            let mut cp_reader = Reader::new(section_bytes(bytes, info)?, "checkpoint section");
             let cp = decode_checkpoint(&mut cp_reader)?;
             cp_reader.expect_empty()?;
             return artifact.with_checkpoint(cp);
@@ -752,6 +759,26 @@ fn decode_prior(r: &mut Reader<'_>) -> Result<RawPrior, ServeError> {
     }
 }
 
+/// The payload slice a section table entry points at. [`list_sections`]
+/// already validated the bounds, but the decode path never indexes on
+/// trust: a bad entry comes back as [`ServeError::Corrupt`], not a panic.
+fn section_bytes<'a>(bytes: &'a [u8], info: &SectionInfo) -> Result<&'a [u8], ServeError> {
+    let start = usize::try_from(info.offset).ok();
+    let end = info
+        .offset
+        .checked_add(info.length)
+        .and_then(|e| usize::try_from(e).ok());
+    start
+        .zip(end)
+        .and_then(|(s, e)| bytes.get(s..e))
+        .ok_or_else(|| {
+            ServeError::Corrupt(format!(
+                "section {} spans [{}, +{}) outside the artifact",
+                info.id, info.offset, info.length
+            ))
+        })
+}
+
 /// Parse and verify the envelope (magic, version, checksum, section table)
 /// without decoding payloads. This is what `inspect` prints and what
 /// [`ModelArtifact::from_bytes`] builds on.
@@ -760,12 +787,12 @@ fn decode_prior(r: &mut Reader<'_>) -> Result<RawPrior, ServeError> {
 /// Fails on a bad magic, unsupported version, checksum mismatch, or a
 /// structurally invalid section table.
 pub fn list_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, ServeError> {
-    if bytes.len() < 8 || bytes[..8] != MAGIC {
+    if bytes.get(..8) != Some(MAGIC.as_slice()) {
         return Err(ServeError::BadMagic {
             found: bytes.iter().copied().take(8).collect(),
         });
     }
-    let mut header = Reader::new(&bytes[8..], "header");
+    let mut header = Reader::new(bytes.get(8..).unwrap_or(&[]), "header");
     let version = header.u32()?;
     if version == 0 || version > FORMAT_VERSION {
         return Err(ServeError::UnsupportedVersion {
@@ -776,12 +803,17 @@ pub fn list_sections(bytes: &[u8]) -> Result<Vec<SectionInfo>, ServeError> {
     if bytes.len() < 24 {
         return Err(ServeError::Truncated { context: "trailer" });
     }
-    let body_len = bytes.len() - 8;
-    let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("8 bytes"));
-    let computed = fnv1a64(&bytes[..body_len]);
+    // The trailer is the final 8 bytes; everything before it is the
+    // checksummed body (split_at cannot be out of range: len >= 24).
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut stored_bytes = [0u8; 8];
+    stored_bytes.copy_from_slice(trailer);
+    let stored = u64::from_le_bytes(stored_bytes);
+    let computed = fnv1a64(body);
     if stored != computed {
         return Err(ServeError::ChecksumMismatch { computed, stored });
     }
+    let body_len = body.len();
     let count = header.u32()?;
     if count > MAX_SECTIONS {
         return Err(ServeError::Corrupt(format!(

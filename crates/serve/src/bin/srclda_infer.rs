@@ -364,6 +364,7 @@ fn cmd_infer(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let texts: Vec<&str> = docs.iter().map(|(_, t)| t.as_str()).collect();
+    // lint:allow(wall-clock): operator-facing latency report printed by the CLI; never feeds model state
     let start = std::time::Instant::now();
     let scores = if workers > 1 {
         engine.infer_batch_parallel(&texts, workers)?

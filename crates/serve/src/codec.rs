@@ -130,19 +130,34 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ServeError> {
-        if self.remaining() < n {
-            return Err(ServeError::Truncated {
+        match self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end))
+        {
+            Some(out) => {
+                self.pos += n;
+                Ok(out)
+            }
+            None => Err(ServeError::Truncated {
                 context: self.context,
-            });
+            }),
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+    }
+
+    /// Take exactly `N` bytes as a fixed-width array. The copy cannot fail:
+    /// `take` hands back exactly `N` bytes or errors.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], ServeError> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
         Ok(out)
     }
 
     /// One byte.
     pub fn u8(&mut self) -> Result<u8, ServeError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_array::<1>()?;
+        Ok(b)
     }
 
     /// Bool from one byte; anything but 0/1 is corrupt.
@@ -159,23 +174,17 @@ impl<'a> Reader<'a> {
 
     /// Little-endian u32.
     pub fn u32(&mut self) -> Result<u32, ServeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Little-endian u64.
     pub fn u64(&mut self) -> Result<u64, ServeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// IEEE-754 f64 from its little-endian bit pattern.
     pub fn f64(&mut self) -> Result<f64, ServeError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// A u64 length field, validated against the bytes that remain given

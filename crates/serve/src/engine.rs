@@ -240,26 +240,38 @@ impl InferenceEngine {
         let mut slots: Vec<Option<Result<Arc<DocumentScore>, ServeError>>> =
             (0..docs.len()).map(|_| None).collect();
         crossbeam::thread::scope(|s| {
+            // Walk `slots` and `docs` in lock-step so each worker gets a
+            // matched (shard, doc_shard) pair and no position arithmetic
+            // can go out of bounds.
             let mut rest: &mut [Option<Result<Arc<DocumentScore>, ServeError>>] = &mut slots;
-            let mut start = 0usize;
+            let mut docs_rest: &[S] = docs;
             for w in 0..workers {
                 // Contiguous shards: docs.len()/workers ± 1 each.
-                let share = (docs.len() - start).div_ceil(workers - w);
+                let share = docs_rest.len().div_ceil(workers - w);
                 let (shard, tail) = rest.split_at_mut(share);
                 rest = tail;
-                let shard_start = start;
-                start += share;
+                let (doc_shard, doc_tail) = docs_rest.split_at(share);
+                docs_rest = doc_tail;
                 s.spawn(move |_| {
-                    for (offset, slot) in shard.iter_mut().enumerate() {
-                        *slot = Some(self.infer(docs[shard_start + offset].as_ref()));
+                    for (slot, doc) in shard.iter_mut().zip(doc_shard) {
+                        *slot = Some(self.infer(doc.as_ref()));
                     }
                 });
             }
         })
-        .expect("inference worker panicked");
+        .map_err(|_| ServeError::Internal("inference worker panicked".to_string()))?;
         slots
             .into_iter()
-            .map(|slot| slot.expect("every slot filled by a worker"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    // Unreachable with the lock-step sharding above; kept as
+                    // a typed error so a future sharding bug cannot panic
+                    // the daemon's request path.
+                    Err(ServeError::Internal(
+                        "inference slot left unfilled".to_string(),
+                    ))
+                })
+            })
             .collect()
     }
 

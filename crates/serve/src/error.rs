@@ -47,6 +47,9 @@ pub enum ServeError {
     },
     /// The decoded model failed semantic validation in `srclda_core`.
     Core(srclda_core::CoreError),
+    /// An internal invariant failed at runtime (for example a worker
+    /// thread panicked mid-inference). The daemon maps this to HTTP 500.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -75,6 +78,7 @@ impl fmt::Display for ServeError {
                 write!(f, "no model named {name:?} is loaded")
             }
             ServeError::Core(e) => write!(f, "decoded model failed validation: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

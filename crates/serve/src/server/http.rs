@@ -158,7 +158,8 @@ pub fn read_request<R: BufRead>(reader: &mut R, deadline: Instant) -> Result<Req
     let mut body = vec![0u8; content_length];
     let mut filled = 0usize;
     while filled < body.len() {
-        match read_with_deadline(reader, &mut body[filled..], deadline)? {
+        let unfilled = body.get_mut(filled..).unwrap_or_default();
+        match read_with_deadline(reader, unfilled, deadline)? {
             0 => return Err(ReadError::Malformed("connection closed mid-body")),
             n => filled += n,
         }
@@ -218,19 +219,20 @@ fn read_line<R: BufRead>(
                 return Err(ReadError::Malformed("connection closed mid-line"));
             }
             _ => {
-                if byte[0] == b'\n' {
+                let [b] = byte;
+                if b == b'\n' {
                     break;
                 }
-                consumed.push(byte[0]);
+                consumed.push(b);
                 if consumed.len() > MAX_HEAD_BYTES {
                     return Err(ReadError::TooLarge("request head exceeds the size limit"));
                 }
             }
         }
     }
-    let mut line = &consumed[start..];
-    if line.last() == Some(&b'\r') {
-        line = &line[..line.len() - 1];
+    let mut line = consumed.get(start..).unwrap_or(&[]);
+    if let Some(stripped) = line.strip_suffix(b"\r") {
+        line = stripped;
     }
     std::str::from_utf8(line)
         .map(|l| Some(l.to_string()))

@@ -60,6 +60,7 @@ impl Value {
     /// The numeric payload as a non-negative integer, if it is one exactly.
     pub fn as_usize(&self) -> Option<usize> {
         match self {
+            // lint:allow(float-eq): fract()==0.0 is an exact integer-valuedness test, not a tolerance check
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
                 Some(*n as usize)
             }
@@ -238,13 +239,18 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Unconsumed input (empty once `pos` runs past the end).
+    fn rest(&self) -> &'a [u8] {
+        self.bytes.get(self.pos..).unwrap_or(&[])
+    }
+
     fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -254,7 +260,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self.rest().starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -280,7 +286,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         self.depth += 1;
         let mut members = Vec::new();
         self.skip_ws();
@@ -293,7 +299,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':', "expected ':' after object key")?;
+            self.expect_byte(b':', "expected ':' after object key")?;
             self.skip_ws();
             let value = self.value()?;
             members.push((key, value));
@@ -311,7 +317,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         self.depth += 1;
         let mut items = Vec::new();
         self.skip_ws();
@@ -337,7 +343,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -363,7 +369,7 @@ impl<'a> Parser<'a> {
                             // Surrogate pairs: a high surrogate must be
                             // followed by an escaped low surrogate.
                             let c = if (0xd800..0xdc00).contains(&unit) {
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self.rest().starts_with(b"\\u") {
                                     self.pos += 2;
                                     let low = self.hex4()?;
                                     if !(0xdc00..0xe000).contains(&low) {
@@ -391,12 +397,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
-                Some(_) => {
+                Some(first) => {
                     // Copy one UTF-8 scalar (input is &str, so boundaries
                     // are valid by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let len = utf8_len(rest[0]);
-                    let s = std::str::from_utf8(&rest[..len.min(rest.len())])
+                    let rest = self.rest();
+                    let len = utf8_len(first).min(rest.len());
+                    let s = std::str::from_utf8(rest.get(..len).unwrap_or(&[]))
                         .map_err(|_| self.err("invalid utf-8"))?;
                     out.push_str(s);
                     self.pos += s.len();
@@ -450,7 +456,8 @@ impl<'a> Parser<'a> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
+            .map_err(|_| self.err("non-ascii bytes in number"))?;
         text.parse()
             .map(Value::Num)
             .map_err(|_| self.err("number out of range"))

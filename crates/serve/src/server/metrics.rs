@@ -84,6 +84,7 @@ impl LatencyHistogram {
 
     /// Record one observation.
     pub fn record(&self, duration: Duration) {
+        // lint:allow(index): bucket_for clamps its result to BUCKETS - 1, the last valid index
         self.counts[Self::bucket_for(duration)].fetch_add(1, Ordering::Relaxed);
         let nanos = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         // Saturate the exact sum instead of wrapping: a wrapped _sum

@@ -203,8 +203,7 @@ impl Server {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("srclda-served-{w}"))
-                    .spawn(move || accept_loop(&listener, &ctx))
-                    .expect("spawn connection worker"),
+                    .spawn(move || accept_loop(&listener, &ctx))?,
             );
         }
         drop(self.listener);
@@ -731,8 +730,12 @@ fn handle_infer(request: &Request, ctx: &WorkerCtx) -> (u16, String) {
     if single {
         // Single-document responses flatten the score fields into the top
         // level ({"model": …, "theta": …}), batch responses nest them.
-        if let Value::Obj(score_members) = score_value(&entry, &scores[0], top) {
-            members.extend(score_members);
+        // `scores` has exactly one entry here (one input document), but go
+        // through `first()` so the request path stays panic-free.
+        if let Some(first) = scores.first() {
+            if let Value::Obj(score_members) = score_value(&entry, first, top) {
+                members.extend(score_members);
+            }
         }
     } else {
         members.push((
@@ -764,7 +767,10 @@ fn score_value(entry: &ModelEntry, score: &DocumentScore, top: usize) -> Value {
                         .label(t)
                         .map_or(Value::Null, |l| Value::from(l.to_string())),
                 ),
-                ("weight", Value::Num(score.theta()[t])),
+                (
+                    "weight",
+                    Value::Num(score.theta().get(t).copied().unwrap_or(0.0)),
+                ),
             ])
         })
         .collect();

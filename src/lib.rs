@@ -52,6 +52,8 @@
 //! assert_eq!(fitted.num_topics(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use srclda_core as core;
 pub use srclda_corpus as corpus;
 pub use srclda_eval as eval;
