@@ -29,7 +29,7 @@
 
 use srclda_bench::cli::{flag_present, flag_value, handle_help};
 use srclda_core::prelude::gibbs_perplexity_counted;
-use srclda_core::{Backend, GibbsModel, SourceLda, TrainCheckpoint, Variant};
+use srclda_core::{Backend, GibbsModel, KernelKind, SourceLda, TrainCheckpoint, Variant};
 use srclda_corpus::{Corpus, CorpusBuilder, Tokenizer};
 use srclda_knowledge::KnowledgeSourceBuilder;
 use srclda_obs::{JsonlSink, ProgressSink, TrainEvent, TrainObserver};
@@ -45,6 +45,10 @@ const EXTRA_FLAGS: &[(&str, &str)] = &[
     (
         "--shards <S>",
         "document shard count for --train (default 2)",
+    ),
+    (
+        "--kernel <K>",
+        "shard sweep kernel for --train: flat, sparse, or dense (default flat)",
     ),
     ("--sweeps <N>", "Gibbs sweeps for --train (default 24)"),
     ("--seed <N>", "run seed for --train (default 7)"),
@@ -205,6 +209,19 @@ fn parse_fault_spec(spec: &str) -> (FaultKind, usize) {
 
 fn train(args: &[String]) {
     let shards = parse_usize(args, "--shards").unwrap_or(2);
+    let kernel = if flag_present(args, "--kernel") {
+        match flag_value(args, "--kernel") {
+            Some("flat") => KernelKind::Flat,
+            Some("sparse") => KernelKind::Sparse,
+            Some("dense") => KernelKind::Dense,
+            Some(other) => die(&format!(
+                "--kernel wants flat, sparse, or dense, got {other:?}"
+            )),
+            None => die("--kernel requires a value"),
+        }
+    } else {
+        KernelKind::Flat
+    };
     let sweeps = parse_usize(args, "--sweeps").unwrap_or(24);
     let seed = parse_usize(args, "--seed").unwrap_or(7) as u64;
     let checkpoint_every = parse_usize(args, "--checkpoint-every");
@@ -252,7 +269,11 @@ fn train(args: &[String]) {
         .alpha(0.5)
         .iterations(sweeps)
         .seed(seed)
-        .backend(Backend::ShardedDocs { shards, threads })
+        .backend(Backend::ShardedDocs {
+            kernel,
+            shards,
+            threads,
+        })
         .build()
         .and_then(|m| m.assemble(corpus.vocab_size()))
         .unwrap_or_else(|e| die(&e.to_string()));
@@ -393,7 +414,7 @@ fn train(args: &[String]) {
     }
 
     println!(
-        "trained {} docs x {} sweeps, shards={shards}, seed={seed}",
+        "trained {} docs x {} sweeps, shards={shards}, kernel={kernel:?}, seed={seed}",
         corpus.num_docs(),
         sweeps
     );
@@ -426,6 +447,9 @@ const SHARD_FIELDS: &[(&str, bool)] = &[
     ("merge_secs", false),
     ("shard_secs", false),
 ];
+/// Bucket tallies a `shard_sweep` line carries iff the shard kernel is
+/// sparse — all four present or all four absent, never a subset.
+const SHARD_BUCKET_FIELDS: &[&str] = &["q_hits", "r_hits", "s_hits", "dense_fallbacks"];
 const ADAPT_FIELDS: &[(&str, bool)] = &[
     ("sweep", false),
     ("duration_secs", false),
@@ -469,14 +493,14 @@ fn validate_telemetry(path: &str) {
                 "{path}:{lineno}: missing the \"event\" discriminator"
             ));
         };
-        let (kind, fields): (&'static str, &[(&str, bool)]) = match kind {
-            "sweep" => ("sweep", SWEEP_FIELDS),
-            "sparse_buckets" => ("sparse_buckets", SPARSE_FIELDS),
-            "shard_sweep" => ("shard_sweep", SHARD_FIELDS),
-            "adapt" => ("adapt", ADAPT_FIELDS),
-            "checkpoint" => ("checkpoint", CHECKPOINT_FIELDS),
-            "fit_complete" => ("fit_complete", FIT_COMPLETE_FIELDS),
-            "perplexity" => ("perplexity", PERPLEXITY_FIELDS),
+        let (kind, fields, optional): (&'static str, &[(&str, bool)], &[&str]) = match kind {
+            "sweep" => ("sweep", SWEEP_FIELDS, &[]),
+            "sparse_buckets" => ("sparse_buckets", SPARSE_FIELDS, &[]),
+            "shard_sweep" => ("shard_sweep", SHARD_FIELDS, SHARD_BUCKET_FIELDS),
+            "adapt" => ("adapt", ADAPT_FIELDS, &[]),
+            "checkpoint" => ("checkpoint", CHECKPOINT_FIELDS, &[]),
+            "fit_complete" => ("fit_complete", FIT_COMPLETE_FIELDS, &[]),
+            "perplexity" => ("perplexity", PERPLEXITY_FIELDS, &[]),
             other => die(&format!("{path}:{lineno}: unknown event kind {other:?}")),
         };
         for (field, nullable) in fields {
@@ -499,10 +523,28 @@ fn validate_telemetry(path: &str) {
                 ));
             }
         }
-        if let Some((name, _)) = members
-            .iter()
-            .find(|(name, _)| name != "event" && !fields.iter().any(|(f, _)| f == name))
-        {
+        let present_optional = optional.iter().filter(|f| value.get(f).is_some()).count();
+        if present_optional != 0 && present_optional != optional.len() {
+            die(&format!(
+                "{path}:{lineno}: {kind} event carries {present_optional} of \
+                 {} bucket fields (all or none)",
+                optional.len()
+            ));
+        }
+        for field in optional {
+            if let Some(v) = value.get(field) {
+                if !matches!(v, json::Value::Num(_)) {
+                    die(&format!(
+                        "{path}:{lineno}: {kind} field {field:?} has the wrong type"
+                    ));
+                }
+            }
+        }
+        if let Some((name, _)) = members.iter().find(|(name, _)| {
+            name != "event"
+                && !fields.iter().any(|(f, _)| f == name)
+                && !optional.iter().any(|f| f == name)
+        }) {
             die(&format!(
                 "{path}:{lineno}: {kind} event has unknown field {name:?}"
             ));
@@ -538,6 +580,7 @@ fn main() {
     let known_value_flags = [
         "--scale",
         "--shards",
+        "--kernel",
         "--sweeps",
         "--seed",
         "--checkpoint-every",

@@ -21,7 +21,9 @@
 
 use super::sweep_throughput::{differential_rate, world};
 use crate::cli::{banner, Scale};
-use srclda_core::{Backend, FittedModel, GibbsModel, SmoothingMode, SourceLda, Variant};
+use srclda_core::{
+    Backend, FittedModel, GibbsModel, KernelKind, SmoothingMode, SourceLda, Variant,
+};
 use std::time::Instant;
 
 /// Shard counts every cell is measured at.
@@ -65,7 +67,14 @@ fn time_family<F: Fn(Backend, usize) -> FittedModel>(
     threads: usize,
 ) -> (f64, Vec<ShardedRate>, bool) {
     let serial_fit = fit(Backend::Serial, sweeps);
-    let one_shard = fit(Backend::ShardedDocs { shards: 1, threads }, sweeps);
+    let one_shard = fit(
+        Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
+            shards: 1,
+            threads,
+        },
+        sweeps,
+    );
     assert_eq!(
         serial_fit.assignments(),
         one_shard.assignments(),
@@ -87,7 +96,11 @@ fn time_family<F: Fn(Backend, usize) -> FittedModel>(
         differential_rate(time_of(Backend::Serial), tokens_per_sweep, sweeps);
     let mut sharded = Vec::new();
     for shards in SHARD_COUNTS {
-        let backend = Backend::ShardedDocs { shards, threads };
+        let backend = Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
+            shards,
+            threads,
+        };
         let (rate, bad) = differential_rate(time_of(backend), tokens_per_sweep, sweeps);
         unreliable |= bad;
         sharded.push(ShardedRate {
@@ -96,6 +109,149 @@ fn time_family<F: Fn(Backend, usize) -> FittedModel>(
         });
     }
     (serial, sharded, unreliable)
+}
+
+/// One shard count measured with both shard kernels.
+struct KernelRate {
+    shards: usize,
+    flat_tokens_per_sec: f64,
+    sparse_tokens_per_sec: f64,
+}
+
+impl KernelRate {
+    /// Sparse-sharded over flat-sharded tokens/sec at the same `S`.
+    fn sparse_speedup(&self) -> f64 {
+        self.sparse_tokens_per_sec / self.flat_tokens_per_sec.max(1e-9)
+    }
+}
+
+/// The sharded-kernel cell: one high-T family timed with the flat and
+/// sparse shard kernels at every shard count. This is the composed-axes
+/// perf contract — at bucket-kernel scale (T = 2000) the sparse shard
+/// kernel must deliver its sub-linear win *inside* the sharded execution
+/// strategy, not just single-threaded.
+struct SparseShardCell {
+    family: &'static str,
+    topics: usize,
+    vocab: usize,
+    docs: usize,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    threads: usize,
+    rates: Vec<KernelRate>,
+    unreliable: bool,
+}
+
+/// Time one family with `ShardedDocs { kernel: Flat }` vs
+/// `ShardedDocs { kernel: Sparse }` at every shard count. The S=1
+/// sparse-sharded chain is asserted bit-identical to
+/// `Backend::SparseKernel` first, so the timed sparse work is exactly the
+/// single-thread bucket kernel's statistical work.
+fn time_sharded_kernels<F: Fn(Backend, usize) -> FittedModel>(
+    fit: F,
+    tokens_per_sweep: usize,
+    sweeps: usize,
+    threads: usize,
+) -> (Vec<KernelRate>, bool) {
+    let sparse_fit = fit(Backend::SparseKernel, sweeps);
+    let one_shard = fit(
+        Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
+            shards: 1,
+            threads,
+        },
+        sweeps,
+    );
+    assert_eq!(
+        sparse_fit.assignments(),
+        one_shard.assignments(),
+        "S=1 sparse-sharded chain diverged from Backend::SparseKernel"
+    );
+    let fit = &fit;
+    let time_of = |backend: Backend| {
+        move |iters: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = Instant::now();
+                let _ = fit(backend, iters);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            best
+        }
+    };
+    let mut rates = Vec::new();
+    let mut unreliable = false;
+    for shards in SHARD_COUNTS {
+        let backend_of = |kernel: KernelKind| Backend::ShardedDocs {
+            kernel,
+            shards,
+            threads,
+        };
+        let (flat, flat_bad) = differential_rate(
+            time_of(backend_of(KernelKind::Flat)),
+            tokens_per_sweep,
+            sweeps,
+        );
+        let (sparse, sparse_bad) = differential_rate(
+            time_of(backend_of(KernelKind::Sparse)),
+            tokens_per_sweep,
+            sweeps,
+        );
+        unreliable |= flat_bad || sparse_bad;
+        rates.push(KernelRate {
+            shards,
+            flat_tokens_per_sec: flat,
+            sparse_tokens_per_sec: sparse,
+        });
+    }
+    (rates, unreliable)
+}
+
+/// Run the high-T sharded-kernel cell: the λ-integrated model at T = 2000
+/// (the fig-8 bucket-kernel regime; V above the dense-integration cutoff
+/// so the tables take the sparse layout).
+fn run_sparse_shard_cell(shapes: &Shapes) -> SparseShardCell {
+    let Shapes {
+        topics,
+        v,
+        docs,
+        doc_len,
+        sweeps,
+        support,
+    } = *shapes;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (knowledge, corpus) = world(v, topics, support, docs, doc_len, 34);
+    let (rates, unreliable) = time_sharded_kernels(
+        |backend, iters| {
+            SourceLda::builder()
+                .knowledge_source(knowledge.clone())
+                .variant(Variant::Full)
+                .approximation_steps(8)
+                .smoothing(SmoothingMode::Identity)
+                .alpha(0.5)
+                .iterations(iters)
+                .backend(backend)
+                .seed(7)
+                .build()
+                .expect("valid model")
+                .fit(&corpus)
+                .expect("fit succeeds")
+        },
+        corpus.num_tokens(),
+        sweeps,
+        threads,
+    );
+    SparseShardCell {
+        family: "srclda_integrated_t2000",
+        topics,
+        vocab: v,
+        docs: corpus.num_docs(),
+        tokens_per_sweep: corpus.num_tokens(),
+        sweeps,
+        threads,
+        rates,
+        unreliable,
+    }
 }
 
 /// The observer-overhead measurement: the same fit timed with the
@@ -223,6 +379,43 @@ impl Shapes {
             support: 8,
         }
     }
+
+    /// The sharded-kernel cell's shapes: T = 2000 at *every* scale (the
+    /// topic count is the point of the cell — it's where the bucket
+    /// kernel's sub-linear win lives). The corpus must carry enough
+    /// token mass per sweep that the per-token kernel arithmetic
+    /// dominates the per-sweep `S·V·T` snapshot/resync cost both
+    /// kernels pay equally — at T=2000, V=6000 that copy is ~12M
+    /// entries per shard per sweep, so a too-small corpus measures
+    /// memcpy, not sampling. ~60k tokens/sweep keeps the flat O(T)
+    /// reference affordable while leaving it per-token-bound. V stays
+    /// above the dense-integration cutoff so the λ tables take the
+    /// sparse layout, matching `sweep_throughput`'s high-T family.
+    fn high_t(scale: Scale) -> Self {
+        Self {
+            topics: 2000,
+            v: scale.pick(6000, 9000, 12000),
+            docs: scale.pick(1000, 1200, 1500),
+            doc_len: scale.pick(60, 80, 100),
+            sweeps: scale.pick(4, 8, 8),
+            support: scale.pick(12, 25, 40),
+        }
+    }
+
+    /// Tiny high-T-shaped cell for the debug-build unit test (T is only
+    /// "high" relative to the corpus; the test exercises the pipeline,
+    /// not the speedup).
+    #[cfg(test)]
+    fn micro_high_t() -> Self {
+        Self {
+            topics: 48,
+            v: 300,
+            docs: 16,
+            doc_len: 20,
+            sweeps: 4,
+            support: 8,
+        }
+    }
 }
 
 /// Run every family cell at the given shapes.
@@ -317,7 +510,12 @@ fn run_cells(shapes: &Shapes) -> Vec<Cell> {
 
 /// Render `BENCH_train.json` (hand-rolled: the workspace is offline and
 /// vendors no JSON crate; every value is numeric or a static identifier).
-fn render_json(scale: Scale, cells: &[Cell], observer: &ObserverCell) -> String {
+fn render_json(
+    scale: Scale,
+    cells: &[Cell],
+    sparse_cell: &SparseShardCell,
+    observer: &ObserverCell,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"train_throughput\",\n");
     out.push_str("  \"unit\": \"tokens_per_sec\",\n");
@@ -365,7 +563,39 @@ fn render_json(scale: Scale, cells: &[Cell], observer: &ObserverCell) -> String 
             if i + 1 < cells.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"sharded_kernels\": {{\"family\": \"{}\", \"topics\": {}, \"vocab\": {}, \
+         \"docs\": {}, \"tokens_per_sweep\": {}, \"sweeps\": {}, \"threads\": {}, \
+         \"rates\": [",
+        sparse_cell.family,
+        sparse_cell.topics,
+        sparse_cell.vocab,
+        sparse_cell.docs,
+        sparse_cell.tokens_per_sweep,
+        sparse_cell.sweeps,
+        sparse_cell.threads,
+    ));
+    for (j, r) in sparse_cell.rates.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"shards\": {}, \"flat_tokens_per_sec\": {:.1}, \
+             \"sparse_tokens_per_sec\": {:.1}, \"sparse_speedup\": {:.3}}}{}",
+            r.shards,
+            r.flat_tokens_per_sec,
+            r.sparse_tokens_per_sec,
+            r.sparse_speedup(),
+            if j + 1 < sparse_cell.rates.len() {
+                ", "
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str(&format!(
+        "], \"unreliable\": {}}}\n",
+        sparse_cell.unreliable
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -408,8 +638,32 @@ pub fn run(scale: Scale) -> String {
     }
     out.push_str(
         "(S=1 is asserted bit-identical to the serial kernel on every cell; \
-         S>1 is the AD-LDA approximate chain, deterministic in (seed, S) \
+         S>1 is the AD-LDA approximate chain, deterministic in (seed, S, kernel) \
          whatever the thread count)\n",
+    );
+    let sparse_cell = run_sparse_shard_cell(&Shapes::high_t(scale));
+    out.push_str(&format!(
+        "sharded kernels at T={} ({} tokens/sweep, {} threads):\n",
+        sparse_cell.topics, sparse_cell.tokens_per_sweep, sparse_cell.threads,
+    ));
+    for r in &sparse_cell.rates {
+        out.push_str(&format!(
+            "  S{}: flat {:.0} tok/s, sparse {:.0} tok/s ({:.1}x){}\n",
+            r.shards,
+            r.flat_tokens_per_sec,
+            r.sparse_tokens_per_sec,
+            r.sparse_speedup(),
+            if sparse_cell.unreliable {
+                "  UNRELIABLE"
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str(
+        "(S=1 sparse-sharded is asserted bit-identical to Backend::SparseKernel; \
+         both shard kernels sweep the same shard-local counts — only the \
+         per-token arithmetic differs)\n",
     );
     let observer = measure_observer(&Shapes::for_scale(scale));
     out.push_str(&format!(
@@ -423,7 +677,7 @@ pub fn run(scale: Scale) -> String {
             ""
         },
     ));
-    let json = render_json(scale, &cells, &observer);
+    let json = render_json(scale, &cells, &sparse_cell, &observer);
     match std::fs::write("BENCH_train.json", &json) {
         Ok(()) => out.push_str("wrote BENCH_train.json\n"),
         Err(e) => out.push_str(&format!("warning: could not write BENCH_train.json: {e}\n")),
@@ -451,15 +705,32 @@ mod tests {
                 assert!(s.tokens_per_sec > 0.0);
             }
         }
+        let sparse_cell = run_sparse_shard_cell(&Shapes::micro_high_t());
+        assert_eq!(
+            sparse_cell
+                .rates
+                .iter()
+                .map(|r| r.shards)
+                .collect::<Vec<_>>(),
+            SHARD_COUNTS.to_vec()
+        );
+        for r in &sparse_cell.rates {
+            assert!(r.flat_tokens_per_sec > 0.0);
+            assert!(r.sparse_tokens_per_sec > 0.0);
+        }
         let observer = measure_observer(&Shapes::micro());
         assert!(observer.off_tokens_per_sec > 0.0);
         assert!(observer.on_tokens_per_sec > 0.0);
-        let json = render_json(Scale::Smoke, &cells, &observer);
+        let json = render_json(Scale::Smoke, &cells, &sparse_cell, &observer);
         assert!(json.contains("\"experiment\": \"train_throughput\""));
         assert!(json.contains("\"serial_tokens_per_sec\""));
         assert!(json.contains("\"relative_to_serial\""));
         assert!(json.contains("\"scale\": \"smoke\""));
         assert!(json.contains("\"observer\": {\"tokens_per_sweep\""));
         assert!(json.contains("\"on_tokens_per_sec\""));
+        assert!(json.contains("\"sharded_kernels\": {\"family\""));
+        assert!(json.contains("\"flat_tokens_per_sec\""));
+        assert!(json.contains("\"sparse_tokens_per_sec\""));
+        assert!(json.contains("\"sparse_speedup\""));
     }
 }

@@ -57,7 +57,7 @@ pub use lda::Lda;
 pub use model::{FittedModel, GibbsModel};
 pub use params::{ModelConfig, SmoothingMode, TraceConfig};
 pub use persist::{RawIntegrationLayout, RawIntegrationTable, RawPrior, TrainCheckpoint};
-pub use sampler::Backend;
+pub use sampler::{Backend, KernelKind};
 pub use source_lda::{SourceLda, Variant};
 
 /// Convenient `Result` alias.
@@ -77,7 +77,7 @@ pub mod prelude {
         PerplexityEstimate,
     };
     pub use crate::reduction::{ReducedModel, ReductionPolicy};
-    pub use crate::sampler::Backend;
+    pub use crate::sampler::{Backend, KernelKind};
     pub use crate::source_lda::{SourceLda, Variant};
     pub use crate::CoreError;
 }

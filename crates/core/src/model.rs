@@ -238,10 +238,26 @@ impl GibbsModel {
                 } else {
                     0
                 };
-                if cp.shards != expected_shards {
+                if cp.shard_count() != expected_shards {
                     return Err(CoreError::InvalidConfig(format!(
                         "checkpoint was taken with shard layout {} but the backend expects {expected_shards}",
-                        cp.shards
+                        cp.shard_count()
+                    )));
+                }
+                // The kernel tag guards sampling *arithmetic*, not
+                // scheduling: flat and dense kernels walk bit-identical
+                // chains (so swapping between them is legitimate), but the
+                // sparse bucket kernel draws from cached bucket masses —
+                // resuming a sparse chain densely (or vice versa) would
+                // silently fork the chain while keeping the same label.
+                let cp_kernel = cp.kernel_kind()?;
+                if cp_kernel.is_sparse() != backend.kernel().is_sparse() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "checkpoint was trained with the {cp_kernel:?} kernel but the backend \
+                         uses the {:?} kernel — sparse and dense-family kernels draw \
+                         different chains, so resuming would silently switch the \
+                         sampling arithmetic",
+                        backend.kernel()
                     )));
                 }
                 if cp.sweep > total_iters as u64 {
@@ -422,6 +438,18 @@ impl GibbsModel {
                     .unwrap_or(1);
                 let span = observing.then(SpanTimer::start);
                 crate::sampler::adapt::adapt_integrated_priors(&mut priors, &counts, threads);
+                // Adaptation re-weights the integrated priors' quadrature
+                // levels; the sparse kernel's cached reciprocals and
+                // smoothing baselines for exactly those topics are now
+                // stale. Repatch them in place instead of discarding the
+                // whole cache — everything else in it (deviation lists,
+                // non-zero lists, non-integrated baselines) is untouched
+                // by adaptation. The sharded workspaces need no patching:
+                // they resynchronize their count-dependent caches from the
+                // fresh prior tables at every sweep start.
+                if let Some(sparse) = sweep_cache.sparse.as_mut() {
+                    sparse.repatch_adapted(&priors, &counts);
+                }
                 if let Some(span) = span {
                     observer.on_event(&TrainEvent::Adapt {
                         sweep: completed as u64,
@@ -436,11 +464,14 @@ impl GibbsModel {
                         sweep: completed as u64,
                         seed: self.config.seed,
                         alpha: self.config.alpha,
-                        shards: if backend.is_sharded() {
-                            backend.shards() as u64
-                        } else {
-                            0
-                        },
+                        shards: crate::persist::pack_shards(
+                            backend.kernel(),
+                            if backend.is_sharded() {
+                                backend.shards() as u64
+                            } else {
+                                0
+                            },
+                        ),
                         z: z.clone(),
                         nw: counts.snapshot_nw(),
                         nt: counts.snapshot_nt(),

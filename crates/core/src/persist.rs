@@ -22,6 +22,32 @@
 
 use crate::error::CoreError;
 use crate::prior::{IntegrationTable, TopicPrior};
+use crate::sampler::KernelKind;
+
+/// Bit position of the kernel tag inside [`TrainCheckpoint::shards`].
+///
+/// The low 56 bits carry the shard count; the high byte records which
+/// sweep kernel produced the chain (0 = flat, 1 = sparse, 2 = dense).
+/// Tag 0 was chosen for the flat kernel so every checkpoint written
+/// before kernels were recorded — whose high byte is naturally zero —
+/// decodes as the flat kernel it was in fact trained with, and so that
+/// re-encoding such a checkpoint reproduces its original bytes and
+/// digest.
+const KERNEL_TAG_SHIFT: u32 = 56;
+
+/// Mask selecting the shard-count bits of [`TrainCheckpoint::shards`].
+const SHARD_COUNT_MASK: u64 = (1 << KERNEL_TAG_SHIFT) - 1;
+
+/// Encode a kernel kind + shard count into the packed `shards` word.
+pub(crate) fn pack_shards(kernel: KernelKind, shards: u64) -> u64 {
+    debug_assert_eq!(shards & !SHARD_COUNT_MASK, 0, "shard count overflow");
+    let tag: u64 = match kernel {
+        KernelKind::Flat => 0,
+        KernelKind::Sparse => 1,
+        KernelKind::Dense => 2,
+    };
+    (tag << KERNEL_TAG_SHIFT) | shards
+}
 
 /// Value-only mirror of the λ-integration table's storage layout.
 #[derive(Debug, Clone, PartialEq)]
@@ -195,8 +221,13 @@ pub struct TrainCheckpoint {
     /// including λ-adaptation state) or only shapes *future* boundaries
     /// (adaptation schedule) that an operator may legitimately change.
     pub alpha: f64,
-    /// Shard count `S` of [`crate::Backend::ShardedDocs`], or 0 for
-    /// non-sharded backends (whose sampler state is the single run RNG).
+    /// Packed shard layout and kernel tag. The low 56 bits are the shard
+    /// count `S` of [`crate::Backend::ShardedDocs`] (0 for non-sharded
+    /// backends, whose sampler state is the single run RNG); the high
+    /// byte tags the sweep kernel that produced the chain (0 = flat,
+    /// 1 = sparse, 2 = dense). Decode via [`Self::shard_count`] and
+    /// [`Self::kernel_kind`] — the raw word exists so the wire encoding
+    /// and digest of pre-kernel checkpoints (tag 0 = flat) are unchanged.
     pub shards: u64,
     /// Per-token topic assignments, indexed `[doc][position]`.
     pub z: Vec<Vec<u32>>,
@@ -217,6 +248,29 @@ impl TrainCheckpoint {
     /// Topic count `T` implied by the checkpoint.
     pub fn num_topics(&self) -> usize {
         self.nt.len()
+    }
+
+    /// Shard count `S` (the low 56 bits of the packed `shards` word), or
+    /// 0 for non-sharded backends.
+    pub fn shard_count(&self) -> u64 {
+        self.shards & SHARD_COUNT_MASK
+    }
+
+    /// The sweep kernel that produced the chain, decoded from the high
+    /// byte of the packed `shards` word.
+    ///
+    /// # Errors
+    /// Returns an error for an unknown kernel tag (a checkpoint written
+    /// by a newer codec, or corruption in the high byte).
+    pub fn kernel_kind(&self) -> crate::Result<KernelKind> {
+        match self.shards >> KERNEL_TAG_SHIFT {
+            0 => Ok(KernelKind::Flat),
+            1 => Ok(KernelKind::Sparse),
+            2 => Ok(KernelKind::Dense),
+            tag => Err(CoreError::InvalidConfig(format!(
+                "checkpoint: unknown kernel tag {tag}"
+            ))),
+        }
     }
 
     /// Vocabulary size `V` implied by the checkpoint.
@@ -449,13 +503,14 @@ impl TrainCheckpoint {
                 return fail(format!("document {d} assigns topic {t} of {t_count}"));
             }
         }
-        if self.shards as usize != self.shard_rngs.len() {
+        if self.shard_count() as usize != self.shard_rngs.len() {
             return fail(format!(
                 "{} shard RNG states for {} shards",
                 self.shard_rngs.len(),
-                self.shards
+                self.shard_count()
             ));
         }
+        self.kernel_kind()?;
         // The stored topic totals must equal the totals implied by z. The
         // full nw check needs the token stream and happens at resume time
         // (GibbsModel::fit_resumable), but the nt cross-check alone already
@@ -722,10 +777,37 @@ mod tests {
         let mut bad = base.clone();
         bad.shards = 2;
         assert!(bad.validate(&[2, 1], 2, 2).is_err());
+        // Unknown kernel tag in the high byte.
+        let mut bad = base.clone();
+        bad.shards = 7 << 56;
+        assert!(bad.validate(&[2, 1], 2, 2).is_err());
+        assert!(bad.kernel_kind().is_err());
         // nw sized for the wrong vocabulary.
         let mut bad = base;
         bad.nw = vec![0; 6];
         assert!(bad.validate(&[2, 1], 2, 2).is_err());
+    }
+
+    #[test]
+    fn kernel_tag_packs_and_decodes() {
+        use crate::sampler::KernelKind;
+        let mut cp = toy_checkpoint();
+        // Pre-kernel checkpoints (high byte zero) decode as flat.
+        assert_eq!(cp.kernel_kind().unwrap(), KernelKind::Flat);
+        assert_eq!(cp.shard_count(), 0);
+        for (kernel, shards) in [
+            (KernelKind::Flat, 0),
+            (KernelKind::Flat, 4),
+            (KernelKind::Sparse, 2),
+            (KernelKind::Dense, 3),
+        ] {
+            cp.shards = pack_shards(kernel, shards);
+            assert_eq!(cp.kernel_kind().unwrap(), kernel);
+            assert_eq!(cp.shard_count(), shards);
+        }
+        // Flat tags pack to the raw shard count — old bytes and digests
+        // are reproduced exactly.
+        assert_eq!(pack_shards(KernelKind::Flat, 4), 4);
     }
 
     #[test]

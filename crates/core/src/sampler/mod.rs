@@ -1,12 +1,18 @@
-//! Sampler backends: the optimized serial Gibbs kernel, the dense
-//! reference sweep, and the paper's two exact parallel algorithms.
+//! Sampler backends, decomposed along two orthogonal axes: the sweep
+//! **kernel** ([`KernelKind`] — dense reference, optimized flat tables,
+//! or sub-linear SparseLDA buckets) and the **execution strategy**
+//! (single-threaded, document-sharded, or the paper's two exact
+//! per-token parallel algorithms). See the kernel × execution matrix on
+//! [`Backend`].
 //!
-//! All backends draw **one uniform variate per token** from the same
-//! leader RNG and realize the same categorical draw, so — up to last-ulp
-//! floating-point re-association in the parallel scans — they walk identical
-//! chains from identical seeds. The kernel ([`kernel`]) and the dense
-//! reference ([`serial`]) are bit-identical by construction (flat tables
-//! and cached reciprocals reproduce `TopicPrior::word_weight` exactly).
+//! All backends draw **one uniform variate per token** from their RNG
+//! stream. The dense-family kernels realize the same categorical draw, so
+//! they walk identical chains from identical seeds; the sparse kernel
+//! routes the uniform through bucket thresholds and is held to a
+//! distribution-level contract instead. The kernel ([`kernel`]) and the
+//! dense reference ([`serial`]) are bit-identical by construction (flat
+//! tables and cached reciprocals reproduce `TopicPrior::word_weight`
+//! exactly).
 
 pub mod adapt;
 pub mod kernel;
@@ -20,7 +26,74 @@ use crate::error::CoreError;
 use crate::prior::TopicPrior;
 use srclda_math::SldaRng;
 
+/// Which **sweep kernel** computes the per-token topic distribution and
+/// draws from it — the *arithmetic* axis of the backend matrix, orthogonal
+/// to how work is scheduled (single-threaded vs document shards).
+///
+/// `Dense` and `Flat` realize the identical categorical draw and walk
+/// bit-identical chains from one seed (the flat tables reproduce
+/// `TopicPrior::word_weight` exactly); `Sparse` routes the same per-token
+/// uniform through SparseLDA bucket thresholds, so it walks its own chain
+/// and is held to a distribution-level contract instead (see [`sparse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The straightforward per-(token, topic) `word_weight` loop
+    /// ([`serial`]) — the O(T) reference arithmetic.
+    Dense,
+    /// The optimized flat-table kernel ([`kernel`]): struct-of-arrays
+    /// sweep tables, cached reciprocals, word-major combined layout.
+    /// Bit-identical to `Dense`, several times faster. The default — every
+    /// pre-existing config and checkpoint maps here.
+    #[default]
+    Flat,
+    /// The sub-linear SparseLDA bucket kernel ([`sparse`]):
+    /// O(k_d + k_w) per token instead of O(T). Distribution-level
+    /// equivalent to `Dense`/`Flat`, not bit-equal.
+    Sparse,
+}
+
+impl KernelKind {
+    /// Whether this kernel routes draws through bucket thresholds (walks
+    /// its own chain) rather than the dense prefix-sum arithmetic. The
+    /// checkpoint layer records this so resume can never silently switch
+    /// between the two chain families.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, KernelKind::Sparse)
+    }
+}
+
 /// Which sampling algorithm executes the per-token topic draw.
+///
+/// ## Kernel × execution matrix
+///
+/// Backends decompose along two orthogonal axes: the sweep **kernel**
+/// ([`KernelKind`] — how one token's topic distribution is computed) and
+/// the **execution strategy** (how tokens are scheduled onto threads).
+/// Every cell of the matrix that exists is reachable:
+///
+/// | kernel ↓ \ execution → | single-thread      | document shards (`S`, AD-LDA)       | per-token parallel (Algorithms 2/3)  |
+/// |------------------------|--------------------|-------------------------------------|--------------------------------------|
+/// | [`KernelKind::Flat`]   | [`Backend::Serial`]| `ShardedDocs { kernel: Flat, .. }`  | —                                    |
+/// | [`KernelKind::Dense`]  | [`Backend::SerialDense`] | `ShardedDocs { kernel: Dense, .. }` | [`Backend::PrefixSums`], [`Backend::SimpleParallel`] |
+/// | [`KernelKind::Sparse`] | [`Backend::SparseKernel`] | `ShardedDocs { kernel: Sparse, .. }` | —                             |
+///
+/// Equivalence classes, from one seed:
+///
+/// * `Serial` ≡ `SerialDense` ≡ `PrefixSums` ≡ `SimpleParallel` —
+///   **bit-identical** chains (the flat tables and the parallel scans
+///   reorganize the same arithmetic without changing the sampled draw).
+///   `PrefixSums`/`SimpleParallel` are the paper's per-token algorithms,
+///   kept for fidelity; they cap out at T and are superseded for corpus
+///   scale by `ShardedDocs` — prefer the shard row for new configs.
+/// * `ShardedDocs { kernel: k, shards: 1, .. }` is **bit-identical** to
+///   kernel `k`'s single-thread backend, for every `k`; at `S > 1` the
+///   chain is the AD-LDA approximation, deterministic in
+///   `(seed, S, kernel)` with `threads` pure scheduling.
+/// * `SparseKernel` (and the `Sparse` shard row) is
+///   **distribution-level** equivalent to the dense family: exact
+///   bucket-mass ≡ dense-mass property tests plus held-out perplexity
+///   parity (`tests/kernel_equivalence.rs`, `tests/shard_equivalence.rs`),
+///   never bit-equal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
     /// Single-threaded sampling (Algorithm 1) through the optimized hot
@@ -62,10 +135,19 @@ pub enum Backend {
     /// word/topic counts with its own RNG stream, and shard deltas merge
     /// into the global counts at every sweep boundary, in shard order.
     ///
-    /// The chain is a pure function of `(seed, shards)` — `threads` only
-    /// schedules shard work and never changes a single bit of the result —
-    /// and `shards: 1` walks the exact chain of [`Backend::Serial`].
+    /// The chain is a pure function of `(seed, shards, kernel)` —
+    /// `threads` only schedules shard work and never changes a single bit
+    /// of the result — and `shards: 1` walks the exact chain of the
+    /// kernel's single-thread backend ([`Backend::Serial`] for `Flat`,
+    /// [`Backend::SparseKernel`] for `Sparse`, [`Backend::SerialDense`]
+    /// for `Dense`).
     ShardedDocs {
+        /// Sweep kernel each shard runs over its local counts. Defaults
+        /// to [`KernelKind::Flat`] ([`Default`]), which reproduces the
+        /// pre-kernel-axis sharded chain bit for bit; pick
+        /// [`KernelKind::Sparse`] at large T so shards keep the
+        /// sub-linear O(k_d + k_w) per-token cost.
+        kernel: KernelKind,
         /// Fixed shard count `S` (determinism granularity).
         shards: usize,
         /// Worker threads executing shard sweeps (clamped to `S`).
@@ -96,6 +178,22 @@ impl Backend {
     /// whose sampler state includes per-shard RNG streams).
     pub fn is_sharded(&self) -> bool {
         matches!(self, Backend::ShardedDocs { .. })
+    }
+
+    /// The sweep kernel this backend runs — the backend's position on the
+    /// arithmetic axis of the kernel × execution matrix. The serial
+    /// backends are aliases into the matrix (`Serial` → `Flat`,
+    /// `SerialDense` → `Dense`, `SparseKernel` → `Sparse`); the paper's
+    /// per-token parallel algorithms scan the dense weight vector.
+    pub fn kernel(&self) -> KernelKind {
+        match self {
+            Backend::Serial => KernelKind::Flat,
+            Backend::SerialDense | Backend::PrefixSums { .. } | Backend::SimpleParallel { .. } => {
+                KernelKind::Dense
+            }
+            Backend::SparseKernel => KernelKind::Sparse,
+            Backend::ShardedDocs { kernel, .. } => *kernel,
+        }
     }
 
     /// Check the configuration is runnable.
@@ -302,14 +400,21 @@ pub(crate) fn run_sweeps<F: FnMut(usize, &SweepStats)>(
                 &mut |iter| on_sweep(iter, &no_stats),
             );
         }
-        Backend::ShardedDocs { shards, threads } => {
+        Backend::ShardedDocs {
+            kernel,
+            shards,
+            threads,
+        } => {
             debug_assert_eq!(rngs.shards.len(), shards, "one RNG stream per shard");
             shard::run(
                 ctx,
                 z,
                 rngs.shards,
-                iterations,
-                threads,
+                &shard::RunPlan {
+                    iterations,
+                    threads,
+                    kernel,
+                },
                 &mut cache.shard,
                 &mut |iter, timings| {
                     on_sweep(
@@ -338,6 +443,7 @@ mod tests {
         assert_eq!(Backend::SimpleParallel { threads: 6 }.threads(), 6);
         assert_eq!(
             Backend::ShardedDocs {
+                kernel: KernelKind::Flat,
                 shards: 4,
                 threads: 2
             }
@@ -353,6 +459,7 @@ mod tests {
         assert_eq!(Backend::SparseKernel.shards(), 1);
         assert!(!Backend::SparseKernel.is_sharded());
         let sharded = Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
             shards: 8,
             threads: 2,
         };
@@ -361,23 +468,53 @@ mod tests {
     }
 
     #[test]
+    fn kernel_axis_aliases() {
+        // The serial backends are aliases into the kernel × execution
+        // matrix; the default kernel is Flat so pre-refactor configs keep
+        // their chains.
+        assert_eq!(KernelKind::default(), KernelKind::Flat);
+        assert_eq!(Backend::Serial.kernel(), KernelKind::Flat);
+        assert_eq!(Backend::SerialDense.kernel(), KernelKind::Dense);
+        assert_eq!(Backend::SparseKernel.kernel(), KernelKind::Sparse);
+        assert_eq!(
+            Backend::PrefixSums { threads: 2 }.kernel(),
+            KernelKind::Dense
+        );
+        assert_eq!(
+            Backend::SimpleParallel { threads: 2 }.kernel(),
+            KernelKind::Dense
+        );
+        let sharded_sparse = Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
+            shards: 4,
+            threads: 2,
+        };
+        assert_eq!(sharded_sparse.kernel(), KernelKind::Sparse);
+        assert!(sharded_sparse.kernel().is_sparse());
+        assert!(!Backend::Serial.kernel().is_sparse());
+    }
+
+    #[test]
     fn zero_threads_invalid() {
         assert!(Backend::PrefixSums { threads: 0 }.validate().is_err());
         assert!(Backend::SimpleParallel { threads: 0 }.validate().is_err());
         assert!(Backend::Serial.validate().is_ok());
         assert!(Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
             shards: 0,
             threads: 1
         }
         .validate()
         .is_err());
         assert!(Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
             shards: 2,
             threads: 0
         }
         .validate()
         .is_err());
         assert!(Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
             shards: 2,
             threads: 2
         }

@@ -18,14 +18,20 @@
 //! * each shard owns a private RNG stream: shards `1..S` are spawned from
 //!   the run RNG in shard order, and shard `0` *continues* the run stream
 //!   itself — so with `S = 1` nothing is spawned and the single shard
-//!   draws the exact uniforms [`Backend::Serial`](super::Backend::Serial)
-//!   would, making `S = 1` bit-identical to the serial kernel (pinned by
-//!   `tests/shard_equivalence.rs`);
-//! * each shard sweeps through the **serial kernel** over a shard-local
-//!   [`CountMatrices`]: `n_dt` rows for its own documents (documents are
-//!   disjoint, so these are exact), plus a local copy of `n_wt`/`n_t`
-//!   loaded from the sweep-start snapshot and updated in place as the
-//!   shard moves its own tokens;
+//!   draws the exact uniforms the kernel's single-thread backend would,
+//!   making `S = 1` bit-identical to
+//!   [`Backend::Serial`](super::Backend::Serial) /
+//!   [`Backend::SparseKernel`](super::Backend::SparseKernel) /
+//!   [`Backend::SerialDense`](super::Backend::SerialDense) per kernel
+//!   (pinned by `tests/shard_equivalence.rs`);
+//! * each shard sweeps through **any sweep kernel**
+//!   ([`KernelKind`](super::KernelKind) — the flat serial kernel, the
+//!   dense reference, or the sub-linear sparse bucket kernel) over a
+//!   shard-local [`CountMatrices`]: `n_dt` rows for its own documents
+//!   (documents are disjoint, so these are exact), plus a local copy of
+//!   `n_wt`/`n_t` loaded from the sweep-start snapshot and updated in
+//!   place as the shard moves its own tokens. The kernel is part of the
+//!   determinism key — `(seed, S, kernel)` fixes the chain bits;
 //! * at the sweep boundary the shard deltas are merged into the global
 //!   counts **in shard order** (`global = snapshot + Σ_s (local_s −
 //!   snapshot)`, wrapping arithmetic, so the merged state is exactly the
@@ -40,7 +46,8 @@
 //! serial backends.
 
 use super::kernel::{Combined, Kernel, SweepTables};
-use super::{debug_assert_counts, idx_u32, SweepContext};
+use super::sparse::{SparseKernel, SparseState};
+use super::{debug_assert_counts, idx_u32, serial, KernelKind, SweepContext};
 use crate::counts::CountMatrices;
 use srclda_math::SldaRng;
 use std::ops::Range;
@@ -87,73 +94,126 @@ pub(crate) fn partition_docs(tokens: &[Vec<u32>], shards: usize) -> Vec<Range<us
 }
 
 /// Per-shard reusable state for one `run` call: the shard's local count
-/// matrices.
+/// matrices plus its kernel's reusable cache state.
 struct ShardWorkspace {
     /// Global document range this shard owns.
     range: Range<usize>,
     /// Local counts: exact `n_dt` rows for the shard's documents, plus the
     /// snapshot-loaded `n_wt`/`n_t` working copy.
     local: CountMatrices,
+    /// The sparse bucket kernel's reusable state for this shard
+    /// (`Some` iff the shard kernel is [`KernelKind::Sparse`]). The
+    /// structural parts (deviation lists, floors, dense demotions) are
+    /// built once per chunk and survive every sweep; the count-dependent
+    /// caches are resynced after each snapshot reload
+    /// ([`SparseState::resync_counts`]).
+    sparse: Option<SparseState>,
+}
+
+/// Read-only inputs every shard's sweep shares within one iteration: the
+/// kernel to run, the flat kernel's one shared combined table, and the
+/// sweep-start snapshot of the global word/topic counts.
+struct SweepShared<'a> {
+    kernel: KernelKind,
+    combined: &'a Option<Arc<Combined>>,
+    snapshot_nw: &'a [u32],
+    snapshot_nt: &'a [u32],
 }
 
 /// One shard's sweep: refresh the local word/topic counts from the global
-/// snapshot, then run one serial-kernel sweep over the shard's documents
-/// with the shard's RNG stream.
+/// snapshot, then run one sweep of the configured kernel over the shard's
+/// documents with the shard's RNG stream. Returns the sparse kernel's
+/// bucket-routing tallies when the kernel is sparse.
 fn shard_sweep(
     ctx: &SweepContext<'_>,
+    shared: &SweepShared<'_>,
     ws: &mut ShardWorkspace,
     z_shard: &mut [Vec<u32>],
     rng: &mut SldaRng,
-    combined: Option<Arc<Combined>>,
-    snapshot_nw: &[u32],
-    snapshot_nt: &[u32],
-) {
-    ws.local.load_nw_nt(snapshot_nw, snapshot_nt);
+) -> Option<srclda_obs::SparseBucketCounts> {
+    ws.local.load_nw_nt(shared.snapshot_nw, shared.snapshot_nt);
     let local_ctx = SweepContext {
         tokens: &ctx.tokens[ws.range.clone()],
         counts: &ws.local,
         priors: ctx.priors,
         alpha: ctx.alpha,
     };
-    // The kernel's reciprocal cache is seeded from the *current* local
-    // counts, so it must be rebuilt each sweep (the snapshot changed);
-    // the expensive word-major combined table is the one shared copy
-    // built by [`ShardState::build`] (an `Arc` clone, not a data copy).
-    let mut kernel = Kernel::new(&local_ctx, combined);
-    kernel.sweep(&local_ctx, z_shard, rng);
+    match shared.kernel {
+        KernelKind::Flat => {
+            // The kernel's reciprocal cache is seeded from the *current*
+            // local counts, so it must be rebuilt each sweep (the snapshot
+            // changed); the expensive word-major combined table is the one
+            // shared copy built by [`ShardState::build`] (an `Arc` clone,
+            // not a data copy).
+            let mut k = Kernel::new(&local_ctx, shared.combined.clone());
+            k.sweep(&local_ctx, z_shard, rng);
+            None
+        }
+        KernelKind::Dense => {
+            let mut buf = vec![0.0; local_ctx.num_topics()];
+            serial::sweep(&local_ctx, z_shard, rng, &mut buf);
+            None
+        }
+        KernelKind::Sparse => {
+            // The snapshot reload replaced every local `n_wt`/`n_t`, so
+            // the count-dependent bucket caches (non-zero lists,
+            // reciprocals, baselines) are resynced wholesale; the
+            // structural state survives from the chunk-level build.
+            let tables = SweepTables::new(local_ctx.priors);
+            let mut state = ws.sparse.take().unwrap_or_else(|| {
+                // Self-heal (unreachable in practice): a sparse shard
+                // workspace is always built with its state present.
+                SparseState::build(&tables, &ws.local)
+            });
+            state.resync_counts(&tables, &ws.local);
+            let mut k = SparseKernel::new(&local_ctx, Some(state));
+            k.sweep(&local_ctx, z_shard, rng);
+            let buckets = k.take_bucket_counts();
+            ws.sparse = Some(k.into_state());
+            Some(buckets)
+        }
+    }
 }
 
 /// One shard's slice of mutable sweep state: its workspace, its documents'
-/// assignments, its RNG stream, and its telemetry slot (wall-clock seconds
-/// the shard's sweep took — written by whichever worker runs the shard).
+/// assignments, its RNG stream, and its telemetry slots (wall-clock seconds
+/// the shard's sweep took plus its sparse bucket tallies — written by
+/// whichever worker runs the shard).
 type ShardJob<'a> = (
     &'a mut ShardWorkspace,
     &'a mut [Vec<u32>],
     &'a mut SldaRng,
-    &'a mut f64,
+    &'a mut (f64, Option<srclda_obs::SparseBucketCounts>),
 );
 
 /// The sharded backend's reusable chunk state: the document partition and
-/// the per-shard workspaces. Carried across [`run`] calls by the fitting
-/// loop (via [`super::SweepCache`]) because rebuilding it is pure waste:
-/// the partition is a function of the (fixed) corpus and `S`; the local
+/// the per-shard workspaces (local counts plus per-shard kernel caches).
+/// Carried across [`run`] calls by the fitting loop (via
+/// [`super::SweepCache`]) because rebuilding it is pure waste: the
+/// partition is a function of the (fixed) corpus and `S`; the local
 /// `n_dt` rows were the *source* of the global rows at the last merge, so
-/// they are already bit-equal; and the combined tables' contents are
-/// invariant under λ adaptation.
+/// they are already bit-equal; the combined tables' contents are invariant
+/// under λ adaptation; and the sparse states' structural parts are
+/// functions of the priors' shape, which adaptation never changes.
 pub(crate) struct ShardState {
     ranges: Vec<Range<usize>>,
     workspaces: Vec<ShardWorkspace>,
-    /// The kernel's word-major combined prior table, built **once** and
-    /// shared by every shard's kernel (`None` on the kernel's fallback
-    /// path — over budget or mixed quadrature depths).
+    /// The sweep kernel the workspaces were built for — part of the reuse
+    /// fingerprint, since per-kernel cache state differs.
+    kernel: KernelKind,
+    /// The flat kernel's word-major combined prior table, built **once**
+    /// and shared by every shard's kernel (`None` on the kernel's fallback
+    /// path — over budget or mixed quadrature depths — and for the dense
+    /// and sparse kernels, which don't use it).
     combined: Option<Arc<Combined>>,
 }
 
 impl ShardState {
-    fn build(ctx: &SweepContext<'_>, shards: usize) -> Self {
+    fn build(ctx: &SweepContext<'_>, shards: usize, kernel: KernelKind) -> Self {
         let ranges = partition_docs(ctx.tokens, shards);
         let v = ctx.counts.vocab_size();
         let t_count = ctx.counts.num_topics();
+        let tables = SweepTables::new(ctx.priors);
         // Local n_dt rows are seeded from the global matrices (which are
         // consistent with `z` at every boundary).
         let workspaces: Vec<ShardWorkspace> = ranges
@@ -167,25 +227,41 @@ impl ShardState {
                 for (local_d, global_d) in range.clone().enumerate() {
                     local.copy_nd_row_from(local_d, ctx.counts, global_d);
                 }
+                // Per-shard sparse state: the structural parts are
+                // identical across shards (a pure function of the priors);
+                // the count-dependent caches start out stale against the
+                // zeroed local `n_wt`/`n_t` and are resynced at every
+                // sweep start, after the snapshot reload.
+                let sparse = match kernel {
+                    KernelKind::Sparse => Some(SparseState::build(&tables, &local)),
+                    KernelKind::Flat | KernelKind::Dense => None,
+                };
                 ShardWorkspace {
                     range: range.clone(),
                     local,
+                    sparse,
                 }
             })
             .collect();
-        let combined = Combined::build(&SweepTables::new(ctx.priors), v).map(Arc::new);
+        let combined = match kernel {
+            KernelKind::Flat => Combined::build(&tables, v).map(Arc::new),
+            KernelKind::Dense | KernelKind::Sparse => None,
+        };
         Self {
             ranges,
             workspaces,
+            kernel,
             combined,
         }
     }
 
-    /// Whether this state matches the given run shape (same shard count,
-    /// same corpus extent, same count dimensions) — within one fit these
-    /// never change, so a cached state from the previous chunk is valid.
-    fn matches(&self, ctx: &SweepContext<'_>, shards: usize) -> bool {
-        self.workspaces.len() == shards
+    /// Whether this state matches the given run shape (same kernel, same
+    /// shard count, same corpus extent, same count dimensions) — within
+    /// one fit these never change, so a cached state from the previous
+    /// chunk is valid.
+    fn matches(&self, ctx: &SweepContext<'_>, shards: usize, kernel: KernelKind) -> bool {
+        self.kernel == kernel
+            && self.workspaces.len() == shards
             && self.ranges.last().map_or(0, |r| r.end) == ctx.tokens.len()
             && self.workspaces.iter().all(|ws| {
                 ws.local.vocab_size() == ctx.counts.vocab_size()
@@ -194,31 +270,45 @@ impl ShardState {
     }
 }
 
-/// Run `iterations` sharded sweeps. `shard_rngs` carries one stream per
+/// What one `run` call should execute: how many sweeps, how wide the
+/// worker pool may go (`threads` has no effect on the result), and which
+/// sweep kernel each shard drives.
+pub(crate) struct RunPlan {
+    pub iterations: usize,
+    pub threads: usize,
+    pub kernel: KernelKind,
+}
+
+/// Run the planned sharded sweeps. `shard_rngs` carries one stream per
 /// shard (sampler state owned by the fitting loop so it can be
-/// checkpointed); `threads` bounds the worker pool and has no effect on
-/// the result; `state_cache` carries the [`ShardState`] across chunk
+/// checkpointed); `state_cache` carries the [`ShardState`] across chunk
 /// calls (pass `&mut None` to build fresh). `on_sweep` receives per-shard
-/// sweep and merge wall-clock timings — pure observation; the timing reads
-/// touch no sampler state.
+/// sweep and merge wall-clock timings, plus the merged sparse bucket
+/// tallies when the shard kernel is sparse — pure observation; the
+/// telemetry reads touch no sampler state.
 pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
     ctx: &SweepContext<'_>,
     z: &mut [Vec<u32>],
     shard_rngs: &mut [SldaRng],
-    iterations: usize,
-    threads: usize,
+    plan: &RunPlan,
     state_cache: &mut Option<ShardState>,
     on_sweep: &mut F,
 ) {
+    let RunPlan {
+        iterations,
+        threads,
+        kernel,
+    } = *plan;
     let shards = shard_rngs.len();
     assert!(shards > 0, "need at least one shard RNG stream");
     let mut state = match state_cache.take() {
-        Some(state) if state.matches(ctx, shards) => state,
-        _ => ShardState::build(ctx, shards),
+        Some(state) if state.matches(ctx, shards, kernel) => state,
+        _ => ShardState::build(ctx, shards, kernel),
     };
     let ShardState {
         ref ranges,
         ref mut workspaces,
+        kernel: _,
         ref combined,
     } = state;
 
@@ -226,7 +316,15 @@ pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
     for iter in 1..=iterations {
         let snapshot_nw = ctx.counts.snapshot_nw();
         let snapshot_nt = ctx.counts.snapshot_nt();
-        let mut shard_secs = vec![0.0f64; shards];
+        let shared = SweepShared {
+            kernel,
+            combined,
+            snapshot_nw: &snapshot_nw,
+            snapshot_nt: &snapshot_nt,
+        };
+        // Per-shard telemetry slots: (sweep seconds, sparse bucket tallies).
+        let mut shard_stats: Vec<(f64, Option<srclda_obs::SparseBucketCounts>)> =
+            vec![(0.0, None); shards];
 
         // Split `z` into per-shard mutable slices (ranges are contiguous
         // and ordered, so this is a sequence of split_at_mut cuts).
@@ -244,24 +342,16 @@ pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
                 .iter_mut()
                 .zip(parts)
                 .zip(shard_rngs.iter_mut())
-                .zip(shard_secs.iter_mut())
-                .map(|(((ws, part), rng), secs)| (ws, part, rng, secs))
+                .zip(shard_stats.iter_mut())
+                .map(|(((ws, part), rng), stats)| (ws, part, rng, stats))
                 .collect()
         };
 
         if workers == 1 {
-            for (ws, z_shard, rng, secs) in jobs.iter_mut() {
+            for (ws, z_shard, rng, stats) in jobs.iter_mut() {
                 let span = srclda_obs::SpanTimer::start();
-                shard_sweep(
-                    ctx,
-                    ws,
-                    z_shard,
-                    rng,
-                    combined.clone(),
-                    &snapshot_nw,
-                    &snapshot_nt,
-                );
-                **secs = span.elapsed_secs();
+                let buckets = shard_sweep(ctx, &shared, ws, z_shard, rng);
+                **stats = (span.elapsed_secs(), buckets);
             }
         } else {
             // Strided shard→worker assignment. Scheduling is irrelevant to
@@ -272,16 +362,14 @@ pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
             for (i, job) in jobs.into_iter().enumerate() {
                 groups[i % workers].push(job);
             }
-            let snap_nw = &snapshot_nw;
-            let snap_nt = &snapshot_nt;
+            let shared = &shared;
             crossbeam::thread::scope(|scope| {
                 for group in groups.iter_mut() {
-                    let combined = combined.clone();
                     scope.spawn(move |_| {
-                        for (ws, z_shard, rng, secs) in group.iter_mut() {
+                        for (ws, z_shard, rng, stats) in group.iter_mut() {
                             let span = srclda_obs::SpanTimer::start();
-                            shard_sweep(ctx, ws, z_shard, rng, combined.clone(), snap_nw, snap_nt);
-                            **secs = span.elapsed_secs();
+                            let buckets = shard_sweep(ctx, shared, ws, z_shard, rng);
+                            **stats = (span.elapsed_secs(), buckets);
                         }
                     });
                 }
@@ -307,11 +395,22 @@ pub(crate) fn run<F: FnMut(usize, srclda_obs::ShardTimings)>(
         // The merge is the sharded backend's sweep boundary: globals must
         // again be the exact histogram of z.
         debug_assert_counts(ctx, z, "sharded merge");
+        // Fold the per-shard bucket tallies into one sweep-level total
+        // (Some iff the shard kernel is sparse).
+        let mut buckets: Option<srclda_obs::SparseBucketCounts> = None;
+        let mut shard_secs = Vec::with_capacity(shards);
+        for (secs, shard_buckets) in shard_stats {
+            shard_secs.push(secs);
+            if let Some(b) = shard_buckets {
+                buckets.get_or_insert_with(Default::default).absorb(b);
+            }
+        }
         on_sweep(
             iter,
             srclda_obs::ShardTimings {
                 shard_secs,
                 merge_secs,
+                buckets,
             },
         );
     }
@@ -407,6 +506,7 @@ mod tests {
 
     /// Run the sharded sweep loop directly; returns (z, nw, nt).
     fn run_sharded(
+        kernel: KernelKind,
         shards: usize,
         threads: usize,
         sweeps: usize,
@@ -435,11 +535,19 @@ mod tests {
             &ctx,
             &mut z,
             &mut shard_rngs,
-            sweeps,
-            threads,
+            &RunPlan {
+                iterations: sweeps,
+                threads,
+                kernel,
+            },
             &mut None,
             &mut |i, timings| {
                 assert_eq!(timings.shard_secs.len(), shards, "one timing per shard");
+                assert_eq!(
+                    timings.buckets.is_some(),
+                    kernel == KernelKind::Sparse,
+                    "bucket tallies iff the shard kernel is sparse"
+                );
                 seen.push(i)
             },
         );
@@ -453,14 +561,16 @@ mod tests {
 
     #[test]
     fn merged_state_is_thread_count_invariant() {
-        for shards in [1, 2, 3, 5, 7] {
-            let reference = run_sharded(shards, 1, 12);
-            for threads in [2, 3, 8] {
-                assert_eq!(
-                    run_sharded(shards, threads, 12),
-                    reference,
-                    "S={shards} diverged at {threads} threads"
-                );
+        for kernel in [KernelKind::Flat, KernelKind::Sparse, KernelKind::Dense] {
+            for shards in [1, 2, 3, 5, 7] {
+                let reference = run_sharded(kernel, shards, 1, 12);
+                for threads in [2, 3, 8] {
+                    assert_eq!(
+                        run_sharded(kernel, shards, threads, 12),
+                        reference,
+                        "{kernel:?} S={shards} diverged at {threads} threads"
+                    );
+                }
             }
         }
     }
@@ -485,10 +595,53 @@ mod tests {
         }
         let serial = (z, counts.snapshot_nw(), counts.snapshot_nt());
         assert_eq!(
-            run_sharded(1, 1, 12),
+            run_sharded(KernelKind::Flat, 1, 1, 12),
             serial,
             "S=1 must be the serial chain"
         );
+    }
+
+    #[test]
+    fn single_shard_matches_sparse_kernel_chain() {
+        // The sparse analogue of the test above: one sparse shard must
+        // continue the run RNG stream and draw the exact uniforms
+        // `Backend::SparseKernel` would, resyncing its bucket caches from
+        // a snapshot that equals the global counts.
+        let tokens = toy_tokens();
+        let priors = priors();
+        let doc_lens: Vec<u32> = tokens.iter().map(|d| d.len() as u32).collect();
+        let counts = CountMatrices::new(4, priors.len(), &doc_lens);
+        let mut rng = rng_from_seed(404);
+        let mut z = init(&tokens, &counts, &mut rng, priors.len());
+        let ctx = SweepContext {
+            tokens: &tokens,
+            counts: &counts,
+            priors: &priors,
+            alpha: 0.5,
+        };
+        let mut kernel = SparseKernel::new(&ctx, None);
+        for _ in 0..12 {
+            kernel.sweep(&ctx, &mut z, &mut rng);
+        }
+        let serial = (z, counts.snapshot_nw(), counts.snapshot_nt());
+        assert_eq!(
+            run_sharded(KernelKind::Sparse, 1, 1, 12),
+            serial,
+            "S=1 sparse must be the single-thread sparse chain"
+        );
+    }
+
+    #[test]
+    fn flat_and_dense_shard_kernels_walk_identical_chains() {
+        // The flat kernel is a bit-identical optimization of the dense
+        // reference; composing either with shards must preserve that.
+        for shards in [1, 2, 3] {
+            assert_eq!(
+                run_sharded(KernelKind::Flat, shards, 1, 12),
+                run_sharded(KernelKind::Dense, shards, 1, 12),
+                "flat and dense kernels diverged at S={shards}"
+            );
+        }
     }
 
     #[test]
@@ -496,6 +649,9 @@ mod tests {
         // Not a correctness requirement, but documents that S really is a
         // determinism parameter: S=1 and S=2 are different (approximate
         // vs exact) chains.
-        assert_ne!(run_sharded(1, 1, 12).0, run_sharded(2, 1, 12).0);
+        assert_ne!(
+            run_sharded(KernelKind::Flat, 1, 1, 12).0,
+            run_sharded(KernelKind::Flat, 2, 1, 12).0
+        );
     }
 }

@@ -78,7 +78,7 @@
 use super::kernel::{Kind, RecipCache, SweepTables};
 use super::{idx_u32, SweepContext};
 use crate::counts::CountMatrices;
-use crate::prior::dot_mod4;
+use crate::prior::{dot_mod4, TopicPrior};
 use rand::Rng;
 use srclda_math::categorical::binary_search_cumulative;
 use srclda_math::SldaRng;
@@ -87,10 +87,25 @@ use std::sync::atomic::Ordering;
 
 /// Reusable sparse-kernel state carried across sweep chunks (the analogue
 /// of the serial kernel's `Combined` reuse): the per-word deviation lists
-/// and baselines (functions of the priors' *structure*, which λ adaptation
-/// never changes) and the per-word non-zero assignment lists (maintained in
-/// lock-step with the counts, which only the kernel itself mutates between
-/// chunk boundaries).
+/// and baseline structure (functions of the priors' *shape*, which λ
+/// adaptation never changes), the per-word non-zero assignment lists
+/// (maintained in lock-step with the counts, which only the kernel itself
+/// mutates between chunk boundaries), and the count-dependent caches — the
+/// reciprocal cache and the per-topic minimum-weight baselines `base0(t)`
+/// — kept valid across chunks through an explicit invalidation API:
+///
+/// * between plain chunk boundaries (checkpoints) nothing changed, so the
+///   caches are taken as-is;
+/// * at a λ-adaptation boundary the fitting loop calls
+///   [`Self::repatch_adapted`], which re-derives only the *adapted*
+///   (λ-integrated) topics' reciprocal rows and baselines instead of
+///   rebuilding every topic;
+/// * the sharded execution path reloads its local counts from the global
+///   snapshot every sweep and calls [`Self::resync_counts`] to re-derive
+///   the count-dependent parts wholesale.
+///
+/// Every path is debug-asserted bit-equal to a from-scratch rebuild in
+/// [`SparseKernel::new`].
 pub(crate) struct SparseState {
     /// Per-word topic lists where the word deviates from the topic's
     /// baseline (sorted ascending; built once from the priors).
@@ -114,11 +129,20 @@ pub(crate) struct SparseState {
     /// dense-demotion bit) — a mismatch means different priors, rebuild.
     tags: Vec<u8>,
     vocab: usize,
+    /// The serial kernel's reciprocal cache (denominator reciprocals and,
+    /// for λ-integrated topics, the per-level quadrature products) at the
+    /// current counts. Maintained per token by the sweep; re-derived for
+    /// adapted topics by [`Self::repatch_adapted`].
+    recip: RecipCache,
+    /// `base0(t)` — the per-topic minimum word weight the bucket
+    /// decomposition subtracts — at the current counts and quadrature
+    /// weights. Maintained in lock-step with `recip`.
+    base0: Vec<f64>,
 }
 
 impl SparseState {
     /// Build from the flattened priors and current counts.
-    fn build(tables: &SweepTables<'_>, counts: &CountMatrices) -> Self {
+    pub(crate) fn build(tables: &SweepTables<'_>, counts: &CountMatrices) -> Self {
         let t_count = tables.num_topics();
         let v = counts.vocab_size();
         let mut state = Self {
@@ -130,6 +154,8 @@ impl SparseState {
             int_floor: vec![Vec::new(); tables.ints.len()],
             tags: vec![0; t_count],
             vocab: v,
+            recip: RecipCache::new(tables, counts),
+            base0: vec![0.0; t_count],
         };
         for t in 0..t_count {
             match tables.kinds[t] {
@@ -220,7 +246,82 @@ impl SparseState {
                 }
             }
         }
+        for t in 0..t_count {
+            state.base0[t] = state.compute_base0(tables, t);
+        }
         state
+    }
+
+    /// `base0(t)` from the current reciprocal cache (see the kind table in
+    /// the module docs).
+    #[inline]
+    fn compute_base0(&self, tables: &SweepTables<'_>, t: usize) -> f64 {
+        match tables.kinds[t] {
+            Kind::Symmetric => tables.add[t] * self.recip.recip[t],
+            Kind::Fixed(_) => self.base_param[t] * self.recip.recip[t],
+            Kind::Integrated(i) => {
+                if self.dense_flag[t] {
+                    0.0
+                } else {
+                    // S2 at the floor row, under the current quadrature
+                    // weights (A is a handful of levels — recomputing the
+                    // dot at each refresh is cheaper than caching another
+                    // per-topic invalidation path).
+                    let f = &tables.ints[i as usize];
+                    let qr = &self.recip.qr[f.qr_base..f.qr_base + f.levels];
+                    dot_mod4(&self.int_floor[i as usize], qr)
+                }
+            }
+            Kind::Frozen(_) => self.base_param[t],
+            Kind::ConceptSet(_) => 0.0,
+        }
+    }
+
+    /// Refresh topic `t`'s reciprocal row for the given topic total, then
+    /// re-derive its baseline — the single per-topic invalidation step
+    /// every cache path routes through.
+    #[inline]
+    fn refresh_topic(&mut self, tables: &SweepTables<'_>, t: usize, nt: u32) {
+        self.recip.refresh(tables, t, nt);
+        self.base0[t] = self.compute_base0(tables, t);
+    }
+
+    /// Invalidation API for λ-adaptation boundaries: the adapter re-weights
+    /// the quadrature of every λ-integrated topic (and nothing else — δ
+    /// rows, deviation lists, and the floor structure are untouched), so
+    /// only those topics' reciprocal rows and baselines are re-derived.
+    /// Everything else in the cache is bit-valid as maintained — verified
+    /// against a from-scratch rebuild by the debug assertion in
+    /// [`SparseKernel::new`].
+    pub(crate) fn repatch_adapted(&mut self, priors: &[TopicPrior], counts: &CountMatrices) {
+        let tables = SweepTables::new(priors);
+        for t in 0..tables.num_topics() {
+            if matches!(tables.kinds[t], Kind::Integrated(_)) {
+                self.refresh_topic(&tables, t, counts.nt(t));
+            }
+        }
+    }
+
+    /// Invalidation API for the sharded execution path: the shard's local
+    /// counts were just reloaded from the sweep-start global snapshot, so
+    /// every count-dependent cache — the non-zero lists, the reciprocal
+    /// cache, and the baselines — is re-derived wholesale. The structural
+    /// parts (deviation lists, floors, dense demotions) are count-free and
+    /// survive untouched.
+    pub(crate) fn resync_counts(&mut self, tables: &SweepTables<'_>, counts: &CountMatrices) {
+        let t_count = tables.num_topics();
+        for (w, list) in self.nz.iter_mut().enumerate() {
+            list.clear();
+            for t in 0..t_count {
+                if counts.nw(w, t) > 0 {
+                    list.push(idx_u32(t));
+                }
+            }
+        }
+        self.recip = RecipCache::new(tables, counts);
+        for t in 0..t_count {
+            self.base0[t] = self.compute_base0(tables, t);
+        }
     }
 
     /// Whether this cached state belongs to the same model shape. The
@@ -270,10 +371,10 @@ impl SparseState {
 /// with [`Self::into_state`] afterwards.
 pub(crate) struct SparseKernel<'a> {
     tables: SweepTables<'a>,
-    recip: RecipCache,
+    /// Bucket caches — deviation/non-zero lists, reciprocal cache, and
+    /// baselines — owned by the reusable state so they survive chunk and
+    /// λ-adaptation boundaries (see [`SparseState`]).
     state: SparseState,
-    /// `base0(t)` at the current counts (see module docs).
-    base0: Vec<f64>,
     /// Cached smoothing-bucket mass `α · Σ_t base0(t)`; patched per token,
     /// rebuilt at every sweep start to cap float drift (sweeps are the
     /// chunking unit, so the rebuild schedule is chunk-invariant).
@@ -303,9 +404,13 @@ pub(crate) struct SparseKernel<'a> {
 
 impl<'a> SparseKernel<'a> {
     /// Build the kernel, reusing a previous chunk's [`SparseState`] when
-    /// its shape matches (λ adaptation between chunks re-weights the
-    /// quadrature only — deviation lists and baselines are untouched, and
-    /// the non-zero lists were maintained in lock-step with the counts).
+    /// its shape matches. The reused state's count-dependent caches
+    /// (non-zero lists, reciprocal cache, baselines) are taken **as-is**:
+    /// between chunks they were either maintained in lock-step by the
+    /// sweep itself or explicitly repaired through the invalidation API
+    /// ([`SparseState::repatch_adapted`] at λ-adaptation boundaries,
+    /// [`SparseState::resync_counts`] after a sharded snapshot reload) —
+    /// debug-asserted bit-equal to a from-scratch rebuild here.
     pub(crate) fn new(ctx: &SweepContext<'a>, reuse: Option<SparseState>) -> Self {
         let tables = SweepTables::new(ctx.priors);
         let state = match reuse {
@@ -317,18 +422,41 @@ impl<'a> SparseKernel<'a> {
                         prev.nz, fresh.nz,
                         "cached non-zero lists drifted from the counts"
                     );
+                    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    debug_assert_eq!(
+                        bits(&prev.base0),
+                        bits(&fresh.base0),
+                        "cached baselines drifted from a fresh rebuild"
+                    );
+                    debug_assert_eq!(
+                        bits(&prev.recip.recip),
+                        bits(&fresh.recip.recip),
+                        "cached reciprocals drifted from a fresh rebuild"
+                    );
+                    debug_assert_eq!(
+                        bits(&prev.recip.qr),
+                        bits(&fresh.recip.qr),
+                        "cached quadrature products drifted from a fresh rebuild"
+                    );
+                    debug_assert_eq!(
+                        bits(&prev.recip.int_s1),
+                        bits(&fresh.recip.int_s1),
+                        "cached S1 sums drifted from a fresh rebuild"
+                    );
+                    debug_assert_eq!(
+                        bits(&prev.recip.int_s2_zero),
+                        bits(&fresh.recip.int_s2_zero),
+                        "cached zero-row S2 sums drifted from a fresh rebuild"
+                    );
                 }
                 prev
             }
             _ => SparseState::build(&tables, ctx.counts),
         };
-        let recip = RecipCache::new(&tables, ctx.counts);
         let t_count = tables.num_topics();
-        let mut kernel = Self {
+        Self {
             tables,
-            recip,
             state,
-            base0: vec![0.0; t_count],
             s: 0.0,
             r: 0.0,
             fact: vec![ctx.alpha; t_count],
@@ -342,11 +470,7 @@ impl<'a> SparseKernel<'a> {
             tally_r: Cell::new(0),
             tally_s: Cell::new(0),
             tally_fallback: Cell::new(0),
-        };
-        for t in 0..t_count {
-            kernel.base0[t] = kernel.compute_base0(t);
         }
-        kernel
     }
 
     /// Surrender the reusable state for the next sweep chunk.
@@ -365,31 +489,6 @@ impl<'a> SparseKernel<'a> {
         }
     }
 
-    /// `base0(t)` from the current reciprocal cache (see the kind table in
-    /// the module docs).
-    #[inline]
-    fn compute_base0(&self, t: usize) -> f64 {
-        match self.tables.kinds[t] {
-            Kind::Symmetric => self.tables.add[t] * self.recip.recip[t],
-            Kind::Fixed(_) => self.state.base_param[t] * self.recip.recip[t],
-            Kind::Integrated(i) => {
-                if self.state.dense_flag[t] {
-                    0.0
-                } else {
-                    // S2 at the floor row, under the current quadrature
-                    // weights (A is a handful of levels — recomputing the
-                    // dot at each refresh is cheaper than caching another
-                    // per-topic invalidation path).
-                    let f = &self.tables.ints[i as usize];
-                    let qr = &self.recip.qr[f.qr_base..f.qr_base + f.levels];
-                    dot_mod4(&self.state.int_floor[i as usize], qr)
-                }
-            }
-            Kind::Frozen(_) => self.state.base_param[t],
-            Kind::ConceptSet(_) => 0.0,
-        }
-    }
-
     /// `dev_w(t)` for a topic on word `w`'s deviation list. Non-negative
     /// by baseline construction; the integrated case clamps the last-ulp
     /// cancellation residue.
@@ -398,25 +497,25 @@ impl<'a> SparseKernel<'a> {
         match self.tables.kinds[t] {
             Kind::Symmetric => 0.0,
             Kind::Fixed(_) => {
-                (self.tables.rows[t][w] - self.state.base_param[t]) * self.recip.recip[t]
+                (self.tables.rows[t][w] - self.state.base_param[t]) * self.state.recip.recip[t]
             }
             Kind::Integrated(i) => {
                 let f = &self.tables.ints[i as usize];
-                let qr = &self.recip.qr[f.qr_base..f.qr_base + f.levels];
+                let qr = &self.state.recip.qr[f.qr_base..f.qr_base + f.levels];
                 // `base0[t]` holds S2 at the floor row for the current
                 // quadrature; each term of the dot dominates its floor
                 // counterpart, so the difference is non-negative up to
                 // last-ulp cancellation (clamped).
-                (dot_mod4(f.table.delta_row(w), qr) - self.base0[t]).max(0.0)
+                (dot_mod4(f.table.delta_row(w), qr) - self.state.base0[t]).max(0.0)
             }
             Kind::Frozen(_) => self.tables.rows[t][w] - self.state.base_param[t],
-            Kind::ConceptSet(_) => self.tables.add[t] * self.recip.recip[t],
+            Kind::ConceptSet(_) => self.tables.add[t] * self.state.recip.recip[t],
         }
     }
 
     /// Rebuild the smoothing-bucket mass from scratch.
     fn rebuild_s(&mut self) {
-        self.s = self.base0.iter().map(|&b| self.alpha * b).sum();
+        self.s = self.state.base0.iter().map(|&b| self.alpha * b).sum();
     }
 
     /// Remove topic `t`'s contribution from the cached bucket masses (call
@@ -424,15 +523,15 @@ impl<'a> SparseKernel<'a> {
     /// added.
     #[inline]
     fn unplug(&mut self, t: usize) {
-        self.s -= self.alpha * self.base0[t];
-        self.r -= self.nd_doc[t] as f64 * self.base0[t];
+        self.s -= self.alpha * self.state.base0[t];
+        self.r -= self.nd_doc[t] as f64 * self.state.base0[t];
     }
 
     /// Re-add topic `t`'s contribution after its counts/cache changed.
     #[inline]
     fn replug(&mut self, t: usize) {
-        self.s += self.alpha * self.base0[t];
-        self.r += self.nd_doc[t] as f64 * self.base0[t];
+        self.s += self.alpha * self.state.base0[t];
+        self.r += self.nd_doc[t] as f64 * self.state.base0[t];
     }
 
     /// Assemble the q bucket for word `w`: deviation terms, dense-topic
@@ -468,9 +567,10 @@ impl<'a> SparseKernel<'a> {
                 continue;
             };
             let f = &self.tables.ints[i as usize];
-            let qr = &self.recip.qr[f.qr_base..f.qr_base + f.levels];
+            let qr = &self.state.recip.qr[f.qr_base..f.qr_base + f.levels];
             let nw = counts.nw(w, t) as f64;
-            let mass = (nw * self.recip.int_s1[i as usize] + dot_mod4(f.table.delta_row(w), qr))
+            let mass = (nw * self.state.recip.int_s1[i as usize]
+                + dot_mod4(f.table.delta_row(w), qr))
                 * self.fact[t];
             if mass > 0.0 {
                 q += mass;
@@ -511,12 +611,12 @@ impl<'a> SparseKernel<'a> {
     #[inline]
     fn coef_at(&self, t: usize, w: usize) -> f64 {
         match self.tables.kinds[t] {
-            Kind::Symmetric | Kind::Fixed(_) => self.recip.recip[t],
-            Kind::Integrated(i) => self.recip.int_s1[i as usize],
+            Kind::Symmetric | Kind::Fixed(_) => self.state.recip.recip[t],
+            Kind::Integrated(i) => self.state.recip.int_s1[i as usize],
             Kind::Frozen(_) => 0.0,
             Kind::ConceptSet(_) => {
                 if self.tables.masks[t][w] {
-                    self.recip.recip[t]
+                    self.state.recip.recip[t]
                 } else {
                     0.0
                 }
@@ -545,9 +645,8 @@ impl<'a> SparseKernel<'a> {
                 if counts.nw(w, old) == 0 {
                     self.state.nz_remove(w, old);
                 }
-                self.recip
-                    .refresh(&self.tables, old, nt[old].load(Ordering::Relaxed));
-                self.base0[old] = self.compute_base0(old);
+                self.state
+                    .refresh_topic(&self.tables, old, nt[old].load(Ordering::Relaxed));
                 self.replug(old);
 
                 let q = self.word_bucket(counts, w);
@@ -580,9 +679,8 @@ impl<'a> SparseKernel<'a> {
                 }
                 self.nd_doc[new] += 1;
                 self.fact[new] = self.nd_doc[new] as f64 + self.alpha;
-                self.recip
-                    .refresh(&self.tables, new, nt[new].load(Ordering::Relaxed));
-                self.base0[new] = self.compute_base0(new);
+                self.state
+                    .refresh_topic(&self.tables, new, nt[new].load(Ordering::Relaxed));
                 self.replug(new);
             }
             self.leave_doc();
@@ -607,7 +705,7 @@ impl<'a> SparseKernel<'a> {
             let mut acc = 0.0;
             for &t in &self.active {
                 let t = t as usize;
-                let mass = self.nd_doc[t] as f64 * self.base0[t];
+                let mass = self.nd_doc[t] as f64 * self.state.base0[t];
                 if mass > 0.0 {
                     acc += mass;
                     fallback = Some(t);
@@ -623,7 +721,7 @@ impl<'a> SparseKernel<'a> {
         // Smoothing bucket: walk all topics over α·base0.
         let target = (u - q - r).max(0.0);
         let mut acc = 0.0;
-        for (t, &b) in self.base0.iter().enumerate() {
+        for (t, &b) in self.state.base0.iter().enumerate() {
             let mass = self.alpha * b;
             if mass > 0.0 {
                 acc += mass;
@@ -664,7 +762,7 @@ impl<'a> SparseKernel<'a> {
         for i in 0..self.active.len() {
             let t = self.active[i] as usize;
             self.fact[t] = self.nd_doc[t] as f64 + self.alpha;
-            self.r += self.nd_doc[t] as f64 * self.base0[t];
+            self.r += self.nd_doc[t] as f64 * self.state.base0[t];
         }
     }
 

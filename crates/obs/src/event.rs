@@ -31,17 +31,30 @@ impl SparseBucketCounts {
     pub fn total(&self) -> u64 {
         self.q_hits + self.r_hits + self.s_hits + self.dense_fallbacks
     }
+
+    /// Fold another tally into this one (used to merge per-shard tallies
+    /// into one sweep-level total).
+    pub fn absorb(&mut self, other: SparseBucketCounts) {
+        self.q_hits += other.q_hits;
+        self.r_hits += other.r_hits;
+        self.s_hits += other.s_hits;
+        self.dense_fallbacks += other.dense_fallbacks;
+    }
 }
 
 /// Per-sweep timings of the document-sharded backend
 /// (`Backend::ShardedDocs`): each shard's sweep wall-clock and the
-/// sweep-boundary merge.
+/// sweep-boundary merge, plus — when the shard kernel is the sparse bucket
+/// kernel — the merged bucket-routing tallies across all shards.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardTimings {
     /// Seconds each shard spent sweeping, indexed by shard.
     pub shard_secs: Vec<f64>,
     /// Seconds spent merging shard deltas into the global counts.
     pub merge_secs: f64,
+    /// Bucket-routing tallies summed over every shard's sweep, `Some` iff
+    /// the shard kernel is sparse (`ShardedDocs { kernel: Sparse, .. }`).
+    pub buckets: Option<SparseBucketCounts>,
 }
 
 /// One telemetry event from a training run.
@@ -147,6 +160,9 @@ impl TrainEvent {
     ///  "s_hits":100,"dense_fallbacks":0}
     /// {"event":"shard_sweep","sweep":12,"merge_secs":0.001,
     ///  "shard_secs":[0.004,0.005]}
+    /// {"event":"shard_sweep","sweep":12,"merge_secs":0.001,
+    ///  "shard_secs":[0.004,0.005],"q_hits":9000,"r_hits":500,
+    ///  "s_hits":100,"dense_fallbacks":0}
     /// {"event":"adapt","sweep":12,"duration_secs":0.002,"threads":8}
     /// {"event":"checkpoint","sweep":12,"bytes":40960,"duration_secs":0.003}
     /// {"event":"fit_complete","sweeps":24,"duration_secs":0.5,
@@ -195,6 +211,13 @@ impl TrainEvent {
                     json::push_f64(&mut out, *s);
                 }
                 out.push(']');
+                if let Some(b) = &timings.buckets {
+                    out.push_str(&format!(
+                        ",\"q_hits\":{},\"r_hits\":{},\"s_hits\":{},\
+                         \"dense_fallbacks\":{}",
+                        b.q_hits, b.r_hits, b.s_hits, b.dense_fallbacks
+                    ));
+                }
             }
             TrainEvent::Adapt {
                 sweep,
@@ -275,6 +298,7 @@ mod tests {
                 timings: ShardTimings {
                     shard_secs: vec![0.5, 0.25],
                     merge_secs: 0.125,
+                    buckets: None,
                 },
             },
             TrainEvent::Adapt {
@@ -318,6 +342,26 @@ mod tests {
             events[2].to_json(),
             "{\"event\":\"shard_sweep\",\"sweep\":3,\"merge_secs\":0.125,\
              \"shard_secs\":[0.5,0.25]}"
+        );
+        // Sharded-sparse sweeps append the aggregated bucket tallies.
+        let with_buckets = TrainEvent::ShardSweep {
+            sweep: 3,
+            timings: ShardTimings {
+                shard_secs: vec![0.5, 0.25],
+                merge_secs: 0.125,
+                buckets: Some(SparseBucketCounts {
+                    q_hits: 9000,
+                    r_hits: 500,
+                    s_hits: 100,
+                    dense_fallbacks: 1,
+                }),
+            },
+        };
+        assert_eq!(
+            with_buckets.to_json(),
+            "{\"event\":\"shard_sweep\",\"sweep\":3,\"merge_secs\":0.125,\
+             \"shard_secs\":[0.5,0.25],\"q_hits\":9000,\"r_hits\":500,\
+             \"s_hits\":100,\"dense_fallbacks\":1}"
         );
     }
 

@@ -348,6 +348,7 @@ mod tests {
             timings: ShardTimings {
                 shard_secs: vec![0.25, 0.5],
                 merge_secs: 0.125,
+                buckets: None,
             },
         });
         obs.on_event(&TrainEvent::Adapt {

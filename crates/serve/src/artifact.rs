@@ -599,10 +599,11 @@ impl ModelArtifact {
                 "checkpoint: sweep {} · seed {} · {} · resumable\n",
                 cp.sweep,
                 cp.seed,
-                if cp.shards == 0 {
-                    "serial".to_string()
-                } else {
-                    format!("{} shards", cp.shards)
+                match (cp.shard_count(), cp.kernel_kind()) {
+                    (0, Ok(k)) => format!("serial ({k:?} kernel)"),
+                    (s, Ok(k)) => format!("{s} shards ({k:?} kernel)"),
+                    (0, Err(_)) => "serial (unknown kernel)".to_string(),
+                    (s, Err(_)) => format!("{s} shards (unknown kernel)"),
                 }
             ));
         }
@@ -1045,6 +1046,22 @@ mod tests {
             .collect();
         assert!(names.contains(&"checkpoint"), "{names:?}");
         assert!(with_cp.summary().contains("checkpoint: sweep 17"));
+        assert!(
+            with_cp.summary().contains("2 shards (Flat kernel)"),
+            "{}",
+            with_cp.summary()
+        );
+        // The kernel tag rides the packed shards word through the codec.
+        let mut sparse_cp = toy_checkpoint(t, v);
+        sparse_cp.shards = 1 << 56 | 2; // sparse kernel, 2 shards
+        let with_sparse = artifact.clone().with_checkpoint(sparse_cp).unwrap();
+        let back = ModelArtifact::from_bytes(&with_sparse.to_bytes()).unwrap();
+        assert_eq!(back.checkpoint(), with_sparse.checkpoint());
+        assert!(
+            back.summary().contains("2 shards (Sparse kernel)"),
+            "{}",
+            back.summary()
+        );
         // The plain artifact still encodes without the section.
         assert!(artifact.checkpoint().is_none());
         assert!(!artifact.summary().contains("checkpoint:"));

@@ -5,7 +5,7 @@
 //! must continue the chain bit-identically.
 
 use proptest::prelude::*;
-use srclda_core::{Backend, GibbsModel, SourceLda, TrainCheckpoint, Variant};
+use srclda_core::{Backend, GibbsModel, KernelKind, SourceLda, TrainCheckpoint, Variant};
 use srclda_corpus::{Corpus, CorpusBuilder, Tokenizer};
 use srclda_knowledge::KnowledgeSourceBuilder;
 use srclda_serve::{CheckpointStore, FaultKind, FaultPlan, ModelArtifact};
@@ -49,6 +49,7 @@ fn model(
         .iterations(sweeps)
         .seed(11)
         .backend(Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
             shards: 2,
             threads: 2,
         })

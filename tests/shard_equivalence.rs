@@ -1,12 +1,17 @@
 //! Contracts of the document-sharded training backend
 //! (`Backend::ShardedDocs`) and of training checkpoint/resume:
 //!
-//! * `S = 1` is **bit-identical** to `Backend::Serial` — one shard's local
-//!   view (snapshot + its own in-place updates) *is* the true state, and
-//!   shard 0 continues the run RNG stream, so the sharded machinery
-//!   degenerates to the serial kernel exactly;
-//! * for any `S`, the chain is a pure function of `(seed, S)` — thread
-//!   count only schedules work and never moves a bit;
+//! * `S = 1` is **bit-identical** to the shard kernel's single-thread
+//!   backend (`Flat` → `Backend::Serial`, `Sparse` →
+//!   `Backend::SparseKernel`) — one shard's local view (snapshot + its own
+//!   in-place updates) *is* the true state, and shard 0 continues the run
+//!   RNG stream, so the sharded machinery degenerates to the single-thread
+//!   kernel exactly;
+//! * for any `S`, the chain is a pure function of `(seed, S, kernel)` —
+//!   thread count only schedules work and never moves a bit;
+//! * at every sweep boundary the merged global counts are exactly the
+//!   counts implied by the assignments (proptest over shard/thread/kernel
+//!   layouts);
 //! * resume-from-checkpoint replays the remaining sweeps bit-identically
 //!   to the uninterrupted run of the same backend, and the checkpoint
 //!   interval itself never perturbs the chain (chunk-boundary invariance);
@@ -18,6 +23,7 @@
 //! test, which compares two legitimately different chains and uses a
 //! relative band instead.
 
+use proptest::prelude::*;
 use source_lda::core::generative::{DocLength, LambdaMode, SourceLdaGenerator};
 use source_lda::core::{GibbsModel, TrainCheckpoint};
 use source_lda::prelude::*;
@@ -75,7 +81,14 @@ fn assert_identical(a: &FittedModel, b: &FittedModel, what: &str) {
 fn one_shard_is_bit_identical_to_the_serial_kernel() {
     let serial = fit(Backend::Serial, 18);
     for threads in [1, 3] {
-        let sharded = fit(Backend::ShardedDocs { shards: 1, threads }, 18);
+        let sharded = fit(
+            Backend::ShardedDocs {
+                kernel: KernelKind::Flat,
+                shards: 1,
+                threads,
+            },
+            18,
+        );
         assert_identical(
             &sharded,
             &serial,
@@ -84,17 +97,56 @@ fn one_shard_is_bit_identical_to_the_serial_kernel() {
     }
 }
 
+/// The composed axes degenerate the same way the flat kernel does: one
+/// sparse shard *is* the single-thread bucket kernel — same bucket walks,
+/// same uniform-consumption order, shard 0 continuing the run RNG.
+#[test]
+fn one_shard_sparse_is_bit_identical_to_the_sparse_kernel() {
+    let sparse = fit(Backend::SparseKernel, 18);
+    for threads in [1, 3] {
+        let sharded = fit(
+            Backend::ShardedDocs {
+                kernel: KernelKind::Sparse,
+                shards: 1,
+                threads,
+            },
+            18,
+        );
+        assert_identical(
+            &sharded,
+            &sparse,
+            &format!("S=1 sparse, {threads} threads vs Backend::SparseKernel"),
+        );
+    }
+}
+
 #[test]
 fn sharded_chain_is_thread_count_invariant() {
-    for shards in [2, 4] {
-        let reference = fit(Backend::ShardedDocs { shards, threads: 1 }, 15);
-        for threads in [2, 3, 8] {
-            let other = fit(Backend::ShardedDocs { shards, threads }, 15);
-            assert_identical(
-                &other,
-                &reference,
-                &format!("S={shards}: {threads} threads vs 1 thread"),
+    for kernel in [KernelKind::Flat, KernelKind::Sparse] {
+        for shards in [2, 4] {
+            let reference = fit(
+                Backend::ShardedDocs {
+                    kernel,
+                    shards,
+                    threads: 1,
+                },
+                15,
             );
+            for threads in [2, 3, 8] {
+                let other = fit(
+                    Backend::ShardedDocs {
+                        kernel,
+                        shards,
+                        threads,
+                    },
+                    15,
+                );
+                assert_identical(
+                    &other,
+                    &reference,
+                    &format!("{kernel:?} S={shards}: {threads} threads vs 1 thread"),
+                );
+            }
         }
     }
 }
@@ -111,6 +163,12 @@ fn checkpoint_interval_never_perturbs_the_chain() {
         Backend::Serial,
         Backend::SparseKernel,
         Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
+            shards: 3,
+            threads: 2,
+        },
+        Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
             shards: 3,
             threads: 2,
         },
@@ -135,11 +193,29 @@ fn resume_replays_bit_identically() {
         Backend::Serial,
         Backend::SparseKernel,
         Backend::ShardedDocs {
+            kernel: KernelKind::Flat,
+            shards: 4,
+            threads: 2,
+        },
+        Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
             shards: 4,
             threads: 2,
         },
     ] {
-        let uninterrupted = fit(backend, 18);
+        // The uninterrupted reference run, also capturing its sweep-18
+        // checkpoint so the kill/resume path below can be compared
+        // digest-to-digest, not just on the final model values.
+        let (ref_model, ref_corpus) = model_and_corpus(backend, 18);
+        let mut reference_cp18: Option<TrainCheckpoint> = None;
+        let uninterrupted = ref_model
+            .fit_resumable(&ref_corpus, None, Some(6), |cp| {
+                if cp.sweep == 18 {
+                    reference_cp18 = Some(cp.clone());
+                }
+                Ok(())
+            })
+            .unwrap();
 
         // "Kill" the run at sweep 12 by erroring out of the checkpoint
         // callback after capturing it.
@@ -176,22 +252,36 @@ fn resume_replays_bit_identically() {
         );
 
         // A resumed run with checkpointing still enabled emits the same
-        // later checkpoints the uninterrupted run would.
+        // later checkpoints the uninterrupted run would — same boundaries,
+        // and the sweep-18 checkpoint digests equal (assignments, counts,
+        // RNG streams, priors: the whole sampler state, one number).
         let (again, corpus3) = model_and_corpus(backend, 18);
         let mut later: Vec<u64> = Vec::new();
+        let mut resumed_cp18: Option<TrainCheckpoint> = None;
         again
             .fit_resumable(&corpus3, Some(&checkpoint), Some(6), |cp| {
                 later.push(cp.sweep);
+                if cp.sweep == 18 {
+                    resumed_cp18 = Some(cp.clone());
+                }
                 Ok(())
             })
             .unwrap();
         assert_eq!(later, vec![18], "absolute checkpoint boundaries");
+        assert_eq!(
+            resumed_cp18.expect("resumed sweep-18 checkpoint").digest(),
+            reference_cp18
+                .expect("uninterrupted sweep-18 checkpoint")
+                .digest(),
+            "{backend:?}: resumed checkpoint digest diverged from uninterrupted"
+        );
     }
 }
 
 #[test]
 fn resume_rejects_mismatched_state() {
     let backend = Backend::ShardedDocs {
+        kernel: KernelKind::Flat,
         shards: 2,
         threads: 1,
     };
@@ -244,6 +334,88 @@ fn resume_rejects_mismatched_state() {
     assert!(model6
         .fit_resumable(&corpus6, Some(&wrong_seed), None, |_| Ok(()))
         .is_err());
+
+    // A flat-kernel checkpoint resumed on a sparse-kernel backend (and
+    // vice versa): sparse and dense-family kernels draw different chains,
+    // so the kernel tag must reject the switch.
+    let (model7, corpus7) = model_and_corpus(
+        Backend::ShardedDocs {
+            kernel: KernelKind::Sparse,
+            shards: 2,
+            threads: 1,
+        },
+        18,
+    );
+    let err = model7
+        .fit_resumable(&corpus7, Some(&checkpoint), None, |_| Ok(()))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("kernel"),
+        "kernel-switch rejection should name the kernel: {err}"
+    );
+
+    // Flat → Dense is legitimate: the two kernels walk bit-identical
+    // chains, so the tag only polices the sparse/dense family boundary.
+    let (model8, corpus8) = model_and_corpus(
+        Backend::ShardedDocs {
+            kernel: KernelKind::Dense,
+            shards: 2,
+            threads: 1,
+        },
+        18,
+    );
+    assert!(model8
+        .fit_resumable(&corpus8, Some(&checkpoint), None, |_| Ok(()))
+        .is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// AD-LDA merge soundness for the composed axes: at *every* sweep
+    /// boundary the merged global counts are exactly the counts implied by
+    /// the assignments, whatever the shard count, thread count, or shard
+    /// kernel. A merge that dropped, doubled, or misrouted a single delta
+    /// would surface here as a count that `z` cannot explain.
+    #[test]
+    fn merged_counts_match_assignments_at_every_sweep_boundary(
+        shards in 1usize..5,
+        threads in 1usize..4,
+        sparse in any::<bool>(),
+    ) {
+        let kernel = if sparse { KernelKind::Sparse } else { KernelKind::Flat };
+        let backend = Backend::ShardedDocs { kernel, shards, threads };
+        let (model, corpus) = model_and_corpus(backend, 9);
+        let t_count = model.num_topics();
+        let v = corpus.vocab_size();
+        let mut boundaries = 0usize;
+        model
+            .fit_resumable(&corpus, None, Some(1), |cp| {
+                let mut nw = vec![0u32; v * t_count];
+                let mut nt = vec![0u32; t_count];
+                for (doc, z_doc) in corpus.docs().iter().zip(&cp.z) {
+                    for (&w, &t) in doc.tokens().iter().zip(z_doc) {
+                        nw[w.index() * t_count + t as usize] += 1;
+                        nt[t as usize] += 1;
+                    }
+                }
+                assert_eq!(
+                    cp.nw, nw,
+                    "{kernel:?} S={shards} t={threads}: merged nw diverged from \
+                     counts(z) at sweep {}",
+                    cp.sweep
+                );
+                assert_eq!(
+                    cp.nt, nt,
+                    "{kernel:?} S={shards} t={threads}: merged nt diverged from \
+                     counts(z) at sweep {}",
+                    cp.sweep
+                );
+                boundaries += 1;
+                Ok(())
+            })
+            .unwrap();
+        prop_assert_eq!(boundaries, 9);
+    }
 }
 
 /// The golden fixture corpus (the pinned §I case-study world of
@@ -375,21 +547,27 @@ fn sharded_perplexity_parity_with_serial_on_golden_corpus() {
     let (corpus, _) = golden_corpus();
     let serial = fit_golden(Backend::Serial);
     let serial_ppx = gibbs_perplexity(&serial, &corpus, 30, 99).unwrap();
-    for shards in [2, 4] {
-        let sharded = fit_golden(Backend::ShardedDocs { shards, threads: 2 });
-        let ppx = gibbs_perplexity(&sharded, &corpus, 30, 99).unwrap();
-        let rel = (ppx - serial_ppx).abs() / serial_ppx;
-        assert!(
-            rel < 0.15,
-            "S={shards} perplexity {ppx} vs serial {serial_ppx} (rel {rel:.3})"
-        );
-        // Both should solve the case study: pencil tokens land in the
-        // School Supplies topic.
-        let school = sharded
-            .labels()
-            .iter()
-            .position(|l| l.as_deref() == Some("School Supplies"))
-            .unwrap() as u32;
-        assert_eq!(sharded.assignments()[0][0], school, "S={shards}");
+    for kernel in [KernelKind::Flat, KernelKind::Sparse] {
+        for shards in [2, 4] {
+            let sharded = fit_golden(Backend::ShardedDocs {
+                kernel,
+                shards,
+                threads: 2,
+            });
+            let ppx = gibbs_perplexity(&sharded, &corpus, 30, 99).unwrap();
+            let rel = (ppx - serial_ppx).abs() / serial_ppx;
+            assert!(
+                rel < 0.15,
+                "{kernel:?} S={shards} perplexity {ppx} vs serial {serial_ppx} (rel {rel:.3})"
+            );
+            // Both should solve the case study: pencil tokens land in the
+            // School Supplies topic.
+            let school = sharded
+                .labels()
+                .iter()
+                .position(|l| l.as_deref() == Some("School Supplies"))
+                .unwrap() as u32;
+            assert_eq!(sharded.assignments()[0][0], school, "{kernel:?} S={shards}");
+        }
     }
 }

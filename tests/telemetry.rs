@@ -11,9 +11,10 @@
 //! * **The JSONL stream is well-formed.** Every line round-trips through
 //!   the same vendored JSON codec the serving daemon uses, carries a
 //!   known `"event"` discriminator, and the per-backend event mix is what
-//!   the backend promises (shard timings only from `ShardedDocs`, bucket
-//!   counts only from `SparseKernel`, adaptation events exactly at the
-//!   configured λ boundaries).
+//!   the backend promises (shard timings only from `ShardedDocs`,
+//!   standalone bucket-count events only from `SparseKernel`, bucket
+//!   tallies *inline on the shard_sweep lines* only when the shard kernel
+//!   is sparse, adaptation events exactly at the configured λ boundaries).
 //! * **The registry renders valid Prometheus exposition** covering the
 //!   `srclda_train_*` families.
 //!
@@ -61,10 +62,16 @@ fn model_and_corpus(backend: Backend) -> (GibbsModel, Corpus) {
     (model, generated.corpus)
 }
 
-const BACKENDS: [Backend; 3] = [
+const BACKENDS: [Backend; 4] = [
     Backend::Serial,
     Backend::SparseKernel,
     Backend::ShardedDocs {
+        kernel: KernelKind::Flat,
+        shards: 3,
+        threads: 2,
+    },
+    Backend::ShardedDocs {
+        kernel: KernelKind::Sparse,
         shards: 3,
         threads: 2,
     },
@@ -192,11 +199,38 @@ fn jsonl_streams_are_well_formed_and_backend_shaped() {
             assert!(rate > 0.0, "{backend:?}: tokens/sec must be positive");
         }
         if sharded {
+            let sharded_sparse = matches!(
+                backend,
+                Backend::ShardedDocs {
+                    kernel: KernelKind::Sparse,
+                    ..
+                }
+            );
             for (_, e) in events.iter().filter(|(k, _)| k == "shard_sweep") {
                 let Some(Value::Arr(secs)) = e.get("shard_secs") else {
                     panic!("{backend:?}: shard_secs must be an array");
                 };
                 assert_eq!(secs.len(), 3, "{backend:?}: one timing per shard");
+                // Bucket tallies ride the shard_sweep line iff the shard
+                // kernel is sparse, and the merged totals across shards
+                // account for every token of the sweep.
+                for field in ["q_hits", "r_hits", "s_hits", "dense_fallbacks"] {
+                    assert_eq!(
+                        e.get(field).is_some(),
+                        sharded_sparse,
+                        "{backend:?}: {field} iff the shard kernel is sparse"
+                    );
+                }
+                if sharded_sparse {
+                    let total: f64 = ["q_hits", "r_hits", "s_hits", "dense_fallbacks"]
+                        .iter()
+                        .map(|f| e.get(f).and_then(Value::as_f64).unwrap())
+                        .sum();
+                    assert_eq!(
+                        total, tokens,
+                        "{backend:?}: bucket totals must cover the sweep"
+                    );
+                }
             }
         }
         for (_, e) in events.iter().filter(|(k, _)| k == "checkpoint") {
